@@ -1,0 +1,46 @@
+/// Shared scenario construction for the reproduction benches.
+#pragma once
+
+#include <vector>
+
+#include "platform/platform.hpp"
+#include "topo/brite.hpp"
+#include "xbt/random.hpp"
+
+namespace bench {
+
+struct FlowPair {
+  int src;
+  int dst;
+};
+
+/// The paper's validation scenario: a BRITE/Waxman random topology with
+/// random bandwidths and latencies, plus `n_flows` random source-destination
+/// pairs.
+struct ValidationScenario {
+  sg::platform::Platform platform;
+  std::vector<FlowPair> flows;
+};
+
+inline ValidationScenario make_validation_scenario(int n_nodes, int n_flows, std::uint64_t seed) {
+  sg::topo::WaxmanSpec spec;
+  spec.n_nodes = n_nodes;
+  spec.m_edges_per_node = 2;
+  spec.seed = seed;
+  spec.bw_min_Bps = 1.25e6;   // 10 Mb/s
+  spec.bw_max_Bps = 1.25e7;   // 100 Mb/s
+  spec.latency_per_unit = 2e-6;
+  ValidationScenario out;
+  out.platform = sg::topo::to_platform(sg::topo::generate_waxman(spec));
+  sg::xbt::Rng rng(seed * 1000 + 7);
+  const int n = n_nodes;
+  while (static_cast<int>(out.flows.size()) < n_flows) {
+    const int s = static_cast<int>(rng.uniform_int(0, static_cast<std::uint64_t>(n - 1)));
+    const int d = static_cast<int>(rng.uniform_int(0, static_cast<std::uint64_t>(n - 1)));
+    if (s != d)
+      out.flows.push_back({s, d});
+  }
+  return out;
+}
+
+}  // namespace bench

@@ -1,0 +1,15 @@
+/// E4 — the paper's WAN table: the same Pastry exchange across a
+/// California-France WAN. Wire time dominates (~1-2 s in the paper), so the
+/// relative gaps between systems compress, but the ordering survives through
+/// message-size differences (XML's encoding is several times larger).
+#include "bench_gras_tables.hpp"
+
+int main(int argc, char** argv) {
+  const int reps = argc > 1 ? std::atoi(argv[1]) : 100;
+  // Trans-atlantic path of the era: ~90 ms one-way, a few Mb/s achievable.
+  bench::print_table("E4: Pastry message exchange on a WAN (California - France)",
+                     4e3, 9e-2, reps);
+  std::printf("paper shape: every system ~1-2 s; relative gaps much smaller than on the LAN,\n");
+  std::printf("but XML remains measurably slower (bigger message on the same wire)\n");
+  return 0;
+}

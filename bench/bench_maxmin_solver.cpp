@@ -1,0 +1,79 @@
+/// E8 — microbenchmark behind the paper's "fast and accurate simulation
+/// capabilities" claim: cost of the MaxMin progressive-filling solve as the
+/// system grows, and the sharing-policy ablation (shared vs fatpipe).
+#include <benchmark/benchmark.h>
+
+#include "core/maxmin.hpp"
+#include "xbt/random.hpp"
+
+namespace {
+
+using sg::core::MaxMinSystem;
+
+void build_random_system(MaxMinSystem& sys, int n_vars, int n_cnsts, bool fatpipes,
+                         std::uint64_t seed) {
+  sg::xbt::Rng rng(seed);
+  std::vector<MaxMinSystem::CnstId> cnsts;
+  for (int c = 0; c < n_cnsts; ++c)
+    cnsts.push_back(sys.new_constraint(rng.uniform(10, 1000), !fatpipes || rng.uniform01() < 0.7));
+  for (int v = 0; v < n_vars; ++v) {
+    auto var = sys.new_variable(rng.uniform(0.5, 2.0));
+    const int uses = 1 + static_cast<int>(rng.uniform_int(0, 2));
+    for (int u = 0; u < uses; ++u)
+      sys.expand(cnsts[rng.uniform_int(0, static_cast<std::uint64_t>(n_cnsts - 1))], var,
+                 rng.uniform(0.5, 2.0));
+  }
+}
+
+void BM_SolveShared(benchmark::State& state) {
+  MaxMinSystem sys;
+  build_random_system(sys, static_cast<int>(state.range(0)), static_cast<int>(state.range(0)) / 4 + 1,
+                      false, 1);
+  for (auto _ : state) {
+    sys.solve();
+    benchmark::DoNotOptimize(sys.value(0));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SolveShared)->RangeMultiplier(4)->Range(16, 4096)->Complexity();
+
+void BM_SolveWithFatpipes(benchmark::State& state) {
+  MaxMinSystem sys;
+  build_random_system(sys, static_cast<int>(state.range(0)), static_cast<int>(state.range(0)) / 4 + 1,
+                      true, 2);
+  for (auto _ : state) {
+    sys.solve();
+    benchmark::DoNotOptimize(sys.value(0));
+  }
+}
+BENCHMARK(BM_SolveWithFatpipes)->RangeMultiplier(4)->Range(16, 4096);
+
+void BM_IncrementalChurn(benchmark::State& state) {
+  // The engine's actual usage pattern: actions come and go between solves.
+  MaxMinSystem sys;
+  sg::xbt::Rng rng(3);
+  std::vector<MaxMinSystem::CnstId> cnsts;
+  for (int c = 0; c < 64; ++c)
+    cnsts.push_back(sys.new_constraint(100.0));
+  std::vector<MaxMinSystem::VarId> vars;
+  for (int v = 0; v < 256; ++v) {
+    auto var = sys.new_variable(1.0);
+    sys.expand(cnsts[static_cast<size_t>(v) % cnsts.size()], var);
+    vars.push_back(var);
+  }
+  size_t cursor = 0;
+  for (auto _ : state) {
+    sys.release_variable(vars[cursor]);
+    auto var = sys.new_variable(1.0);
+    sys.expand(cnsts[cursor % cnsts.size()], var);
+    vars[cursor] = var;
+    cursor = (cursor + 1) % vars.size();
+    sys.solve();
+    benchmark::DoNotOptimize(sys.usage(cnsts[0]));
+  }
+}
+BENCHMARK(BM_IncrementalChurn);
+
+}  // namespace
+
+BENCHMARK_MAIN();

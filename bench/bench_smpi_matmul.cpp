@@ -1,0 +1,89 @@
+/// E6 — the paper's SMPI figure: 1-D matrix multiplication with vertical
+/// strip decomposition, column blocks broadcast at every step, local compute
+/// captured with SMPI_BENCH_ONCE. We reproduce the heterogeneity study:
+/// identical code, homogeneous vs increasingly heterogeneous platforms.
+#include <cstdio>
+#include <vector>
+
+#include "platform/platform.hpp"
+#include "smpi/smpi.hpp"
+
+using namespace sg::smpi;
+
+namespace {
+
+void local_rank1_update(int M, int NN, double alpha, const double* col, const double* row,
+                        double beta, double* C) {
+  for (int i = 0; i < M; ++i) {
+    const double a = alpha * col[i];
+    double* c = C + static_cast<size_t>(i) * NN;
+    for (int j = 0; j < NN; ++j)
+      c[j] = a * row[j] + beta * c[j];
+  }
+}
+
+void parallel_mat_mult(int M, int N, int K, double alpha, const double* A, const double* B,
+                       double beta, double* C) {
+  const int num_proc = MPI_Comm_size();
+  const int my_id = MPI_Comm_rank();
+  const int KK = K / num_proc;
+  const int NN = N / num_proc;
+  std::vector<double> buf_col(static_cast<size_t>(M));
+  for (int k = 0; k < K; ++k) {
+    if (k / KK == my_id)
+      for (int i = 0; i < M; ++i)
+        buf_col[static_cast<size_t>(i)] = A[static_cast<size_t>(i) * KK + (k % KK)];
+    MPI_Bcast(buf_col.data(), M, MPI_DOUBLE, k / KK);
+    SMPI_BENCH_ONCE_RUN_ONCE_BEGIN();
+    local_rank1_update(M, NN, alpha, buf_col.data(), &B[static_cast<size_t>(k) * NN],
+                       k ? 1.0 : beta, C);
+    SMPI_BENCH_ONCE_RUN_ONCE_END();
+  }
+}
+
+sg::platform::Platform star(int P, double slow_factor) {
+  sg::platform::Platform p;
+  auto sw = p.add_router("sw");
+  for (int i = 0; i < P; ++i) {
+    // host i speed interpolates between 1e9 (i=0) and 1e9/slow_factor (i=P-1)
+    const double f = P > 1 ? static_cast<double>(i) / (P - 1) : 0.0;
+    const double speed = 1e9 / (1.0 + f * (slow_factor - 1.0));
+    auto h = p.add_host("h" + std::to_string(i), speed);
+    p.add_edge(h, sw, p.add_link("l" + std::to_string(i), 1.25e8, 5e-5));
+  }
+  p.seal();
+  return p;
+}
+
+double run_matmul(sg::platform::Platform platform, int P, int M) {
+  bench_reset();
+  return smpi_run(std::move(platform), P, [M, P](int) {
+    const int NN = M / P;
+    const int KK = M / P;
+    std::vector<double> A(static_cast<size_t>(M) * KK, 1.0);
+    std::vector<double> B(static_cast<size_t>(M) * NN, 0.5);
+    std::vector<double> C(static_cast<size_t>(M) * NN, 0.0);
+    parallel_mat_mult(M, M, M, 1.0, A.data(), B.data(), 0.0, C.data());
+  });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int P = argc > 1 ? std::atoi(argv[1]) : 4;
+  const int M = argc > 2 ? std::atoi(argv[2]) : 256;
+
+  std::printf("E6: SMPI 1-D matrix multiply (paper's strip-decomposition example)\n");
+  std::printf("    P=%d ranks, M=%d, column-block broadcast per step, SMPI_BENCH_ONCE\n\n", P, M);
+  std::printf("%-28s %16s %12s\n", "platform", "makespan (s)", "slowdown");
+  double base = -1;
+  for (double slow : {1.0, 2.0, 4.0, 8.0}) {
+    const double t = run_matmul(star(P, slow), P, M);
+    if (base < 0)
+      base = t;
+    std::printf("slowest host %4.0fx slower    %16.5f %11.2fx\n", slow, t, t / base);
+  }
+  std::printf("\npaper shape: unmodified MPI code; heterogeneity shifts the makespan toward\n");
+  std::printf("the slowest strip (broadcast synchronizes every step)\n");
+  return 0;
+}

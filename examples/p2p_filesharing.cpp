@@ -1,0 +1,137 @@
+/// "A peer-to-peer file-sharing application running on volatile Internet
+/// hosts" — the paper's last target application. Peers live on hosts whose
+/// availability follows failure traces: they exchange chunk announcements
+/// and download chunks from each other, surviving churn via timeouts and
+/// kernel auto-restart.
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "msg/msg.hpp"
+#include "platform/platform.hpp"
+#include "trace/trace.hpp"
+#include "xbt/exception.hpp"
+#include "xbt/random.hpp"
+
+using namespace sg::msg;
+
+namespace {
+
+constexpr int kChunkChannel = 0;
+constexpr int kChunks = 8;
+constexpr double kChunkBytes = 2e6;
+
+struct ChunkRequest {
+  int chunk;
+  m_host_t requester;
+};
+
+std::vector<std::set<int>> g_have;  // per-peer chunk ownership (shared address space!)
+
+/// Serve chunk requests forever (daemon, restarted with its host).
+void seeder(int my_id) {
+  while (true) {
+    m_task_t req = nullptr;
+    MSG_task_get(&req, kChunkChannel);
+    auto* r = static_cast<ChunkRequest*>(req->data);
+    const int chunk = r->chunk;
+    const m_host_t dest = r->requester;
+    delete r;
+    MSG_task_destroy(req);
+    if (!g_have[static_cast<size_t>(my_id)].count(chunk))
+      continue;  // lost it (restart) — requester will time out and retry
+    m_task_t data = MSG_task_create("chunk" + std::to_string(chunk), 1e6, kChunkBytes,
+                                    new int(chunk));
+    try {
+      MSG_task_put_with_timeout(data, dest, 10 + chunk, 30.0);
+    } catch (const sg::xbt::Exception&) {
+      MSG_task_destroy(data);  // requester died; drop
+    }
+  }
+}
+
+/// Fetch all chunks from whoever has them, retrying across failures.
+void leecher(int my_id, int n_peers) {
+  sg::xbt::Rng rng(static_cast<unsigned>(my_id) * 77 + 1);
+  auto& mine = g_have[static_cast<size_t>(my_id)];
+  int attempts = 0;
+  while (static_cast<int>(mine.size()) < kChunks && attempts < 400) {
+    ++attempts;
+    // Pick a missing chunk and a random other peer to ask.
+    int want = -1;
+    for (int c = 0; c < kChunks; ++c)
+      if (!mine.count(c)) {
+        want = c;
+        break;
+      }
+    if (want < 0)
+      break;
+    int peer = static_cast<int>(rng.uniform_int(0, static_cast<std::uint64_t>(n_peers - 1)));
+    if (peer == my_id)
+      continue;
+    const m_host_t peer_host = MSG_get_host_by_name("peer" + std::to_string(peer));
+    if (!MSG_host_is_on(peer_host))
+      continue;  // peer is down right now
+    try {
+      m_task_t req = MSG_task_create("req", 0, 1e3, new ChunkRequest{want, MSG_host_self()});
+      MSG_task_put_with_timeout(req, peer_host, kChunkChannel, 5.0);
+      m_task_t data = nullptr;
+      MSG_task_get_with_timeout(&data, 10 + want, 30.0);
+      mine.insert(*static_cast<int*>(data->data));
+      delete static_cast<int*>(data->data);
+      MSG_task_destroy(data);
+    } catch (const sg::xbt::Exception&) {
+      MSG_process_sleep(1.0);  // peer churned away; back off and retry
+    }
+  }
+  std::printf("[%8.3f] peer%d: %zu/%d chunks after %d attempts\n", MSG_get_clock(), my_id,
+              mine.size(), kChunks, attempts);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int n_peers = argc > 1 ? std::atoi(argv[1]) : 6;
+
+  // Internet-ish star with volatile hosts: every peer flaps with its own
+  // periodic failure trace (phase-shifted square waves).
+  sg::platform::Platform p;
+  auto hub = p.add_router("hub");
+  for (int i = 0; i < n_peers; ++i) {
+    sg::platform::HostSpec spec;
+    spec.name = "peer" + std::to_string(i);
+    spec.speed_flops = 1e9;
+    if (i != 0) {  // peer0 (the initial seeder) stays up
+      std::vector<sg::trace::TracePoint> points{{0.0, 1.0},
+                                                {20.0 + 7.0 * i, 0.0},
+                                                {26.0 + 7.0 * i, 1.0}};
+      spec.state = sg::trace::Trace("churn" + std::to_string(i), points, 60.0 + 3.0 * i);
+    }
+    auto h = p.add_host(spec);
+    p.add_edge(h, hub, p.add_link("up" + std::to_string(i), 5e6, 2e-2));
+  }
+  p.seal();
+  MSG_init(std::move(p), /*channels=*/kChunks + 10);
+
+  g_have.assign(static_cast<size_t>(n_peers), {});
+  for (int c = 0; c < kChunks; ++c)
+    g_have[0].insert(c);  // peer0 seeds everything
+
+  for (int i = 0; i < n_peers; ++i) {
+    MSG_process_create("seeder" + std::to_string(i), [i] { seeder(i); },
+                       MSG_get_host_by_name("peer" + std::to_string(i)),
+                       /*daemon=*/true, /*auto_restart=*/true);
+    if (i != 0)
+      MSG_process_create("leecher" + std::to_string(i), [i, n_peers] { leecher(i, n_peers); },
+                         MSG_get_host_by_name("peer" + std::to_string(i)),
+                         /*daemon=*/false, /*auto_restart=*/true);
+  }
+
+  const double end = MSG_main();
+  int complete = 0;
+  for (int i = 0; i < n_peers; ++i)
+    complete += static_cast<int>(g_have[static_cast<size_t>(i)].size()) == kChunks;
+  std::printf("t=%.3f s: %d/%d peers hold the full file despite churn\n", end, complete, n_peers);
+  MSG_clean();
+  return 0;
+}

@@ -1,0 +1,96 @@
+/// \file action.hpp
+/// Actions are the unit of resource consumption in SURF: an execution on a
+/// CPU, a data transfer across a route, or a parallel task spanning both.
+/// The engine assigns each running action a rate from the MaxMin solution
+/// and advances its remaining work as simulated time passes.
+#pragma once
+
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/maxmin.hpp"
+
+namespace sg::core {
+
+class Engine;
+
+enum class ActionState {
+  kRunning,   ///< progressing (or waiting out its latency phase)
+  kSuspended, ///< paused by the application; consumes nothing
+  kDone,      ///< completed successfully
+  kFailed,    ///< a resource it used died
+  kCanceled,  ///< cancelled by the application
+};
+
+enum class ActionKind { kExec, kComm, kPtask, kSleep };
+
+/// One resource-consuming activity. Created via Engine::exec_start /
+/// comm_start / ptask_start / sleep_start; owned jointly by the engine (while
+/// running) and the caller.
+class Action {
+public:
+  Action(const Action&) = delete;
+  Action& operator=(const Action&) = delete;
+
+  ActionState state() const { return state_; }
+  ActionKind kind() const { return kind_; }
+  const std::string& name() const { return name_; }
+
+  double total() const { return total_; }
+  double remaining() const { return remaining_; }
+  /// Rate allocated by the last sharing recomputation (work units per second).
+  double rate() const { return rate_; }
+  double start_time() const { return start_time_; }
+  /// Completion (or failure) date; NaN while still running.
+  double finish_time() const { return finish_time_; }
+  /// Remaining latency phase (communications only).
+  double latency_remaining() const { return latency_remaining_; }
+
+  double priority() const { return priority_; }
+
+  /// Pause/resume the action (used by process suspension). Suspended actions
+  /// release their resource share.
+  void suspend();
+  void resume();
+  /// Abort; the action transitions to kCanceled and is reaped by the engine.
+  void cancel();
+  /// Change the sharing priority (weight) of a running action.
+  void set_priority(double priority);
+
+  /// Host the action runs on: exec/sleep host, or comm source host.
+  int host() const { return host_; }
+  /// Destination host of a communication (-1 otherwise).
+  int peer_host() const { return peer_host_; }
+
+  /// Arbitrary user payload (the kernel attaches the waiting activity).
+  void* user_data = nullptr;
+
+private:
+  friend class Engine;
+  Action(Engine* engine, ActionKind kind, std::string name, double total, double priority);
+
+  Engine* engine_;
+  ActionKind kind_;
+  std::string name_;
+  double total_;
+  double remaining_;
+  double rate_ = 0;
+  double priority_;
+  double start_time_ = 0;
+  double finish_time_ = std::numeric_limits<double>::quiet_NaN();
+  double latency_remaining_ = 0;
+  double rate_bound_ = MaxMinSystem::kNoBound;  ///< e.g. TCP window cap
+  double planned_finish_ = 0;  ///< engine-internal: completion date this step
+  MaxMinSystem::VarId var_ = -1;
+  ActionState state_ = ActionState::kRunning;
+  bool in_latency_phase_ = false;
+  int host_ = -1;  ///< host an exec/sleep runs on (failure propagation)
+  int peer_host_ = -1;  ///< comm destination host
+  std::vector<MaxMinSystem::CnstId> cnsts_used_;  ///< for failure propagation
+};
+
+using ActionPtr = std::shared_ptr<Action>;
+
+}  // namespace sg::core

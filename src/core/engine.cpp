@@ -1,0 +1,576 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "xbt/config.hpp"
+#include "xbt/exception.hpp"
+#include "xbt/log.hpp"
+
+SG_LOG_NEW_CATEGORY(surf, "SURF simulation engine");
+
+namespace sg::core {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kTimeEps = 1e-12;
+
+/// Time tolerance at date t: completions planned within this window of the
+/// step target fire now. Relative so that `target - now_` cancellation noise
+/// (~DBL_EPSILON * now) can never strand an action with an un-completable
+/// remainder.
+inline double time_eps_at(double t) { return 1e-9 * std::max(1.0, std::abs(t)); }
+}  // namespace
+
+void declare_engine_config() {
+  auto& cfg = xbt::Config::instance();
+  cfg.declare("network/tcp-gamma", 65536.0,
+              "TCP window size (bytes); flow rate is capped at gamma / (2 * route latency)");
+  cfg.declare("network/bandwidth-factor", 1460.0 / 1500.0,
+              "fraction of nominal link bandwidth usable as goodput (TCP/IP header overhead)");
+  cfg.declare("network/loopback-bw", 1e10, "intra-host communication bandwidth, B/s");
+  cfg.declare("network/loopback-lat", 1e-7, "intra-host communication latency, s");
+}
+
+// ---------------------------------------------------------------------------
+// Action methods (need Engine internals)
+// ---------------------------------------------------------------------------
+
+Action::Action(Engine* engine, ActionKind kind, std::string name, double total, double priority)
+    : engine_(engine),
+      kind_(kind),
+      name_(std::move(name)),
+      total_(total),
+      remaining_(total),
+      priority_(priority),
+      start_time_(engine->now()) {}
+
+void Action::suspend() {
+  if (state_ != ActionState::kRunning)
+    return;
+  state_ = ActionState::kSuspended;
+  if (var_ >= 0 && !in_latency_phase_)
+    engine_->sys_.set_weight(var_, 0.0);
+  engine_->sharing_dirty_ = true;
+  engine_->notify(*this, ActionState::kRunning, ActionState::kSuspended);
+}
+
+void Action::resume() {
+  if (state_ != ActionState::kSuspended)
+    return;
+  state_ = ActionState::kRunning;
+  if (var_ >= 0 && !in_latency_phase_)
+    engine_->sys_.set_weight(var_, priority_);
+  engine_->sharing_dirty_ = true;
+  engine_->notify(*this, ActionState::kSuspended, ActionState::kRunning);
+}
+
+void Action::cancel() {
+  if (state_ != ActionState::kRunning && state_ != ActionState::kSuspended)
+    return;
+  // Find our shared handle in the engine and finish through the normal path.
+  for (const ActionPtr& a : engine_->running_)
+    if (a.get() == this) {
+      engine_->finish_action(a, ActionState::kCanceled, nullptr);
+      return;
+    }
+}
+
+void Action::set_priority(double priority) {
+  priority_ = priority;
+  if (var_ >= 0 && !in_latency_phase_ && state_ == ActionState::kRunning) {
+    engine_->sys_.set_weight(var_, priority);
+    engine_->sharing_dirty_ = true;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+Engine::Engine(platform::Platform platform) : platform_(std::move(platform)) {
+  if (!platform_.sealed())
+    platform_.seal();
+  declare_engine_config();
+  auto& cfg = xbt::Config::instance();
+  tcp_gamma_ = cfg.get("network/tcp-gamma");
+  bandwidth_factor_ = cfg.get("network/bandwidth-factor");
+  loopback_bw_ = cfg.get("network/loopback-bw");
+  loopback_lat_ = cfg.get("network/loopback-lat");
+
+  hosts_.resize(platform_.host_count());
+  for (size_t h = 0; h < platform_.host_count(); ++h) {
+    const auto& spec = platform_.host(static_cast<int>(h));
+    HostRes& res = hosts_[h];
+    if (!spec.availability.empty())
+      res.scale = spec.availability.value_at(0.0);
+    if (!spec.state.empty())
+      res.on = spec.state.value_at(0.0) > 0.5;
+    res.cnst = sys_.new_constraint(res.on ? spec.speed_flops * res.scale : 0.0, /*shared=*/true);
+  }
+  links_.resize(platform_.link_count());
+  for (size_t l = 0; l < platform_.link_count(); ++l) {
+    const auto& spec = platform_.link(static_cast<platform::LinkId>(l));
+    LinkRes& res = links_[l];
+    if (!spec.availability.empty())
+      res.scale = spec.availability.value_at(0.0);
+    if (!spec.state.empty())
+      res.on = spec.state.value_at(0.0) > 0.5;
+    res.cnst = sys_.new_constraint(res.on ? spec.bandwidth_Bps * res.scale * bandwidth_factor_ : 0.0,
+                                   spec.policy == platform::SharingPolicy::kShared);
+  }
+  schedule_trace_events();
+}
+
+Engine::~Engine() = default;
+
+void Engine::schedule_trace_events() {
+  for (size_t h = 0; h < platform_.host_count(); ++h) {
+    const auto& spec = platform_.host(static_cast<int>(h));
+    if (!spec.availability.empty())
+      schedule_next(spec.availability, TraceEvent::Kind::kHostAvail, static_cast<int>(h), 0.0);
+    if (!spec.state.empty())
+      schedule_next(spec.state, TraceEvent::Kind::kHostState, static_cast<int>(h), 0.0);
+  }
+  for (size_t l = 0; l < platform_.link_count(); ++l) {
+    const auto& spec = platform_.link(static_cast<platform::LinkId>(l));
+    if (!spec.availability.empty())
+      schedule_next(spec.availability, TraceEvent::Kind::kLinkAvail, static_cast<int>(l), 0.0);
+    if (!spec.state.empty())
+      schedule_next(spec.state, TraceEvent::Kind::kLinkState, static_cast<int>(l), 0.0);
+  }
+}
+
+void Engine::schedule_next(const trace::Trace& trace, TraceEvent::Kind kind, int index, double after) {
+  auto next = trace.next_event_after(after);
+  if (next)
+    trace_events_.push(TraceEvent{next->time, kind, index, next->value});
+}
+
+ActionPtr Engine::exec_start(int host, double flops, double priority, const std::string& name) {
+  HostRes& res = hosts_.at(static_cast<size_t>(host));
+  if (!res.on)
+    throw xbt::HostFailureException("exec_start: host " + platform_.host(host).name + " is down");
+  auto action = ActionPtr(new Action(this, ActionKind::kExec, name, flops, priority));
+  action->host_ = host;
+  action->var_ = sys_.new_variable(priority);
+  sys_.expand(res.cnst, action->var_, 1.0);
+  action->cnsts_used_.push_back(res.cnst);
+  running_.push_back(action);
+  sharing_dirty_ = true;
+  notify(*action, ActionState::kRunning, ActionState::kRunning);
+  SG_DEBUG(surf, "exec_start %s on %s: %.0f flops", name.c_str(), platform_.host(host).name.c_str(), flops);
+  return action;
+}
+
+MaxMinSystem::CnstId Engine::loopback_constraint(int host) {
+  HostRes& res = hosts_.at(static_cast<size_t>(host));
+  if (res.loopback < 0)
+    res.loopback = sys_.new_constraint(loopback_bw_, /*shared=*/true);
+  return res.loopback;
+}
+
+ActionPtr Engine::comm_start(int src_host, int dst_host, double bytes, double rate_limit,
+                             const std::string& name) {
+  auto action = ActionPtr(new Action(this, ActionKind::kComm, name, bytes, 1.0));
+  action->host_ = src_host;
+  action->peer_host_ = dst_host;
+
+  double latency = 0.0;
+  bool dead_route = false;
+  if (src_host == dst_host) {
+    latency = loopback_lat_;
+    action->cnsts_used_.push_back(loopback_constraint(src_host));
+  } else {
+    const auto& route = platform_.route(src_host, dst_host);
+    latency = route.latency;
+    for (platform::LinkId l : route.links) {
+      const LinkRes& res = links_[static_cast<size_t>(l)];
+      if (!res.on)
+        dead_route = true;
+      action->cnsts_used_.push_back(res.cnst);
+    }
+  }
+
+  if (dead_route) {
+    // The communication fails immediately; report it through the next step()
+    // so the kernel sees a normal failure event.
+    action->state_ = ActionState::kFailed;
+    action->finish_time_ = now_;
+    action->cnsts_used_.clear();
+    pending_.push_back(ActionEvent{action, true});
+    return action;
+  }
+
+  double bound = MaxMinSystem::kNoBound;
+  if (rate_limit > 0)
+    bound = rate_limit;
+  if (latency > 0 && src_host != dst_host) {
+    const double tcp_cap = tcp_gamma_ / (2.0 * latency);
+    bound = (bound < 0) ? tcp_cap : std::min(bound, tcp_cap);
+  }
+
+  action->var_ = sys_.new_variable(0.0, bound);  // weight 0 during latency phase
+  for (MaxMinSystem::CnstId c : action->cnsts_used_)
+    sys_.expand(c, action->var_, 1.0);
+
+  action->latency_remaining_ = latency;
+  if (latency > 0) {
+    action->in_latency_phase_ = true;
+  } else {
+    action->in_latency_phase_ = false;
+    sys_.set_weight(action->var_, action->priority_);
+  }
+
+  running_.push_back(action);
+  sharing_dirty_ = true;
+  notify(*action, ActionState::kRunning, ActionState::kRunning);
+  return action;
+}
+
+ActionPtr Engine::ptask_start(const std::vector<int>& hosts, const std::vector<double>& flops,
+                              const std::vector<std::vector<double>>& bytes, const std::string& name) {
+  if (hosts.empty() || flops.size() != hosts.size())
+    throw xbt::InvalidArgument("ptask_start: hosts/flops size mismatch");
+  if (!bytes.empty() && bytes.size() != hosts.size())
+    throw xbt::InvalidArgument("ptask_start: bytes matrix must be n x n");
+  for (int h : hosts)
+    if (!hosts_.at(static_cast<size_t>(h)).on)
+      throw xbt::HostFailureException("ptask_start: host is down");
+
+  // The action's "amount" is the normalized fraction of the whole task;
+  // coefficient k on a resource means "rate v consumes k*v of the resource",
+  // so at completion (integral of v = 1) exactly flops[i] / bytes[i][j] have
+  // been consumed. This is SimGrid's L07 parallel-task model.
+  auto action = ActionPtr(new Action(this, ActionKind::kPtask, name, 1.0, 1.0));
+  action->var_ = sys_.new_variable(0.0);
+
+  double latency = 0.0;
+  for (size_t i = 0; i < hosts.size(); ++i) {
+    if (flops[i] > 0) {
+      const auto cnst = hosts_[static_cast<size_t>(hosts[i])].cnst;
+      sys_.expand(cnst, action->var_, flops[i]);
+      action->cnsts_used_.push_back(cnst);
+    }
+  }
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    if (bytes[i].size() != hosts.size())
+      throw xbt::InvalidArgument("ptask_start: bytes matrix must be n x n");
+    for (size_t j = 0; j < bytes[i].size(); ++j) {
+      if (i == j || bytes[i][j] <= 0)
+        continue;
+      const auto& route = platform_.route(hosts[i], hosts[j]);
+      latency = std::max(latency, route.latency);
+      for (platform::LinkId l : route.links) {
+        const LinkRes& res = links_[static_cast<size_t>(l)];
+        sys_.expand(res.cnst, action->var_, bytes[i][j]);
+        action->cnsts_used_.push_back(res.cnst);
+      }
+    }
+  }
+
+  action->latency_remaining_ = latency;
+  if (latency > 0) {
+    action->in_latency_phase_ = true;
+  } else {
+    sys_.set_weight(action->var_, action->priority_);
+  }
+  running_.push_back(action);
+  sharing_dirty_ = true;
+  return action;
+}
+
+ActionPtr Engine::sleep_start(int host, double duration, const std::string& name) {
+  HostRes& res = hosts_.at(static_cast<size_t>(host));
+  if (!res.on)
+    throw xbt::HostFailureException("sleep_start: host is down");
+  auto action = ActionPtr(new Action(this, ActionKind::kSleep, name, duration, 1.0));
+  action->host_ = host;
+  action->rate_ = 1.0;  // time passes at rate 1
+  running_.push_back(action);
+  return action;
+}
+
+void Engine::share_resources() {
+  sys_.solve();
+  for (const ActionPtr& a : running_) {
+    if (a->var_ >= 0)
+      a->rate_ = sys_.value(a->var_);
+    // sleeps keep rate 1; suspended sleeps don't progress
+    if (a->kind_ == ActionKind::kSleep)
+      a->rate_ = (a->state_ == ActionState::kSuspended) ? 0.0 : 1.0;
+  }
+  sharing_dirty_ = false;
+}
+
+double Engine::action_finish_date(const Action& a) const {
+  if (a.state_ == ActionState::kSuspended)
+    return kInf;
+  if (a.in_latency_phase_)
+    return now_ + a.latency_remaining_;
+  if (a.remaining_ <= 0)
+    return now_;
+  if (a.rate_ > 0)
+    return now_ + a.remaining_ / a.rate_;
+  return kInf;
+}
+
+double Engine::next_event_time() {
+  if (sharing_dirty_)
+    share_resources();
+  if (!pending_.empty())
+    return now_;
+  double best = kInf;
+  for (const ActionPtr& a : running_)
+    best = std::min(best, action_finish_date(*a));
+  if (!trace_events_.empty())
+    best = std::min(best, std::max(trace_events_.top().time, now_));
+  return best;
+}
+
+std::vector<ActionEvent> Engine::step(double bound) {
+  std::vector<ActionEvent> out;
+
+  // Deliver immediately-failed activities first.
+  if (!pending_.empty()) {
+    out = std::move(pending_);
+    pending_.clear();
+    return out;
+  }
+
+  if (sharing_dirty_)
+    share_resources();
+
+  // Planned completion dates, computed before any floating-point advance so
+  // that cancellation noise in (target - now_) cannot strand an action.
+  double next = kInf;
+  for (const ActionPtr& a : running_) {
+    a->planned_finish_ = action_finish_date(*a);
+    next = std::min(next, a->planned_finish_);
+  }
+  if (!trace_events_.empty())
+    next = std::min(next, std::max(trace_events_.top().time, now_));
+
+  const double target = std::min(next, bound);
+  if (target == kInf)
+    return out;  // nothing will ever happen
+  const double dt = std::max(0.0, target - now_);
+  const double eps = time_eps_at(target);
+
+  // Advance all running actions by dt.
+  for (const ActionPtr& a : running_) {
+    if (a->state_ == ActionState::kSuspended)
+      continue;
+    if (a->in_latency_phase_)
+      a->latency_remaining_ = std::max(0.0, a->latency_remaining_ - dt);
+    else if (a->rate_ > 0)
+      a->remaining_ = std::max(0.0, a->remaining_ - a->rate_ * dt);
+  }
+  now_ = target;
+
+  // Latency phases that just expired start consuming bandwidth. Their data
+  // phase begins at the next step, so their planned date is consumed here
+  // (except when there is no data to transfer at all).
+  for (const ActionPtr& a : running_) {
+    if (a->state_ != ActionState::kSuspended && a->in_latency_phase_ && a->planned_finish_ <= target + eps) {
+      a->in_latency_phase_ = false;
+      a->latency_remaining_ = 0;
+      if (a->var_ >= 0)
+        sys_.set_weight(a->var_, a->priority_);
+      sharing_dirty_ = true;
+      if (a->remaining_ > 0)
+        a->planned_finish_ = kInf;  // not a data completion
+    }
+  }
+
+  // Completions: every action whose planned date falls in this step.
+  // finish_action mutates running_, so collect first.
+  std::vector<ActionPtr> finished;
+  for (const ActionPtr& a : running_)
+    if (a->state_ == ActionState::kRunning && !a->in_latency_phase_ && a->planned_finish_ <= target + eps)
+      finished.push_back(a);
+  for (const ActionPtr& a : finished)
+    finish_action(a, ActionState::kDone, &out);
+
+  // Trace events due now.
+  while (!trace_events_.empty() && trace_events_.top().time <= now_ + kTimeEps) {
+    TraceEvent ev = trace_events_.top();
+    trace_events_.pop();
+    apply_trace_event(ev, out);
+  }
+
+  return out;
+}
+
+void Engine::apply_trace_event(const TraceEvent& ev, std::vector<ActionEvent>& out) {
+  switch (ev.kind) {
+    case TraceEvent::Kind::kHostAvail: {
+      hosts_[static_cast<size_t>(ev.index)].scale = ev.value;
+      refresh_host_capacity(ev.index);
+      schedule_next(platform_.host(ev.index).availability, ev.kind, ev.index, ev.time);
+      break;
+    }
+    case TraceEvent::Kind::kHostState: {
+      const bool on = ev.value > 0.5;
+      HostRes& res = hosts_[static_cast<size_t>(ev.index)];
+      if (res.on != on) {
+        res.on = on;
+        refresh_host_capacity(ev.index);
+        if (!on) {
+          fail_actions_on_constraint(res.cnst, out);
+          // sleeps on this host die too
+          std::vector<ActionPtr> victims;
+          for (const ActionPtr& a : running_)
+            if (a->kind_ == ActionKind::kSleep && a->host_ == ev.index)
+              victims.push_back(a);
+          for (const ActionPtr& a : victims)
+            finish_action(a, ActionState::kFailed, &out);
+        }
+        if (resource_observer_)
+          resource_observer_(true, ev.index, on);
+      }
+      schedule_next(platform_.host(ev.index).state, ev.kind, ev.index, ev.time);
+      break;
+    }
+    case TraceEvent::Kind::kLinkAvail: {
+      links_[static_cast<size_t>(ev.index)].scale = ev.value;
+      refresh_link_capacity(static_cast<platform::LinkId>(ev.index));
+      schedule_next(platform_.link(static_cast<platform::LinkId>(ev.index)).availability, ev.kind, ev.index,
+                    ev.time);
+      break;
+    }
+    case TraceEvent::Kind::kLinkState: {
+      const bool on = ev.value > 0.5;
+      LinkRes& res = links_[static_cast<size_t>(ev.index)];
+      if (res.on != on) {
+        res.on = on;
+        refresh_link_capacity(static_cast<platform::LinkId>(ev.index));
+        if (!on)
+          fail_actions_on_constraint(res.cnst, out);
+        if (resource_observer_)
+          resource_observer_(false, ev.index, on);
+      }
+      schedule_next(platform_.link(static_cast<platform::LinkId>(ev.index)).state, ev.kind, ev.index, ev.time);
+      break;
+    }
+  }
+  sharing_dirty_ = true;
+}
+
+void Engine::refresh_host_capacity(int host) {
+  const HostRes& res = hosts_[static_cast<size_t>(host)];
+  sys_.set_capacity(res.cnst, res.on ? platform_.host(host).speed_flops * res.scale : 0.0);
+  sharing_dirty_ = true;
+}
+
+void Engine::refresh_link_capacity(platform::LinkId link) {
+  const LinkRes& res = links_[static_cast<size_t>(link)];
+  sys_.set_capacity(res.cnst,
+                    res.on ? platform_.link(link).bandwidth_Bps * res.scale * bandwidth_factor_ : 0.0);
+  sharing_dirty_ = true;
+}
+
+void Engine::fail_actions_on_constraint(MaxMinSystem::CnstId cnst, std::vector<ActionEvent>& out) {
+  std::vector<ActionPtr> victims;
+  for (const ActionPtr& a : running_)
+    if (std::find(a->cnsts_used_.begin(), a->cnsts_used_.end(), cnst) != a->cnsts_used_.end())
+      victims.push_back(a);
+  for (const ActionPtr& a : victims)
+    finish_action(a, ActionState::kFailed, &out);
+}
+
+void Engine::finish_action(const ActionPtr& action, ActionState final_state, std::vector<ActionEvent>* out) {
+  const ActionState old_state = action->state_;
+  action->state_ = final_state;
+  action->finish_time_ = now_;
+  if (final_state == ActionState::kDone)
+    action->remaining_ = 0;
+  if (action->var_ >= 0) {
+    sys_.release_variable(action->var_);
+    action->var_ = -1;
+    sharing_dirty_ = true;
+  }
+  running_.erase(std::remove(running_.begin(), running_.end(), action), running_.end());
+  notify(*action, old_state, final_state);
+  if (out != nullptr)
+    out->push_back(ActionEvent{action, final_state == ActionState::kFailed});
+  else
+    pending_.push_back(ActionEvent{action, final_state == ActionState::kFailed});
+}
+
+void Engine::notify(const Action& action, ActionState old_state, ActionState new_state) {
+  if (observer_)
+    observer_(action, old_state, new_state);
+}
+
+double Engine::host_speed(int host) const {
+  const HostRes& res = hosts_.at(static_cast<size_t>(host));
+  return res.on ? platform_.host(host).speed_flops * res.scale : 0.0;
+}
+
+double Engine::link_bandwidth(platform::LinkId link) const {
+  const LinkRes& res = links_.at(static_cast<size_t>(link));
+  return res.on ? platform_.link(link).bandwidth_Bps * res.scale : 0.0;
+}
+
+double Engine::host_load(int host) {
+  if (sharing_dirty_)
+    share_resources();
+  return sys_.usage(hosts_.at(static_cast<size_t>(host)).cnst);
+}
+
+double Engine::link_load(platform::LinkId link) {
+  if (sharing_dirty_)
+    share_resources();
+  return sys_.usage(links_.at(static_cast<size_t>(link)).cnst);
+}
+
+void Engine::set_host_state(int host, bool on) {
+  HostRes& res = hosts_.at(static_cast<size_t>(host));
+  if (res.on == on)
+    return;
+  res.on = on;
+  refresh_host_capacity(host);
+  if (!on) {
+    std::vector<ActionEvent> out;
+    fail_actions_on_constraint(res.cnst, out);
+    std::vector<ActionPtr> victims;
+    for (const ActionPtr& a : running_)
+      if (a->kind_ == ActionKind::kSleep && a->host_ == host)
+        victims.push_back(a);
+    for (const ActionPtr& a : victims)
+      finish_action(a, ActionState::kFailed, &out);
+    for (auto& ev : out)
+      pending_.push_back(std::move(ev));
+  }
+  if (resource_observer_)
+    resource_observer_(true, host, on);
+}
+
+void Engine::set_link_state(platform::LinkId link, bool on) {
+  LinkRes& res = links_.at(static_cast<size_t>(link));
+  if (res.on == on)
+    return;
+  res.on = on;
+  refresh_link_capacity(link);
+  if (!on) {
+    std::vector<ActionEvent> out;
+    fail_actions_on_constraint(res.cnst, out);
+    for (auto& ev : out)
+      pending_.push_back(std::move(ev));
+  }
+  if (resource_observer_)
+    resource_observer_(false, link, on);
+}
+
+void Engine::set_host_scale(int host, double scale) {
+  hosts_.at(static_cast<size_t>(host)).scale = scale;
+  refresh_host_capacity(host);
+}
+
+void Engine::set_link_scale(platform::LinkId link, double scale) {
+  links_.at(static_cast<size_t>(link)).scale = scale;
+  refresh_link_capacity(link);
+}
+
+}  // namespace sg::core

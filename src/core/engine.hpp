@@ -1,0 +1,163 @@
+/// \file engine.hpp
+/// The SURF simulation engine: owns the platform's resource state (speeds,
+/// bandwidth, availability scaling, up/down state), the MaxMin system, and
+/// all running actions. Time advances from event to event: the next action
+/// completion, the next latency-phase expiry, or the next trace event
+/// (availability change or failure).
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "core/action.hpp"
+#include "core/maxmin.hpp"
+#include "platform/platform.hpp"
+
+namespace sg::core {
+
+/// What the engine reports after each step.
+struct ActionEvent {
+  ActionPtr action;
+  bool failed = false;  ///< true when a resource died under the action
+};
+
+class Engine {
+public:
+  /// The engine copies the (sealed) platform description and builds runtime
+  /// resource state from it.
+  explicit Engine(platform::Platform platform);
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  ~Engine();
+
+  double now() const { return now_; }
+  const platform::Platform& platform() const { return platform_; }
+
+  // -- starting activities ---------------------------------------------------
+  /// Computation of `flops` on a host. Throws HostFailureException if the
+  /// host is currently down.
+  ActionPtr exec_start(int host, double flops, double priority = 1.0,
+                       const std::string& name = "exec");
+
+  /// Point-to-point transfer of `bytes` from src to dst along the platform
+  /// route. rate_limit (> 0) additionally caps the transfer rate (sender
+  /// throttling). The TCP window cap gamma/(2*latency) applies automatically.
+  ActionPtr comm_start(int src_host, int dst_host, double bytes, double rate_limit = -1.0,
+                       const std::string& name = "comm");
+
+  /// Parallel task (paper: "Parallel tasks" under resource sharing): a single
+  /// activity consuming several CPUs and the links between them. The action
+  /// completes when the common progress fraction reaches 1.
+  /// flops[i] is the work of hosts[i]; bytes[i][j] the data sent i -> j.
+  ActionPtr ptask_start(const std::vector<int>& hosts, const std::vector<double>& flops,
+                        const std::vector<std::vector<double>>& bytes,
+                        const std::string& name = "ptask");
+
+  /// Pure delay on a host (fails if the host dies while sleeping).
+  ActionPtr sleep_start(int host, double duration, const std::string& name = "sleep");
+
+  // -- time advance -----------------------------------------------------------
+  /// Date of the next engine event (action completion / trace event), or
+  /// +inf when nothing is pending. Recomputes sharing first.
+  double next_event_time();
+
+  /// Advance simulated time up to `bound` (default: to the next event).
+  /// Returns the events (completions/failures) that fired; `now()` is updated.
+  /// If nothing happens before `bound`, time jumps to `bound` and the vector
+  /// is empty. If bound is +inf and nothing is pending, time does not move.
+  std::vector<ActionEvent> step(double bound = std::numeric_limits<double>::infinity());
+
+  // -- resource state ----------------------------------------------------------
+  bool host_is_on(int host) const { return hosts_[static_cast<size_t>(host)].on; }
+  bool link_is_on(platform::LinkId link) const { return links_[static_cast<size_t>(link)].on; }
+  /// Current effective speed (flop/s) including the availability trace.
+  double host_speed(int host) const;
+  double host_available_speed_fraction(int host) const { return hosts_[static_cast<size_t>(host)].scale; }
+  double link_bandwidth(platform::LinkId link) const;
+  /// Instantaneous load: sum of allocations on the resource's constraint.
+  double host_load(int host);
+  double link_load(platform::LinkId link);
+
+  /// Force state changes (used by tests and by the fault-injection toolbox;
+  /// trace events use the same path).
+  void set_host_state(int host, bool on);
+  void set_link_state(platform::LinkId link, bool on);
+  void set_host_scale(int host, double scale);
+  void set_link_scale(platform::LinkId link, double scale);
+
+  /// Number of actions still running.
+  size_t running_action_count() const { return running_.size(); }
+
+  /// Observer invoked on every action state transition (viz/tracing hook).
+  using ActionObserver = std::function<void(const Action&, ActionState /*old*/, ActionState /*new*/)>;
+  void set_action_observer(ActionObserver obs) { observer_ = std::move(obs); }
+
+  /// Observer invoked whenever a resource changes up/down state (the kernel
+  /// uses it to kill/restart the actors living on a failed host).
+  using ResourceObserver = std::function<void(bool /*is_host*/, int /*index*/, bool /*now_on*/)>;
+  void set_resource_observer(ResourceObserver obs) { resource_observer_ = std::move(obs); }
+
+private:
+  friend class Action;
+
+  struct HostRes {
+    MaxMinSystem::CnstId cnst = -1;
+    MaxMinSystem::CnstId loopback = -1;  ///< lazily created
+    double scale = 1.0;
+    bool on = true;
+  };
+  struct LinkRes {
+    MaxMinSystem::CnstId cnst = -1;
+    double scale = 1.0;
+    bool on = true;
+  };
+  struct TraceEvent {
+    double time;
+    enum class Kind { kHostAvail, kHostState, kLinkAvail, kLinkState } kind;
+    int index;
+    double value;
+    bool operator>(const TraceEvent& other) const { return time > other.time; }
+  };
+
+  void schedule_trace_events();
+  void schedule_next(const trace::Trace& trace, TraceEvent::Kind kind, int index, double after);
+  void apply_trace_event(const TraceEvent& ev, std::vector<ActionEvent>& out);
+  void refresh_host_capacity(int host);
+  void refresh_link_capacity(platform::LinkId link);
+  void finish_action(const ActionPtr& action, ActionState final_state, std::vector<ActionEvent>* out);
+  void fail_actions_on_constraint(MaxMinSystem::CnstId cnst, std::vector<ActionEvent>& out);
+  MaxMinSystem::CnstId loopback_constraint(int host);
+  void notify(const Action& action, ActionState old_state, ActionState new_state);
+  /// Recompute sharing and refresh each running action's rate.
+  void share_resources();
+  /// Date at which the action will complete under current rates (kInf if
+  /// suspended or starved). Does not recompute sharing.
+  double action_finish_date(const Action& a) const;
+
+  platform::Platform platform_;
+  MaxMinSystem sys_;
+  std::vector<HostRes> hosts_;
+  std::vector<LinkRes> links_;
+  std::vector<ActionPtr> running_;
+  std::vector<ActionEvent> pending_;  ///< events produced outside step()
+  std::priority_queue<TraceEvent, std::vector<TraceEvent>, std::greater<>> trace_events_;
+  ActionObserver observer_;
+  ResourceObserver resource_observer_;
+  double now_ = 0;
+  bool sharing_dirty_ = true;
+
+  // model parameters (snapshotted from xbt::Config at construction)
+  double tcp_gamma_;
+  double bandwidth_factor_;
+  double loopback_bw_;
+  double loopback_lat_;
+};
+
+/// Register the engine's model parameters in the global config with their
+/// defaults (idempotent; engine construction calls it too).
+void declare_engine_config();
+
+}  // namespace sg::core

@@ -1,0 +1,240 @@
+#include "core/maxmin.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "xbt/exception.hpp"
+
+namespace sg::core {
+
+namespace {
+constexpr double kEps = 1e-9;
+}
+
+void MaxMinSystem::Constraint::compact(const std::vector<Variable>& vars) {
+  if (dead_elems * 2 < elems.size())
+    return;
+  elems.erase(std::remove_if(elems.begin(), elems.end(),
+                             [&](const Element& e) { return !vars[static_cast<size_t>(e.var)].alive; }),
+              elems.end());
+  dead_elems = 0;
+}
+
+MaxMinSystem::CnstId MaxMinSystem::new_constraint(double capacity, bool shared) {
+  if (capacity < 0)
+    throw xbt::InvalidArgument("constraint capacity must be non-negative");
+  cnsts_.push_back({capacity, shared, {}, 0});
+  return static_cast<CnstId>(cnsts_.size() - 1);
+}
+
+MaxMinSystem::VarId MaxMinSystem::new_variable(double weight, double bound) {
+  if (weight < 0)
+    throw xbt::InvalidArgument("variable weight must be non-negative");
+  VarId id;
+  if (!free_vars_.empty()) {
+    id = free_vars_.back();
+    free_vars_.pop_back();
+    vars_[static_cast<size_t>(id)] = Variable{weight, bound, 0, true, {}, {}};
+  } else {
+    vars_.push_back(Variable{weight, bound, 0, true, {}, {}});
+    id = static_cast<VarId>(vars_.size() - 1);
+  }
+  ++live_vars_;
+  return id;
+}
+
+void MaxMinSystem::expand(CnstId cnst, VarId var, double coeff) {
+  if (coeff <= 0)
+    throw xbt::InvalidArgument("element coefficient must be positive");
+  cnsts_.at(static_cast<size_t>(cnst)).elems.push_back({var, coeff});
+  Variable& v = vars_.at(static_cast<size_t>(var));
+  v.cnsts.push_back(cnst);
+  v.coeffs.push_back(coeff);
+}
+
+void MaxMinSystem::release_variable(VarId var) {
+  Variable& v = vars_.at(static_cast<size_t>(var));
+  if (!v.alive)
+    return;
+  v.alive = false;
+  v.value = 0;
+  for (CnstId c : v.cnsts) {
+    Constraint& cnst = cnsts_[static_cast<size_t>(c)];
+    ++cnst.dead_elems;
+    cnst.compact(vars_);
+  }
+  v.cnsts.clear();
+  v.coeffs.clear();
+  free_vars_.push_back(var);
+  --live_vars_;
+}
+
+void MaxMinSystem::set_capacity(CnstId cnst, double capacity) {
+  if (capacity < 0)
+    throw xbt::InvalidArgument("constraint capacity must be non-negative");
+  cnsts_.at(static_cast<size_t>(cnst)).capacity = capacity;
+}
+
+double MaxMinSystem::capacity(CnstId cnst) const { return cnsts_.at(static_cast<size_t>(cnst)).capacity; }
+
+void MaxMinSystem::set_weight(VarId var, double weight) {
+  if (weight < 0)
+    throw xbt::InvalidArgument("variable weight must be non-negative");
+  vars_.at(static_cast<size_t>(var)).weight = weight;
+}
+
+double MaxMinSystem::weight(VarId var) const { return vars_.at(static_cast<size_t>(var)).weight; }
+
+void MaxMinSystem::set_bound(VarId var, double bound) { vars_.at(static_cast<size_t>(var)).bound = bound; }
+
+double MaxMinSystem::bound(VarId var) const { return vars_.at(static_cast<size_t>(var)).bound; }
+
+double MaxMinSystem::value(VarId var) const { return vars_.at(static_cast<size_t>(var)).value; }
+
+double MaxMinSystem::usage(CnstId cnst) const {
+  const Constraint& c = cnsts_.at(static_cast<size_t>(cnst));
+  double total = 0;
+  for (const Element& e : c.elems) {
+    const Variable& v = vars_[static_cast<size_t>(e.var)];
+    if (!v.alive)
+      continue;
+    const double u = e.coeff * v.value;
+    total = c.shared ? total + u : std::max(total, u);
+  }
+  return total;
+}
+
+void MaxMinSystem::solve() {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // Working state. `active[i]` — still growing. `effective_bound[i]` folds the
+  // variable's own bound together with its fatpipe caps.
+  const size_t nv = vars_.size();
+  std::vector<char> active(nv, 0);
+  std::vector<double> effective_bound(nv, kInf);
+  size_t n_active = 0;
+
+  for (size_t i = 0; i < nv; ++i) {
+    Variable& v = vars_[i];
+    v.value = 0;
+    if (!v.alive || v.weight <= 0)
+      continue;
+    active[i] = 1;
+    ++n_active;
+    if (v.bound >= 0)
+      effective_bound[i] = v.bound;
+  }
+
+  // Fatpipe constraints translate to per-variable caps: cap / coeff.
+  for (const Constraint& c : cnsts_) {
+    if (c.shared)
+      continue;
+    for (const Element& e : c.elems) {
+      const size_t i = static_cast<size_t>(e.var);
+      if (i < nv && active[i])
+        effective_bound[i] = std::min(effective_bound[i], c.capacity / e.coeff);
+    }
+  }
+
+  std::vector<double> remaining(cnsts_.size());
+  for (size_t c = 0; c < cnsts_.size(); ++c)
+    remaining[c] = cnsts_[c].capacity;
+
+  while (n_active > 0) {
+    // Growth room before the tightest shared constraint saturates.
+    double delta = kInf;
+    for (size_t c = 0; c < cnsts_.size(); ++c) {
+      const Constraint& cnst = cnsts_[c];
+      if (!cnst.shared)
+        continue;
+      double denom = 0;
+      for (const Element& e : cnst.elems) {
+        const size_t i = static_cast<size_t>(e.var);
+        if (active[i])
+          denom += e.coeff * vars_[i].weight;
+      }
+      if (denom > 0)
+        delta = std::min(delta, std::max(0.0, remaining[c]) / denom);
+    }
+    // Growth room before a variable bound is reached.
+    for (size_t i = 0; i < nv; ++i)
+      if (active[i] && effective_bound[i] < kInf)
+        delta = std::min(delta, std::max(0.0, effective_bound[i] - vars_[i].value) / vars_[i].weight);
+
+    if (delta == kInf) {
+      // Unconstrained variables: give them the "infinite" rate and stop.
+      for (size_t i = 0; i < nv; ++i)
+        if (active[i]) {
+          vars_[i].value = kUnlimited;
+          active[i] = 0;
+        }
+      break;
+    }
+
+    // Grow everyone, consume capacities.
+    for (size_t i = 0; i < nv; ++i)
+      if (active[i])
+        vars_[i].value += delta * vars_[i].weight;
+    for (size_t c = 0; c < cnsts_.size(); ++c) {
+      const Constraint& cnst = cnsts_[c];
+      if (!cnst.shared)
+        continue;
+      double used = 0;
+      for (const Element& e : cnst.elems) {
+        const size_t i = static_cast<size_t>(e.var);
+        if (active[i])
+          used += e.coeff * vars_[i].weight;
+      }
+      remaining[c] -= delta * used;
+    }
+
+    // Freeze variables on saturated shared constraints.
+    size_t frozen = 0;
+    for (size_t c = 0; c < cnsts_.size(); ++c) {
+      const Constraint& cnst = cnsts_[c];
+      if (!cnst.shared)
+        continue;
+      bool involved = false;
+      for (const Element& e : cnst.elems)
+        if (active[static_cast<size_t>(e.var)]) {
+          involved = true;
+          break;
+        }
+      if (!involved)
+        continue;
+      if (remaining[c] <= kEps * std::max(1.0, cnst.capacity)) {
+        for (const Element& e : cnst.elems) {
+          const size_t i = static_cast<size_t>(e.var);
+          if (active[i]) {
+            active[i] = 0;
+            ++frozen;
+          }
+        }
+      }
+    }
+    // Freeze variables that reached their (effective) bound.
+    for (size_t i = 0; i < nv; ++i)
+      if (active[i] && effective_bound[i] < kInf &&
+          vars_[i].value >= effective_bound[i] - kEps * std::max(1.0, effective_bound[i])) {
+        vars_[i].value = effective_bound[i];
+        active[i] = 0;
+        ++frozen;
+      }
+
+    if (frozen == 0) {
+      // delta chosen as an exact saturation point must freeze someone;
+      // if numerical dust prevented it, force-freeze the tightest variable
+      // to guarantee termination.
+      for (size_t i = 0; i < nv; ++i)
+        if (active[i]) {
+          active[i] = 0;
+          ++frozen;
+          break;
+        }
+    }
+    n_active -= frozen;
+  }
+}
+
+}  // namespace sg::core

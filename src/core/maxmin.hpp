@@ -1,0 +1,99 @@
+/// \file maxmin.hpp
+/// The unifying MaxMin fairness model at the heart of SURF (paper:
+/// "allocate as much capacity to all tasks in a way that maximizes the
+/// minimum capacity allocation over all tasks").
+///
+/// The system consists of
+///  * constraints — resources with a capacity C_c (CPU flop/s, link byte/s),
+///  * variables   — activity rates v_i, optionally upper-bounded (b_i) and
+///                  weighted (w_i, growth share / priority),
+///  * elements    — "variable i consumes coeff * v_i of constraint c".
+///
+/// solve() computes the weighted max-min fair allocation by progressive
+/// filling: all active variables grow proportionally to their weight until a
+/// constraint saturates (shared) or a variable hits its bound; saturated
+/// participants freeze and filling continues. Fatpipe (non-shared)
+/// constraints cap each variable individually instead of dividing capacity —
+/// the behaviour of an over-provisioned backbone.
+///
+/// The same solver is used for computation, communication, their
+/// interference, and parallel tasks, exactly as the paper describes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sg::core {
+
+class MaxMinSystem {
+public:
+  using VarId = int;
+  using CnstId = int;
+  static constexpr double kNoBound = -1.0;
+  /// Rate assigned to a variable that no constraint or bound restricts.
+  static constexpr double kUnlimited = 1e30;
+
+  /// Create a resource constraint. `shared`: capacity divided among users;
+  /// otherwise each user is individually capped (fatpipe).
+  CnstId new_constraint(double capacity, bool shared = true);
+
+  /// Create an activity variable. weight > 0 makes it active (its allocation
+  /// grows proportionally to weight); weight == 0 suspends it (allocation 0).
+  VarId new_variable(double weight, double bound = kNoBound);
+
+  /// Declare that variable consumes `coeff` units of `cnst` per unit of rate.
+  void expand(CnstId cnst, VarId var, double coeff = 1.0);
+
+  /// Release a variable (its consumption disappears from all constraints).
+  void release_variable(VarId var);
+
+  void set_capacity(CnstId cnst, double capacity);
+  double capacity(CnstId cnst) const;
+  void set_weight(VarId var, double weight);
+  double weight(VarId var) const;
+  void set_bound(VarId var, double bound);
+  double bound(VarId var) const;
+
+  /// Allocation computed by the last solve().
+  double value(VarId var) const;
+
+  /// Total consumption of a constraint under the last solution
+  /// (sum for shared constraints, max for fatpipe).
+  double usage(CnstId cnst) const;
+
+  /// Number of live (not released) variables.
+  size_t variable_count() const { return live_vars_; }
+  size_t constraint_count() const { return cnsts_.size(); }
+
+  /// Run progressive filling. Idempotent between modifications.
+  void solve();
+
+private:
+  struct Variable;
+  struct Element {
+    VarId var;
+    double coeff;
+  };
+  struct Constraint {
+    double capacity;
+    bool shared;
+    std::vector<Element> elems;
+    size_t dead_elems = 0;
+    void compact(const std::vector<Variable>& vars);
+  };
+  struct Variable {
+    double weight;
+    double bound;
+    double value = 0;
+    bool alive = true;
+    std::vector<CnstId> cnsts;      ///< constraints this variable uses
+    std::vector<double> coeffs;     ///< parallel to cnsts
+  };
+
+  std::vector<Constraint> cnsts_;
+  std::vector<Variable> vars_;
+  std::vector<VarId> free_vars_;
+  size_t live_vars_ = 0;
+};
+
+}  // namespace sg::core

@@ -1,0 +1,64 @@
+#include "datadesc/arch.hpp"
+
+#include "xbt/exception.hpp"
+
+namespace sg::datadesc {
+namespace {
+
+constexpr int kN = static_cast<int>(CType::kCount_);
+
+ArchDesc make_arch(int id, const std::string& name, bool big_endian, int long_size,
+                   int i64_align, int f64_align) {
+  ArchDesc a;
+  a.id = id;
+  a.name = name;
+  a.big_endian = big_endian;
+  const std::uint8_t sizes[kN] = {1, 1, 2, 2, 4, 4, 8, 8,
+                                  static_cast<std::uint8_t>(long_size),
+                                  static_cast<std::uint8_t>(long_size), 4, 8};
+  std::uint8_t aligns[kN];
+  for (int i = 0; i < kN; ++i)
+    aligns[i] = sizes[i];
+  aligns[static_cast<int>(CType::kInt64)] = static_cast<std::uint8_t>(i64_align);
+  aligns[static_cast<int>(CType::kUInt64)] = static_cast<std::uint8_t>(i64_align);
+  aligns[static_cast<int>(CType::kDouble)] = static_cast<std::uint8_t>(f64_align);
+  for (int i = 0; i < kN; ++i) {
+    a.sizes[i] = sizes[i];
+    a.aligns[i] = aligns[i];
+  }
+  return a;
+}
+
+}  // namespace
+
+const std::vector<ArchDesc>& arch_table() {
+  // Historic layouts: classic ia32 aligns 8-byte quantities on 4 bytes
+  // (i386 System V ABI); RISC ILP32 machines align them on 8.
+  static const std::vector<ArchDesc> table = {
+      make_arch(0, "x86", /*big_endian=*/false, /*long=*/4, /*i64_align=*/4, /*f64_align=*/4),
+      make_arch(1, "sparc", /*big_endian=*/true, /*long=*/4, /*i64_align=*/8, /*f64_align=*/8),
+      make_arch(2, "ppc", /*big_endian=*/true, /*long=*/4, /*i64_align=*/8, /*f64_align=*/8),
+      make_arch(3, "amd64", /*big_endian=*/false, /*long=*/8, /*i64_align=*/8, /*f64_align=*/8),
+      make_arch(4, "sparc64", /*big_endian=*/true, /*long=*/8, /*i64_align=*/8, /*f64_align=*/8),
+      make_arch(5, "arm32", /*big_endian=*/false, /*long=*/4, /*i64_align=*/8, /*f64_align=*/8),
+  };
+  return table;
+}
+
+const ArchDesc& arch_by_id(int id) {
+  const auto& table = arch_table();
+  if (id < 0 || static_cast<size_t>(id) >= table.size())
+    throw xbt::InvalidArgument("unknown architecture id: " + std::to_string(id));
+  return table[static_cast<size_t>(id)];
+}
+
+const ArchDesc& arch_by_name(const std::string& name) {
+  for (const ArchDesc& a : arch_table())
+    if (a.name == name)
+      return a;
+  throw xbt::InvalidArgument("unknown architecture: " + name);
+}
+
+const ArchDesc& native_arch() { return arch_by_name("amd64"); }
+
+}  // namespace sg::datadesc

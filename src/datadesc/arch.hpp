@@ -1,0 +1,53 @@
+/// \file arch.hpp
+/// Architecture descriptors for cross-architecture data exchange — the basis
+/// of GRAS's "simple and cross-architecture communication of complex data
+/// structures" (the paper lists 12 CPU architectures; we model the byte
+/// order, C type widths and alignment rules that actually matter on the
+/// wire, including the three from the paper's tables: PowerPC, Sparc, x86).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sg::datadesc {
+
+/// Logical C scalar types whose layout varies across architectures.
+enum class CType : int {
+  kInt8 = 0,
+  kUInt8,
+  kInt16,
+  kUInt16,
+  kInt32,
+  kUInt32,
+  kInt64,
+  kUInt64,
+  kLong,    ///< 4 bytes on ILP32 (x86/sparc/ppc), 8 on LP64 (amd64/sparc64)
+  kULong,
+  kFloat,   ///< IEEE-754 binary32 everywhere; endianness differs
+  kDouble,  ///< IEEE-754 binary64
+  kCount_,
+};
+
+struct ArchDesc {
+  int id = -1;
+  std::string name;
+  bool big_endian = false;
+  std::uint8_t sizes[static_cast<int>(CType::kCount_)] = {};
+  std::uint8_t aligns[static_cast<int>(CType::kCount_)] = {};
+
+  std::uint8_t size_of(CType t) const { return sizes[static_cast<int>(t)]; }
+  std::uint8_t align_of(CType t) const { return aligns[static_cast<int>(t)]; }
+};
+
+/// The built-in architecture table. Guaranteed stable ids (wire format!):
+///   0 x86 (ia32)   1 sparc (v8)   2 ppc (32)   3 amd64   4 sparc64   5 arm32
+const std::vector<ArchDesc>& arch_table();
+
+const ArchDesc& arch_by_id(int id);
+const ArchDesc& arch_by_name(const std::string& name);
+
+/// Architecture this process natively matches (amd64 layout on our target).
+const ArchDesc& native_arch();
+
+}  // namespace sg::datadesc

@@ -1,0 +1,149 @@
+#include "datadesc/datadesc.hpp"
+
+#include <map>
+#include <mutex>
+
+#include "xbt/exception.hpp"
+
+namespace sg::datadesc {
+
+DataDescPtr DataDesc::scalar(CType type, const std::string& name) {
+  auto d = std::shared_ptr<DataDesc>(new DataDesc(Kind::kScalar));
+  d->ctype_ = type;
+  d->name_ = name.empty() ? "scalar" : name;
+  return d;
+}
+
+DataDescPtr DataDesc::string(const std::string& name) {
+  auto d = std::shared_ptr<DataDesc>(new DataDesc(Kind::kString));
+  d->name_ = name;
+  return d;
+}
+
+DataDescPtr DataDesc::struct_(const std::string& name, std::vector<Field> fields) {
+  auto d = std::shared_ptr<DataDesc>(new DataDesc(Kind::kStruct));
+  d->name_ = name;
+  d->fields_ = std::move(fields);
+  return d;
+}
+
+DataDescPtr DataDesc::fixed_array(DataDescPtr element, size_t count, const std::string& name) {
+  if (!element)
+    throw xbt::InvalidArgument("fixed_array: null element description");
+  auto d = std::shared_ptr<DataDesc>(new DataDesc(Kind::kFixedArray));
+  d->element_ = std::move(element);
+  d->array_size_ = count;
+  d->name_ = name.empty() ? "array" : name;
+  return d;
+}
+
+DataDescPtr DataDesc::dyn_array(DataDescPtr element, const std::string& name) {
+  if (!element)
+    throw xbt::InvalidArgument("dyn_array: null element description");
+  auto d = std::shared_ptr<DataDesc>(new DataDesc(Kind::kDynArray));
+  d->element_ = std::move(element);
+  d->name_ = name.empty() ? "dynarray" : name;
+  return d;
+}
+
+DataDescPtr DataDesc::ref(DataDescPtr pointee, const std::string& name) {
+  if (!pointee)
+    throw xbt::InvalidArgument("ref: null pointee description");
+  auto d = std::shared_ptr<DataDesc>(new DataDesc(Kind::kRef));
+  d->element_ = std::move(pointee);
+  d->name_ = name.empty() ? "ref" : name;
+  return d;
+}
+
+void DataDesc::check(const Value& v, const std::string& path) const {
+  const std::string where = path.empty() ? name_ : path;
+  switch (kind_) {
+    case Kind::kScalar:
+      if (ctype_ == CType::kFloat || ctype_ == CType::kDouble) {
+        if (!v.is_float())
+          throw xbt::InvalidArgument(where + ": expected float value");
+      } else if (!v.is_int() && !v.is_uint()) {
+        throw xbt::InvalidArgument(where + ": expected integer value");
+      }
+      break;
+    case Kind::kString:
+      if (!v.is_string())
+        throw xbt::InvalidArgument(where + ": expected string value");
+      break;
+    case Kind::kStruct: {
+      if (!v.is_struct())
+        throw xbt::InvalidArgument(where + ": expected struct value");
+      const auto& sv = v.as_struct();
+      if (sv.size() != fields_.size())
+        throw xbt::InvalidArgument(where + ": field count mismatch");
+      for (size_t i = 0; i < fields_.size(); ++i) {
+        if (sv[i].first != fields_[i].name)
+          throw xbt::InvalidArgument(where + ": field '" + sv[i].first + "' where '" +
+                                     fields_[i].name + "' expected");
+        fields_[i].desc->check(sv[i].second, where + "." + fields_[i].name);
+      }
+      break;
+    }
+    case Kind::kFixedArray: {
+      if (!v.is_list())
+        throw xbt::InvalidArgument(where + ": expected list value");
+      if (v.as_list().size() != array_size_)
+        throw xbt::InvalidArgument(where + ": fixed array size mismatch");
+      for (size_t i = 0; i < array_size_; ++i)
+        element_->check(v.as_list()[i], where + "[" + std::to_string(i) + "]");
+      break;
+    }
+    case Kind::kDynArray: {
+      if (!v.is_list())
+        throw xbt::InvalidArgument(where + ": expected list value");
+      size_t i = 0;
+      for (const Value& e : v.as_list())
+        element_->check(e, where + "[" + std::to_string(i++) + "]");
+      break;
+    }
+    case Kind::kRef:
+      if (!v.is_null())
+        element_->check(v, where + "*");
+      break;
+  }
+}
+
+namespace {
+
+std::map<std::string, DataDescPtr>& registry() {
+  static std::map<std::string, DataDescPtr> reg = [] {
+    std::map<std::string, DataDescPtr> r;
+    r["int8"] = DataDesc::scalar(CType::kInt8, "int8");
+    r["uint8"] = DataDesc::scalar(CType::kUInt8, "uint8");
+    r["int16"] = DataDesc::scalar(CType::kInt16, "int16");
+    r["uint16"] = DataDesc::scalar(CType::kUInt16, "uint16");
+    r["int32"] = DataDesc::scalar(CType::kInt32, "int32");
+    r["uint32"] = DataDesc::scalar(CType::kUInt32, "uint32");
+    r["int64"] = DataDesc::scalar(CType::kInt64, "int64");
+    r["uint64"] = DataDesc::scalar(CType::kUInt64, "uint64");
+    r["long"] = DataDesc::scalar(CType::kLong, "long");
+    r["ulong"] = DataDesc::scalar(CType::kULong, "ulong");
+    r["float"] = DataDesc::scalar(CType::kFloat, "float");
+    r["double"] = DataDesc::scalar(CType::kDouble, "double");
+    r["int"] = DataDesc::scalar(CType::kInt32, "int");
+    r["string"] = DataDesc::string();
+    return r;
+  }();
+  return reg;
+}
+
+}  // namespace
+
+DataDescPtr datadesc_by_name(const std::string& name) {
+  auto& reg = registry();
+  auto it = reg.find(name);
+  if (it == reg.end())
+    throw xbt::InvalidArgument("no datadesc named '" + name + "'");
+  return it->second;
+}
+
+void datadesc_register(const std::string& name, DataDescPtr desc) {
+  registry()[name] = std::move(desc);
+}
+
+}  // namespace sg::datadesc

@@ -1,0 +1,78 @@
+#include "datadesc/pastry.hpp"
+
+namespace sg::datadesc {
+
+DataDescPtr pastry_handle_desc() {
+  static const DataDescPtr desc = DataDesc::struct_(
+      "pastry_handle",
+      {
+          {"guid", DataDesc::fixed_array(DataDesc::scalar(CType::kUInt32, "guid_word"), 4)},
+          {"ip", DataDesc::scalar(CType::kUInt32, "ip")},
+          {"port", DataDesc::scalar(CType::kUInt16, "port")},
+          {"proximity", DataDesc::scalar(CType::kDouble, "proximity")},
+      });
+  return desc;
+}
+
+DataDescPtr pastry_message_desc() {
+  static const DataDescPtr desc = DataDesc::struct_(
+      "pastry_message",
+      {
+          {"type", DataDesc::scalar(CType::kInt32, "type")},
+          {"hops", DataDesc::scalar(CType::kLong, "hops")},
+          {"timestamp", DataDesc::scalar(CType::kDouble, "timestamp")},
+          {"source", pastry_handle_desc()},
+          {"dest", pastry_handle_desc()},
+          {"leafset", DataDesc::fixed_array(pastry_handle_desc(), 16, "leafset")},
+          {"routing_row", DataDesc::fixed_array(pastry_handle_desc(), 16, "routing_row")},
+          {"row_index", DataDesc::scalar(CType::kInt32, "row_index")},
+          {"payload", DataDesc::string("payload")},
+          {"forward", DataDesc::ref(pastry_handle_desc(), "forward")},
+      });
+  return desc;
+}
+
+namespace {
+
+Value make_handle(xbt::Rng& rng) {
+  ValueList guid;
+  for (int i = 0; i < 4; ++i)
+    guid.emplace_back(static_cast<uint64_t>(rng.uniform_int(0, 0xFFFFFFFFu)));
+  return Value(ValueStruct{
+      {"guid", Value(std::move(guid))},
+      {"ip", Value(static_cast<uint64_t>(rng.uniform_int(0x0A000001, 0x0AFFFFFE)))},
+      {"port", Value(static_cast<uint64_t>(rng.uniform_int(1024, 65535)))},
+      {"proximity", Value(rng.uniform(0.1e-3, 250e-3))},
+  });
+}
+
+}  // namespace
+
+Value make_pastry_message(xbt::Rng& rng, size_t payload_bytes) {
+  ValueList leafset;
+  ValueList row;
+  for (int i = 0; i < 16; ++i) {
+    leafset.push_back(make_handle(rng));
+    row.push_back(make_handle(rng));
+  }
+  std::string payload;
+  payload.reserve(payload_bytes);
+  static const char alphabet[] = "abcdefghijklmnopqrstuvwxyz0123456789<>&\"";
+  for (size_t i = 0; i < payload_bytes; ++i)
+    payload += alphabet[rng.uniform_int(0, sizeof(alphabet) - 2)];
+
+  return Value(ValueStruct{
+      {"type", Value(static_cast<int64_t>(rng.uniform_int(0, 7)))},
+      {"hops", Value(static_cast<int64_t>(rng.uniform_int(0, 16)))},
+      {"timestamp", Value(rng.uniform(0.0, 1e6))},
+      {"source", make_handle(rng)},
+      {"dest", make_handle(rng)},
+      {"leafset", Value(std::move(leafset))},
+      {"routing_row", Value(std::move(row))},
+      {"row_index", Value(static_cast<int64_t>(rng.uniform_int(0, 39)))},
+      {"payload", Value(std::move(payload))},
+      {"forward", rng.uniform01() < 0.5 ? Value::null() : make_handle(rng)},
+  });
+}
+
+}  // namespace sg::datadesc

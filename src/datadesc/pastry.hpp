@@ -1,0 +1,23 @@
+/// \file pastry.hpp
+/// The "Pastry message" exchanged in the paper's GRAS tables: a realistic
+/// chunk of Pastry DHT node state — GUIDs, a leafset of node handles, one
+/// routing-table row, and an application payload.
+#pragma once
+
+#include "datadesc/datadesc.hpp"
+#include "xbt/random.hpp"
+
+namespace sg::datadesc {
+
+/// Description of one Pastry node handle: 128-bit GUID (4 x u32),
+/// IPv4 address, port, and a proximity metric.
+DataDescPtr pastry_handle_desc();
+
+/// Description of the full Pastry message (see file comment).
+DataDescPtr pastry_message_desc();
+
+/// Generate a pseudo-random message matching pastry_message_desc().
+/// `payload_bytes` sizes the application payload string.
+Value make_pastry_message(xbt::Rng& rng, size_t payload_bytes = 256);
+
+}  // namespace sg::datadesc

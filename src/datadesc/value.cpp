@@ -1,0 +1,105 @@
+#include "datadesc/value.hpp"
+
+#include <sstream>
+
+#include "xbt/exception.hpp"
+
+namespace sg::datadesc {
+
+int64_t Value::as_int() const {
+  if (is_int())
+    return std::get<int64_t>(data_);
+  if (is_uint())
+    return static_cast<int64_t>(std::get<uint64_t>(data_));
+  throw xbt::InvalidArgument("Value is not an integer: " + to_string());
+}
+
+uint64_t Value::as_uint() const {
+  if (is_uint())
+    return std::get<uint64_t>(data_);
+  if (is_int())
+    return static_cast<uint64_t>(std::get<int64_t>(data_));
+  throw xbt::InvalidArgument("Value is not an integer: " + to_string());
+}
+
+double Value::as_float() const {
+  if (is_float())
+    return std::get<double>(data_);
+  throw xbt::InvalidArgument("Value is not a float: " + to_string());
+}
+
+const std::string& Value::as_string() const {
+  if (!is_string())
+    throw xbt::InvalidArgument("Value is not a string: " + to_string());
+  return std::get<std::string>(data_);
+}
+
+const ValueList& Value::as_list() const {
+  if (!is_list())
+    throw xbt::InvalidArgument("Value is not a list: " + to_string());
+  return std::get<ValueList>(data_);
+}
+
+ValueList& Value::as_list() {
+  if (!is_list())
+    throw xbt::InvalidArgument("Value is not a list");
+  return std::get<ValueList>(data_);
+}
+
+const ValueStruct& Value::as_struct() const {
+  if (!is_struct())
+    throw xbt::InvalidArgument("Value is not a struct: " + to_string());
+  return std::get<ValueStruct>(data_);
+}
+
+ValueStruct& Value::as_struct() {
+  if (!is_struct())
+    throw xbt::InvalidArgument("Value is not a struct");
+  return std::get<ValueStruct>(data_);
+}
+
+const Value& Value::field(const std::string& name) const {
+  for (const auto& [k, v] : as_struct())
+    if (k == name)
+      return v;
+  throw xbt::InvalidArgument("no such field: " + name);
+}
+
+std::string Value::to_string() const {
+  std::ostringstream out;
+  if (is_null()) {
+    out << "null";
+  } else if (is_int()) {
+    out << std::get<int64_t>(data_);
+  } else if (is_uint()) {
+    out << std::get<uint64_t>(data_) << "u";
+  } else if (is_float()) {
+    out.precision(17);
+    out << std::get<double>(data_);
+  } else if (is_string()) {
+    out << '"' << std::get<std::string>(data_) << '"';
+  } else if (is_list()) {
+    out << "[";
+    bool first = true;
+    for (const Value& v : std::get<ValueList>(data_)) {
+      if (!first)
+        out << ", ";
+      first = false;
+      out << v.to_string();
+    }
+    out << "]";
+  } else {
+    out << "{";
+    bool first = true;
+    for (const auto& [k, v] : std::get<ValueStruct>(data_)) {
+      if (!first)
+        out << ", ";
+      first = false;
+      out << k << ": " << v.to_string();
+    }
+    out << "}";
+  }
+  return out.str();
+}
+
+}  // namespace sg::datadesc

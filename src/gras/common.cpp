@@ -1,0 +1,201 @@
+/// Mode-independent pieces of GRAS: the message type registry, the
+/// per-process API dispatch, callback handling, and the benchmarking
+/// machinery.
+#include <chrono>
+#include <mutex>
+
+#include "gras/runtime.hpp"
+#include "xbt/exception.hpp"
+#include "xbt/log.hpp"
+
+SG_LOG_NEW_CATEGORY(gras, "GRAS middleware");
+
+namespace sg::gras {
+
+namespace detail {
+
+Runtime*& tl_runtime() {
+  static thread_local Runtime* rt = nullptr;
+  return rt;
+}
+
+Runtime& current_runtime() {
+  Runtime* rt = tl_runtime();
+  if (rt == nullptr)
+    throw xbt::InvalidArgument("this GRAS call must be made from a GRAS process");
+  return *rt;
+}
+
+}  // namespace detail
+
+// -- message types -------------------------------------------------------------
+
+namespace {
+
+struct MsgTypeRegistry {
+  std::mutex mutex;
+  std::map<std::string, datadesc::DataDescPtr> types;
+};
+
+MsgTypeRegistry& msgtype_registry() {
+  static MsgTypeRegistry reg;
+  return reg;
+}
+
+}  // namespace
+
+void msgtype_declare(const std::string& name, datadesc::DataDescPtr payload) {
+  if (!payload)
+    throw xbt::InvalidArgument("msgtype_declare: null payload description");
+  auto& reg = msgtype_registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.types[name] = std::move(payload);
+}
+
+datadesc::DataDescPtr msgtype_payload(const std::string& name) {
+  auto& reg = msgtype_registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  auto it = reg.types.find(name);
+  if (it == reg.types.end())
+    throw xbt::InvalidArgument("unknown message type: " + name);
+  return it->second;
+}
+
+bool msgtype_known(const std::string& name) {
+  auto& reg = msgtype_registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  return reg.types.count(name) != 0;
+}
+
+// -- per-process API ---------------------------------------------------------------
+
+void socket_server(int port) { detail::current_runtime().socket_server(port); }
+
+SocketPtr socket_client(const std::string& host, int port) {
+  return detail::current_runtime().socket_client(host, port);
+}
+
+void msg_send(const SocketPtr& socket, const std::string& type, const datadesc::Value& payload) {
+  if (!socket)
+    throw xbt::InvalidArgument("msg_send: null socket");
+  msgtype_payload(type)->check(payload);  // catch shape errors at the sender
+  detail::current_runtime().msg_send(socket, type, payload);
+}
+
+Message msg_wait(double timeout, const std::string& want) {
+  return detail::current_runtime().msg_wait(timeout, want);
+}
+
+void cb_register(const std::string& type, std::function<void(Message&)> callback) {
+  detail::current_runtime().callbacks[type] = std::move(callback);
+}
+
+void msg_handle(double timeout) {
+  auto& rt = detail::current_runtime();
+  Message msg = rt.msg_wait(timeout, "");
+  auto it = rt.callbacks.find(msg.type);
+  if (it == rt.callbacks.end()) {
+    SG_WARN(gras, "process '%s': no callback for message type '%s'; dropping", rt.name().c_str(),
+            msg.type.c_str());
+    return;
+  }
+  it->second(msg);
+}
+
+double os_time() { return detail::current_runtime().time(); }
+void os_sleep(double seconds) { detail::current_runtime().sleep(seconds); }
+const std::string& process_name() { return detail::current_runtime().name(); }
+
+// -- benchmarking --------------------------------------------------------------------
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct BenchState {
+  Clock::time_point start;
+  bool running = false;
+  // "once" support
+  bool once_measuring = false;
+  std::string once_key;
+};
+
+BenchState& bench_state() {
+  static thread_local BenchState state;
+  return state;
+}
+
+struct OnceCache {
+  std::mutex mutex;
+  std::map<std::string, double> durations;
+};
+
+OnceCache& once_cache() {
+  static OnceCache cache;
+  return cache;
+}
+
+}  // namespace
+
+void bench_always_begin() {
+  auto& st = bench_state();
+  if (st.running)
+    throw xbt::InvalidArgument("GRAS_BENCH_ALWAYS_BEGIN: bench already running");
+  st.running = true;
+  st.start = Clock::now();
+}
+
+void bench_always_end() {
+  auto& st = bench_state();
+  if (!st.running)
+    throw xbt::InvalidArgument("GRAS_BENCH_ALWAYS_END without BEGIN");
+  st.running = false;
+  const double dt = std::chrono::duration<double>(Clock::now() - st.start).count();
+  detail::current_runtime().inject_compute(dt);
+}
+
+bool bench_once_begin(const char* file, int line) {
+  auto& st = bench_state();
+  if (st.running)
+    throw xbt::InvalidArgument("GRAS bench: nested bench blocks are not supported");
+  st.once_key = std::string(file) + ":" + std::to_string(line);
+  double cached = -1.0;
+  {
+    // Never hold the lock across inject_compute: in simulation mode it
+    // yields the actor, and a peer contending on the mutex would deadlock
+    // the scheduler.
+    auto& cache = once_cache();
+    std::lock_guard<std::mutex> lock(cache.mutex);
+    auto it = cache.durations.find(st.once_key);
+    if (it != cache.durations.end())
+      cached = it->second;
+  }
+  if (cached >= 0) {
+    // Already measured: only inject the recorded duration, skip the block.
+    detail::current_runtime().inject_compute(cached);
+    st.once_measuring = false;
+    return false;
+  }
+  st.running = true;
+  st.once_measuring = true;
+  st.start = Clock::now();
+  return true;
+}
+
+void bench_once_end() {
+  auto& st = bench_state();
+  if (!st.once_measuring) {
+    return;  // replayed pass: nothing to close
+  }
+  st.running = false;
+  st.once_measuring = false;
+  const double dt = std::chrono::duration<double>(Clock::now() - st.start).count();
+  {
+    auto& cache = once_cache();
+    std::lock_guard<std::mutex> lock(cache.mutex);
+    cache.durations.emplace(st.once_key, dt);
+  }
+  detail::current_runtime().inject_compute(dt);
+}
+
+}  // namespace sg::gras

@@ -1,0 +1,156 @@
+/// \file gras.hpp
+/// GRAS — the paper's "Grid Reality And Simulation" interface: an API to
+/// develop *production* distributed applications that run unmodified either
+/// inside the simulator (on kernel actors, timed by SURF) or in the real
+/// world (threads + TCP sockets).
+///
+/// The per-process API mirrors the paper's listings:
+///   msgtype_declare("ping", datadesc_by_name("int"));
+///   auto peer = socket_client("server-host", 4000);
+///   msg_send(peer, "ping", Value(1234));
+///   Message m = msg_wait(6.0, "pong");
+///   cb_register("ping", [](Message& m) { ... });
+///   msg_handle(600.0);
+/// plus the virtualized OS layer (os_time / os_sleep) and the automatic
+/// CPU benchmarking macros (GRAS_BENCH_*).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "datadesc/codec.hpp"
+#include "datadesc/datadesc.hpp"
+#include "kernel/kernel.hpp"
+#include "platform/platform.hpp"
+
+namespace sg::gras {
+
+// -- message types -------------------------------------------------------------
+
+/// Declare (or re-declare, idempotently) a message type and its payload
+/// description. Shared by all processes of the world.
+void msgtype_declare(const std::string& name, datadesc::DataDescPtr payload);
+datadesc::DataDescPtr msgtype_payload(const std::string& name);
+bool msgtype_known(const std::string& name);
+
+// -- sockets & messages -----------------------------------------------------------
+
+class Socket {
+public:
+  virtual ~Socket() = default;
+  /// Human-readable peer identification ("host:port" or actor name).
+  virtual std::string peer() const = 0;
+};
+using SocketPtr = std::shared_ptr<Socket>;
+
+struct Message {
+  std::string type;
+  datadesc::Value payload;
+  SocketPtr source;  ///< reply path to the expeditor
+};
+
+// -- per-process API (valid inside a spawned GRAS process, either mode) ---------------
+
+/// Listen for incoming connections on `port` (per-host port space in
+/// simulation; real TCP port in real-world mode).
+void socket_server(int port);
+
+/// Connect to a peer ("host" is a platform host name in simulation mode,
+/// a DNS name/IP in real-world mode).
+SocketPtr socket_client(const std::string& host, int port);
+
+/// Send a typed message through a socket.
+void msg_send(const SocketPtr& socket, const std::string& type, const datadesc::Value& payload);
+
+/// Wait up to `timeout` seconds for a message (of type `want`, or any type
+/// when empty). Throws xbt::TimeoutException.
+Message msg_wait(double timeout, const std::string& want = "");
+
+/// Register a callback for a message type (used by msg_handle).
+void cb_register(const std::string& type, std::function<void(Message&)> callback);
+
+/// Wait for one message (up to `timeout`) and dispatch it to its callback.
+/// Messages without a callback are logged and dropped.
+void msg_handle(double timeout);
+
+/// Virtualized OS layer.
+double os_time();
+void os_sleep(double seconds);
+/// Name of the current GRAS process.
+const std::string& process_name();
+
+// -- automatic benchmarking ("automatic benchmarking of application code") ------------
+
+/// Start/stop measuring a computation block. In simulation mode the measured
+/// real duration is injected into the simulator as an equivalent execution;
+/// in real-world mode the time simply passes.
+void bench_always_begin();
+void bench_always_end();
+
+/// "Run once" variant: the block executes for real the first time it is
+/// reached (per call site); subsequent passes only inject the recorded
+/// duration. Returns whether the block must actually run.
+bool bench_once_begin(const char* file, int line);
+void bench_once_end();
+
+// -- deployment: simulation mode -------------------------------------------------------
+
+/// A simulated deployment of GRAS processes on a platform.
+class SimWorld {
+public:
+  explicit SimWorld(platform::Platform platform);
+  ~SimWorld();
+
+  /// Create a GRAS process on a host. The function body uses the per-process
+  /// API above, exactly as it would in real-world mode.
+  void spawn(const std::string& name, const std::string& host, std::function<void()> body);
+
+  /// Run the simulation to completion; returns final simulated time.
+  double run();
+
+  kernel::Kernel& kernel() { return *kernel_; }
+
+  struct SimState;  ///< internal (public for the transport implementation)
+
+private:
+  std::unique_ptr<kernel::Kernel> kernel_;
+  std::shared_ptr<SimState> state_;
+};
+
+// -- deployment: real-world mode ---------------------------------------------------------
+
+/// A real deployment: each GRAS process is an OS thread speaking real TCP on
+/// localhost (the paper runs the same code on LANs/WANs; the transport is
+/// identical, only the addresses change).
+class RealWorld {
+public:
+  RealWorld();
+  ~RealWorld();
+
+  /// Launch a process. `host` is used for socket_client name resolution among
+  /// the world's processes ("virtual DNS": host -> 127.0.0.1 + port offset).
+  void spawn(const std::string& name, const std::string& host, std::function<void()> body);
+
+  /// Wait for every process to return. Returns wall-clock elapsed seconds.
+  double join_all();
+
+  /// Base TCP port of the world's port space (ports are offset from it).
+  int base_port() const;
+
+  struct RealState;  ///< internal (public for the transport implementation)
+
+private:
+  std::shared_ptr<RealState> state_;
+};
+
+}  // namespace sg::gras
+
+/// Paper-style benchmarking macros.
+#define GRAS_BENCH_ALWAYS_BEGIN() ::sg::gras::bench_always_begin()
+#define GRAS_BENCH_ALWAYS_END() ::sg::gras::bench_always_end()
+#define GRAS_BENCH_ONCE_RUN_ONCE_BEGIN() \
+  if (::sg::gras::bench_once_begin(__FILE__, __LINE__)) {
+#define GRAS_BENCH_ONCE_RUN_ONCE_END() \
+  }                                    \
+  ::sg::gras::bench_once_end()

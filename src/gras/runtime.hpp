@@ -1,0 +1,52 @@
+/// \file runtime.hpp
+/// Internal: the virtualization layer that lets the same GRAS code run on
+/// the simulator or on real sockets. Each GRAS process is bound (through a
+/// thread-local) to one Runtime implementing the transport and the clock.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "gras/gras.hpp"
+
+namespace sg::gras::detail {
+
+class Runtime {
+public:
+  virtual ~Runtime() = default;
+
+  virtual void socket_server(int port) = 0;
+  virtual SocketPtr socket_client(const std::string& host, int port) = 0;
+  virtual void msg_send(const SocketPtr& socket, const std::string& type,
+                        const datadesc::Value& payload) = 0;
+  /// Wait for a message of type `want` (any type when empty).
+  virtual Message msg_wait(double timeout, const std::string& want) = 0;
+
+  virtual double time() = 0;
+  virtual void sleep(double seconds) = 0;
+  /// Account `seconds` of measured real computation (simulation mode turns
+  /// this into a simulated execution; real mode does nothing).
+  virtual void inject_compute(double seconds) = 0;
+
+  const std::string& name() const { return name_; }
+
+  /// Per-process callback table (msg_handle dispatch).
+  std::map<std::string, std::function<void(Message&)>> callbacks;
+
+protected:
+  explicit Runtime(std::string name) : name_(std::move(name)) {}
+  std::string name_;
+};
+
+/// The runtime of the calling GRAS process (null outside any process).
+Runtime*& tl_runtime();
+
+/// Fetch + check: throws InvalidArgument outside a GRAS process.
+Runtime& current_runtime();
+
+/// Encoded-message framing overhead added to the simulated/real wire size.
+constexpr size_t kHeaderOverhead = 16;
+
+}  // namespace sg::gras::detail

@@ -1,0 +1,161 @@
+/// Simulation-mode GRAS: processes are kernel actors; sockets resolve to
+/// per-actor mailboxes; the wire cost of a message is the size of its NDR
+/// encoding (plus framing), timed by the SURF network model.
+#include "gras/runtime.hpp"
+
+#include "xbt/exception.hpp"
+#include "xbt/log.hpp"
+
+SG_LOG_NEW_CATEGORY(gras_sim, "GRAS simulation transport");
+
+namespace sg::gras {
+
+using datadesc::Value;
+
+struct SimWorld::SimState {
+  /// (host index, port) -> listening actor.
+  std::map<std::pair<int, int>, kernel::ActorId> port_table;
+};
+
+namespace {
+
+/// What actually travels through the kernel mailbox.
+struct SimEnvelope {
+  std::string type;
+  std::vector<std::uint8_t> wire;
+  kernel::ActorId sender;
+};
+
+class SimSocket final : public Socket {
+public:
+  SimSocket(kernel::ActorId dst, std::string label) : dst_(dst), label_(std::move(label)) {}
+  std::string peer() const override { return label_; }
+  kernel::ActorId dst() const { return dst_; }
+
+private:
+  kernel::ActorId dst_;
+  std::string label_;
+};
+
+std::string actor_mailbox(kernel::ActorId id) { return "gras:" + std::to_string(id); }
+
+class SimRuntime final : public detail::Runtime {
+public:
+  SimRuntime(std::string name, kernel::Kernel* kernel, SimWorld::SimState* world)
+      : Runtime(std::move(name)), kernel_(kernel), world_(world) {}
+
+  void socket_server(int port) override {
+    const auto* self = kernel::Kernel::self();
+    world_->port_table[{self->host(), port}] = self->id();
+    SG_DEBUG(gras_sim, "'%s' listens on port %d", name_.c_str(), port);
+  }
+
+  SocketPtr socket_client(const std::string& host, int port) override {
+    auto host_idx = kernel_->engine().platform().host_by_name(host);
+    if (!host_idx)
+      throw xbt::InvalidArgument("socket_client: unknown host " + host);
+    // Emulate TCP connect retries: the server process may not have opened
+    // its socket yet (the paper's client sleeps 1s for exactly this reason).
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      auto it = world_->port_table.find({*host_idx, port});
+      if (it != world_->port_table.end() && kernel_->is_alive(it->second))
+        return std::make_shared<SimSocket>(it->second, host + ":" + std::to_string(port));
+      kernel_->sleep_for(0.1);
+    }
+    throw xbt::NetworkFailureException("socket_client: connection refused by " + host + ":" +
+                                       std::to_string(port));
+  }
+
+  void msg_send(const SocketPtr& socket, const std::string& type, const Value& payload) override {
+    const auto* sock = dynamic_cast<const SimSocket*>(socket.get());
+    if (sock == nullptr)
+      throw xbt::InvalidArgument("msg_send: not a simulation socket");
+    auto* env = new SimEnvelope();
+    env->type = type;
+    env->wire = datadesc::ndr_codec().encode(*msgtype_payload(type), payload,
+                                             datadesc::native_arch());
+    env->sender = kernel::Kernel::self()->id();
+    const double bytes = static_cast<double>(env->wire.size() + detail::kHeaderOverhead);
+    // TCP write semantics: buffered, the sender does not wait for delivery.
+    kernel_->send_detached(actor_mailbox(sock->dst()), env, bytes);
+  }
+
+  Message msg_wait(double timeout, const std::string& want) override {
+    // Serve from the local reorder buffer first.
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+      if (want.empty() || it->type == want) {
+        Message m = std::move(*it);
+        pending_.erase(it);
+        return m;
+      }
+    }
+    const double deadline = kernel_->now() + timeout;
+    while (true) {
+      const double remaining = timeout < 0 ? -1.0 : deadline - kernel_->now();
+      if (timeout >= 0 && remaining <= 0)
+        throw xbt::TimeoutException("msg_wait: no '" + (want.empty() ? "any" : want) +
+                                    "' message within timeout");
+      void* raw = kernel_->recv(actor_mailbox(kernel::Kernel::self()->id()), remaining);
+      std::unique_ptr<SimEnvelope> env(static_cast<SimEnvelope*>(raw));
+      Message m;
+      m.type = env->type;
+      m.payload = datadesc::ndr_codec().decode(*msgtype_payload(env->type), env->wire,
+                                               datadesc::native_arch());
+      std::string label = "actor:" + std::to_string(env->sender);
+      if (const auto* actor = kernel_->actor(env->sender))
+        label = actor->name();
+      m.source = std::make_shared<SimSocket>(env->sender, label);
+      if (want.empty() || m.type == want)
+        return m;
+      pending_.push_back(std::move(m));
+    }
+  }
+
+  double time() override { return kernel_->now(); }
+
+  void sleep(double seconds) override { kernel_->sleep_for(seconds); }
+
+  void inject_compute(double seconds) override {
+    if (seconds <= 0)
+      return;
+    const int host = kernel::Kernel::self()->host();
+    const double speed = kernel_->engine().host_speed(host);
+    kernel_->execute(seconds * (speed > 0 ? speed : 1e9));
+  }
+
+private:
+  kernel::Kernel* kernel_;
+  SimWorld::SimState* world_;
+  std::deque<Message> pending_;
+};
+
+}  // namespace
+
+SimWorld::SimWorld(platform::Platform platform)
+    : kernel_(std::make_unique<kernel::Kernel>(std::move(platform))),
+      state_(std::make_shared<SimState>()) {}
+
+SimWorld::~SimWorld() = default;
+
+void SimWorld::spawn(const std::string& name, const std::string& host, std::function<void()> body) {
+  auto host_idx = kernel_->engine().platform().host_by_name(host);
+  if (!host_idx)
+    throw xbt::InvalidArgument("SimWorld::spawn: unknown host " + host);
+  kernel::Kernel* k = kernel_.get();
+  auto state = state_;
+  kernel_->spawn(name, *host_idx, [name, k, state, body = std::move(body)] {
+    SimRuntime runtime(name, k, state.get());
+    detail::tl_runtime() = &runtime;
+    try {
+      body();
+    } catch (...) {
+      detail::tl_runtime() = nullptr;
+      throw;
+    }
+    detail::tl_runtime() = nullptr;
+  });
+}
+
+double SimWorld::run() { return kernel_->run(); }
+
+}  // namespace sg::gras

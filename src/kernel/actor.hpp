@@ -1,0 +1,85 @@
+/// \file actor.hpp
+/// Simulated processes ("processes can be created, suspended, resumed and
+/// terminated dynamically" — the paper's MSG process model, shared by GRAS
+/// and SMPI in simulation mode).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/action.hpp"
+#include "kernel/context.hpp"
+
+namespace sg::kernel {
+
+using ActorId = long;
+
+/// Why a blocked actor was woken up.
+enum class WakeStatus {
+  kOk,
+  kTimeout,
+  kHostFailure,
+  kNetworkFailure,
+  kCanceled,
+};
+
+struct Comm;
+using CommPtr = std::shared_ptr<Comm>;
+
+class Kernel;
+
+/// One simulated process. All state is owned by the kernel; user code
+/// interacts through Kernel's simcall methods and through the ids.
+class Actor {
+public:
+  Actor(ActorId id, std::string name, int host, std::function<void()> body, bool daemon, bool auto_restart);
+
+  ActorId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  int host() const { return host_; }
+  bool daemon() const { return daemon_; }
+  bool auto_restart() const { return auto_restart_; }
+
+  enum class State {
+    kReady,    ///< scheduled (or suspended-but-runnable)
+    kBlocked,  ///< waiting in a simcall
+    kDead,
+  };
+  State state() const { return state_; }
+  bool suspended() const { return suspended_; }
+  bool alive() const { return state_ != State::kDead; }
+
+  /// Register a callback run (on the maestro) when the actor terminates.
+  void on_exit(std::function<void(bool /*failed*/)> cb) { exit_callbacks_.push_back(std::move(cb)); }
+
+  /// Arbitrary user slot (MSG attaches its process data here).
+  void* user_data = nullptr;
+
+private:
+  friend class Kernel;
+
+  ActorId id_;
+  std::string name_;
+  int host_;
+  std::function<void()> body_;  ///< kept for auto-restart
+  bool daemon_;
+  bool auto_restart_;
+
+  std::unique_ptr<Context> context_;
+  State state_ = State::kReady;
+  bool suspended_ = false;
+  bool in_ready_queue_ = false;
+  bool killed_by_failure_ = false;
+
+  // What the actor is blocked on (at most one at a time).
+  core::ActionPtr blocked_action_;
+  CommPtr blocked_comm_;
+  WakeStatus wake_status_ = WakeStatus::kOk;
+  std::uint64_t timer_gen_ = 0;  ///< invalidates in-flight timeout timers
+
+  std::vector<std::function<void(bool)>> exit_callbacks_;
+};
+
+}  // namespace sg::kernel

@@ -1,0 +1,46 @@
+/// \file comm.hpp
+/// Rendezvous communications. A mailbox is a named meeting point: the first
+/// party (sender or receiver) queues a Comm; the counterpart merges into it
+/// and the data transfer starts on the platform route between their hosts.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "core/action.hpp"
+#include "kernel/actor.hpp"
+
+namespace sg::kernel {
+
+struct Comm {
+  enum class State {
+    kQueuedSend,  ///< sender waiting for a receiver
+    kQueuedRecv,  ///< receiver waiting for a sender
+    kStarted,     ///< transfer in flight
+    kFinished,    ///< completed / failed / timed out / canceled
+  };
+
+  std::string mailbox;
+  State state = State::kQueuedSend;
+
+  Actor* sender = nullptr;
+  Actor* receiver = nullptr;
+  void* payload = nullptr;
+  double bytes = 0;
+  double rate = -1;      ///< optional cap on the transfer rate
+  bool detached = false; ///< sender does not wait for completion
+
+  bool sender_waiting = false;
+  bool receiver_waiting = false;
+
+  core::ActionPtr action;       ///< engine transfer once started
+  WakeStatus result = WakeStatus::kOk;  ///< outcome, valid when kFinished
+};
+
+struct Mailbox {
+  std::deque<CommPtr> queued_sends;
+  std::deque<CommPtr> queued_recvs;
+};
+
+}  // namespace sg::kernel

@@ -1,0 +1,53 @@
+#include "kernel/context.hpp"
+
+#include "xbt/log.hpp"
+
+SG_LOG_NEW_CATEGORY(context, "actor execution contexts");
+
+namespace sg::kernel {
+
+Context::Context(std::function<void()> body) : body_(std::move(body)) {
+  thread_ = std::thread([this] { trampoline(); });
+}
+
+Context::~Context() {
+  if (!finished_) {
+    // The actor never ran to completion; unwind it so the thread can exit.
+    kill_requested_ = true;
+    go_.release();
+    done_.acquire();
+  }
+  if (thread_.joinable())
+    thread_.join();
+}
+
+void Context::trampoline() {
+  go_.acquire();  // wait for the first resume
+  if (!kill_requested_) {
+    try {
+      body_();
+    } catch (const ForcedExit&) {
+      // normal kill path
+    } catch (...) {
+      failure_ = std::current_exception();
+    }
+  }
+  finished_ = true;
+  done_.release();  // give control back to maestro, thread exits
+}
+
+bool Context::resume_and_wait() {
+  started_ = true;
+  go_.release();
+  done_.acquire();
+  return finished_;
+}
+
+void Context::yield() {
+  done_.release();
+  go_.acquire();
+  if (kill_requested_)
+    throw ForcedExit{};
+}
+
+}  // namespace sg::kernel

@@ -1,0 +1,65 @@
+/// \file context.hpp
+/// Cooperative execution contexts for simulated processes.
+///
+/// The paper's MSG model runs *all simulated application processes within a
+/// single OS process*. We realize each simulated process as an OS thread that
+/// is strictly serialized against the scheduler ("maestro") through a pair of
+/// binary semaphores: at any instant exactly one thread — maestro or one
+/// actor — is running. This gives deterministic scheduling (and therefore
+/// reproducible simulations) while letting user code block naturally inside
+/// simcalls.
+#pragma once
+
+#include <exception>
+#include <functional>
+#include <semaphore>
+#include <thread>
+
+namespace sg::kernel {
+
+/// Thrown inside an actor context to unwind its stack when it gets killed.
+/// User code must let it propagate (catching it cancels the kill... just as
+/// in real SimGrid).
+struct ForcedExit {};
+
+class Context {
+public:
+  /// `body` runs on a dedicated thread, but only while the maestro is parked
+  /// in resume_and_wait().
+  explicit Context(std::function<void()> body);
+  ~Context();
+
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  /// Maestro side: let the actor run until it yields or terminates.
+  /// Returns true when the body has finished (normally or by exception).
+  bool resume_and_wait();
+
+  /// Actor side: hand control back to the maestro. If a kill was requested
+  /// while parked, throws ForcedExit upon wakeup.
+  void yield();
+
+  /// Maestro side: request the actor to die at its next wakeup. Call
+  /// resume_and_wait() afterwards to actually unwind it.
+  void request_kill() { kill_requested_ = true; }
+
+  bool finished() const { return finished_; }
+
+  /// The exception (if any) that escaped the body, for error reporting.
+  std::exception_ptr failure() const { return failure_; }
+
+private:
+  void trampoline();
+
+  std::function<void()> body_;
+  std::thread thread_;
+  std::binary_semaphore go_{0};    // maestro -> actor
+  std::binary_semaphore done_{0};  // actor -> maestro
+  bool kill_requested_ = false;
+  bool finished_ = false;
+  bool started_ = false;
+  std::exception_ptr failure_;
+};
+
+}  // namespace sg::kernel

@@ -1,0 +1,579 @@
+#include "kernel/kernel.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "xbt/exception.hpp"
+#include "xbt/log.hpp"
+
+SG_LOG_NEW_CATEGORY(kernel, "simulation kernel (maestro)");
+
+namespace sg::kernel {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+thread_local Actor* tl_current_actor = nullptr;
+thread_local Kernel* tl_current_kernel = nullptr;
+Kernel* g_active_kernel = nullptr;
+
+double clock_provider() { return g_active_kernel ? g_active_kernel->now() : -1.0; }
+const char* actor_provider() { return tl_current_actor ? tl_current_actor->name().c_str() : nullptr; }
+
+/// Translate a wake status into the exception the simcall should raise.
+void check_status(WakeStatus st) {
+  switch (st) {
+    case WakeStatus::kOk:
+      return;
+    case WakeStatus::kTimeout:
+      throw xbt::TimeoutException();
+    case WakeStatus::kHostFailure:
+      throw xbt::HostFailureException();
+    case WakeStatus::kNetworkFailure:
+      throw xbt::NetworkFailureException();
+    case WakeStatus::kCanceled:
+      throw xbt::CancelException();
+  }
+}
+}  // namespace
+
+Actor::Actor(ActorId id, std::string name, int host, std::function<void()> body, bool daemon,
+             bool auto_restart)
+    : id_(id), name_(std::move(name)), host_(host), body_(std::move(body)), daemon_(daemon),
+      auto_restart_(auto_restart) {}
+
+Kernel::Kernel(platform::Platform platform) : engine_(std::move(platform)) {
+  engine_.set_resource_observer([this](bool is_host, int index, bool on) {
+    if (is_host)
+      host_changes_.push_back({index, on});
+  });
+  g_active_kernel = this;
+  xbt::log_set_clock_provider(&clock_provider);
+  xbt::log_set_actor_provider(&actor_provider);
+}
+
+Kernel::~Kernel() {
+  // Unwind any live context so its thread exits (Context dtor handles it).
+  actors_.clear();
+  if (g_active_kernel == this)
+    g_active_kernel = nullptr;
+}
+
+Actor* Kernel::self() { return tl_current_actor; }
+Kernel* Kernel::current() { return tl_current_kernel ? tl_current_kernel : g_active_kernel; }
+
+ActorId Kernel::spawn(const std::string& name, int host, std::function<void()> body, bool daemon,
+                      bool auto_restart) {
+  if (host < 0 || static_cast<size_t>(host) >= engine_.platform().host_count())
+    throw xbt::InvalidArgument("spawn: no such host");
+  if (!engine_.host_is_on(host))
+    throw xbt::HostFailureException("spawn: host " + engine_.platform().host(host).name + " is down");
+  const ActorId id = next_actor_id_++;
+  auto actor = std::make_unique<Actor>(id, name, host, body, daemon, auto_restart);
+  Actor* a = actor.get();
+  a->context_ = std::make_unique<Context>([this, a] {
+    tl_current_actor = a;
+    tl_current_kernel = this;
+    a->body_();
+  });
+  actors_.emplace(id, std::move(actor));
+  schedule(a);
+  SG_DEBUG(kernel, "spawned actor %ld '%s' on %s", id, name.c_str(),
+           engine_.platform().host(host).name.c_str());
+  return id;
+}
+
+void Kernel::schedule(Actor* a) {
+  if (a->state_ == Actor::State::kReady && !a->suspended_ && !a->in_ready_queue_) {
+    ready_.push_back(a);
+    a->in_ready_queue_ = true;
+  }
+}
+
+void Kernel::wake(Actor* a, WakeStatus status) {
+  if (a->state_ != Actor::State::kBlocked)
+    return;
+  a->wake_status_ = status;
+  a->state_ = Actor::State::kReady;
+  ++a->timer_gen_;
+  a->blocked_action_.reset();
+  a->blocked_comm_.reset();
+  schedule(a);
+}
+
+WakeStatus Kernel::block_self(Actor* a, double timeout) {
+  a->state_ = Actor::State::kBlocked;
+  if (timeout >= 0)
+    timers_.push(Timer{engine_.now() + timeout, a->id_, a->timer_gen_});
+  a->context_->yield();
+  return a->wake_status_;
+}
+
+void Kernel::run_actor(Actor* a) {
+  const bool finished = a->context_->resume_and_wait();
+  if (finished)
+    handle_actor_end(a);
+}
+
+void Kernel::handle_actor_end(Actor* a) {
+  if (a->state_ == Actor::State::kDead)
+    return;
+  a->state_ = Actor::State::kDead;
+  ++a->timer_gen_;
+  a->blocked_action_.reset();
+  a->blocked_comm_.reset();
+  if (a->context_->failure()) {
+    try {
+      std::rethrow_exception(a->context_->failure());
+    } catch (const std::exception& e) {
+      SG_ERROR(kernel, "actor '%s' died of an uncaught exception: %s", a->name_.c_str(), e.what());
+    } catch (...) {
+      SG_ERROR(kernel, "actor '%s' died of an uncaught exception", a->name_.c_str());
+    }
+  }
+  for (auto& cb : a->exit_callbacks_)
+    cb(a->killed_by_failure_);
+  if (a->auto_restart_ && a->killed_by_failure_)
+    pending_restarts_.push_back({a->name_, a->host_, a->body_, a->daemon_});
+  SG_DEBUG(kernel, "actor %ld '%s' terminated", a->id_, a->name_.c_str());
+}
+
+double Kernel::run() {
+  running_ = true;
+  long idle_rounds = 0;
+  while (true) {
+    bool any_ran = false;
+    while (!ready_.empty()) {
+      Actor* a = ready_.front();
+      ready_.pop_front();
+      a->in_ready_queue_ = false;
+      if (a->state_ != Actor::State::kReady || a->suspended_)
+        continue;
+      any_ran = true;
+      run_actor(a);
+      process_resource_changes();
+    }
+
+    size_t nondaemon = 0;
+    for (const auto& [id, a] : actors_)
+      if (a->alive() && !a->daemon())
+        ++nondaemon;
+    if (nondaemon == 0)
+      break;
+
+    const double timer_bound = timers_.empty() ? kInf : timers_.top().time;
+    auto events = engine_.step(timer_bound);
+    for (const auto& ev : events)
+      handle_action_event(ev);
+    fire_due_timers();
+    process_resource_changes();
+
+    if (!events.empty() || any_ran || !ready_.empty()) {
+      idle_rounds = 0;
+      continue;
+    }
+    const double next = engine_.next_event_time();
+    if (next == kInf && timers_.empty() && ready_.empty()) {
+      deadlocked_ = true;
+      SG_WARN(kernel, "deadlock: %zu actor(s) blocked forever at t=%g; stopping the simulation",
+              alive_actor_count(), engine_.now());
+      for (const auto& [id, a] : actors_)
+        if (a->alive())
+          SG_WARN(kernel, "  blocked actor: '%s' on %s", a->name_.c_str(),
+                  engine_.platform().host(a->host_).name.c_str());
+      break;
+    }
+    if (++idle_rounds > 1000000) {
+      deadlocked_ = true;
+      SG_ERROR(kernel, "giving up: 1e6 idle scheduling rounds (runaway trace events?)");
+      break;
+    }
+  }
+
+  // Tear down survivors (daemons, deadlocked actors).
+  for (auto& [id, a] : actors_)
+    if (a->alive())
+      kill_internal(a.get(), false);
+  running_ = false;
+  return engine_.now();
+}
+
+// -- simcalls ---------------------------------------------------------------
+
+void Kernel::execute(double flops, double priority) {
+  Actor* a = self();
+  assert(a != nullptr && "execute() must be called from an actor");
+  auto action = engine_.exec_start(a->host_, flops, priority, a->name_ + ":exec");
+  action->user_data = a;
+  a->blocked_action_ = action;
+  check_status(block_self(a, -1.0));
+}
+
+void Kernel::execute_parallel(const std::vector<int>& hosts, const std::vector<double>& flops,
+                              const std::vector<std::vector<double>>& bytes) {
+  Actor* a = self();
+  assert(a != nullptr && "execute_parallel() must be called from an actor");
+  auto action = engine_.ptask_start(hosts, flops, bytes, a->name_ + ":ptask");
+  action->user_data = a;
+  a->blocked_action_ = action;
+  check_status(block_self(a, -1.0));
+}
+
+void Kernel::sleep_for(double duration) {
+  Actor* a = self();
+  assert(a != nullptr && "sleep_for() must be called from an actor");
+  if (duration <= 0) {
+    yield_now();
+    return;
+  }
+  auto action = engine_.sleep_start(a->host_, duration, a->name_ + ":sleep");
+  action->user_data = a;
+  a->blocked_action_ = action;
+  check_status(block_self(a, -1.0));
+}
+
+void Kernel::yield_now() {
+  Actor* a = self();
+  assert(a != nullptr);
+  a->state_ = Actor::State::kReady;
+  schedule(a);
+  a->context_->yield();
+}
+
+void Kernel::exit_self() {
+  Actor* a = self();
+  assert(a != nullptr);
+  throw ForcedExit{};
+}
+
+CommPtr Kernel::send_async(const std::string& mb, void* payload, double bytes, double rate) {
+  Actor* a = self();
+  assert(a != nullptr && "send must be called from an actor");
+  Mailbox& box = mailbox(mb);
+  if (!box.queued_recvs.empty()) {
+    CommPtr comm = box.queued_recvs.front();
+    box.queued_recvs.pop_front();
+    comm->sender = a;
+    comm->payload = payload;
+    comm->bytes = bytes;
+    comm->rate = rate;
+    start_comm(comm);
+    return comm;
+  }
+  auto comm = std::make_shared<Comm>();
+  comm->mailbox = mb;
+  comm->state = Comm::State::kQueuedSend;
+  comm->sender = a;
+  comm->payload = payload;
+  comm->bytes = bytes;
+  comm->rate = rate;
+  box.queued_sends.push_back(comm);
+  return comm;
+}
+
+CommPtr Kernel::recv_async(const std::string& mb) {
+  Actor* a = self();
+  assert(a != nullptr && "recv must be called from an actor");
+  Mailbox& box = mailbox(mb);
+  if (!box.queued_sends.empty()) {
+    CommPtr comm = box.queued_sends.front();
+    box.queued_sends.pop_front();
+    comm->receiver = a;
+    start_comm(comm);
+    return comm;
+  }
+  auto comm = std::make_shared<Comm>();
+  comm->mailbox = mb;
+  comm->state = Comm::State::kQueuedRecv;
+  comm->receiver = a;
+  box.queued_recvs.push_back(comm);
+  return comm;
+}
+
+void Kernel::start_comm(const CommPtr& comm) {
+  comm->state = Comm::State::kStarted;
+  comm->action = engine_.comm_start(comm->sender->host_, comm->receiver->host_, comm->bytes, comm->rate,
+                                    "comm:" + comm->mailbox);
+  inflight_.emplace(comm->action.get(), comm);
+}
+
+void Kernel::finish_comm(const CommPtr& comm, WakeStatus result) {
+  comm->state = Comm::State::kFinished;
+  comm->result = result;
+  // Identity guards: wake each party only while it is still blocked on this
+  // very communication (a straggler event must never wake an actor that has
+  // meanwhile blocked on something else).
+  if (comm->receiver != nullptr && comm->receiver_waiting && comm->receiver->blocked_comm_ == comm)
+    wake(comm->receiver, result);
+  if (comm->sender != nullptr && comm->sender_waiting && comm->sender->blocked_comm_ == comm)
+    wake(comm->sender, result);
+}
+
+void* Kernel::comm_wait(const CommPtr& comm, double timeout) {
+  Actor* a = self();
+  assert(a != nullptr);
+  WakeStatus st;
+  if (comm->state == Comm::State::kFinished) {
+    st = comm->result;
+  } else {
+    if (a == comm->sender)
+      comm->sender_waiting = true;
+    else
+      comm->receiver_waiting = true;
+    a->blocked_comm_ = comm;
+    st = block_self(a, timeout);
+    if (a == comm->sender)
+      comm->sender_waiting = false;
+    else
+      comm->receiver_waiting = false;
+  }
+  check_status(st);
+  return comm->payload;
+}
+
+void Kernel::send(const std::string& mb, void* payload, double bytes, double timeout, double rate) {
+  comm_wait(send_async(mb, payload, bytes, rate), timeout);
+}
+
+void Kernel::send_detached(const std::string& mb, void* payload, double bytes, double rate) {
+  CommPtr comm = send_async(mb, payload, bytes, rate);
+  comm->detached = true;
+}
+
+void* Kernel::recv(const std::string& mb, double timeout, ActorId* source) {
+  CommPtr comm = recv_async(mb);
+  void* payload = comm_wait(comm, timeout);
+  if (source != nullptr)
+    *source = comm->sender != nullptr ? comm->sender->id() : -1;
+  return payload;
+}
+
+bool Kernel::comm_waiting(const std::string& mb) const {
+  auto it = mailboxes_.find(mb);
+  return it != mailboxes_.end() && !it->second.queued_sends.empty();
+}
+
+// -- event handling -----------------------------------------------------------
+
+void Kernel::handle_action_event(const core::ActionEvent& ev) {
+  const core::Action* act = ev.action.get();
+  switch (act->kind()) {
+    case core::ActionKind::kExec:
+    case core::ActionKind::kSleep:
+    case core::ActionKind::kPtask: {
+      Actor* a = static_cast<Actor*>(act->user_data);
+      // Identity guard: only wake the actor while it still waits on this
+      // exact action (stale cancel events must not leak a spurious kOk).
+      if (a != nullptr && a->blocked_action_.get() == act)
+        wake(a, ev.failed ? WakeStatus::kHostFailure : WakeStatus::kOk);
+      break;
+    }
+    case core::ActionKind::kComm: {
+      auto it = inflight_.find(act);
+      if (it == inflight_.end())
+        return;
+      CommPtr comm = it->second;
+      inflight_.erase(it);
+      if (comm->state == Comm::State::kFinished)
+        return;  // already resolved by a timeout or a kill
+      finish_comm(comm, ev.failed ? WakeStatus::kNetworkFailure : WakeStatus::kOk);
+      break;
+    }
+  }
+}
+
+void Kernel::fire_due_timers() {
+  while (!timers_.empty() && timers_.top().time <= engine_.now() + 1e-12) {
+    const Timer t = timers_.top();
+    timers_.pop();
+    auto it = actors_.find(t.actor);
+    if (it == actors_.end())
+      continue;
+    Actor* a = it->second.get();
+    if (a->state_ != Actor::State::kBlocked || t.gen != a->timer_gen_)
+      continue;  // stale timer
+    if (a->blocked_comm_ != nullptr) {
+      CommPtr comm = a->blocked_comm_;
+      if (comm->state == Comm::State::kQueuedSend || comm->state == Comm::State::kQueuedRecv) {
+        remove_from_mailbox(comm);
+        comm->state = Comm::State::kFinished;
+        comm->result = WakeStatus::kTimeout;
+        wake(a, WakeStatus::kTimeout);
+      } else if (comm->state == Comm::State::kStarted) {
+        comm->state = Comm::State::kFinished;
+        comm->result = WakeStatus::kCanceled;
+        Actor* peer = (a == comm->sender) ? comm->receiver : comm->sender;
+        wake(a, WakeStatus::kTimeout);
+        if (peer != nullptr && ((peer == comm->sender && comm->sender_waiting) ||
+                                (peer == comm->receiver && comm->receiver_waiting)))
+          wake(peer, WakeStatus::kNetworkFailure);
+        if (comm->action)
+          comm->action->cancel();
+      } else {
+        wake(a, WakeStatus::kTimeout);
+      }
+    } else if (a->blocked_action_ != nullptr) {
+      auto action = a->blocked_action_;
+      wake(a, WakeStatus::kTimeout);
+      action->cancel();
+    } else {
+      wake(a, WakeStatus::kTimeout);
+    }
+  }
+}
+
+void Kernel::remove_from_mailbox(const CommPtr& comm) {
+  auto it = mailboxes_.find(comm->mailbox);
+  if (it == mailboxes_.end())
+    return;
+  auto scrub = [&](std::deque<CommPtr>& q) {
+    q.erase(std::remove(q.begin(), q.end(), comm), q.end());
+  };
+  scrub(it->second.queued_sends);
+  scrub(it->second.queued_recvs);
+}
+
+void Kernel::detach_from_comm(Actor* a) {
+  if (a->blocked_comm_ == nullptr)
+    return;
+  CommPtr comm = a->blocked_comm_;
+  if (comm->state == Comm::State::kQueuedSend || comm->state == Comm::State::kQueuedRecv) {
+    remove_from_mailbox(comm);
+    comm->state = Comm::State::kFinished;
+    comm->result = WakeStatus::kCanceled;
+  } else if (comm->state == Comm::State::kStarted) {
+    comm->state = Comm::State::kFinished;
+    comm->result = WakeStatus::kCanceled;
+    Actor* peer = (a == comm->sender) ? comm->receiver : comm->sender;
+    if (peer != nullptr && ((peer == comm->sender && comm->sender_waiting) ||
+                            (peer == comm->receiver && comm->receiver_waiting)))
+      wake(peer, WakeStatus::kNetworkFailure);
+    if (comm->action)
+      comm->action->cancel();
+  }
+  a->blocked_comm_.reset();
+}
+
+// -- actor management -----------------------------------------------------------
+
+void Kernel::suspend(ActorId id) {
+  Actor* a = actor(id);
+  if (a == nullptr || !a->alive() || a->suspended_)
+    return;
+  a->suspended_ = true;
+  if (a->blocked_action_)
+    a->blocked_action_->suspend();
+  if (a->blocked_comm_ && a->blocked_comm_->state == Comm::State::kStarted && a->blocked_comm_->action)
+    a->blocked_comm_->action->suspend();
+  if (a == self()) {
+    a->state_ = Actor::State::kReady;  // runnable again as soon as resumed
+    a->context_->yield();
+  }
+}
+
+void Kernel::resume(ActorId id) {
+  Actor* a = actor(id);
+  if (a == nullptr || !a->alive() || !a->suspended_)
+    return;
+  a->suspended_ = false;
+  if (a->blocked_action_)
+    a->blocked_action_->resume();
+  if (a->blocked_comm_ && a->blocked_comm_->state == Comm::State::kStarted && a->blocked_comm_->action)
+    a->blocked_comm_->action->resume();
+  schedule(a);
+}
+
+void Kernel::kill(ActorId id) {
+  Actor* a = actor(id);
+  if (a == nullptr || !a->alive())
+    return;
+  kill_internal(a, false);
+}
+
+void Kernel::kill_internal(Actor* a, bool by_failure) {
+  if (!a->alive())
+    return;
+  a->killed_by_failure_ = by_failure;
+  if (a == self())
+    throw ForcedExit{};
+  detach_from_comm(a);
+  if (a->blocked_action_) {
+    auto action = a->blocked_action_;
+    a->blocked_action_.reset();
+    action->cancel();
+  }
+  a->context_->request_kill();
+  while (!a->context_->finished())
+    a->context_->resume_and_wait();
+  handle_actor_end(a);
+}
+
+bool Kernel::is_alive(ActorId id) const {
+  auto it = actors_.find(id);
+  return it != actors_.end() && it->second->alive();
+}
+
+Actor* Kernel::actor(ActorId id) {
+  auto it = actors_.find(id);
+  return it == actors_.end() ? nullptr : it->second.get();
+}
+
+size_t Kernel::alive_actor_count() const {
+  size_t n = 0;
+  for (const auto& [id, a] : actors_)
+    if (a->alive())
+      ++n;
+  return n;
+}
+
+std::vector<ActorId> Kernel::live_actors() const {
+  std::vector<ActorId> out;
+  for (const auto& [id, a] : actors_)
+    if (a->alive())
+      out.push_back(id);
+  return out;
+}
+
+// -- platform control -------------------------------------------------------------
+
+void Kernel::host_off(int host) { engine_.set_host_state(host, false); }
+void Kernel::host_on(int host) { engine_.set_host_state(host, true); }
+
+void Kernel::process_resource_changes() {
+  while (!host_changes_.empty()) {
+    auto [host, on] = host_changes_.front();
+    host_changes_.erase(host_changes_.begin());
+    if (!on) {
+      // Kill every actor living on the failed host.
+      std::vector<Actor*> victims;
+      for (auto& [id, a] : actors_)
+        if (a->alive() && a->host_ == host)
+          victims.push_back(a.get());
+      for (Actor* a : victims) {
+        SG_VERB(kernel, "host %s failed: killing actor '%s'",
+                engine_.platform().host(host).name.c_str(), a->name_.c_str());
+        kill_internal(a, true);
+      }
+    } else {
+      // Respawn auto-restart actors that died with this host.
+      std::vector<RestartSpec> todo;
+      auto it = pending_restarts_.begin();
+      while (it != pending_restarts_.end()) {
+        if (it->host == host) {
+          todo.push_back(*it);
+          it = pending_restarts_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      for (const auto& spec : todo) {
+        SG_VERB(kernel, "host %s is back: restarting actor '%s'",
+                engine_.platform().host(host).name.c_str(), spec.name.c_str());
+        spawn(spec.name, spec.host, spec.body, spec.daemon, /*auto_restart=*/true);
+      }
+    }
+  }
+}
+
+}  // namespace sg::kernel

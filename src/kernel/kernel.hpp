@@ -1,0 +1,149 @@
+/// \file kernel.hpp
+/// The simulation kernel ("maestro"): owns the SURF engine, schedules actor
+/// contexts, matches communications on mailboxes, arms timeout timers, and
+/// propagates resource failures to the actors they strand.
+///
+/// Threading model: strictly serialized. The maestro runs actors one at a
+/// time; an actor executing a simcall may safely touch kernel state directly
+/// because nothing else runs concurrently.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "kernel/actor.hpp"
+#include "kernel/comm.hpp"
+
+namespace sg::kernel {
+
+class Kernel {
+public:
+  explicit Kernel(platform::Platform platform);
+  ~Kernel();
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  core::Engine& engine() { return engine_; }
+  double now() const { return engine_.now(); }
+
+  // -- lifecycle --------------------------------------------------------------
+  /// Create a process on a host. It will start running inside run().
+  /// daemon actors do not prevent simulation termination; auto_restart actors
+  /// are respawned when their host reboots after a failure.
+  ActorId spawn(const std::string& name, int host, std::function<void()> body, bool daemon = false,
+                bool auto_restart = false);
+
+  /// Run the simulation until no non-daemon actor remains (or deadlock).
+  /// Returns the final simulated time.
+  double run();
+
+  /// True when run() ended because live actors were all stuck forever.
+  bool deadlocked() const { return deadlocked_; }
+
+  // -- actor-side simcalls -----------------------------------------------------
+  /// The actor currently executing (nullptr on the maestro), and its kernel.
+  static Actor* self();
+  static Kernel* current();
+
+  /// Simulate `flops` of computation on the calling actor's host.
+  void execute(double flops, double priority = 1.0);
+  /// Simulate a parallel task spanning several hosts (flops per host) and the
+  /// communications between them (bytes[i][j] from hosts[i] to hosts[j]).
+  void execute_parallel(const std::vector<int>& hosts, const std::vector<double>& flops,
+                        const std::vector<std::vector<double>>& bytes);
+  /// Simulate a delay.
+  void sleep_for(double duration);
+  /// Cooperatively yield (reschedule self at the back of the ready queue).
+  void yield_now();
+  /// Terminate the calling actor.
+  [[noreturn]] void exit_self();
+
+  /// Blocking send: rendezvous on `mailbox`, then transfer `bytes` from the
+  /// caller's host to the receiver's host. timeout < 0 = wait forever.
+  void send(const std::string& mailbox, void* payload, double bytes, double timeout = -1.0,
+            double rate = -1.0);
+  /// Fire-and-forget send (the comm lives on after the caller moves on).
+  void send_detached(const std::string& mailbox, void* payload, double bytes, double rate = -1.0);
+  /// Blocking receive. Returns the payload; source (if non-null) receives the
+  /// sending actor's id.
+  void* recv(const std::string& mailbox, double timeout = -1.0, ActorId* source = nullptr);
+
+  /// Asynchronous variants (used by SMPI's Isend/Irecv).
+  CommPtr send_async(const std::string& mailbox, void* payload, double bytes, double rate = -1.0);
+  CommPtr recv_async(const std::string& mailbox);
+  /// Wait for an async comm; throws like send/recv. Returns the payload.
+  void* comm_wait(const CommPtr& comm, double timeout = -1.0);
+  /// Non-blocking completion test.
+  bool comm_test(const CommPtr& comm) const { return comm->state == Comm::State::kFinished; }
+
+  /// Is a send already queued on this mailbox? (message probe)
+  bool comm_waiting(const std::string& mailbox) const;
+
+  // -- actor management ---------------------------------------------------------
+  void suspend(ActorId id);
+  void resume(ActorId id);
+  void kill(ActorId id);
+
+  bool is_alive(ActorId id) const;
+  Actor* actor(ActorId id);
+  size_t alive_actor_count() const;
+  /// Ids of all live actors (snapshot).
+  std::vector<ActorId> live_actors() const;
+
+  // -- platform control (fault injection) ---------------------------------------
+  void host_off(int host);
+  void host_on(int host);
+
+private:
+  struct Timer {
+    double time;
+    ActorId actor;
+    std::uint64_t gen;
+    bool operator>(const Timer& o) const { return time > o.time; }
+  };
+
+  Mailbox& mailbox(const std::string& name) { return mailboxes_[name]; }
+
+  void run_actor(Actor* a);
+  void handle_actor_end(Actor* a);
+  void schedule(Actor* a);
+  void wake(Actor* a, WakeStatus status);
+  /// Park the calling actor until woken; returns the wake status.
+  WakeStatus block_self(Actor* a, double timeout);
+
+  void start_comm(const CommPtr& comm);
+  void finish_comm(const CommPtr& comm, WakeStatus result);
+  void handle_action_event(const core::ActionEvent& ev);
+  void fire_due_timers();
+  void detach_from_comm(Actor* a);
+  void kill_internal(Actor* a, bool by_failure);
+  void process_resource_changes();
+  void remove_from_mailbox(const CommPtr& comm);
+
+  core::Engine engine_;
+  std::map<ActorId, std::unique_ptr<Actor>> actors_;  // retained after death (stable pointers)
+  ActorId next_actor_id_ = 1;
+  std::deque<Actor*> ready_;
+  std::map<std::string, Mailbox> mailboxes_;
+  std::map<const core::Action*, CommPtr> inflight_;  ///< running transfers
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timers_;
+  std::vector<std::pair<int, bool>> host_changes_;  ///< deferred (host, now_on)
+  bool deadlocked_ = false;
+  bool running_ = false;
+
+  struct RestartSpec {
+    std::string name;
+    int host;
+    std::function<void()> body;
+    bool daemon;
+  };
+  std::vector<RestartSpec> pending_restarts_;  ///< respawn when host returns
+};
+
+}  // namespace sg::kernel

@@ -1,0 +1,124 @@
+/// \file msg.hpp
+/// The MSG interface — the paper's API "for rapid application prototyping to
+/// test and evaluate distributed algorithms" (simulation mode only).
+///
+/// The abstraction matches the paper exactly:
+///  * applications consist of processes, created/suspended/resumed/killed
+///    dynamically;
+///  * processes synchronize by exchanging tasks;
+///  * a task has a computation payload (flops) and a communication payload
+///    (bytes);
+///  * all processes share one address space, so tasks carry arbitrary
+///    pointers.
+///
+/// Function names mirror the 2006 MSG API so the paper's client/server
+/// listing compiles almost verbatim (see examples/quickstart.cpp).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "kernel/kernel.hpp"
+#include "platform/platform.hpp"
+
+namespace sg::msg {
+
+/// A host handle (index into the platform's host table).
+struct m_host_t {
+  int index = -1;
+  bool valid() const { return index >= 0; }
+  friend bool operator==(const m_host_t&, const m_host_t&) = default;
+};
+
+/// A task: named unit of work with a compute payload (flops) and a
+/// communication payload (bytes). `data` travels with the task (all MSG
+/// processes share the address space).
+struct Task {
+  std::string name;
+  double compute_flops = 0;
+  double comm_bytes = 0;
+  void* data = nullptr;
+  double priority = 1.0;
+  m_host_t source;                 ///< filled in by MSG_task_put
+  kernel::ActorId sender = -1;     ///< likewise
+};
+using m_task_t = Task*;
+
+using ProcessFn = std::function<void()>;
+
+// -- environment --------------------------------------------------------------
+
+/// Initialize MSG on a platform. `channels` is the number of communication
+/// ports available on every host (MSG_set_channel_number in historic MSG).
+void MSG_init(platform::Platform platform, int channels = 16);
+
+/// Tear down the global MSG instance (implicit at next MSG_init).
+void MSG_clean();
+
+/// Run the simulation until every process terminated. Returns final sim time.
+double MSG_main();
+
+/// Current simulated time.
+double MSG_get_clock();
+
+// -- hosts ---------------------------------------------------------------------
+
+m_host_t MSG_get_host_by_name(const std::string& name);
+int MSG_get_host_number();
+m_host_t MSG_host_by_index(int index);
+const std::string& MSG_host_get_name(m_host_t host);
+/// Peak speed (flop/s) times current availability.
+double MSG_host_get_speed(m_host_t host);
+bool MSG_host_is_on(m_host_t host);
+/// Host of the calling process.
+m_host_t MSG_host_self();
+
+// -- processes -------------------------------------------------------------------
+
+kernel::ActorId MSG_process_create(const std::string& name, ProcessFn fn, m_host_t host,
+                                   bool daemon = false, bool auto_restart = false);
+kernel::ActorId MSG_process_self();
+const std::string& MSG_process_get_name(kernel::ActorId pid);
+void MSG_process_suspend(kernel::ActorId pid);
+void MSG_process_resume(kernel::ActorId pid);
+void MSG_process_kill(kernel::ActorId pid);
+bool MSG_process_is_alive(kernel::ActorId pid);
+void MSG_process_sleep(double duration);
+[[noreturn]] void MSG_process_exit();
+
+// -- tasks -----------------------------------------------------------------------
+
+/// Create a task carrying `flops` of computation and `bytes` of data.
+m_task_t MSG_task_create(const std::string& name, double flops, double bytes, void* data = nullptr);
+void MSG_task_destroy(m_task_t task);
+
+/// Execute the task's computation payload on the calling process's host.
+void MSG_task_execute(m_task_t task);
+
+/// Send the task to `dest` on the given channel; blocks until the receiver
+/// has fully received it (rendezvous + transfer).
+void MSG_task_put(m_task_t task, m_host_t dest, int channel);
+void MSG_task_put_with_timeout(m_task_t task, m_host_t dest, int channel, double timeout);
+/// Rate-capped variant (sender-side throttling).
+void MSG_task_put_bounded(m_task_t task, m_host_t dest, int channel, double max_rate);
+
+/// Receive a task on one of the calling host's channels; blocks until a task
+/// arrives. Throws xbt::TimeoutException when the timeout expires first.
+void MSG_task_get(m_task_t* task, int channel);
+void MSG_task_get_with_timeout(m_task_t* task, int channel, double timeout);
+
+/// True when a task is already queued on this channel of the calling host.
+bool MSG_task_listen(int channel);
+
+/// Simulate a parallel task over several hosts (amounts in flops; bytes[i][j]
+/// transferred from hosts[i] to hosts[j]) — the paper's "parallel tasks"
+/// resource-sharing feature.
+void MSG_parallel_task_execute(const std::string& name, const std::vector<m_host_t>& hosts,
+                               const std::vector<double>& flops,
+                               const std::vector<std::vector<double>>& bytes);
+
+/// Access to the underlying kernel (benches/tests hook the engine observer).
+kernel::Kernel& MSG_kernel();
+
+}  // namespace sg::msg

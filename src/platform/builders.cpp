@@ -1,0 +1,69 @@
+#include "platform/builders.hpp"
+
+#include "xbt/str.hpp"
+
+namespace sg::platform {
+
+Platform make_cluster(const ClusterSpec& spec) {
+  Platform p;
+  const NodeId sw = p.add_router(spec.prefix + "-switch");
+  const NodeId out = p.add_router(spec.prefix + "-out");
+  LinkSpec backbone;
+  backbone.name = spec.prefix + "-backbone";
+  backbone.bandwidth_Bps = spec.backbone_bandwidth;
+  backbone.latency_s = spec.backbone_latency;
+  backbone.policy = spec.backbone_fatpipe ? SharingPolicy::kFatpipe : SharingPolicy::kShared;
+  const LinkId bb = p.add_link(backbone);
+  p.add_edge(sw, out, bb);
+  for (int i = 0; i < spec.count; ++i) {
+    const std::string name = xbt::format("%s%d", spec.prefix.c_str(), i);
+    const NodeId h = p.add_host(name, spec.host_speed);
+    const LinkId l = p.add_link(name + "-link", spec.link_bandwidth, spec.link_latency);
+    p.add_edge(h, sw, l);
+  }
+  p.seal();
+  return p;
+}
+
+Platform make_dumbbell(double speed, double bandwidth, double latency) {
+  Platform p;
+  const NodeId a = p.add_host("left", speed);
+  const NodeId b = p.add_host("right", speed);
+  const LinkId l = p.add_link("middle", bandwidth, latency);
+  p.add_route(a, b, {l});
+  p.seal();
+  return p;
+}
+
+Platform make_client_server_lan(int n_clients, int n_servers, double client_speed, double server_speed,
+                                double lan_bandwidth, double lan_latency) {
+  Platform p;
+  const NodeId hub = p.add_router("hub");
+  const NodeId sw = p.add_router("switch");
+  const NodeId router = p.add_router("router");
+
+  // The hub segment is one shared medium: a single link that every client
+  // shares, so concurrent client flows visibly interfere (paper's Gantt).
+  const LinkId hub_seg = p.add_link("hub-segment", lan_bandwidth, lan_latency);
+  const LinkId uplink = p.add_link("hub-router", lan_bandwidth * 2, lan_latency);
+  const LinkId swlink = p.add_link("switch-router", lan_bandwidth * 4, lan_latency);
+  p.add_edge(hub, router, uplink);
+  p.add_edge(sw, router, swlink);
+
+  for (int i = 0; i < n_clients; ++i) {
+    const std::string name = xbt::format("client%d", i + 1);
+    const NodeId h = p.add_host(name, client_speed);
+    p.add_edge(h, hub, hub_seg);  // all clients share the hub segment
+  }
+  for (int i = 0; i < n_servers; ++i) {
+    const std::string name = xbt::format("server%d", i + 1);
+    const NodeId h = p.add_host(name, server_speed);
+    // Switched ports: private link per server.
+    const LinkId l = p.add_link(name + "-port", lan_bandwidth * 4, lan_latency);
+    p.add_edge(h, sw, l);
+  }
+  p.seal();
+  return p;
+}
+
+}  // namespace sg::platform

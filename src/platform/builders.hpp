@@ -1,0 +1,36 @@
+/// \file builders.hpp
+/// Programmatic builders for the platform shapes used throughout the paper's
+/// examples and our benches: commodity clusters (switch + backbone), simple
+/// dumbbells, and the paper's client/server LAN (hub + switch + router).
+#pragma once
+
+#include "platform/platform.hpp"
+
+namespace sg::platform {
+
+struct ClusterSpec {
+  std::string prefix = "node";
+  int count = 8;
+  double host_speed = 1e9;          ///< flop/s
+  double link_bandwidth = 1.25e8;   ///< B/s per up/down link
+  double link_latency = 5e-5;
+  double backbone_bandwidth = 1.25e9;
+  double backbone_latency = 5e-4;
+  bool backbone_fatpipe = false;
+};
+
+/// Star cluster: each host has a private link to a central switch; all
+/// traffic additionally crosses the shared backbone link.
+Platform make_cluster(const ClusterSpec& spec);
+
+/// Two hosts joined by a single shared link (the minimal contention scenario).
+Platform make_dumbbell(double speed, double bandwidth, double latency);
+
+/// The paper's Gantt-chart platform: `n_clients` client hosts on a hub
+/// (one shared LAN segment) and `n_servers` servers behind a switch, joined
+/// by a router — concurrent client flows interfere on the shared segment.
+Platform make_client_server_lan(int n_clients, int n_servers,
+                                double client_speed = 5e8, double server_speed = 2e9,
+                                double lan_bandwidth = 1.25e7, double lan_latency = 1e-4);
+
+}  // namespace sg::platform

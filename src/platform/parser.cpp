@@ -1,0 +1,200 @@
+#include "platform/parser.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "xbt/exception.hpp"
+#include "xbt/str.hpp"
+#include "xbt/units.hpp"
+
+namespace sg::platform {
+namespace {
+
+using sg::trace::Trace;
+using sg::trace::TracePoint;
+
+/// Inline trace syntax: "0 1.0;5 0.5;P:10"
+Trace parse_inline_trace(const std::string& name, const std::string& spec) {
+  std::vector<TracePoint> points;
+  double periodicity = -1;
+  for (const std::string& item : xbt::split(spec, ';', /*skip_empty=*/true)) {
+    const std::string t = xbt::trim(item);
+    if (xbt::starts_with(t, "P:")) {
+      periodicity = std::stod(t.substr(2));
+      continue;
+    }
+    auto tokens = xbt::split_ws(t);
+    if (tokens.size() != 2)
+      throw xbt::InvalidArgument("bad inline trace item: " + item);
+    points.push_back({std::stod(tokens[0]), std::stod(tokens[1])});
+  }
+  return Trace(name, std::move(points), periodicity);
+}
+
+Trace parse_trace_ref(const std::string& name, const std::string& value) {
+  if (value.find(' ') != std::string::npos || value.find(';') != std::string::npos)
+    return parse_inline_trace(name, value);
+  return Trace::load(value);
+}
+
+/// Extract "key:value" attributes from tokens[start..]; bare words are
+/// returned through `flags`.
+std::map<std::string, std::string> parse_attrs(const std::vector<std::string>& tokens, size_t start,
+                                               std::vector<std::string>& flags) {
+  std::map<std::string, std::string> attrs;
+  for (size_t i = start; i < tokens.size(); ++i) {
+    const size_t colon = tokens[i].find(':');
+    if (colon == std::string::npos)
+      flags.push_back(tokens[i]);
+    else
+      attrs[tokens[i].substr(0, colon)] = tokens[i].substr(colon + 1);
+  }
+  return attrs;
+}
+
+}  // namespace
+
+Platform parse_platform(const std::string& text) {
+  Platform p;
+  std::istringstream in(text);
+  std::string raw;
+  int lineno = 0;
+
+  // Re-join quoted attributes first (avail:"0 1;5 0.5") by scanning lines.
+  while (std::getline(in, raw)) {
+    ++lineno;
+    std::string line = xbt::trim(raw);
+    if (line.empty() || line[0] == '#')
+      continue;
+
+    // Handle quoted spans: replace spaces inside quotes with '\x01' so
+    // whitespace tokenizing keeps them together, then restore.
+    bool in_quote = false;
+    for (char& c : line) {
+      if (c == '"')
+        in_quote = !in_quote;
+      else if (in_quote && c == ' ')
+        c = '\x01';
+    }
+    auto tokens = xbt::split_ws(line);
+    for (std::string& t : tokens) {
+      std::string fixed;
+      for (char c : t)
+        if (c == '\x01')
+          fixed += ' ';
+        else if (c != '"')
+          fixed += c;
+      t = fixed;
+    }
+
+    const std::string& kind = tokens[0];
+    try {
+      if (kind == "host") {
+        if (tokens.size() < 2)
+          throw xbt::InvalidArgument("host needs a name");
+        std::vector<std::string> flags;
+        auto attrs = parse_attrs(tokens, 2, flags);
+        HostSpec spec;
+        spec.name = tokens[1];
+        if (attrs.count("speed"))
+          spec.speed_flops = xbt::parse_speed(attrs["speed"]);
+        if (attrs.count("avail"))
+          spec.availability = parse_trace_ref(spec.name + ".avail", attrs["avail"]);
+        if (attrs.count("state"))
+          spec.state = parse_trace_ref(spec.name + ".state", attrs["state"]);
+        p.add_host(spec);
+      } else if (kind == "router") {
+        if (tokens.size() < 2)
+          throw xbt::InvalidArgument("router needs a name");
+        p.add_router(tokens[1]);
+      } else if (kind == "link") {
+        if (tokens.size() < 2)
+          throw xbt::InvalidArgument("link needs a name");
+        std::vector<std::string> flags;
+        auto attrs = parse_attrs(tokens, 2, flags);
+        LinkSpec spec;
+        spec.name = tokens[1];
+        if (attrs.count("bw"))
+          spec.bandwidth_Bps = xbt::parse_bandwidth(attrs["bw"]);
+        if (attrs.count("lat"))
+          spec.latency_s = xbt::parse_time(attrs["lat"]);
+        if (attrs.count("avail"))
+          spec.availability = parse_trace_ref(spec.name + ".avail", attrs["avail"]);
+        if (attrs.count("state"))
+          spec.state = parse_trace_ref(spec.name + ".state", attrs["state"]);
+        for (const std::string& f : flags)
+          if (f == "fatpipe")
+            spec.policy = SharingPolicy::kFatpipe;
+        p.add_link(spec);
+      } else if (kind == "edge") {
+        if (tokens.size() != 4)
+          throw xbt::InvalidArgument("edge wants: edge <node> <node> <link>");
+        auto a = p.node_by_name(tokens[1]);
+        auto b = p.node_by_name(tokens[2]);
+        auto l = p.link_by_name(tokens[3]);
+        if (!a || !b || !l)
+          throw xbt::InvalidArgument("edge references unknown node or link");
+        p.add_edge(*a, *b, *l);
+      } else if (kind == "route") {
+        if (tokens.size() < 3)
+          throw xbt::InvalidArgument("route wants: route <src> <dst> <links...>");
+        auto src = p.node_by_name(tokens[1]);
+        auto dst = p.node_by_name(tokens[2]);
+        if (!src || !dst)
+          throw xbt::InvalidArgument("route references unknown host");
+        std::vector<LinkId> links;
+        bool symmetric = true;
+        for (size_t i = 3; i < tokens.size(); ++i) {
+          if (tokens[i] == "oneway") {
+            symmetric = false;
+            continue;
+          }
+          auto l = p.link_by_name(tokens[i]);
+          if (!l)
+            throw xbt::InvalidArgument("route references unknown link: " + tokens[i]);
+          links.push_back(*l);
+        }
+        p.add_route(*src, *dst, std::move(links), symmetric);
+      } else {
+        throw xbt::InvalidArgument("unknown directive: " + kind);
+      }
+    } catch (const xbt::Exception& e) {
+      throw xbt::InvalidArgument("platform line " + std::to_string(lineno) + ": " + e.what());
+    }
+  }
+  p.seal();
+  return p;
+}
+
+Platform load_platform(const std::string& path) {
+  std::ifstream in(path);
+  if (!in)
+    throw xbt::InvalidArgument("cannot open platform file: " + path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return parse_platform(buf.str());
+}
+
+std::string dump_platform(const Platform& p) {
+  std::ostringstream out;
+  for (size_t h = 0; h < p.host_count(); ++h) {
+    const HostSpec& spec = p.host(static_cast<int>(h));
+    out << "host " << spec.name << " speed:" << spec.speed_flops << "\n";
+  }
+  for (size_t n = 0; n < p.node_count(); ++n)
+    if (!p.is_host(static_cast<NodeId>(n)))
+      out << "router " << p.node_name(static_cast<NodeId>(n)) << "\n";
+  for (size_t l = 0; l < p.link_count(); ++l) {
+    const LinkSpec& spec = p.link(static_cast<LinkId>(l));
+    out << "link " << spec.name << " bw:" << spec.bandwidth_Bps << " lat:" << spec.latency_s;
+    if (spec.policy == SharingPolicy::kFatpipe)
+      out << " fatpipe";
+    out << "\n";
+  }
+  for (const auto& e : p.edges())
+    out << "edge " << p.node_name(e.a) << " " << p.node_name(e.b) << " " << p.link(e.link).name << "\n";
+  return out.str();
+}
+
+}  // namespace sg::platform

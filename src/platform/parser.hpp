@@ -1,0 +1,30 @@
+/// \file parser.hpp
+/// Text format for platform files. Line-oriented, '#' comments:
+///
+///   host   node1 speed:2Gf [avail:<file|inline>] [state:<file>]
+///   router r1
+///   link   l1 bw:125MBps lat:50us [fatpipe]
+///   edge   node1 r1 l1
+///   route  node1 node2 l1 l2 l3 [oneway]
+///
+/// Inline traces use avail:"0 1.0;5 0.5;P:10" (time value pairs separated by
+/// ';', optional P:<periodicity>).
+#pragma once
+
+#include <string>
+
+#include "platform/platform.hpp"
+
+namespace sg::platform {
+
+/// Parse a platform description from text. Returns a sealed platform.
+Platform parse_platform(const std::string& text);
+
+/// Load and parse a platform file from disk.
+Platform load_platform(const std::string& path);
+
+/// Serialize a platform back to the text format (graph edges + hosts +
+/// links; derived routes are not dumped).
+std::string dump_platform(const Platform& p);
+
+}  // namespace sg::platform

@@ -1,0 +1,224 @@
+#include "platform/platform.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <queue>
+
+#include "xbt/exception.hpp"
+
+namespace sg::platform {
+
+NodeId Platform::add_host(const HostSpec& spec) {
+  if (sealed_)
+    throw xbt::InvalidArgument("platform is sealed");
+  if (node_by_name(spec.name))
+    throw xbt::InvalidArgument("duplicate node name: " + spec.name);
+  const NodeId id = static_cast<NodeId>(node_names_.size());
+  node_names_.push_back(spec.name);
+  nodes_.push_back({true, static_cast<int>(hosts_.size())});
+  hosts_.push_back(spec);
+  host_nodes_.push_back(id);
+  return id;
+}
+
+NodeId Platform::add_host(const std::string& name, double speed_flops) {
+  HostSpec spec;
+  spec.name = name;
+  spec.speed_flops = speed_flops;
+  return add_host(spec);
+}
+
+NodeId Platform::add_router(const std::string& name) {
+  if (sealed_)
+    throw xbt::InvalidArgument("platform is sealed");
+  if (node_by_name(name))
+    throw xbt::InvalidArgument("duplicate node name: " + name);
+  const NodeId id = static_cast<NodeId>(node_names_.size());
+  node_names_.push_back(name);
+  nodes_.push_back({false, -1});
+  return id;
+}
+
+LinkId Platform::add_link(const LinkSpec& spec) {
+  if (sealed_)
+    throw xbt::InvalidArgument("platform is sealed");
+  if (link_by_name(spec.name))
+    throw xbt::InvalidArgument("duplicate link name: " + spec.name);
+  if (spec.bandwidth_Bps <= 0)
+    throw xbt::InvalidArgument("link " + spec.name + ": bandwidth must be positive");
+  if (spec.latency_s < 0)
+    throw xbt::InvalidArgument("link " + spec.name + ": latency must be non-negative");
+  links_.push_back(spec);
+  return static_cast<LinkId>(links_.size() - 1);
+}
+
+LinkId Platform::add_link(const std::string& name, double bandwidth_Bps, double latency_s, SharingPolicy policy) {
+  LinkSpec spec;
+  spec.name = name;
+  spec.bandwidth_Bps = bandwidth_Bps;
+  spec.latency_s = latency_s;
+  spec.policy = policy;
+  return add_link(spec);
+}
+
+void Platform::add_edge(NodeId a, NodeId b, LinkId link) {
+  if (sealed_)
+    throw xbt::InvalidArgument("platform is sealed");
+  if (a < 0 || b < 0 || static_cast<size_t>(a) >= nodes_.size() || static_cast<size_t>(b) >= nodes_.size())
+    throw xbt::InvalidArgument("add_edge: bad node id");
+  if (link < 0 || static_cast<size_t>(link) >= links_.size())
+    throw xbt::InvalidArgument("add_edge: bad link id");
+  edges_.push_back({a, b, link});
+}
+
+void Platform::add_route(NodeId src, NodeId dst, std::vector<LinkId> links, bool symmetric) {
+  if (!is_host(src) || !is_host(dst))
+    throw xbt::InvalidArgument("add_route: endpoints must be hosts");
+  for (LinkId l : links)
+    if (l < 0 || static_cast<size_t>(l) >= links_.size())
+      throw xbt::InvalidArgument("add_route: bad link id");
+  const size_t n = hosts_.size();
+  if (routes_.size() < n * n)
+    routes_.resize(n * n);
+  double lat = 0;
+  for (LinkId l : links)
+    lat += links_[static_cast<size_t>(l)].latency_s;
+  const int s = host_index(src);
+  const int d = host_index(dst);
+  routes_[static_cast<size_t>(s) * n + static_cast<size_t>(d)] = Route{links, lat};
+  if (symmetric) {
+    std::vector<LinkId> rev(links.rbegin(), links.rend());
+    routes_[static_cast<size_t>(d) * n + static_cast<size_t>(s)] = Route{std::move(rev), lat};
+  }
+}
+
+bool Platform::is_host(NodeId node) const {
+  return node >= 0 && static_cast<size_t>(node) < nodes_.size() && nodes_[static_cast<size_t>(node)].host;
+}
+
+int Platform::host_index(NodeId node) const {
+  if (!is_host(node))
+    throw xbt::InvalidArgument("node is not a host: " + std::to_string(node));
+  return nodes_[static_cast<size_t>(node)].host_index;
+}
+
+NodeId Platform::host_node(int host_index) const {
+  return host_nodes_.at(static_cast<size_t>(host_index));
+}
+
+std::optional<NodeId> Platform::node_by_name(const std::string& name) const {
+  for (size_t i = 0; i < node_names_.size(); ++i)
+    if (node_names_[i] == name)
+      return static_cast<NodeId>(i);
+  return std::nullopt;
+}
+
+std::optional<int> Platform::host_by_name(const std::string& name) const {
+  auto node = node_by_name(name);
+  if (!node || !is_host(*node))
+    return std::nullopt;
+  return host_index(*node);
+}
+
+std::optional<LinkId> Platform::link_by_name(const std::string& name) const {
+  for (size_t i = 0; i < links_.size(); ++i)
+    if (links_[i].name == name)
+      return static_cast<LinkId>(i);
+  return std::nullopt;
+}
+
+void Platform::seal() {
+  if (sealed_)
+    return;
+  const size_t n = hosts_.size();
+  // Explicit routes may have sized this already; keep them (they win).
+  if (routes_.size() < n * n)
+    routes_.resize(n * n);
+  if (!edges_.empty())
+    compute_graph_routes();
+  // A host talking to itself uses the empty loopback route.
+  for (size_t h = 0; h < n; ++h)
+    if (!routes_[h * n + h])
+      routes_[h * n + h] = Route{{}, 0.0};
+  sealed_ = true;
+}
+
+void Platform::compute_graph_routes() {
+  const size_t n_nodes = nodes_.size();
+  const size_t n_hosts = hosts_.size();
+
+  // adjacency: node -> (neighbor, link)
+  std::vector<std::vector<std::pair<NodeId, LinkId>>> adj(n_nodes);
+  for (const Edge& e : edges_) {
+    adj[static_cast<size_t>(e.a)].push_back({e.b, e.link});
+    adj[static_cast<size_t>(e.b)].push_back({e.a, e.link});
+  }
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  for (size_t s = 0; s < n_hosts; ++s) {
+    const NodeId src = host_nodes_[s];
+    std::vector<double> dist(n_nodes, kInf);
+    std::vector<NodeId> prev_node(n_nodes, -1);
+    std::vector<LinkId> prev_link(n_nodes, -1);
+    using QE = std::pair<double, NodeId>;
+    std::priority_queue<QE, std::vector<QE>, std::greater<>> queue;
+    dist[static_cast<size_t>(src)] = 0.0;
+    queue.push({0.0, src});
+    while (!queue.empty()) {
+      auto [d, u] = queue.top();
+      queue.pop();
+      if (d > dist[static_cast<size_t>(u)])
+        continue;
+      for (auto [v, l] : adj[static_cast<size_t>(u)]) {
+        // Metric: latency, with a tiny per-hop epsilon so zero-latency LANs
+        // still prefer fewer hops; ties implicitly favour first-declared edges.
+        const double w = links_[static_cast<size_t>(l)].latency_s + 1e-9;
+        if (dist[static_cast<size_t>(u)] + w < dist[static_cast<size_t>(v)]) {
+          dist[static_cast<size_t>(v)] = dist[static_cast<size_t>(u)] + w;
+          prev_node[static_cast<size_t>(v)] = u;
+          prev_link[static_cast<size_t>(v)] = l;
+          queue.push({dist[static_cast<size_t>(v)], v});
+        }
+      }
+    }
+    for (size_t d = 0; d < n_hosts; ++d) {
+      if (d == s)
+        continue;
+      auto& slot = routes_[s * n_hosts + d];
+      if (slot)
+        continue;  // explicit route wins
+      const NodeId dst = host_nodes_[d];
+      if (dist[static_cast<size_t>(dst)] == kInf)
+        continue;  // unreachable
+      std::vector<LinkId> path;
+      double lat = 0;
+      for (NodeId v = dst; v != src; v = prev_node[static_cast<size_t>(v)]) {
+        path.push_back(prev_link[static_cast<size_t>(v)]);
+        lat += links_[static_cast<size_t>(prev_link[static_cast<size_t>(v)])].latency_s;
+      }
+      std::reverse(path.begin(), path.end());
+      slot = Route{std::move(path), lat};
+    }
+  }
+}
+
+const Route& Platform::route(int src_host, int dst_host) const {
+  if (!sealed_)
+    throw xbt::InvalidArgument("platform must be sealed before routing queries");
+  const size_t n = hosts_.size();
+  const auto& slot = routes_[static_cast<size_t>(src_host) * n + static_cast<size_t>(dst_host)];
+  if (!slot)
+    throw xbt::InvalidArgument("no route between " + hosts_[static_cast<size_t>(src_host)].name + " and " +
+                               hosts_[static_cast<size_t>(dst_host)].name);
+  return *slot;
+}
+
+bool Platform::reachable(int src_host, int dst_host) const {
+  if (!sealed_)
+    throw xbt::InvalidArgument("platform must be sealed before routing queries");
+  const size_t n = hosts_.size();
+  return routes_[static_cast<size_t>(src_host) * n + static_cast<size_t>(dst_host)].has_value();
+}
+
+}  // namespace sg::platform

@@ -1,0 +1,125 @@
+/// \file platform.hpp
+/// Virtual platform description: hosts (computing resources), links
+/// (point-to-point communication resources), routers, and multi-hop routes.
+///
+/// Two routing styles are supported, matching the paper's "simulation of
+/// complex communications (multi-hop routing)":
+///  * explicit routes:  add_route(src, dst, {links...})
+///  * graph mode:       add_edge(nodeA, nodeB, link) + seal() computes
+///                      latency-shortest paths between all host pairs.
+/// Topologies may also be imported from generators (see sg::topo, BRITE).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace sg::platform {
+
+using NodeId = int;  ///< index of a netpoint (host or router)
+using LinkId = int;  ///< index of a link
+
+/// How concurrent flows share a link's bandwidth.
+enum class SharingPolicy {
+  kShared,   ///< capacity divided among flows (normal LAN/WAN link)
+  kFatpipe,  ///< each flow independently capped at capacity (backbone)
+};
+
+struct HostSpec {
+  std::string name;
+  double speed_flops = 1e9;               ///< peak speed, flop/s
+  sg::trace::Trace availability;          ///< scales speed over time (empty = 1.0)
+  sg::trace::Trace state;                 ///< 1 = up, 0 = down (empty = always up)
+};
+
+struct LinkSpec {
+  std::string name;
+  double bandwidth_Bps = 1.25e8;          ///< byte/s
+  double latency_s = 1e-4;                ///< seconds
+  SharingPolicy policy = SharingPolicy::kShared;
+  sg::trace::Trace availability;          ///< scales bandwidth over time
+  sg::trace::Trace state;                 ///< 1 = up, 0 = down
+};
+
+/// A resolved route between two hosts.
+struct Route {
+  std::vector<LinkId> links;
+  double latency = 0.0;  ///< sum of link latencies (precomputed)
+};
+
+class Platform {
+public:
+  // -- construction ---------------------------------------------------------
+  NodeId add_host(const HostSpec& spec);
+  NodeId add_host(const std::string& name, double speed_flops);
+  NodeId add_router(const std::string& name);
+  LinkId add_link(const LinkSpec& spec);
+  LinkId add_link(const std::string& name, double bandwidth_Bps, double latency_s,
+                  SharingPolicy policy = SharingPolicy::kShared);
+
+  /// Graph mode: declare that `link` connects netpoints a and b (undirected).
+  void add_edge(NodeId a, NodeId b, LinkId link);
+
+  /// Explicit mode: full route between two hosts. When symmetric, the
+  /// reversed route serves dst->src as well.
+  void add_route(NodeId src, NodeId dst, std::vector<LinkId> links, bool symmetric = true);
+
+  /// Freeze the topology: validate, and in graph mode compute all-pairs
+  /// shortest paths (Dijkstra per host, latency metric; bandwidth breaks ties
+  /// in favour of fatter paths). Explicit routes always win over derived ones.
+  void seal();
+  bool sealed() const { return sealed_; }
+
+  // -- lookup ---------------------------------------------------------------
+  size_t host_count() const { return hosts_.size(); }
+  size_t link_count() const { return links_.size(); }
+  size_t node_count() const { return node_names_.size(); }
+
+  bool is_host(NodeId node) const;
+  /// Host index (0..host_count) for a host node id.
+  int host_index(NodeId node) const;
+  /// Node id of the i-th host.
+  NodeId host_node(int host_index) const;
+
+  const HostSpec& host(int host_index) const { return hosts_[static_cast<size_t>(host_index)]; }
+  HostSpec& host_mutable(int host_index) { return hosts_[static_cast<size_t>(host_index)]; }
+  const LinkSpec& link(LinkId id) const { return links_[static_cast<size_t>(id)]; }
+  LinkSpec& link_mutable(LinkId id) { return links_[static_cast<size_t>(id)]; }
+
+  const std::string& node_name(NodeId node) const { return node_names_[static_cast<size_t>(node)]; }
+
+  std::optional<NodeId> node_by_name(const std::string& name) const;
+  std::optional<int> host_by_name(const std::string& name) const;
+  std::optional<LinkId> link_by_name(const std::string& name) const;
+
+  /// Route between two hosts (by host index). Throws if unreachable.
+  const Route& route(int src_host, int dst_host) const;
+  bool reachable(int src_host, int dst_host) const;
+
+  /// All (undirected) graph edges, for export/inspection.
+  struct Edge { NodeId a; NodeId b; LinkId link; };
+  const std::vector<Edge>& edges() const { return edges_; }
+
+private:
+  struct NodeRec {
+    bool host = false;
+    int host_index = -1;
+  };
+
+  void compute_graph_routes();
+
+  std::vector<std::string> node_names_;
+  std::vector<NodeRec> nodes_;
+  std::vector<HostSpec> hosts_;
+  std::vector<NodeId> host_nodes_;
+  std::vector<LinkSpec> links_;
+  std::vector<Edge> edges_;
+
+  // routes_[src * host_count + dst]; empty optional = unreachable
+  std::vector<std::optional<Route>> routes_;
+  bool sealed_ = false;
+};
+
+}  // namespace sg::platform

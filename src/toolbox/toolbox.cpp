@@ -1,0 +1,105 @@
+#include "toolbox/toolbox.hpp"
+
+#include <algorithm>
+
+#include "datadesc/datadesc.hpp"
+#include "xbt/log.hpp"
+
+SG_LOG_NEW_CATEGORY(toolbox, "grid application toolbox");
+
+namespace sg::toolbox {
+
+using datadesc::DataDesc;
+using datadesc::Value;
+using datadesc::ValueList;
+using datadesc::ValueStruct;
+using datadesc::datadesc_by_name;
+
+void declare_toolbox_messages() {
+  gras::msgtype_declare("tb:probe", datadesc_by_name("string"));   // payload blob
+  gras::msgtype_declare("tb:probe-ack", datadesc_by_name("int"));  // round id
+  gras::msgtype_declare(
+      "tb:topo-report",
+      DataDesc::struct_("topo_report",
+                        {{"node", datadesc_by_name("string")},
+                         {"neighbours", DataDesc::dyn_array(datadesc_by_name("string"), "nbrs")}}));
+}
+
+// -- CPU monitoring ----------------------------------------------------------------
+
+void cpu_monitor_body(double period, int count, std::vector<Sample>& out, CpuReader reader) {
+  out.clear();
+  out.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    out.push_back({gras::os_time(), reader()});
+    gras::os_sleep(period);
+  }
+}
+
+// -- bandwidth probing ----------------------------------------------------------------
+
+double bandwidth_probe(const std::string& host, int port, double probe_bytes) {
+  declare_toolbox_messages();
+  auto peer = gras::socket_client(host, port);
+  const std::string blob(static_cast<size_t>(probe_bytes), 'p');
+  const double t0 = gras::os_time();
+  gras::msg_send(peer, "tb:probe", Value(blob));
+  (void)gras::msg_wait(600.0, "tb:probe-ack");
+  const double rtt = gras::os_time() - t0;
+  if (rtt <= 0)
+    return 0;
+  // The ack is tiny; the forward transfer dominates.
+  return probe_bytes / rtt;
+}
+
+void bandwidth_echo_body(int port, int rounds) {
+  declare_toolbox_messages();
+  gras::socket_server(port);
+  for (int i = 0; i < rounds; ++i) {
+    gras::Message m = gras::msg_wait(600.0, "tb:probe");
+    gras::msg_send(m.source, "tb:probe-ack", Value(i));
+  }
+}
+
+// -- topology discovery ---------------------------------------------------------------
+
+std::vector<std::pair<std::string, std::string>> DiscoveredTopology::edges() const {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const auto& [node, nbrs] : neighbours)
+    for (const std::string& n : nbrs) {
+      auto e = std::minmax(node, n);
+      out.emplace_back(e.first, e.second);
+    }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void topology_report_body(const std::string& my_name, const std::vector<std::string>& neighbours,
+                          const std::string& collector_host, int collector_port) {
+  declare_toolbox_messages();
+  auto collector = gras::socket_client(collector_host, collector_port);
+  ValueList nbrs;
+  for (const std::string& n : neighbours)
+    nbrs.emplace_back(n);
+  gras::msg_send(collector, "tb:topo-report",
+                 Value(ValueStruct{{"node", Value(my_name)}, {"neighbours", Value(std::move(nbrs))}}));
+}
+
+DiscoveredTopology topology_collect_body(int port, int expected_reports) {
+  declare_toolbox_messages();
+  gras::socket_server(port);
+  DiscoveredTopology topo;
+  for (int i = 0; i < expected_reports; ++i) {
+    gras::Message m = gras::msg_wait(600.0, "tb:topo-report");
+    const std::string node = m.payload.field("node").as_string();
+    std::vector<std::string> nbrs;
+    for (const Value& v : m.payload.field("neighbours").as_list())
+      nbrs.push_back(v.as_string());
+    topo.neighbours[node] = std::move(nbrs);
+    SG_DEBUG(toolbox, "collected report %d/%d from %s", i + 1, expected_reports, node.c_str());
+  }
+  return topo;
+}
+
+}  // namespace sg::toolbox

@@ -1,0 +1,61 @@
+/// \file toolbox.hpp
+/// The Grid Application Toolbox sketched in the paper's "work in progress":
+/// platform monitoring (CPU and network) and network topology discovery,
+/// built as GRAS applications so they run in simulation or real-world mode.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gras/gras.hpp"
+
+namespace sg::toolbox {
+
+/// One sample of a monitored quantity.
+struct Sample {
+  double time;
+  double value;
+};
+
+/// Declare the toolbox message types (idempotent; every entry point calls it).
+void declare_toolbox_messages();
+
+// -- CPU monitoring ------------------------------------------------------------
+
+/// GRAS process body: sample the *local* host's CPU availability every
+/// `period` seconds, `count` times, and record into `out`. Availability is
+/// measured the NWS way: time a calibrated spin loop and compare against its
+/// unloaded duration — in simulation mode we read the engine through the
+/// same interface the real sensor would use.
+using CpuReader = std::function<double()>;
+void cpu_monitor_body(double period, int count, std::vector<Sample>& out, CpuReader reader);
+
+// -- bandwidth probing ------------------------------------------------------------
+
+/// Measure the achievable bandwidth from this process to `host`:`port` by
+/// timing `probe_bytes` of payload (NWS-style active probe). The peer must
+/// run bandwidth_echo_body. Returns bytes/s.
+double bandwidth_probe(const std::string& host, int port, double probe_bytes);
+
+/// Echo service for bandwidth probes: handles `rounds` probes then returns.
+void bandwidth_echo_body(int port, int rounds);
+
+// -- topology discovery ---------------------------------------------------------
+
+/// Each node reports its neighbour list to a collector; the collector
+/// assembles the adjacency map. Returns, on the collector, the discovered
+/// edge list (pairs of host names, canonical order).
+struct DiscoveredTopology {
+  std::map<std::string, std::vector<std::string>> neighbours;
+  std::vector<std::pair<std::string, std::string>> edges() const;
+};
+
+/// Node body: report `my_name` with its neighbour list to the collector.
+void topology_report_body(const std::string& my_name, const std::vector<std::string>& neighbours,
+                          const std::string& collector_host, int collector_port);
+
+/// Collector body: gather `expected_reports` reports.
+DiscoveredTopology topology_collect_body(int port, int expected_reports);
+
+}  // namespace sg::toolbox

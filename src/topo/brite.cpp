@@ -1,0 +1,152 @@
+#include "topo/brite.hpp"
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "xbt/exception.hpp"
+#include "xbt/str.hpp"
+
+namespace sg::topo {
+
+Topology generate_waxman(const WaxmanSpec& spec) {
+  if (spec.n_nodes < 2)
+    throw xbt::InvalidArgument("waxman: need at least 2 nodes");
+  xbt::Rng rng(spec.seed);
+  Topology topo;
+  topo.nodes.reserve(static_cast<size_t>(spec.n_nodes));
+  for (int i = 0; i < spec.n_nodes; ++i)
+    topo.nodes.push_back({rng.uniform(0, spec.plane_size), rng.uniform(0, spec.plane_size)});
+
+  const double max_dist = spec.plane_size * std::sqrt(2.0);
+  auto dist = [&](int a, int b) {
+    const double dx = topo.nodes[static_cast<size_t>(a)].x - topo.nodes[static_cast<size_t>(b)].x;
+    const double dy = topo.nodes[static_cast<size_t>(a)].y - topo.nodes[static_cast<size_t>(b)].y;
+    return std::sqrt(dx * dx + dy * dy);
+  };
+
+  for (int i = 1; i < spec.n_nodes; ++i) {
+    const int m = std::min(spec.m_edges_per_node, i);
+    // Waxman-weighted sampling without replacement among nodes [0, i).
+    std::vector<double> weight(static_cast<size_t>(i));
+    for (int j = 0; j < i; ++j)
+      weight[static_cast<size_t>(j)] = spec.alpha * std::exp(-dist(i, j) / (spec.beta * max_dist));
+    std::set<int> chosen;
+    while (static_cast<int>(chosen.size()) < m) {
+      double total = 0;
+      for (int j = 0; j < i; ++j)
+        if (!chosen.count(j))
+          total += weight[static_cast<size_t>(j)];
+      double pick = rng.uniform01() * total;
+      int sel = -1;
+      for (int j = 0; j < i; ++j) {
+        if (chosen.count(j))
+          continue;
+        pick -= weight[static_cast<size_t>(j)];
+        if (pick <= 0) {
+          sel = j;
+          break;
+        }
+      }
+      if (sel < 0) {  // numerical fallthrough: take the last free node
+        for (int j = i - 1; j >= 0; --j)
+          if (!chosen.count(j)) {
+            sel = j;
+            break;
+          }
+      }
+      chosen.insert(sel);
+    }
+    for (int j : chosen) {
+      TopoEdge e;
+      e.from = j;
+      e.to = i;
+      e.bandwidth_Bps = rng.uniform(spec.bw_min_Bps, spec.bw_max_Bps);
+      e.latency_s = dist(i, j) * spec.latency_per_unit;
+      topo.edges.push_back(e);
+    }
+  }
+  return topo;
+}
+
+std::string export_brite(const Topology& topo) {
+  std::ostringstream out;
+  out.precision(17);  // lossless double round-trip
+  out << "Topology: ( " << topo.nodes.size() << " Nodes, " << topo.edges.size() << " Edges )\n";
+  out << "Model ( 2 ): Waxman\n\n";
+  out << "Nodes: ( " << topo.nodes.size() << " )\n";
+  for (size_t i = 0; i < topo.nodes.size(); ++i)
+    out << i << " " << topo.nodes[i].x << " " << topo.nodes[i].y << " 0 0 0 RT_NODE\n";
+  out << "\nEdges: ( " << topo.edges.size() << " )\n";
+  for (size_t i = 0; i < topo.edges.size(); ++i) {
+    const TopoEdge& e = topo.edges[i];
+    const double dx = topo.nodes[static_cast<size_t>(e.from)].x - topo.nodes[static_cast<size_t>(e.to)].x;
+    const double dy = topo.nodes[static_cast<size_t>(e.from)].y - topo.nodes[static_cast<size_t>(e.to)].y;
+    const double length = std::sqrt(dx * dx + dy * dy);
+    // id from to length delay bandwidth as_from as_to type
+    out << i << " " << e.from << " " << e.to << " " << length << " " << e.latency_s << " "
+        << e.bandwidth_Bps << " 0 0 E_RT\n";
+  }
+  return out.str();
+}
+
+Topology import_brite(const std::string& text) {
+  Topology topo;
+  std::istringstream in(text);
+  std::string line;
+  enum class Section { none, nodes, edges } section = Section::none;
+  while (std::getline(in, line)) {
+    const std::string t = xbt::trim(line);
+    if (t.empty())
+      continue;
+    if (xbt::starts_with(t, "Nodes:")) {
+      section = Section::nodes;
+      continue;
+    }
+    if (xbt::starts_with(t, "Edges:")) {
+      section = Section::edges;
+      continue;
+    }
+    if (xbt::starts_with(t, "Topology:") || xbt::starts_with(t, "Model"))
+      continue;
+    auto tokens = xbt::split_ws(t);
+    if (section == Section::nodes) {
+      if (tokens.size() < 3)
+        throw xbt::InvalidArgument("brite: bad node line: " + t);
+      const size_t id = std::stoul(tokens[0]);
+      if (topo.nodes.size() <= id)
+        topo.nodes.resize(id + 1);
+      topo.nodes[id] = {std::stod(tokens[1]), std::stod(tokens[2])};
+    } else if (section == Section::edges) {
+      if (tokens.size() < 6)
+        throw xbt::InvalidArgument("brite: bad edge line: " + t);
+      TopoEdge e;
+      e.from = std::stoi(tokens[1]);
+      e.to = std::stoi(tokens[2]);
+      e.latency_s = std::stod(tokens[4]);
+      e.bandwidth_Bps = std::stod(tokens[5]);
+      topo.edges.push_back(e);
+    }
+  }
+  if (topo.nodes.empty())
+    throw xbt::InvalidArgument("brite: no Nodes section found");
+  return topo;
+}
+
+platform::Platform to_platform(const Topology& topo, const std::string& prefix, double host_speed) {
+  platform::Platform p;
+  std::vector<platform::NodeId> ids;
+  ids.reserve(topo.nodes.size());
+  for (size_t i = 0; i < topo.nodes.size(); ++i)
+    ids.push_back(p.add_host(xbt::format("%s%zu", prefix.c_str(), i), host_speed));
+  for (size_t i = 0; i < topo.edges.size(); ++i) {
+    const TopoEdge& e = topo.edges[i];
+    const platform::LinkId l =
+        p.add_link(xbt::format("%s-l%zu", prefix.c_str(), i), e.bandwidth_Bps, e.latency_s);
+    p.add_edge(ids[static_cast<size_t>(e.from)], ids[static_cast<size_t>(e.to)], l);
+  }
+  p.seal();
+  return p;
+}
+
+}  // namespace sg::topo

@@ -1,0 +1,64 @@
+/// \file brite.hpp
+/// Random topology generation in the style of the BRITE generator, which the
+/// paper uses for its validation experiment ("Random topology generated with
+/// BRITE (random bandwidths and latencies)"), plus import/export of a
+/// BRITE-compatible file format and conversion to a sg::platform::Platform.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "platform/platform.hpp"
+#include "xbt/random.hpp"
+
+namespace sg::topo {
+
+struct TopoNode {
+  double x = 0;
+  double y = 0;
+};
+
+struct TopoEdge {
+  int from = 0;
+  int to = 0;
+  double bandwidth_Bps = 0;  ///< assigned capacity
+  double latency_s = 0;      ///< propagation delay (from Euclidean length)
+};
+
+struct Topology {
+  std::vector<TopoNode> nodes;
+  std::vector<TopoEdge> edges;
+};
+
+/// Parameters of the Waxman growth model as BRITE implements it.
+struct WaxmanSpec {
+  int n_nodes = 10;
+  int m_edges_per_node = 2;     ///< new node connects to m existing nodes
+  double alpha = 0.25;          ///< Waxman alpha (edge probability scale)
+  double beta = 0.35;           ///< Waxman beta (distance sensitivity)
+  double plane_size = 1000.0;   ///< nodes placed in [0,plane)^2
+  double bw_min_Bps = 1.25e6;   ///< random capacity lower bound (10 Mb/s)
+  double bw_max_Bps = 1.25e7;   ///< random capacity upper bound (100 Mb/s)
+  double latency_per_unit = 1e-6;  ///< seconds of delay per plane distance unit
+  std::uint64_t seed = 42;
+};
+
+/// Generate a connected Waxman topology. New nodes attach to m existing
+/// nodes sampled with probability proportional to alpha*exp(-d/(beta*L)),
+/// which is BRITE's incremental Waxman variant and guarantees connectivity.
+Topology generate_waxman(const WaxmanSpec& spec);
+
+/// Serialize to a BRITE-style file ("Topology:", "Nodes:", "Edges:" sections).
+std::string export_brite(const Topology& topo);
+
+/// Parse a BRITE-style file produced by export_brite (also tolerates the
+/// original BRITE column layout).
+Topology import_brite(const std::string& text);
+
+/// Convert to a platform: every topology node becomes a host named
+/// "<prefix><i>" with the given speed; every edge becomes a shared link.
+/// Routing is derived from the graph (latency-shortest paths).
+platform::Platform to_platform(const Topology& topo, const std::string& prefix = "node",
+                               double host_speed = 1e9);
+
+}  // namespace sg::topo

@@ -1,0 +1,107 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "xbt/exception.hpp"
+#include "xbt/str.hpp"
+
+namespace sg::trace {
+
+Trace::Trace(std::string name, std::vector<TracePoint> points, double periodicity)
+    : name_(std::move(name)), points_(std::move(points)), periodicity_(periodicity) {
+  for (size_t i = 1; i < points_.size(); ++i)
+    if (points_[i].time < points_[i - 1].time)
+      throw xbt::InvalidArgument("trace " + name_ + ": timestamps must be non-decreasing");
+  if (periodicity_ > 0 && !points_.empty() && points_.back().time > periodicity_)
+    throw xbt::InvalidArgument("trace " + name_ + ": points exceed periodicity");
+}
+
+Trace Trace::parse(const std::string& name, const std::string& text) {
+  std::vector<TracePoint> points;
+  double periodicity = -1.0;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string t = xbt::trim(line);
+    if (t.empty() || t[0] == '#')
+      continue;
+    auto tokens = xbt::split_ws(t);
+    if (xbt::to_lower(tokens[0]) == "periodicity") {
+      if (tokens.size() != 2)
+        throw xbt::InvalidArgument("trace " + name + ": bad PERIODICITY line");
+      periodicity = std::stod(tokens[1]);
+      continue;
+    }
+    if (tokens.size() != 2)
+      throw xbt::InvalidArgument("trace " + name + ": bad line: " + t);
+    points.push_back({std::stod(tokens[0]), std::stod(tokens[1])});
+  }
+  return Trace(name, std::move(points), periodicity);
+}
+
+Trace Trace::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in)
+    throw xbt::InvalidArgument("cannot open trace file: " + path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return parse(path, buf.str());
+}
+
+double Trace::value_at(double t) const {
+  if (points_.empty())
+    return 1.0;
+  double local = t;
+  if (periodicity_ > 0)
+    local = std::fmod(t, periodicity_);
+  // Last point with time <= local.
+  auto it = std::upper_bound(points_.begin(), points_.end(), local,
+                             [](double v, const TracePoint& p) { return v < p.time; });
+  if (it == points_.begin()) {
+    // Before the first point: in a periodic trace the value wraps from the
+    // end of the previous period; otherwise hold the first value.
+    if (periodicity_ > 0 && t >= periodicity_)
+      return points_.back().value;
+    return points_.front().value;
+  }
+  return std::prev(it)->value;
+}
+
+std::optional<TracePoint> Trace::next_event_after(double t) const {
+  if (points_.empty())
+    return std::nullopt;
+  if (periodicity_ <= 0) {
+    auto it = std::upper_bound(points_.begin(), points_.end(), t,
+                               [](double v, const TracePoint& p) { return v < p.time; });
+    if (it == points_.end())
+      return std::nullopt;
+    return *it;
+  }
+  // Periodic: find position within the current period, wrap if needed.
+  const double base = std::floor(t / periodicity_) * periodicity_;
+  const double local = t - base;
+  auto it = std::upper_bound(points_.begin(), points_.end(), local,
+                             [](double v, const TracePoint& p) { return v < p.time; });
+  if (it != points_.end())
+    return TracePoint{base + it->time, it->value};
+  return TracePoint{base + periodicity_ + points_.front().time, points_.front().value};
+}
+
+double Trace::horizon() const {
+  if (periodicity_ > 0)
+    return periodicity_;
+  return points_.empty() ? 0.0 : points_.back().time;
+}
+
+Trace constant_trace(const std::string& name, double value) {
+  return Trace(name, {{0.0, value}}, -1.0);
+}
+
+Trace square_wave(const std::string& name, double hi, double hi_duration, double lo, double lo_duration) {
+  return Trace(name, {{0.0, hi}, {hi_duration, lo}}, hi_duration + lo_duration);
+}
+
+}  // namespace sg::trace

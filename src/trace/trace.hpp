@@ -1,0 +1,66 @@
+/// \file trace.hpp
+/// Trace-based simulation support ("Trace-based simulation of performance
+/// variations due to external load" and "of dynamic resource failures" in the
+/// paper).
+///
+/// A trace is a piecewise-constant function of time given as sorted
+/// (timestamp, value) points, optionally periodic. Availability traces scale
+/// a resource's capacity in [0,1]; state traces toggle it up (1) / down (0).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sg::trace {
+
+struct TracePoint {
+  double time;   ///< seconds since trace origin
+  double value;  ///< availability fraction or up/down flag
+};
+
+class Trace {
+public:
+  Trace() = default;
+  Trace(std::string name, std::vector<TracePoint> points, double periodicity);
+
+  /// Parse the SimGrid-style text format:
+  ///   # comment
+  ///   PERIODICITY 10.0
+  ///   0.0  1.0
+  ///   5.0  0.5
+  /// Timestamps must be non-decreasing; throws InvalidArgument otherwise.
+  static Trace parse(const std::string& name, const std::string& text);
+
+  /// Load from a file on disk (same format).
+  static Trace load(const std::string& path);
+
+  const std::string& name() const { return name_; }
+  bool empty() const { return points_.empty(); }
+  double periodicity() const { return periodicity_; }
+  const std::vector<TracePoint>& points() const { return points_; }
+
+  /// Value of the step function at time t (>= 0). Before the first point the
+  /// value of the first point is used (a trace conventionally starts at 0).
+  double value_at(double t) const;
+
+  /// First event time strictly greater than t, together with the value it
+  /// switches to. nullopt when the trace has no further change (non-periodic
+  /// trace exhausted, or <=1 distinct point).
+  std::optional<TracePoint> next_event_after(double t) const;
+
+  /// Duration covered by one period (periodic) resp. by the whole point list.
+  double horizon() const;
+
+private:
+  std::string name_;
+  std::vector<TracePoint> points_;
+  double periodicity_ = -1.0;  ///< <=0 : non-periodic
+};
+
+/// Convenience builders used heavily by tests and benches.
+Trace constant_trace(const std::string& name, double value);
+/// Square wave alternating hi/lo with the given phase durations, periodic.
+Trace square_wave(const std::string& name, double hi, double hi_duration, double lo, double lo_duration);
+
+}  // namespace sg::trace

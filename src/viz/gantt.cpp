@@ -1,0 +1,131 @@
+#include "viz/gantt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "xbt/str.hpp"
+
+namespace sg::viz {
+
+const char* interval_kind_name(IntervalKind kind) {
+  switch (kind) {
+    case IntervalKind::kCompute: return "compute";
+    case IntervalKind::kCommSend: return "send";
+    case IntervalKind::kCommRecv: return "recv";
+    case IntervalKind::kSleep: return "sleep";
+  }
+  return "?";
+}
+
+Tracer::Tracer(core::Engine& engine) : engine_(&engine) {
+  engine.set_action_observer([this](const core::Action& action, core::ActionState /*old_state*/,
+                                    core::ActionState new_state) {
+    if (new_state != core::ActionState::kDone && new_state != core::ActionState::kFailed &&
+        new_state != core::ActionState::kCanceled)
+      return;  // only record completed activity
+    if (std::isnan(action.finish_time()))
+      return;
+    switch (action.kind()) {
+      case core::ActionKind::kExec:
+      case core::ActionKind::kPtask:
+        intervals_.push_back({action.host(), IntervalKind::kCompute, action.start_time(),
+                              action.finish_time(), action.name()});
+        break;
+      case core::ActionKind::kSleep:
+        intervals_.push_back({action.host(), IntervalKind::kSleep, action.start_time(),
+                              action.finish_time(), action.name()});
+        break;
+      case core::ActionKind::kComm:
+        intervals_.push_back({action.host(), IntervalKind::kCommSend, action.start_time(),
+                              action.finish_time(), action.name()});
+        if (action.peer_host() >= 0 && action.peer_host() != action.host())
+          intervals_.push_back({action.peer_host(), IntervalKind::kCommRecv, action.start_time(),
+                                action.finish_time(), action.name()});
+        break;
+    }
+  });
+}
+
+Tracer::~Tracer() { detach(); }
+
+void Tracer::detach() {
+  if (engine_ != nullptr) {
+    engine_->set_action_observer(nullptr);
+    engine_ = nullptr;
+  }
+}
+
+double Tracer::horizon() const {
+  double h = 0;
+  for (const Interval& iv : intervals_)
+    h = std::max(h, iv.end);
+  return h;
+}
+
+std::string Tracer::render_ascii(int width) const {
+  const double h = horizon();
+  if (h <= 0 || engine_ == nullptr)
+    return "(empty gantt)\n";
+  const auto& platform = engine_->platform();
+  const size_t n_hosts = platform.host_count();
+
+  // Longest host name for row alignment.
+  size_t name_width = 0;
+  for (size_t i = 0; i < n_hosts; ++i)
+    name_width = std::max(name_width, platform.host(static_cast<int>(i)).name.size());
+
+  std::vector<std::string> rows(n_hosts, std::string(static_cast<size_t>(width), '.'));
+  auto mark = [&](const Interval& iv, char c) {
+    if (iv.host < 0 || static_cast<size_t>(iv.host) >= n_hosts)
+      return;
+    int a = static_cast<int>(std::floor(iv.start / h * width));
+    int b = static_cast<int>(std::ceil(iv.end / h * width));
+    a = std::clamp(a, 0, width - 1);
+    b = std::clamp(b, a + 1, width);
+    for (int x = a; x < b; ++x) {
+      char& cell = rows[static_cast<size_t>(iv.host)][static_cast<size_t>(x)];
+      // compute ('#') wins over comm which wins over sleep over idle
+      auto rank = [](char ch) {
+        switch (ch) {
+          case '#': return 4;
+          case '=': return 3;
+          case '-': return 2;
+          case 'z': return 1;
+          default: return 0;
+        }
+      };
+      if (rank(c) > rank(cell))
+        cell = c;
+    }
+  };
+  for (const Interval& iv : intervals_) {
+    switch (iv.kind) {
+      case IntervalKind::kCompute: mark(iv, '#'); break;
+      case IntervalKind::kCommSend: mark(iv, '='); break;
+      case IntervalKind::kCommRecv: mark(iv, '-'); break;
+      case IntervalKind::kSleep: mark(iv, 'z'); break;
+    }
+  }
+
+  std::ostringstream out;
+  out << xbt::format("Gantt over [0, %.6g] s   (#: compute, =: send, -: recv, z: sleep)\n", h);
+  for (size_t i = 0; i < n_hosts; ++i) {
+    std::string name = platform.host(static_cast<int>(i)).name;
+    name.resize(name_width, ' ');
+    out << name << " |" << rows[i] << "|\n";
+  }
+  return out.str();
+}
+
+std::string Tracer::to_csv() const {
+  std::ostringstream out;
+  out << "host,name,kind,start,end\n";
+  out.precision(9);
+  for (const Interval& iv : intervals_)
+    out << iv.host << "," << iv.label << "," << interval_kind_name(iv.kind) << "," << iv.start << ","
+        << iv.end << "\n";
+  return out.str();
+}
+
+}  // namespace sg::viz

@@ -1,0 +1,60 @@
+/// \file gantt.hpp
+/// Execution tracing and Gantt-chart rendering — reproduces the paper's
+/// figure "Gantt chart for an execution of the above code for 2 servers and
+/// 3 clients" (dark portions = computations, light portions = comms).
+///
+/// The tracer observes engine action transitions; every completed action
+/// becomes an interval on its host's row (communications also appear on the
+/// destination host's row, as receptions).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+
+namespace sg::viz {
+
+enum class IntervalKind { kCompute, kCommSend, kCommRecv, kSleep };
+
+struct Interval {
+  int host;
+  IntervalKind kind;
+  double start;
+  double end;
+  std::string label;
+};
+
+class Tracer {
+public:
+  /// Install on an engine. The tracer must outlive the observation period;
+  /// call detach() (or destroy the engine first) when done.
+  explicit Tracer(core::Engine& engine);
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  void detach();
+
+  const std::vector<Interval>& intervals() const { return intervals_; }
+
+  /// Render an ASCII Gantt chart: one row per host, `width` character
+  /// columns spanning [0, horizon]. '#' compute, '=' send, '-' receive,
+  /// 'z' sleep, '.' idle.
+  std::string render_ascii(int width = 100) const;
+
+  /// CSV export: host,name,kind,start,end
+  std::string to_csv() const;
+
+  /// Latest interval end (the chart horizon).
+  double horizon() const;
+
+private:
+  core::Engine* engine_;
+  std::vector<Interval> intervals_;
+};
+
+const char* interval_kind_name(IntervalKind kind);
+
+}  // namespace sg::viz

@@ -1,0 +1,83 @@
+#include "xbt/config.hpp"
+
+#include <cstdlib>
+
+#include "xbt/exception.hpp"
+#include "xbt/str.hpp"
+
+namespace sg::xbt {
+
+void Config::declare(const std::string& key, double default_value, std::string description) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    Entry e;
+    e.num = default_value;
+    e.description = std::move(description);
+    entries_.emplace(key, std::move(e));
+  }
+}
+
+void Config::declare_string(const std::string& key, const std::string& default_value, std::string description) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    Entry e;
+    e.str = default_value;
+    e.is_string = true;
+    e.description = std::move(description);
+    entries_.emplace(key, std::move(e));
+  }
+}
+
+void Config::set(const std::string& key, double value) {
+  auto it = entries_.find(key);
+  if (it == entries_.end())
+    throw InvalidArgument("unknown config key: " + key);
+  it->second.num = value;
+}
+
+void Config::set_string(const std::string& key, const std::string& value) {
+  auto it = entries_.find(key);
+  if (it == entries_.end())
+    throw InvalidArgument("unknown config key: " + key);
+  it->second.str = value;
+}
+
+double Config::get(const std::string& key) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end())
+    throw InvalidArgument("unknown config key: " + key);
+  return it->second.num;
+}
+
+const std::string& Config::get_string(const std::string& key) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end())
+    throw InvalidArgument("unknown config key: " + key);
+  return it->second.str;
+}
+
+bool Config::known(const std::string& key) const { return entries_.count(key) != 0; }
+
+void Config::apply(const std::string& spec) {
+  for (const std::string& item : split(spec, ',', /*skip_empty=*/true)) {
+    size_t colon = item.find(':');
+    if (colon == std::string::npos)
+      throw InvalidArgument("bad config item (want key:value): " + item);
+    const std::string key = trim(item.substr(0, colon));
+    const std::string value = trim(item.substr(colon + 1));
+    auto it = entries_.find(key);
+    if (it == entries_.end())
+      throw InvalidArgument("unknown config key: " + key);
+    if (it->second.is_string)
+      it->second.str = value;
+    else
+      it->second.num = std::strtod(value.c_str(), nullptr);
+  }
+}
+
+Config& Config::instance() {
+  static Config c;
+  return c;
+}
+
+}  // namespace sg::xbt

@@ -1,0 +1,42 @@
+/// \file config.hpp
+/// Typed key/value configuration store for model parameters
+/// (e.g. "network/tcp-gamma", "network/weight-s"), mirroring SimGrid's
+/// --cfg mechanism.
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace sg::xbt {
+
+class Config {
+public:
+  /// Register a key with its default. Re-registration keeps the current value.
+  void declare(const std::string& key, double default_value, std::string description = "");
+  void declare_string(const std::string& key, const std::string& default_value, std::string description = "");
+
+  void set(const std::string& key, double value);
+  void set_string(const std::string& key, const std::string& value);
+
+  double get(const std::string& key) const;
+  const std::string& get_string(const std::string& key) const;
+
+  bool known(const std::string& key) const;
+
+  /// Apply "key:value,key:value" (used for argv --cfg=... passthrough).
+  void apply(const std::string& spec);
+
+  /// Global instance used by the simulation models.
+  static Config& instance();
+
+private:
+  struct Entry {
+    double num = 0.0;
+    std::string str;
+    bool is_string = false;
+    std::string description;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace sg::xbt

@@ -1,0 +1,49 @@
+/// \file exception.hpp
+/// Exception hierarchy thrown by blocking simulation calls, mirroring the
+/// error conditions of the paper's APIs: timeouts on MSG_task_get /
+/// gras_msg_wait, host failures from state traces, network failures when a
+/// link dies mid-transfer, and cancellation.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace sg::xbt {
+
+/// Base class for all simulation-level errors.
+class Exception : public std::runtime_error {
+public:
+  explicit Exception(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A blocking call did not complete before its deadline.
+class TimeoutException : public Exception {
+public:
+  explicit TimeoutException(const std::string& what = "timeout") : Exception(what) {}
+};
+
+/// The host running the actor (or the peer host) failed.
+class HostFailureException : public Exception {
+public:
+  explicit HostFailureException(const std::string& what = "host failure") : Exception(what) {}
+};
+
+/// A link on the route failed while a communication was in flight.
+class NetworkFailureException : public Exception {
+public:
+  explicit NetworkFailureException(const std::string& what = "network failure") : Exception(what) {}
+};
+
+/// The activity was cancelled by another actor.
+class CancelException : public Exception {
+public:
+  explicit CancelException(const std::string& what = "cancelled") : Exception(what) {}
+};
+
+/// Misuse of the API (unknown host, bad argument...).
+class InvalidArgument : public Exception {
+public:
+  explicit InvalidArgument(const std::string& what) : Exception(what) {}
+};
+
+}  // namespace sg::xbt

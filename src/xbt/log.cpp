@@ -1,0 +1,170 @@
+#include "xbt/log.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <vector>
+
+namespace sg::xbt {
+namespace {
+
+struct Registry {
+  std::mutex mutex;
+  LogLevel default_threshold = LogLevel::info;
+  std::map<std::string, LogLevel> controls;       // explicit per-category settings
+  std::vector<LogCategory*> categories;           // every live category
+  ClockProvider clock = nullptr;
+  ActorNameProvider actor = nullptr;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+bool env_applied = false;
+
+void apply_env_once_locked(Registry& r) {
+  if (env_applied)
+    return;
+  env_applied = true;
+  if (const char* spec = std::getenv("SG_LOG")) {
+    // Parse inline to avoid re-entrant locking.
+    std::string s(spec);
+    size_t pos = 0;
+    while (pos < s.size()) {
+      size_t comma = s.find(',', pos);
+      std::string item = s.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+      size_t colon = item.find(':');
+      if (colon != std::string::npos) {
+        std::string cat = item.substr(0, colon);
+        LogLevel level = log_level_from_string(item.substr(colon + 1));
+        if (cat == "root")
+          r.default_threshold = level;
+        else
+          r.controls[cat] = level;
+      }
+      if (comma == std::string::npos)
+        break;
+      pos = comma + 1;
+    }
+  }
+}
+
+}  // namespace
+
+LogLevel log_level_from_string(const std::string& name) {
+  std::string n = name;
+  std::transform(n.begin(), n.end(), n.begin(), [](unsigned char c) { return std::tolower(c); });
+  if (n == "trace") return LogLevel::trace;
+  if (n == "debug") return LogLevel::debug;
+  if (n == "verbose" || n == "verb") return LogLevel::verbose;
+  if (n == "info") return LogLevel::info;
+  if (n == "warning" || n == "warn") return LogLevel::warning;
+  if (n == "error") return LogLevel::error;
+  if (n == "critical") return LogLevel::critical;
+  if (n == "off" || n == "none") return LogLevel::off;
+  return LogLevel::info;
+}
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::trace: return "TRACE";
+    case LogLevel::debug: return "DEBUG";
+    case LogLevel::verbose: return "VERB";
+    case LogLevel::info: return "INFO";
+    case LogLevel::warning: return "WARN";
+    case LogLevel::error: return "ERROR";
+    case LogLevel::critical: return "CRIT";
+    case LogLevel::off: return "OFF";
+  }
+  return "?";
+}
+
+LogCategory::LogCategory(std::string name) : name_(std::move(name)), threshold_(LogLevel::info) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  apply_env_once_locked(r);
+  auto it = r.controls.find(name_);
+  threshold_ = (it != r.controls.end()) ? it->second : r.default_threshold;
+  r.categories.push_back(this);
+}
+
+void LogCategory::log(LogLevel level, const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  vlog(level, fmt, ap);
+  va_end(ap);
+}
+
+void LogCategory::vlog(LogLevel level, const char* fmt, va_list ap) {
+  if (!enabled(level))
+    return;
+  char body[2048];
+  std::vsnprintf(body, sizeof(body), fmt, ap);
+
+  Registry& r = registry();
+  char prefix[160];
+  double now = r.clock ? r.clock() : -1.0;
+  const char* who = r.actor ? r.actor() : nullptr;
+  if (now >= 0.0 && who != nullptr)
+    std::snprintf(prefix, sizeof(prefix), "[%10.6f] [%s/%s] (%s) ", now, name_.c_str(), log_level_name(level), who);
+  else if (now >= 0.0)
+    std::snprintf(prefix, sizeof(prefix), "[%10.6f] [%s/%s] ", now, name_.c_str(), log_level_name(level));
+  else
+    std::snprintf(prefix, sizeof(prefix), "[%s/%s] ", name_.c_str(), log_level_name(level));
+
+  std::fprintf(stderr, "%s%s\n", prefix, body);
+}
+
+void log_control_set(const std::string& category, LogLevel level) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.controls[category] = level;
+  for (LogCategory* cat : r.categories)
+    if (cat->name() == category)
+      cat->set_threshold(level);
+}
+
+void log_control_apply(const std::string& spec) {
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    std::string item = spec.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    size_t colon = item.find(':');
+    if (colon != std::string::npos) {
+      std::string cat = item.substr(0, colon);
+      LogLevel level = log_level_from_string(item.substr(colon + 1));
+      if (cat == "root")
+        log_set_default_threshold(level);
+      else
+        log_control_set(cat, level);
+    }
+    if (comma == std::string::npos)
+      break;
+    pos = comma + 1;
+  }
+}
+
+void log_set_default_threshold(LogLevel level) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.default_threshold = level;
+  for (LogCategory* cat : r.categories)
+    if (r.controls.find(cat->name()) == r.controls.end())
+      cat->set_threshold(level);
+}
+
+LogLevel log_default_threshold() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  return r.default_threshold;
+}
+
+void log_set_clock_provider(ClockProvider provider) { registry().clock = provider; }
+void log_set_actor_provider(ActorNameProvider provider) { registry().actor = provider; }
+
+}  // namespace sg::xbt

@@ -1,0 +1,88 @@
+/// \file log.hpp
+/// Hierarchical, category-based logging, modeled after SimGrid's XBT logging
+/// subsystem.  Each subsystem declares a category; verbosity is configured
+/// per category at runtime (programmatically or via the SG_LOG environment
+/// variable, e.g. `SG_LOG=surf:debug,msg:verbose`).
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace sg::xbt {
+
+/// Severity levels, lowest (most verbose) first.
+enum class LogLevel : int {
+  trace = 0,
+  debug = 1,
+  verbose = 2,
+  info = 3,
+  warning = 4,
+  error = 5,
+  critical = 6,
+  off = 7,
+};
+
+/// Parse a level name ("debug", "info", ...). Unknown names map to info.
+LogLevel log_level_from_string(const std::string& name);
+const char* log_level_name(LogLevel level);
+
+/// A named logging category. Instances should have static storage duration;
+/// they register themselves in a global registry on first use.
+class LogCategory {
+public:
+  explicit LogCategory(std::string name);
+
+  const std::string& name() const { return name_; }
+  LogLevel threshold() const { return threshold_; }
+  void set_threshold(LogLevel level) { threshold_ = level; }
+
+  bool enabled(LogLevel level) const { return level >= threshold_; }
+
+  /// printf-style logging entry point.
+  void log(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 3, 4)));
+  void vlog(LogLevel level, const char* fmt, va_list ap);
+
+private:
+  std::string name_;
+  LogLevel threshold_;
+};
+
+/// Set the threshold of a category by name (affects future and existing
+/// categories with that exact name).
+void log_control_set(const std::string& category, LogLevel level);
+
+/// Apply a control string such as "surf:debug,msg:info" or "root:warning".
+/// "root" applies to every category without an explicit setting.
+void log_control_apply(const std::string& spec);
+
+/// Default threshold for categories without an explicit setting.
+void log_set_default_threshold(LogLevel level);
+LogLevel log_default_threshold();
+
+/// The engine installs a clock provider so log lines carry simulated time.
+using ClockProvider = double (*)();
+void log_set_clock_provider(ClockProvider provider);
+
+/// Actor name provider (installed by the kernel) so log lines identify the
+/// simulated process that emitted them, as SimGrid does.
+using ActorNameProvider = const char* (*)();
+void log_set_actor_provider(ActorNameProvider provider);
+
+}  // namespace sg::xbt
+
+/// Declare a file-local category. Usage:
+///   SG_LOG_NEW_CATEGORY(surf, "SURF kernel");
+#define SG_LOG_NEW_CATEGORY(id, desc) \
+  static ::sg::xbt::LogCategory sg_log_cat_##id(#id)
+
+#define SG_CLOG(id, level, ...)                                       \
+  do {                                                                \
+    if (sg_log_cat_##id.enabled(::sg::xbt::LogLevel::level))          \
+      sg_log_cat_##id.log(::sg::xbt::LogLevel::level, __VA_ARGS__);   \
+  } while (0)
+
+#define SG_DEBUG(id, ...) SG_CLOG(id, debug, __VA_ARGS__)
+#define SG_VERB(id, ...) SG_CLOG(id, verbose, __VA_ARGS__)
+#define SG_INFO(id, ...) SG_CLOG(id, info, __VA_ARGS__)
+#define SG_WARN(id, ...) SG_CLOG(id, warning, __VA_ARGS__)
+#define SG_ERROR(id, ...) SG_CLOG(id, error, __VA_ARGS__)

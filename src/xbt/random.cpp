@@ -1,0 +1,75 @@
+#include "xbt/random.hpp"
+
+#include <cmath>
+
+namespace sg::xbt {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+inline std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : state_)
+    s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform01() {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform01(); }
+
+std::uint64_t Rng::uniform_int(std::uint64_t lo, std::uint64_t hi) {
+  const std::uint64_t range = hi - lo + 1;
+  if (range == 0)  // full 64-bit range requested
+    return next_u64();
+  const std::uint64_t reject_above = UINT64_MAX - UINT64_MAX % range;
+  std::uint64_t v;
+  do {
+    v = next_u64();
+  } while (v >= reject_above);
+  return lo + v % range;
+}
+
+double Rng::exponential(double rate) {
+  double u;
+  do {
+    u = uniform01();
+  } while (u <= 0.0);
+  return -std::log(u) / rate;
+}
+
+double Rng::normal(double mean, double stddev) {
+  double u1;
+  do {
+    u1 = uniform01();
+  } while (u1 <= 0.0);
+  const double u2 = uniform01();
+  const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  return mean + stddev * z;
+}
+
+}  // namespace sg::xbt

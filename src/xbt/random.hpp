@@ -1,0 +1,44 @@
+/// \file random.hpp
+/// Deterministic pseudo-random number generation.
+///
+/// Simulations must be reproducible bit-for-bit across runs and platforms,
+/// so we avoid std::uniform_*_distribution (whose algorithms are
+/// implementation-defined) and implement the distributions ourselves on top
+/// of a fixed xoshiro256** core.
+#pragma once
+
+#include <cstdint>
+
+namespace sg::xbt {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm),
+/// seeded through splitmix64. Fully specified output sequence.
+class Rng {
+public:
+  explicit Rng(std::uint64_t seed = 42) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  /// Raw 64 random bits.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive), unbiased via rejection.
+  std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi);
+
+  /// Exponentially distributed value with the given rate (mean 1/rate).
+  double exponential(double rate);
+
+  /// Standard normal via Box-Muller (deterministic, no cached spare).
+  double normal(double mean, double stddev);
+
+private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace sg::xbt

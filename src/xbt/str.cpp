@@ -1,0 +1,77 @@
+#include "xbt/str.hpp"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+
+namespace sg::xbt {
+
+std::vector<std::string> split(std::string_view s, char delim, bool skip_empty) {
+  std::vector<std::string> out;
+  size_t pos = 0;
+  while (true) {
+    size_t next = s.find(delim, pos);
+    std::string_view token = s.substr(pos, next == std::string_view::npos ? std::string_view::npos : next - pos);
+    if (!token.empty() || !skip_empty)
+      out.emplace_back(token);
+    if (next == std::string_view::npos)
+      break;
+    pos = next + 1;
+  }
+  return out;
+}
+
+std::vector<std::string> split_ws(std::string_view s) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i])))
+      ++i;
+    size_t start = i;
+    while (i < s.size() && !std::isspace(static_cast<unsigned char>(s[i])))
+      ++i;
+    if (i > start)
+      out.emplace_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string trim(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+    ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+    --e;
+  return std::string(s.substr(b, e - b));
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out)
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string format(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  va_list ap2;
+  va_copy(ap2, ap);
+  const int n = std::vsnprintf(nullptr, 0, fmt, ap);
+  va_end(ap);
+  std::string out(static_cast<size_t>(n), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, ap2);
+  va_end(ap2);
+  return out;
+}
+
+}  // namespace sg::xbt

@@ -1,0 +1,28 @@
+/// \file str.hpp
+/// Small string utilities shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sg::xbt {
+
+/// Split on a delimiter; empty tokens are kept unless skip_empty.
+std::vector<std::string> split(std::string_view s, char delim, bool skip_empty = false);
+
+/// Split on any whitespace run; empty tokens never produced.
+std::vector<std::string> split_ws(std::string_view s);
+
+/// Strip leading/trailing whitespace.
+std::string trim(std::string_view s);
+
+std::string to_lower(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace sg::xbt

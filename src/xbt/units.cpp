@@ -1,0 +1,111 @@
+#include "xbt/units.hpp"
+
+#include <cstdlib>
+#include <map>
+
+#include "xbt/exception.hpp"
+#include "xbt/str.hpp"
+
+namespace sg::xbt {
+namespace {
+
+/// Split "12.5MBps" into value 12.5 and unit "MBps".
+std::pair<double, std::string> split_value_unit(const std::string& text) {
+  const std::string t = trim(text);
+  if (t.empty())
+    throw InvalidArgument("empty quantity");
+  char* end = nullptr;
+  const double value = std::strtod(t.c_str(), &end);
+  if (end == t.c_str())
+    throw InvalidArgument("no numeric value in quantity: " + text);
+  return {value, trim(std::string(end))};
+}
+
+double metric_multiplier(char prefix, bool binary) {
+  const double k = binary ? 1024.0 : 1000.0;
+  switch (prefix) {
+    case 'k': case 'K': return k;
+    case 'M': return k * k;
+    case 'G': return k * k * k;
+    case 'T': return k * k * k * k;
+    case 'P': return k * k * k * k * k;
+    default: throw InvalidArgument(std::string("unknown metric prefix: ") + prefix);
+  }
+}
+
+}  // namespace
+
+double parse_speed(const std::string& text) {
+  auto [value, unit] = split_value_unit(text);
+  if (unit.empty())
+    return value;
+  // Accept "f", "flops", optionally prefixed: "Mf", "Gflops".
+  std::string u = unit;
+  double mult = 1.0;
+  if (u.size() > 1 && (u[0] == 'k' || u[0] == 'K' || u[0] == 'M' || u[0] == 'G' || u[0] == 'T' || u[0] == 'P')) {
+    mult = metric_multiplier(u[0], false);
+    u = u.substr(1);
+  }
+  std::string lu = to_lower(u);
+  if (lu == "f" || lu == "flops" || lu == "flop/s")
+    return value * mult;
+  throw InvalidArgument("unknown speed unit: " + unit);
+}
+
+double parse_bandwidth(const std::string& text) {
+  auto [value, unit] = split_value_unit(text);
+  if (unit.empty())
+    return value;
+  std::string u = unit;
+  double mult = 1.0;
+  bool binary = u.find("i") != std::string::npos;  // KiBps etc.
+  if (!u.empty() && (u[0] == 'k' || u[0] == 'K' || u[0] == 'M' || u[0] == 'G' || u[0] == 'T')) {
+    mult = metric_multiplier(u[0], binary);
+    u = u.substr(1);
+    if (!u.empty() && u[0] == 'i')
+      u = u.substr(1);
+  }
+  std::string lu = to_lower(u);
+  if (lu == "bps" || lu == "b/s") {
+    // Ambiguous 'b': follow SimGrid convention, capital B = bytes, lower = bits.
+    const bool bits = !u.empty() && u[0] == 'b';
+    return bits ? value * mult / 8.0 : value * mult;
+  }
+  throw InvalidArgument("unknown bandwidth unit: " + unit);
+}
+
+double parse_time(const std::string& text) {
+  auto [value, unit] = split_value_unit(text);
+  if (unit.empty())
+    return value;
+  static const std::map<std::string, double> table = {
+      {"ns", 1e-9}, {"us", 1e-6}, {"ms", 1e-3}, {"s", 1.0},
+      {"m", 60.0}, {"min", 60.0}, {"h", 3600.0}, {"d", 86400.0},
+  };
+  auto it = table.find(to_lower(unit));
+  if (it == table.end())
+    throw InvalidArgument("unknown time unit: " + unit);
+  return value * it->second;
+}
+
+double parse_size(const std::string& text) {
+  auto [value, unit] = split_value_unit(text);
+  if (unit.empty())
+    return value;
+  std::string u = unit;
+  double mult = 1.0;
+  const bool binary = u.find('i') != std::string::npos;
+  if (!u.empty() && (u[0] == 'k' || u[0] == 'K' || u[0] == 'M' || u[0] == 'G' || u[0] == 'T' || u[0] == 'P')) {
+    mult = metric_multiplier(u[0], binary);
+    u = u.substr(1);
+    if (!u.empty() && u[0] == 'i')
+      u = u.substr(1);
+  }
+  if (u == "B")
+    return value * mult;
+  if (u == "b")
+    return value * mult / 8.0;
+  throw InvalidArgument("unknown size unit: " + unit);
+}
+
+}  // namespace sg::xbt

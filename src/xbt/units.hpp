@@ -1,0 +1,26 @@
+/// \file units.hpp
+/// Parsing of human-readable quantities used in platform files:
+/// speeds ("100Mf", "2Gf"), bandwidths ("125MBps", "1Gbps"), times
+/// ("10ms", "1.5s"), sizes ("3.2MB"). All values normalize to SI base
+/// units: flop/s, byte/s, seconds, bytes.
+#pragma once
+
+#include <string>
+
+namespace sg::xbt {
+
+/// Parse a CPU speed, e.g. "100Mf" -> 1e8 flop/s. A bare number is flop/s.
+double parse_speed(const std::string& text);
+
+/// Parse a bandwidth, e.g. "125MBps" -> 1.25e8 B/s, "1Gbps" -> 1.25e8 B/s.
+/// A bare number is bytes/s.
+double parse_bandwidth(const std::string& text);
+
+/// Parse a duration, e.g. "50us" -> 5e-5 s. A bare number is seconds.
+double parse_time(const std::string& text);
+
+/// Parse a data size, e.g. "3.2MB" -> 3.2e6 bytes, "10KiB" -> 10240 bytes.
+/// A bare number is bytes.
+double parse_size(const std::string& text);
+
+}  // namespace sg::xbt

@@ -1,0 +1,399 @@
+/// Tests for the SURF engine: action timing, resource sharing, latency
+/// phases, TCP window bound, traces, failures, parallel tasks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/engine.hpp"
+#include "platform/builders.hpp"
+#include "trace/trace.hpp"
+#include "xbt/config.hpp"
+#include "xbt/exception.hpp"
+
+namespace {
+
+using namespace sg::core;
+using sg::platform::Platform;
+
+/// Pin the model parameters to clean values and restore defaults afterwards.
+class EngineTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    declare_engine_config();
+    auto& cfg = sg::xbt::Config::instance();
+    cfg.set("network/bandwidth-factor", 1.0);
+    cfg.set("network/tcp-gamma", 1e18);  // effectively no window cap
+  }
+  void TearDown() override {
+    auto& cfg = sg::xbt::Config::instance();
+    cfg.set("network/bandwidth-factor", 1460.0 / 1500.0);
+    cfg.set("network/tcp-gamma", 65536.0);
+  }
+
+  /// Run the engine until the given action completes; returns finish time.
+  static double run_until_done(Engine& e, const ActionPtr& a) {
+    for (int guard = 0; guard < 100000; ++guard) {
+      if (a->state() != ActionState::kRunning && a->state() != ActionState::kSuspended)
+        return a->finish_time();
+      e.step();
+    }
+    ADD_FAILURE() << "action never completed";
+    return -1;
+  }
+};
+
+TEST_F(EngineTest, ExecTiming) {
+  Platform p;
+  p.add_host("h", 1e9);
+  Engine e(std::move(p));
+  auto a = e.exec_start(0, 2e9);
+  EXPECT_DOUBLE_EQ(run_until_done(e, a), 2.0);
+  EXPECT_EQ(a->state(), ActionState::kDone);
+}
+
+TEST_F(EngineTest, TwoExecsShareCpu) {
+  Platform p;
+  p.add_host("h", 1e9);
+  Engine e(std::move(p));
+  auto a = e.exec_start(0, 1e9);
+  auto b = e.exec_start(0, 1e9);
+  run_until_done(e, a);
+  // Each ran at 5e8 flop/s -> both end at t=2.
+  EXPECT_DOUBLE_EQ(a->finish_time(), 2.0);
+  EXPECT_DOUBLE_EQ(run_until_done(e, b), 2.0);
+}
+
+TEST_F(EngineTest, ExecPriorityShares) {
+  Platform p;
+  p.add_host("h", 1e9);
+  Engine e(std::move(p));
+  auto hi = e.exec_start(0, 1e9, 3.0);
+  auto lo = e.exec_start(0, 1e9, 1.0);
+  run_until_done(e, hi);
+  // hi gets 7.5e8, lo 2.5e8 until hi ends at 4/3.
+  EXPECT_NEAR(hi->finish_time(), 4.0 / 3.0, 1e-9);
+  run_until_done(e, lo);
+  // lo: did 1/3e9 flops by t=4/3, then full speed: 4/3 + 2/3 = 2.
+  EXPECT_NEAR(lo->finish_time(), 2.0, 1e-9);
+}
+
+TEST_F(EngineTest, ExecStaggeredStarts) {
+  Platform p;
+  p.add_host("h", 1e9);
+  Engine e(std::move(p));
+  auto a = e.exec_start(0, 2e9);
+  // Advance time to 1.0, then start a competitor.
+  e.step(1.0);
+  EXPECT_DOUBLE_EQ(e.now(), 1.0);
+  auto b = e.exec_start(0, 1e9);
+  run_until_done(e, a);
+  // a has 1e9 left at t=1, shares at 5e8 -> needs 2s more.
+  EXPECT_DOUBLE_EQ(a->finish_time(), 3.0);
+  // b: 5e8 for 2s = 1e9 done exactly when a ends.
+  EXPECT_DOUBLE_EQ(run_until_done(e, b), 3.0);
+}
+
+TEST_F(EngineTest, CommLatencyPlusBandwidth) {
+  Engine e(sg::platform::make_dumbbell(1e9, 1e8, 1e-3));
+  auto c = e.comm_start(0, 1, 1e8);
+  const double t = run_until_done(e, c);
+  EXPECT_NEAR(t, 1e-3 + 1.0, 1e-9);
+}
+
+TEST_F(EngineTest, ZeroByteCommTakesLatencyOnly) {
+  Engine e(sg::platform::make_dumbbell(1e9, 1e8, 5e-3));
+  auto c = e.comm_start(0, 1, 0.0);
+  EXPECT_NEAR(run_until_done(e, c), 5e-3, 1e-12);
+}
+
+TEST_F(EngineTest, TwoFlowsShareLink) {
+  Engine e(sg::platform::make_dumbbell(1e9, 1e8, 0.0));
+  auto c1 = e.comm_start(0, 1, 1e8);
+  auto c2 = e.comm_start(0, 1, 1e8);
+  run_until_done(e, c1);
+  EXPECT_NEAR(c1->finish_time(), 2.0, 1e-9);
+  EXPECT_NEAR(run_until_done(e, c2), 2.0, 1e-9);
+}
+
+TEST_F(EngineTest, OppositeFlowsAlsoShare) {
+  // Links are full-duplex-agnostic single resources here (CM02 behaviour):
+  // both directions contend.
+  Engine e(sg::platform::make_dumbbell(1e9, 1e8, 0.0));
+  auto c1 = e.comm_start(0, 1, 5e7);
+  auto c2 = e.comm_start(1, 0, 5e7);
+  run_until_done(e, c1);
+  EXPECT_NEAR(c1->finish_time(), 1.0, 1e-9);
+  EXPECT_NEAR(run_until_done(e, c2), 1.0, 1e-9);
+}
+
+TEST_F(EngineTest, FatpipeDoesNotDivide) {
+  Platform p;
+  auto a = p.add_host("a", 1e9);
+  auto b = p.add_host("b", 1e9);
+  auto l = p.add_link("bb", 1e8, 0.0, sg::platform::SharingPolicy::kFatpipe);
+  p.add_route(a, b, {l});
+  Engine e(std::move(p));
+  auto c1 = e.comm_start(0, 1, 1e8);
+  auto c2 = e.comm_start(0, 1, 1e8);
+  run_until_done(e, c1);
+  EXPECT_NEAR(c1->finish_time(), 1.0, 1e-9);
+  EXPECT_NEAR(run_until_done(e, c2), 1.0, 1e-9);
+}
+
+TEST_F(EngineTest, TcpWindowBoundsLongFatLinks) {
+  auto& cfg = sg::xbt::Config::instance();
+  cfg.set("network/tcp-gamma", 65536.0);
+  // WAN link: 50ms one-way latency -> cap = 65536 / 0.1 = 655360 B/s.
+  Engine e(sg::platform::make_dumbbell(1e9, 1e8, 0.05));
+  auto c = e.comm_start(0, 1, 655360.0);
+  const double t = run_until_done(e, c);
+  EXPECT_NEAR(t, 0.05 + 1.0, 1e-6);
+}
+
+TEST_F(EngineTest, RateLimitedComm) {
+  Engine e(sg::platform::make_dumbbell(1e9, 1e8, 0.0));
+  auto c = e.comm_start(0, 1, 1e7, /*rate_limit=*/1e6);
+  EXPECT_NEAR(run_until_done(e, c), 10.0, 1e-9);
+}
+
+TEST_F(EngineTest, LoopbackComm) {
+  Platform p;
+  p.add_host("h", 1e9);
+  Engine e(std::move(p));
+  auto c = e.comm_start(0, 0, 1e9);
+  const double t = run_until_done(e, c);
+  // loopback defaults: 1e10 B/s, 1e-7 s latency
+  EXPECT_NEAR(t, 1e-7 + 0.1, 1e-9);
+}
+
+TEST_F(EngineTest, MultiHopRouteSharesEveryLink) {
+  // chain a - m - b; flow a->b and flow a->m compete on the first link.
+  Platform p;
+  auto a = p.add_host("a", 1e9);
+  auto m = p.add_host("m", 1e9);
+  auto b = p.add_host("b", 1e9);
+  auto l1 = p.add_link("l1", 1e8, 0.0);
+  auto l2 = p.add_link("l2", 1e8, 0.0);
+  p.add_edge(a, m, l1);
+  p.add_edge(m, b, l2);
+  Engine e(std::move(p));
+  auto long_flow = e.comm_start(0, 2, 1e8);
+  auto short_flow = e.comm_start(0, 1, 5e7);
+  run_until_done(e, short_flow);
+  EXPECT_NEAR(short_flow->finish_time(), 1.0, 1e-9);  // 5e7 at 5e7/s
+  run_until_done(e, long_flow);
+  // long flow: 5e7 B by t=1 (rate 5e7), then full 1e8 -> 0.5s more.
+  EXPECT_NEAR(long_flow->finish_time(), 1.5, 1e-9);
+}
+
+TEST_F(EngineTest, BandwidthFactorApplied) {
+  auto& cfg = sg::xbt::Config::instance();
+  cfg.set("network/bandwidth-factor", 0.5);
+  Engine e(sg::platform::make_dumbbell(1e9, 1e8, 0.0));
+  auto c = e.comm_start(0, 1, 1e8);
+  EXPECT_NEAR(run_until_done(e, c), 2.0, 1e-9);
+}
+
+TEST_F(EngineTest, SuspendResumeFreezesProgress) {
+  Platform p;
+  p.add_host("h", 1e9);
+  Engine e(std::move(p));
+  auto a = e.exec_start(0, 2e9);
+  e.step(1.0);
+  a->suspend();
+  EXPECT_EQ(a->state(), ActionState::kSuspended);
+  e.step(5.0);  // nothing progresses
+  EXPECT_DOUBLE_EQ(e.now(), 5.0);
+  EXPECT_NEAR(a->remaining(), 1e9, 1.0);
+  a->resume();
+  EXPECT_DOUBLE_EQ(run_until_done(e, a), 6.0);
+}
+
+TEST_F(EngineTest, CancelAction) {
+  Platform p;
+  p.add_host("h", 1e9);
+  Engine e(std::move(p));
+  auto a = e.exec_start(0, 2e9);
+  e.step(0.5);
+  a->cancel();
+  EXPECT_EQ(a->state(), ActionState::kCanceled);
+  auto events = e.step();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].action.get(), a.get());
+}
+
+TEST_F(EngineTest, AvailabilityTraceSlowsExec) {
+  Platform p;
+  sg::platform::HostSpec spec;
+  spec.name = "h";
+  spec.speed_flops = 1e9;
+  // 100% for 1s, then 50% for 1s, repeating.
+  spec.availability = sg::trace::square_wave("avail", 1.0, 1.0, 0.5, 1.0);
+  p.add_host(spec);
+  Engine e(std::move(p));
+  auto a = e.exec_start(0, 2e9);
+  // 1e9 flops in [0,1) at full speed; 5e8 in [1,2); rest 5e8 in [2, 2.5).
+  EXPECT_NEAR(run_until_done(e, a), 2.5, 1e-9);
+}
+
+TEST_F(EngineTest, StateTraceFailsRunningExec) {
+  Platform p;
+  sg::platform::HostSpec spec;
+  spec.name = "h";
+  spec.speed_flops = 1e9;
+  spec.state = sg::trace::Trace("state", {{0.0, 1.0}, {1.5, 0.0}}, -1.0);
+  p.add_host(spec);
+  Engine e(std::move(p));
+  auto a = e.exec_start(0, 1e12);
+  bool failed = false;
+  for (int i = 0; i < 1000 && !failed; ++i) {
+    for (const auto& ev : e.step())
+      if (ev.action.get() == a.get() && ev.failed)
+        failed = true;
+  }
+  EXPECT_TRUE(failed);
+  EXPECT_EQ(a->state(), ActionState::kFailed);
+  EXPECT_DOUBLE_EQ(a->finish_time(), 1.5);
+  EXPECT_FALSE(e.host_is_on(0));
+  EXPECT_THROW(e.exec_start(0, 1.0), sg::xbt::HostFailureException);
+}
+
+TEST_F(EngineTest, LinkFailureKillsComm) {
+  Platform p;
+  auto a = p.add_host("a", 1e9);
+  auto b = p.add_host("b", 1e9);
+  sg::platform::LinkSpec lspec;
+  lspec.name = "l";
+  lspec.bandwidth_Bps = 1e6;
+  lspec.latency_s = 0.0;
+  lspec.state = sg::trace::Trace("ls", {{0.0, 1.0}, {2.0, 0.0}}, -1.0);
+  auto l = p.add_link(lspec);
+  p.add_route(a, b, {l});
+  Engine e(std::move(p));
+  auto c = e.comm_start(0, 1, 1e9);
+  bool failed = false;
+  for (int i = 0; i < 1000 && !failed; ++i)
+    for (const auto& ev : e.step())
+      if (ev.action.get() == c.get() && ev.failed)
+        failed = true;
+  EXPECT_TRUE(failed);
+  EXPECT_DOUBLE_EQ(c->finish_time(), 2.0);
+}
+
+TEST_F(EngineTest, CommOnDeadRouteFailsImmediately) {
+  Platform p;
+  auto a = p.add_host("a", 1e9);
+  auto b = p.add_host("b", 1e9);
+  auto l = p.add_link("l", 1e8, 0.0);
+  p.add_route(a, b, {l});
+  Engine e(std::move(p));
+  e.set_link_state(0, false);
+  auto c = e.comm_start(0, 1, 100.0);
+  EXPECT_EQ(c->state(), ActionState::kFailed);
+  auto events = e.step();
+  bool found = false;
+  for (const auto& ev : events)
+    if (ev.action.get() == c.get() && ev.failed)
+      found = true;
+  EXPECT_TRUE(found);
+  EXPECT_DOUBLE_EQ(e.now(), 0.0);  // no time elapsed
+}
+
+TEST_F(EngineTest, HostRecoversAfterFailure) {
+  Platform p;
+  p.add_host("h", 1e9);
+  Engine e(std::move(p));
+  e.set_host_state(0, false);
+  e.step();  // drain events
+  EXPECT_FALSE(e.host_is_on(0));
+  e.set_host_state(0, true);
+  EXPECT_TRUE(e.host_is_on(0));
+  auto a = e.exec_start(0, 1e9);
+  const double finish = run_until_done(e, a);
+  EXPECT_DOUBLE_EQ(finish, e.now());
+  EXPECT_EQ(a->state(), ActionState::kDone);
+}
+
+TEST_F(EngineTest, ParallelTaskCoupledRates) {
+  // Two hosts compute 1e9 flops each while exchanging 1e8 bytes over a 1e8 B/s
+  // link: the communication is the bottleneck (1s); computation would take 1s
+  // alone as well -> both saturate, total 2s (cpu gets 1e9/2s = rate .5e9
+  // since progress is limited by min ratio).
+  Platform p;
+  auto a = p.add_host("a", 1e9);
+  auto b = p.add_host("b", 1e9);
+  auto l = p.add_link("l", 1e8, 0.0);
+  p.add_route(a, b, {l});
+  Engine e(std::move(p));
+  // progress rate limited by: cpu: 1e9/1e9 = 1/s ; link: 1e8/1e8 = 1/s.
+  // combined constraint is independent (different resources): rate = 1 -> 1s.
+  auto t = e.ptask_start({0, 1}, {1e9, 1e9}, {{0.0, 1e8}, {0.0, 0.0}});
+  EXPECT_NEAR(run_until_done(e, t), 1.0, 1e-9);
+}
+
+TEST_F(EngineTest, ParallelTaskSharesCpuWithExec) {
+  Platform p;
+  p.add_host("a", 1e9);
+  p.add_host("b", 1e9);
+  Engine e(std::move(p));
+  auto pt = e.ptask_start({0, 1}, {1e9, 1e9}, {});
+  auto ex = e.exec_start(0, 1e9);
+  // On host a: ptask consumes 1e9 * rate, exec consumes rate'. MaxMin splits:
+  // ptask rate r with coeff 1e9, exec rate x with coeff 1: growth equalizes
+  // consumption shares... both saturate host a: 1e9*r + x = 1e9.
+  // Progressive filling: both grow until a saturates; r grows at 1 (weight 1,
+  // value in units of progress/s), x at 1 (flop/s)! Units differ wildly, so r
+  // saturates a almost alone: delta where 1e9*d + d = 1e9 -> d ~= 1.
+  run_until_done(e, pt);
+  const double r = pt->finish_time();
+  EXPECT_GT(r, 1.0);  // slowed down by the competing exec a bit
+  run_until_done(e, ex);
+  EXPECT_GT(ex->finish_time(), 1.0);
+}
+
+TEST_F(EngineTest, StepBoundStopsEarly) {
+  Platform p;
+  p.add_host("h", 1e9);
+  Engine e(std::move(p));
+  auto a = e.exec_start(0, 1e10);
+  auto events = e.step(3.0);
+  EXPECT_TRUE(events.empty());
+  EXPECT_DOUBLE_EQ(e.now(), 3.0);
+  EXPECT_NEAR(a->remaining(), 7e9, 1.0);
+}
+
+TEST_F(EngineTest, NextEventTimeEmptyEngine) {
+  Platform p;
+  p.add_host("h", 1e9);
+  Engine e(std::move(p));
+  EXPECT_TRUE(std::isinf(e.next_event_time()));
+  auto events = e.step();
+  EXPECT_TRUE(events.empty());
+  EXPECT_DOUBLE_EQ(e.now(), 0.0);
+}
+
+TEST_F(EngineTest, LoadIntrospection) {
+  Platform p;
+  p.add_host("h", 1e9);
+  Engine e(std::move(p));
+  EXPECT_DOUBLE_EQ(e.host_load(0), 0.0);
+  auto a = e.exec_start(0, 1e10);
+  EXPECT_DOUBLE_EQ(e.host_load(0), 1e9);
+  (void)a;
+}
+
+TEST_F(EngineTest, ObserverSeesTransitions) {
+  Platform p;
+  p.add_host("h", 1e9);
+  Engine e(std::move(p));
+  int done_count = 0;
+  e.set_action_observer([&](const Action&, ActionState, ActionState ns) {
+    if (ns == ActionState::kDone)
+      ++done_count;
+  });
+  auto a = e.exec_start(0, 1e9);
+  run_until_done(e, a);
+  EXPECT_EQ(done_count, 1);
+}
+
+}  // namespace

@@ -1,0 +1,323 @@
+/// Tests for the MaxMin fairness solver — the heart of SURF. Includes
+/// parameterized property sweeps checking feasibility and max-min optimality
+/// on random systems.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/maxmin.hpp"
+#include "xbt/exception.hpp"
+#include "xbt/random.hpp"
+
+namespace {
+
+using sg::core::MaxMinSystem;
+
+TEST(MaxMin, SingleVariableGetsFullCapacity) {
+  MaxMinSystem sys;
+  auto c = sys.new_constraint(100.0);
+  auto v = sys.new_variable(1.0);
+  sys.expand(c, v);
+  sys.solve();
+  EXPECT_DOUBLE_EQ(sys.value(v), 100.0);
+  EXPECT_DOUBLE_EQ(sys.usage(c), 100.0);
+}
+
+TEST(MaxMin, EqualSharing) {
+  MaxMinSystem sys;
+  auto c = sys.new_constraint(90.0);
+  std::vector<MaxMinSystem::VarId> vars;
+  for (int i = 0; i < 3; ++i) {
+    auto v = sys.new_variable(1.0);
+    sys.expand(c, v);
+    vars.push_back(v);
+  }
+  sys.solve();
+  for (auto v : vars)
+    EXPECT_NEAR(sys.value(v), 30.0, 1e-9);
+}
+
+TEST(MaxMin, WeightedSharing) {
+  // Weights act as growth shares: w=2 gets twice the allocation of w=1.
+  MaxMinSystem sys;
+  auto c = sys.new_constraint(90.0);
+  auto v1 = sys.new_variable(1.0);
+  auto v2 = sys.new_variable(2.0);
+  sys.expand(c, v1);
+  sys.expand(c, v2);
+  sys.solve();
+  EXPECT_NEAR(sys.value(v1), 30.0, 1e-9);
+  EXPECT_NEAR(sys.value(v2), 60.0, 1e-9);
+}
+
+TEST(MaxMin, BoundCapsAllocation) {
+  MaxMinSystem sys;
+  auto c = sys.new_constraint(100.0);
+  auto v1 = sys.new_variable(1.0, /*bound=*/10.0);
+  auto v2 = sys.new_variable(1.0);
+  sys.expand(c, v1);
+  sys.expand(c, v2);
+  sys.solve();
+  EXPECT_NEAR(sys.value(v1), 10.0, 1e-9);
+  EXPECT_NEAR(sys.value(v2), 90.0, 1e-9);  // leftover goes to the unbounded one
+}
+
+TEST(MaxMin, ZeroWeightSuspended) {
+  MaxMinSystem sys;
+  auto c = sys.new_constraint(100.0);
+  auto v1 = sys.new_variable(0.0);
+  auto v2 = sys.new_variable(1.0);
+  sys.expand(c, v1);
+  sys.expand(c, v2);
+  sys.solve();
+  EXPECT_DOUBLE_EQ(sys.value(v1), 0.0);
+  EXPECT_NEAR(sys.value(v2), 100.0, 1e-9);
+}
+
+TEST(MaxMin, BottleneckChain) {
+  // v1 crosses both constraints; v2 only the wide one. v1 is limited by the
+  // narrow constraint, and v2 picks up the slack on the wide one.
+  MaxMinSystem sys;
+  auto narrow = sys.new_constraint(10.0);
+  auto wide = sys.new_constraint(100.0);
+  auto v1 = sys.new_variable(1.0);
+  auto v2 = sys.new_variable(1.0);
+  sys.expand(narrow, v1);
+  sys.expand(wide, v1);
+  sys.expand(wide, v2);
+  sys.solve();
+  EXPECT_NEAR(sys.value(v1), 10.0, 1e-9);
+  EXPECT_NEAR(sys.value(v2), 90.0, 1e-9);
+}
+
+TEST(MaxMin, FatpipeCapsIndividually) {
+  MaxMinSystem sys;
+  auto c = sys.new_constraint(50.0, /*shared=*/false);
+  auto v1 = sys.new_variable(1.0);
+  auto v2 = sys.new_variable(1.0);
+  sys.expand(c, v1);
+  sys.expand(c, v2);
+  sys.solve();
+  // Each flow gets the full capacity: a fatpipe does not divide.
+  EXPECT_NEAR(sys.value(v1), 50.0, 1e-9);
+  EXPECT_NEAR(sys.value(v2), 50.0, 1e-9);
+  EXPECT_NEAR(sys.usage(c), 50.0, 1e-9);  // usage is the max, not the sum
+}
+
+TEST(MaxMin, CoefficientScalesConsumption) {
+  // v consumes 2 units of c per unit of rate -> rate capped at cap/2.
+  MaxMinSystem sys;
+  auto c = sys.new_constraint(100.0);
+  auto v = sys.new_variable(1.0);
+  sys.expand(c, v, 2.0);
+  sys.solve();
+  EXPECT_NEAR(sys.value(v), 50.0, 1e-9);
+}
+
+TEST(MaxMin, MultiResourceParallelTaskCoupling) {
+  // One variable consuming two constraints with different coefficients is
+  // limited by the tightest ratio — the L07 parallel-task situation.
+  MaxMinSystem sys;
+  auto cpu = sys.new_constraint(1000.0);
+  auto link = sys.new_constraint(10.0);
+  auto v = sys.new_variable(1.0);
+  sys.expand(cpu, v, 100.0);  // 100 flops per unit of progress
+  sys.expand(link, v, 5.0);   // 5 bytes per unit of progress
+  sys.solve();
+  // cpu allows 10 units/s; link allows 2 units/s -> 2.
+  EXPECT_NEAR(sys.value(v), 2.0, 1e-9);
+}
+
+TEST(MaxMin, ReleaseVariableFreesCapacity) {
+  MaxMinSystem sys;
+  auto c = sys.new_constraint(100.0);
+  auto v1 = sys.new_variable(1.0);
+  auto v2 = sys.new_variable(1.0);
+  sys.expand(c, v1);
+  sys.expand(c, v2);
+  sys.solve();
+  EXPECT_NEAR(sys.value(v1), 50.0, 1e-9);
+  sys.release_variable(v1);
+  sys.solve();
+  EXPECT_NEAR(sys.value(v2), 100.0, 1e-9);
+  EXPECT_EQ(sys.variable_count(), 1u);
+}
+
+TEST(MaxMin, VariableIdReuse) {
+  MaxMinSystem sys;
+  auto c = sys.new_constraint(10.0);
+  auto v1 = sys.new_variable(1.0);
+  sys.expand(c, v1);
+  sys.release_variable(v1);
+  auto v2 = sys.new_variable(1.0);  // recycles the slot
+  EXPECT_EQ(v1, v2);
+  sys.expand(c, v2);
+  sys.solve();
+  EXPECT_NEAR(sys.value(v2), 10.0, 1e-9);
+}
+
+TEST(MaxMin, ZeroCapacityConstraint) {
+  MaxMinSystem sys;
+  auto c = sys.new_constraint(0.0);  // failed resource
+  auto v = sys.new_variable(1.0);
+  sys.expand(c, v);
+  sys.solve();
+  EXPECT_DOUBLE_EQ(sys.value(v), 0.0);
+}
+
+TEST(MaxMin, UnconstrainedVariableGetsHugeRate) {
+  MaxMinSystem sys;
+  auto v = sys.new_variable(1.0);
+  sys.solve();
+  EXPECT_GE(sys.value(v), MaxMinSystem::kUnlimited);
+}
+
+TEST(MaxMin, UnboundedVariableWithOnlyFatpipe) {
+  MaxMinSystem sys;
+  auto c = sys.new_constraint(42.0, /*shared=*/false);
+  auto v = sys.new_variable(1.0);
+  sys.expand(c, v);
+  sys.solve();
+  EXPECT_NEAR(sys.value(v), 42.0, 1e-9);
+}
+
+TEST(MaxMin, InvalidArguments) {
+  MaxMinSystem sys;
+  EXPECT_THROW(sys.new_constraint(-1.0), sg::xbt::InvalidArgument);
+  EXPECT_THROW(sys.new_variable(-1.0), sg::xbt::InvalidArgument);
+  auto c = sys.new_constraint(1.0);
+  auto v = sys.new_variable(1.0);
+  EXPECT_THROW(sys.expand(c, v, 0.0), sg::xbt::InvalidArgument);
+}
+
+TEST(MaxMin, CapacityUpdateChangesSolution) {
+  MaxMinSystem sys;
+  auto c = sys.new_constraint(100.0);
+  auto v = sys.new_variable(1.0);
+  sys.expand(c, v);
+  sys.solve();
+  EXPECT_NEAR(sys.value(v), 100.0, 1e-9);
+  sys.set_capacity(c, 25.0);
+  sys.solve();
+  EXPECT_NEAR(sys.value(v), 25.0, 1e-9);
+}
+
+// -- property-based sweep -------------------------------------------------------
+//
+// On random systems, the solution must be (a) feasible: no shared constraint
+// over capacity, no fatpipe element over capacity, no variable over bound;
+// (b) max-min optimal: every active variable is blocked by *something* — a
+// saturated shared constraint it crosses, a fatpipe cap, or its own bound.
+
+struct RandomSystemParams {
+  std::uint64_t seed;
+  int n_vars;
+  int n_cnsts;
+  bool with_bounds;
+  bool with_fatpipes;
+  bool with_weights;
+};
+
+class MaxMinProperty : public ::testing::TestWithParam<RandomSystemParams> {};
+
+TEST_P(MaxMinProperty, FeasibleAndMaxMinOptimal) {
+  const auto p = GetParam();
+  sg::xbt::Rng rng(p.seed);
+  MaxMinSystem sys;
+
+  std::vector<MaxMinSystem::CnstId> cnsts;
+  std::vector<bool> shared;
+  std::vector<double> caps;
+  for (int c = 0; c < p.n_cnsts; ++c) {
+    const bool sh = !p.with_fatpipes || rng.uniform01() < 0.7;
+    const double cap = rng.uniform(10.0, 1000.0);
+    cnsts.push_back(sys.new_constraint(cap, sh));
+    shared.push_back(sh);
+    caps.push_back(cap);
+  }
+
+  struct VarInfo {
+    MaxMinSystem::VarId id;
+    double weight;
+    double bound;
+    std::vector<int> used;  // constraint indices
+    std::vector<double> coeffs;
+  };
+  std::vector<VarInfo> vars;
+  for (int i = 0; i < p.n_vars; ++i) {
+    VarInfo info;
+    info.weight = p.with_weights ? rng.uniform(0.5, 4.0) : 1.0;
+    info.bound = (p.with_bounds && rng.uniform01() < 0.4) ? rng.uniform(5.0, 200.0) : -1.0;
+    info.id = sys.new_variable(info.weight, info.bound);
+    const int uses = static_cast<int>(rng.uniform_int(1, std::min(3, p.n_cnsts)));
+    for (int u = 0; u < uses; ++u) {
+      const int c = static_cast<int>(rng.uniform_int(0, static_cast<std::uint64_t>(p.n_cnsts - 1)));
+      const double coeff = rng.uniform(0.5, 2.0);
+      sys.expand(cnsts[static_cast<size_t>(c)], info.id, coeff);
+      info.used.push_back(c);
+      info.coeffs.push_back(coeff);
+    }
+    vars.push_back(info);
+  }
+
+  sys.solve();
+
+  const double tol = 1e-6;
+  // (a) feasibility
+  std::vector<double> usage_sum(static_cast<size_t>(p.n_cnsts), 0.0);
+  std::vector<double> usage_max(static_cast<size_t>(p.n_cnsts), 0.0);
+  for (const auto& v : vars) {
+    const double val = sys.value(v.id);
+    EXPECT_GE(val, 0.0);
+    if (v.bound >= 0)
+      EXPECT_LE(val, v.bound * (1 + tol));
+    for (size_t k = 0; k < v.used.size(); ++k) {
+      usage_sum[static_cast<size_t>(v.used[k])] += v.coeffs[k] * val;
+      usage_max[static_cast<size_t>(v.used[k])] =
+          std::max(usage_max[static_cast<size_t>(v.used[k])], v.coeffs[k] * val);
+    }
+  }
+  for (int c = 0; c < p.n_cnsts; ++c) {
+    if (shared[static_cast<size_t>(c)])
+      EXPECT_LE(usage_sum[static_cast<size_t>(c)], caps[static_cast<size_t>(c)] * (1 + tol))
+          << "shared constraint " << c << " over capacity";
+    else
+      EXPECT_LE(usage_max[static_cast<size_t>(c)], caps[static_cast<size_t>(c)] * (1 + tol))
+          << "fatpipe constraint " << c << " over capacity";
+  }
+
+  // (b) optimality: every variable is blocked by something.
+  for (const auto& v : vars) {
+    const double val = sys.value(v.id);
+    bool blocked = false;
+    if (v.bound >= 0 && val >= v.bound * (1 - tol))
+      blocked = true;
+    for (size_t k = 0; k < v.used.size() && !blocked; ++k) {
+      const int c = v.used[k];
+      if (shared[static_cast<size_t>(c)]) {
+        if (usage_sum[static_cast<size_t>(c)] >= caps[static_cast<size_t>(c)] * (1 - tol))
+          blocked = true;
+      } else {
+        if (v.coeffs[k] * val >= caps[static_cast<size_t>(c)] * (1 - tol))
+          blocked = true;
+      }
+    }
+    EXPECT_TRUE(blocked) << "variable with value " << val << " is not blocked by anything";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomSystems, MaxMinProperty,
+    ::testing::Values(RandomSystemParams{1, 5, 3, false, false, false},
+                      RandomSystemParams{2, 10, 4, true, false, false},
+                      RandomSystemParams{3, 10, 4, false, true, false},
+                      RandomSystemParams{4, 20, 6, true, true, false},
+                      RandomSystemParams{5, 20, 6, true, true, true},
+                      RandomSystemParams{6, 50, 10, true, true, true},
+                      RandomSystemParams{7, 100, 15, true, true, true},
+                      RandomSystemParams{8, 200, 20, true, true, true},
+                      RandomSystemParams{9, 40, 2, false, false, true},
+                      RandomSystemParams{10, 8, 8, true, false, true}));
+
+}  // namespace

@@ -1,0 +1,239 @@
+/// Tests for platform descriptions: hosts/links/routers, explicit and
+/// graph-derived routing, the text parser, and the builders.
+#include <gtest/gtest.h>
+
+#include "platform/builders.hpp"
+#include "platform/parser.hpp"
+#include "platform/platform.hpp"
+#include "xbt/exception.hpp"
+
+namespace {
+
+using namespace sg::platform;
+
+TEST(Platform, HostsAndLookup) {
+  Platform p;
+  p.add_host("a", 1e9);
+  p.add_host("b", 2e9);
+  p.seal();
+  EXPECT_EQ(p.host_count(), 2u);
+  ASSERT_TRUE(p.host_by_name("b").has_value());
+  EXPECT_DOUBLE_EQ(p.host(*p.host_by_name("b")).speed_flops, 2e9);
+  EXPECT_FALSE(p.host_by_name("zz").has_value());
+}
+
+TEST(Platform, DuplicateNamesRejected) {
+  Platform p;
+  p.add_host("a", 1e9);
+  EXPECT_THROW(p.add_host("a", 1e9), sg::xbt::InvalidArgument);
+  p.add_link("l", 1e8, 1e-4);
+  EXPECT_THROW(p.add_link("l", 1e8, 1e-4), sg::xbt::InvalidArgument);
+}
+
+TEST(Platform, BadLinkSpecsRejected) {
+  Platform p;
+  EXPECT_THROW(p.add_link("l", 0.0, 1e-4), sg::xbt::InvalidArgument);
+  EXPECT_THROW(p.add_link("l", 1e8, -1.0), sg::xbt::InvalidArgument);
+}
+
+TEST(Platform, ExplicitRoute) {
+  Platform p;
+  auto a = p.add_host("a", 1e9);
+  auto b = p.add_host("b", 1e9);
+  auto l1 = p.add_link("l1", 1e8, 1e-3);
+  auto l2 = p.add_link("l2", 1e8, 2e-3);
+  p.add_route(a, b, {l1, l2});
+  p.seal();
+  const Route& r = p.route(0, 1);
+  ASSERT_EQ(r.links.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.latency, 3e-3);
+  // symmetric reverse route
+  const Route& rr = p.route(1, 0);
+  EXPECT_EQ(rr.links.front(), l2);
+  EXPECT_EQ(rr.links.back(), l1);
+}
+
+TEST(Platform, OneWayRoute) {
+  Platform p;
+  auto a = p.add_host("a", 1e9);
+  auto b = p.add_host("b", 1e9);
+  auto l = p.add_link("l", 1e8, 1e-3);
+  p.add_route(a, b, {l}, /*symmetric=*/false);
+  p.seal();
+  EXPECT_TRUE(p.reachable(0, 1));
+  EXPECT_FALSE(p.reachable(1, 0));
+}
+
+TEST(Platform, GraphRoutingShortestLatency) {
+  // a - r1 - b with a slow direct path a - r2 - b; Dijkstra must choose the
+  // lower-latency path through r1.
+  Platform p;
+  auto a = p.add_host("a", 1e9);
+  auto b = p.add_host("b", 1e9);
+  auto r1 = p.add_router("r1");
+  auto r2 = p.add_router("r2");
+  auto fast1 = p.add_link("fast1", 1e8, 1e-4);
+  auto fast2 = p.add_link("fast2", 1e8, 1e-4);
+  auto slow1 = p.add_link("slow1", 1e9, 1e-2);
+  auto slow2 = p.add_link("slow2", 1e9, 1e-2);
+  p.add_edge(a, r1, fast1);
+  p.add_edge(r1, b, fast2);
+  p.add_edge(a, r2, slow1);
+  p.add_edge(r2, b, slow2);
+  p.seal();
+  const Route& r = p.route(0, 1);
+  ASSERT_EQ(r.links.size(), 2u);
+  EXPECT_EQ(r.links[0], fast1);
+  EXPECT_EQ(r.links[1], fast2);
+  EXPECT_NEAR(r.latency, 2e-4, 1e-12);
+}
+
+TEST(Platform, GraphRoutingMultiHopChain) {
+  Platform p;
+  std::vector<NodeId> hosts;
+  for (int i = 0; i < 5; ++i)
+    hosts.push_back(p.add_host("h" + std::to_string(i), 1e9));
+  for (int i = 0; i < 4; ++i) {
+    auto l = p.add_link("l" + std::to_string(i), 1e8, 1e-3);
+    p.add_edge(hosts[static_cast<size_t>(i)], hosts[static_cast<size_t>(i + 1)], l);
+  }
+  p.seal();
+  EXPECT_EQ(p.route(0, 4).links.size(), 4u);
+  EXPECT_NEAR(p.route(0, 4).latency, 4e-3, 1e-12);
+  EXPECT_EQ(p.route(2, 3).links.size(), 1u);
+}
+
+TEST(Platform, UnreachableHosts) {
+  Platform p;
+  p.add_host("a", 1e9);
+  p.add_host("b", 1e9);
+  p.seal();
+  EXPECT_FALSE(p.reachable(0, 1));
+  EXPECT_THROW(p.route(0, 1), sg::xbt::InvalidArgument);
+}
+
+TEST(Platform, LoopbackRouteAlwaysExists) {
+  Platform p;
+  p.add_host("a", 1e9);
+  p.seal();
+  EXPECT_TRUE(p.reachable(0, 0));
+  EXPECT_TRUE(p.route(0, 0).links.empty());
+}
+
+TEST(Platform, ExplicitRouteWinsOverGraph) {
+  Platform p;
+  auto a = p.add_host("a", 1e9);
+  auto b = p.add_host("b", 1e9);
+  auto graph_link = p.add_link("g", 1e8, 1e-4);
+  auto special = p.add_link("s", 1e8, 5e-2);
+  p.add_edge(a, b, graph_link);
+  p.add_route(a, b, {special});
+  p.seal();
+  EXPECT_EQ(p.route(0, 1).links[0], special);
+}
+
+TEST(PlatformParser, RoundTrip) {
+  const std::string text = R"(
+# test platform
+host n0 speed:2Gf
+host n1 speed:500Mf
+router r0
+link l0 bw:125MBps lat:50us
+link l1 bw:1Gbps lat:10ms fatpipe
+edge n0 r0 l0
+edge n1 r0 l1
+)";
+  Platform p = parse_platform(text);
+  EXPECT_EQ(p.host_count(), 2u);
+  EXPECT_EQ(p.link_count(), 2u);
+  EXPECT_DOUBLE_EQ(p.host(0).speed_flops, 2e9);
+  EXPECT_DOUBLE_EQ(p.link(0).bandwidth_Bps, 1.25e8);
+  EXPECT_DOUBLE_EQ(p.link(1).latency_s, 1e-2);
+  EXPECT_EQ(p.link(1).policy, SharingPolicy::kFatpipe);
+  EXPECT_EQ(p.route(0, 1).links.size(), 2u);
+
+  // dump and re-parse: same structure
+  Platform p2 = parse_platform(dump_platform(p));
+  EXPECT_EQ(p2.host_count(), p.host_count());
+  EXPECT_EQ(p2.link_count(), p.link_count());
+  EXPECT_EQ(p2.route(0, 1).links.size(), 2u);
+}
+
+TEST(PlatformParser, InlineTraces) {
+  const std::string text =
+      "host n0 speed:1Gf avail:\"0 1.0;5 0.5;P:10\" state:\"0 1;8 0;P:10\"\n";
+  Platform p = parse_platform(text);
+  const auto& h = p.host(0);
+  ASSERT_FALSE(h.availability.empty());
+  EXPECT_DOUBLE_EQ(h.availability.value_at(6.0), 0.5);
+  EXPECT_DOUBLE_EQ(h.availability.periodicity(), 10.0);
+  EXPECT_DOUBLE_EQ(h.state.value_at(9.0), 0.0);
+}
+
+TEST(PlatformParser, ExplicitRouteDirective) {
+  const std::string text = R"(
+host a speed:1Gf
+host b speed:1Gf
+link l0 bw:100MBps lat:1ms
+route a b l0
+)";
+  Platform p = parse_platform(text);
+  EXPECT_EQ(p.route(0, 1).links.size(), 1u);
+  EXPECT_EQ(p.route(1, 0).links.size(), 1u);
+}
+
+TEST(PlatformParser, Errors) {
+  EXPECT_THROW(parse_platform("bogus x\n"), sg::xbt::InvalidArgument);
+  EXPECT_THROW(parse_platform("host\n"), sg::xbt::InvalidArgument);
+  EXPECT_THROW(parse_platform("edge a b c\n"), sg::xbt::InvalidArgument);
+  EXPECT_THROW(parse_platform("host a speed:1Gf\nroute a zz\n"), sg::xbt::InvalidArgument);
+}
+
+TEST(Builders, Cluster) {
+  ClusterSpec spec;
+  spec.count = 4;
+  Platform p = make_cluster(spec);
+  EXPECT_EQ(p.host_count(), 4u);
+  // node0 -> node1: private link, backbone? no — both behind the same switch.
+  const Route& r = p.route(0, 1);
+  EXPECT_EQ(r.links.size(), 2u);  // up + down private links
+}
+
+TEST(Builders, ClusterCrossBackbone) {
+  // Traffic leaving through -out is not exercised here, but all intra-cluster
+  // routes must avoid the backbone (pure star through the switch).
+  ClusterSpec spec;
+  spec.count = 3;
+  Platform p = make_cluster(spec);
+  auto bb = p.link_by_name("node-backbone");
+  ASSERT_TRUE(bb.has_value());
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j) {
+      if (i == j)
+        continue;
+      for (auto l : p.route(i, j).links)
+        EXPECT_NE(l, *bb);
+    }
+}
+
+TEST(Builders, Dumbbell) {
+  Platform p = make_dumbbell(1e9, 1.25e8, 1e-4);
+  EXPECT_EQ(p.host_count(), 2u);
+  EXPECT_EQ(p.route(0, 1).links.size(), 1u);
+}
+
+TEST(Builders, ClientServerLanSharedSegment) {
+  Platform p = make_client_server_lan(3, 2);
+  EXPECT_EQ(p.host_count(), 5u);
+  auto c1 = *p.host_by_name("client1");
+  auto c2 = *p.host_by_name("client2");
+  auto s1 = *p.host_by_name("server1");
+  // All client->server routes share the hub segment.
+  auto hub = *p.link_by_name("hub-segment");
+  const auto& r1 = p.route(c1, s1);
+  const auto& r2 = p.route(c2, s1);
+  EXPECT_NE(std::find(r1.links.begin(), r1.links.end(), hub), r1.links.end());
+  EXPECT_NE(std::find(r2.links.begin(), r2.links.end(), hub), r2.links.end());
+}
+
+}  // namespace

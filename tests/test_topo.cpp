@@ -1,0 +1,135 @@
+/// Tests for the BRITE-style Waxman topology generator and import/export.
+#include <gtest/gtest.h>
+
+#include <queue>
+#include <set>
+
+#include "topo/brite.hpp"
+#include "xbt/exception.hpp"
+
+namespace {
+
+using namespace sg::topo;
+
+bool is_connected(const Topology& t) {
+  if (t.nodes.empty())
+    return true;
+  std::vector<std::vector<int>> adj(t.nodes.size());
+  for (const auto& e : t.edges) {
+    adj[static_cast<size_t>(e.from)].push_back(e.to);
+    adj[static_cast<size_t>(e.to)].push_back(e.from);
+  }
+  std::set<int> seen{0};
+  std::queue<int> q;
+  q.push(0);
+  while (!q.empty()) {
+    int u = q.front();
+    q.pop();
+    for (int v : adj[static_cast<size_t>(u)])
+      if (seen.insert(v).second)
+        q.push(v);
+  }
+  return seen.size() == t.nodes.size();
+}
+
+TEST(Waxman, NodeAndEdgeCounts) {
+  WaxmanSpec spec;
+  spec.n_nodes = 20;
+  spec.m_edges_per_node = 2;
+  const Topology t = generate_waxman(spec);
+  EXPECT_EQ(t.nodes.size(), 20u);
+  // node 1 adds 1 edge (only one candidate), others add 2.
+  EXPECT_EQ(t.edges.size(), 1u + 18u * 2u);
+}
+
+TEST(Waxman, Deterministic) {
+  WaxmanSpec spec;
+  spec.n_nodes = 15;
+  spec.seed = 99;
+  const Topology a = generate_waxman(spec);
+  const Topology b = generate_waxman(spec);
+  ASSERT_EQ(a.edges.size(), b.edges.size());
+  for (size_t i = 0; i < a.edges.size(); ++i) {
+    EXPECT_EQ(a.edges[i].from, b.edges[i].from);
+    EXPECT_EQ(a.edges[i].to, b.edges[i].to);
+    EXPECT_DOUBLE_EQ(a.edges[i].bandwidth_Bps, b.edges[i].bandwidth_Bps);
+  }
+}
+
+TEST(Waxman, SeedsChangeTopology) {
+  WaxmanSpec spec;
+  spec.n_nodes = 15;
+  spec.seed = 1;
+  const Topology a = generate_waxman(spec);
+  spec.seed = 2;
+  const Topology b = generate_waxman(spec);
+  bool differs = false;
+  for (size_t i = 0; i < std::min(a.edges.size(), b.edges.size()); ++i)
+    if (a.edges[i].from != b.edges[i].from || a.edges[i].to != b.edges[i].to)
+      differs = true;
+  EXPECT_TRUE(differs);
+}
+
+TEST(Waxman, AlwaysConnected) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    WaxmanSpec spec;
+    spec.n_nodes = 30;
+    spec.seed = seed;
+    EXPECT_TRUE(is_connected(generate_waxman(spec))) << "seed " << seed;
+  }
+}
+
+TEST(Waxman, BandwidthsWithinRange) {
+  WaxmanSpec spec;
+  spec.n_nodes = 25;
+  spec.bw_min_Bps = 5e6;
+  spec.bw_max_Bps = 6e6;
+  const Topology t = generate_waxman(spec);
+  for (const auto& e : t.edges) {
+    EXPECT_GE(e.bandwidth_Bps, 5e6);
+    EXPECT_LE(e.bandwidth_Bps, 6e6);
+    EXPECT_GT(e.latency_s, 0.0);
+  }
+}
+
+TEST(Waxman, RejectsTinyGraphs) {
+  WaxmanSpec spec;
+  spec.n_nodes = 1;
+  EXPECT_THROW(generate_waxman(spec), sg::xbt::InvalidArgument);
+}
+
+TEST(Brite, ExportImportRoundTrip) {
+  WaxmanSpec spec;
+  spec.n_nodes = 12;
+  const Topology t = generate_waxman(spec);
+  const Topology u = import_brite(export_brite(t));
+  ASSERT_EQ(u.nodes.size(), t.nodes.size());
+  ASSERT_EQ(u.edges.size(), t.edges.size());
+  for (size_t i = 0; i < t.edges.size(); ++i) {
+    EXPECT_EQ(u.edges[i].from, t.edges[i].from);
+    EXPECT_EQ(u.edges[i].to, t.edges[i].to);
+    EXPECT_NEAR(u.edges[i].bandwidth_Bps, t.edges[i].bandwidth_Bps, 1.0);
+    EXPECT_NEAR(u.edges[i].latency_s, t.edges[i].latency_s, 1e-9);
+  }
+}
+
+TEST(Brite, ImportRejectsGarbage) {
+  EXPECT_THROW(import_brite("no sections here"), sg::xbt::InvalidArgument);
+  EXPECT_THROW(import_brite("Nodes: (1)\nbroken"), sg::xbt::InvalidArgument);
+}
+
+TEST(Brite, ToPlatform) {
+  WaxmanSpec spec;
+  spec.n_nodes = 10;
+  const Topology t = generate_waxman(spec);
+  auto p = to_platform(t, "n", 2e9);
+  EXPECT_EQ(p.host_count(), 10u);
+  EXPECT_EQ(p.link_count(), t.edges.size());
+  EXPECT_DOUBLE_EQ(p.host(3).speed_flops, 2e9);
+  // Connectivity carried over: all host pairs reachable.
+  for (int i = 0; i < 10; ++i)
+    for (int j = 0; j < 10; ++j)
+      EXPECT_TRUE(p.reachable(i, j));
+}
+
+}  // namespace

@@ -1,0 +1,116 @@
+/// Unit tests for trace parsing and replay (availability / failure traces).
+#include <gtest/gtest.h>
+
+#include "trace/trace.hpp"
+#include "xbt/exception.hpp"
+
+namespace {
+
+using sg::trace::Trace;
+using sg::trace::TracePoint;
+
+TEST(Trace, ParseBasic) {
+  const Trace t = Trace::parse("t", "# comment\n0.0 1.0\n5.0 0.5\n10 0.8\n");
+  ASSERT_EQ(t.points().size(), 3u);
+  EXPECT_DOUBLE_EQ(t.points()[1].time, 5.0);
+  EXPECT_DOUBLE_EQ(t.points()[1].value, 0.5);
+  EXPECT_LT(t.periodicity(), 0);
+}
+
+TEST(Trace, ParsePeriodicity) {
+  const Trace t = Trace::parse("t", "PERIODICITY 10\n0 1\n5 0\n");
+  EXPECT_DOUBLE_EQ(t.periodicity(), 10.0);
+  EXPECT_DOUBLE_EQ(t.horizon(), 10.0);
+}
+
+TEST(Trace, ParseRejectsDecreasingTimestamps) {
+  EXPECT_THROW(Trace::parse("t", "5 1\n0 2\n"), sg::xbt::InvalidArgument);
+}
+
+TEST(Trace, ParseRejectsGarbage) {
+  EXPECT_THROW(Trace::parse("t", "1 2 3\n"), sg::xbt::InvalidArgument);
+  EXPECT_THROW(Trace::parse("t", "PERIODICITY\n"), sg::xbt::InvalidArgument);
+}
+
+TEST(Trace, PointsBeyondPeriodRejected) {
+  EXPECT_THROW(Trace::parse("t", "PERIODICITY 10\n0 1\n15 0\n"), sg::xbt::InvalidArgument);
+}
+
+TEST(Trace, ValueAtStepFunction) {
+  const Trace t = Trace::parse("t", "0 1.0\n5 0.5\n10 0.8\n");
+  EXPECT_DOUBLE_EQ(t.value_at(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(t.value_at(4.999), 1.0);
+  EXPECT_DOUBLE_EQ(t.value_at(5.0), 0.5);
+  EXPECT_DOUBLE_EQ(t.value_at(9.0), 0.5);
+  EXPECT_DOUBLE_EQ(t.value_at(100.0), 0.8);  // holds last value
+}
+
+TEST(Trace, ValueAtPeriodic) {
+  const Trace t = Trace::parse("t", "PERIODICITY 10\n0 1\n5 0.5\n");
+  EXPECT_DOUBLE_EQ(t.value_at(2.0), 1.0);
+  EXPECT_DOUBLE_EQ(t.value_at(7.0), 0.5);
+  EXPECT_DOUBLE_EQ(t.value_at(12.0), 1.0);   // wrapped
+  EXPECT_DOUBLE_EQ(t.value_at(17.0), 0.5);
+  EXPECT_DOUBLE_EQ(t.value_at(100.0), 1.0);  // 100 mod 10 == 0
+}
+
+TEST(Trace, NextEventNonPeriodic) {
+  const Trace t = Trace::parse("t", "0 1\n5 0.5\n10 0.8\n");
+  auto e = t.next_event_after(0.0);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_DOUBLE_EQ(e->time, 5.0);
+  EXPECT_DOUBLE_EQ(e->value, 0.5);
+  e = t.next_event_after(5.0);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_DOUBLE_EQ(e->time, 10.0);
+  EXPECT_FALSE(t.next_event_after(10.0).has_value());
+}
+
+TEST(Trace, NextEventPeriodicWraps) {
+  const Trace t = Trace::parse("t", "PERIODICITY 10\n0 1\n5 0.5\n");
+  auto e = t.next_event_after(5.0);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_DOUBLE_EQ(e->time, 10.0);  // next period's first point
+  EXPECT_DOUBLE_EQ(e->value, 1.0);
+  e = t.next_event_after(12.0);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_DOUBLE_EQ(e->time, 15.0);
+  EXPECT_DOUBLE_EQ(e->value, 0.5);
+}
+
+TEST(Trace, EventSequenceIsMonotone) {
+  const Trace t = sg::trace::square_wave("w", 1.0, 3.0, 0.0, 2.0);
+  double now = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    auto e = t.next_event_after(now);
+    ASSERT_TRUE(e.has_value());
+    EXPECT_GT(e->time, now);
+    now = e->time;
+  }
+  EXPECT_DOUBLE_EQ(now, 50.0);  // 20 alternations of a 5s period, 2 events each
+}
+
+TEST(Trace, EmptyTraceIsAlwaysOne) {
+  const Trace t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_DOUBLE_EQ(t.value_at(123.0), 1.0);
+  EXPECT_FALSE(t.next_event_after(0.0).has_value());
+}
+
+TEST(Trace, ConstantBuilder) {
+  const Trace t = sg::trace::constant_trace("c", 0.25);
+  EXPECT_DOUBLE_EQ(t.value_at(0.0), 0.25);
+  EXPECT_DOUBLE_EQ(t.value_at(1e9), 0.25);
+  EXPECT_FALSE(t.next_event_after(0.0).has_value());
+}
+
+TEST(Trace, SquareWaveBuilder) {
+  const Trace t = sg::trace::square_wave("w", 1.0, 4.0, 0.0, 6.0);
+  EXPECT_DOUBLE_EQ(t.periodicity(), 10.0);
+  EXPECT_DOUBLE_EQ(t.value_at(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(t.value_at(5.0), 0.0);
+  EXPECT_DOUBLE_EQ(t.value_at(11.0), 1.0);
+  EXPECT_DOUBLE_EQ(t.value_at(15.0), 0.0);
+}
+
+}  // namespace
