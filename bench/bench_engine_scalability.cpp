@@ -1,9 +1,13 @@
 /// E9 — scalability of the MSG concurrency model ("all simulated application
 /// processes run within a single OS process"): wall-clock cost of a
-/// master/worker simulation as the number of processes grows.
+/// master/worker simulation as the number of processes grows. Plus the SURF
+/// incremental-churn workload: N independent client/server pairs with one
+/// flow changing per event, the access pattern the incremental max-min
+/// solver is built for.
 #include <chrono>
 #include <cstdio>
 
+#include "core/engine.hpp"
 #include "msg/msg.hpp"
 #include "platform/builders.hpp"
 
@@ -42,9 +46,51 @@ double run_master_worker(int n_workers, int tasks_per_worker, double* sim_time) 
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
+// Engine-level incremental churn: 2N hosts on a fatpipe-backbone cluster,
+// one comm flow per client/server pair (client i -> server N+i over private
+// up/down links). Steady state: whenever a flow completes, a new one starts
+// on the same pair — exactly one component changes per engine event.
+double run_engine_churn(int n_pairs, int n_events, double* events_per_sec) {
+  using Clock = std::chrono::steady_clock;
+  sg::platform::ClusterSpec spec;
+  spec.count = 2 * n_pairs;
+  spec.backbone_fatpipe = true;  // a shared backbone would couple all pairs
+  sg::core::Engine engine(sg::platform::make_cluster(spec));
+
+  for (int i = 0; i < n_pairs; ++i)
+    engine.comm_start(i, n_pairs + i, 1e6 * (1.0 + i % 7));
+
+  const auto t0 = Clock::now();
+  int events = 0;
+  while (events < n_events) {
+    auto fired = engine.step();
+    for (auto& ev : fired) {
+      ++events;
+      const int client = ev.action->host();
+      engine.comm_start(client, ev.action->peer_host(), 1e6 * (1.0 + events % 7));
+    }
+  }
+  const double wall = std::chrono::duration<double>(Clock::now() - t0).count();
+  *events_per_sec = n_events / wall;
+  return wall;
+}
+
 }  // namespace
 
 int main() {
+  std::printf("E9a: SURF incremental churn — client/server pairs, 1 flow per event\n\n");
+  std::printf("%10s %12s %15s %18s\n", "pairs", "events", "wall time (s)", "events/s");
+  for (int pairs : {100, 500, 1000, 2000}) {
+    const int n_events = 2000;
+    double eps = 0;
+    const double wall = run_engine_churn(pairs, n_events, &eps);
+    std::printf("%10d %12d %15.3f %18.0f\n", pairs, n_events, wall, eps);
+  }
+  std::printf("\nshape: the incremental solver re-solves only the component the completed\n");
+  std::printf("flow touches, so per-event solve cost is flat; the remaining decay comes\n");
+  std::printf("from the engine's O(running actions) completion scan per step.\n");
+  std::printf("(sizes capped: platform route sealing is currently O(hosts^2))\n\n");
+
   std::printf("E9: kernel scalability — master/worker, 8 tasks per worker\n\n");
   std::printf("%10s %12s %15s %18s\n", "processes", "sim time(s)", "wall time (s)",
               "wall us/task");

@@ -74,6 +74,69 @@ void BM_IncrementalChurn(benchmark::State& state) {
 }
 BENCHMARK(BM_IncrementalChurn);
 
+// --- the acceptance workload: N independent client/server pairs, one flow
+// changed per event. Each flow crosses its pair's client and server link.
+// BM_ChurnIncremental re-solves with the incremental path (only the touched
+// pair's component); BM_ChurnFullResolve forces the from-scratch solver on
+// the identical mutation sequence. The ratio of the two is the speedup that
+// turns per-event cost from O(system) into O(affected subgraph).
+
+struct PairedFlows {
+  MaxMinSystem sys;
+  std::vector<MaxMinSystem::CnstId> client_links;
+  std::vector<MaxMinSystem::CnstId> server_links;
+  std::vector<MaxMinSystem::VarId> flows;
+};
+
+PairedFlows build_paired_flows(int n_pairs) {
+  PairedFlows p;
+  sg::xbt::Rng rng(7);
+  for (int i = 0; i < n_pairs; ++i) {
+    p.client_links.push_back(p.sys.new_constraint(rng.uniform(50, 150)));
+    p.server_links.push_back(p.sys.new_constraint(rng.uniform(50, 150)));
+    auto flow = p.sys.new_variable(1.0);
+    p.sys.expand(p.client_links.back(), flow);
+    p.sys.expand(p.server_links.back(), flow);
+    p.flows.push_back(flow);
+  }
+  p.sys.solve();
+  return p;
+}
+
+void churn_one_flow(PairedFlows& p, size_t cursor) {
+  p.sys.release_variable(p.flows[cursor]);
+  auto flow = p.sys.new_variable(1.0);
+  p.sys.expand(p.client_links[cursor], flow);
+  p.sys.expand(p.server_links[cursor], flow);
+  p.flows[cursor] = flow;
+}
+
+void BM_ChurnIncremental(benchmark::State& state) {
+  auto p = build_paired_flows(static_cast<int>(state.range(0)));
+  size_t cursor = 0;
+  for (auto _ : state) {
+    churn_one_flow(p, cursor);
+    cursor = (cursor + 1) % p.flows.size();
+    p.sys.solve();
+    benchmark::DoNotOptimize(p.sys.value(p.flows[cursor]));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ChurnIncremental)->RangeMultiplier(4)->Range(160, 10240)->Complexity();
+
+void BM_ChurnFullResolve(benchmark::State& state) {
+  auto p = build_paired_flows(static_cast<int>(state.range(0)));
+  size_t cursor = 0;
+  for (auto _ : state) {
+    churn_one_flow(p, cursor);
+    cursor = (cursor + 1) % p.flows.size();
+    p.sys.solve_full();
+    benchmark::DoNotOptimize(p.sys.value(p.flows[cursor]));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ChurnFullResolve)->RangeMultiplier(4)->Range(160, 10240)->Complexity();
+
 }  // namespace
 
 BENCHMARK_MAIN();

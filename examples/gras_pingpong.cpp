@@ -44,7 +44,7 @@ void server() {
     /* Some computation whose duration should be simulated */
     volatile double x = 1.0;
     for (int i = 0; i < 1000000; ++i)
-      x *= 1.0000001;
+      x = x * 1.0000001;
     GRAS_BENCH_ALWAYS_END();
     /* Send data back as payload of pong message to the ping's source */
     msg_send(m.source, "pong", Value(msg + 1));

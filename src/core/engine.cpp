@@ -51,7 +51,8 @@ void Action::suspend() {
   state_ = ActionState::kSuspended;
   if (var_ >= 0 && !in_latency_phase_)
     engine_->sys_.set_weight(var_, 0.0);
-  engine_->sharing_dirty_ = true;
+  if (kind_ == ActionKind::kSleep)
+    rate_ = 0.0;
   engine_->notify(*this, ActionState::kRunning, ActionState::kSuspended);
 }
 
@@ -61,7 +62,8 @@ void Action::resume() {
   state_ = ActionState::kRunning;
   if (var_ >= 0 && !in_latency_phase_)
     engine_->sys_.set_weight(var_, priority_);
-  engine_->sharing_dirty_ = true;
+  if (kind_ == ActionKind::kSleep)
+    rate_ = 1.0;
   engine_->notify(*this, ActionState::kSuspended, ActionState::kRunning);
 }
 
@@ -78,10 +80,8 @@ void Action::cancel() {
 
 void Action::set_priority(double priority) {
   priority_ = priority;
-  if (var_ >= 0 && !in_latency_phase_ && state_ == ActionState::kRunning) {
+  if (var_ >= 0 && !in_latency_phase_ && state_ == ActionState::kRunning)
     engine_->sys_.set_weight(var_, priority);
-    engine_->sharing_dirty_ = true;
-  }
 }
 
 // ---------------------------------------------------------------------------
@@ -153,11 +153,10 @@ ActionPtr Engine::exec_start(int host, double flops, double priority, const std:
     throw xbt::HostFailureException("exec_start: host " + platform_.host(host).name + " is down");
   auto action = ActionPtr(new Action(this, ActionKind::kExec, name, flops, priority));
   action->host_ = host;
-  action->var_ = sys_.new_variable(priority);
+  bind_var(action.get(), sys_.new_variable(priority));
   sys_.expand(res.cnst, action->var_, 1.0);
   action->cnsts_used_.push_back(res.cnst);
   running_.push_back(action);
-  sharing_dirty_ = true;
   notify(*action, ActionState::kRunning, ActionState::kRunning);
   SG_DEBUG(surf, "exec_start %s on %s: %.0f flops", name.c_str(), platform_.host(host).name.c_str(), flops);
   return action;
@@ -210,7 +209,7 @@ ActionPtr Engine::comm_start(int src_host, int dst_host, double bytes, double ra
     bound = (bound < 0) ? tcp_cap : std::min(bound, tcp_cap);
   }
 
-  action->var_ = sys_.new_variable(0.0, bound);  // weight 0 during latency phase
+  bind_var(action.get(), sys_.new_variable(0.0, bound));  // weight 0 during latency phase
   for (MaxMinSystem::CnstId c : action->cnsts_used_)
     sys_.expand(c, action->var_, 1.0);
 
@@ -223,7 +222,6 @@ ActionPtr Engine::comm_start(int src_host, int dst_host, double bytes, double ra
   }
 
   running_.push_back(action);
-  sharing_dirty_ = true;
   notify(*action, ActionState::kRunning, ActionState::kRunning);
   return action;
 }
@@ -243,7 +241,7 @@ ActionPtr Engine::ptask_start(const std::vector<int>& hosts, const std::vector<d
   // so at completion (integral of v = 1) exactly flops[i] / bytes[i][j] have
   // been consumed. This is SimGrid's L07 parallel-task model.
   auto action = ActionPtr(new Action(this, ActionKind::kPtask, name, 1.0, 1.0));
-  action->var_ = sys_.new_variable(0.0);
+  bind_var(action.get(), sys_.new_variable(0.0));
 
   double latency = 0.0;
   for (size_t i = 0; i < hosts.size(); ++i) {
@@ -276,7 +274,6 @@ ActionPtr Engine::ptask_start(const std::vector<int>& hosts, const std::vector<d
     sys_.set_weight(action->var_, action->priority_);
   }
   running_.push_back(action);
-  sharing_dirty_ = true;
   return action;
 }
 
@@ -291,16 +288,23 @@ ActionPtr Engine::sleep_start(int host, double duration, const std::string& name
   return action;
 }
 
+void Engine::bind_var(Action* action, MaxMinSystem::VarId var) {
+  action->var_ = var;
+  if (action_of_var_.size() <= static_cast<size_t>(var))
+    action_of_var_.resize(static_cast<size_t>(var) + 1, nullptr);
+  action_of_var_[static_cast<size_t>(var)] = action;
+}
+
 void Engine::share_resources() {
+  // Sleeps manage their rate directly (1, or 0 while suspended); everyone
+  // else mirrors its solver allocation. Only actions whose allocation moved
+  // in this (incremental) solve need a refresh.
   sys_.solve();
-  for (const ActionPtr& a : running_) {
-    if (a->var_ >= 0)
-      a->rate_ = sys_.value(a->var_);
-    // sleeps keep rate 1; suspended sleeps don't progress
-    if (a->kind_ == ActionKind::kSleep)
-      a->rate_ = (a->state_ == ActionState::kSuspended) ? 0.0 : 1.0;
+  for (MaxMinSystem::VarId v : sys_.changed_variables()) {
+    Action* a = action_of_var_[static_cast<size_t>(v)];
+    if (a != nullptr)
+      a->rate_ = sys_.value(v);
   }
-  sharing_dirty_ = false;
 }
 
 double Engine::action_finish_date(const Action& a) const {
@@ -316,8 +320,7 @@ double Engine::action_finish_date(const Action& a) const {
 }
 
 double Engine::next_event_time() {
-  if (sharing_dirty_)
-    share_resources();
+  share_resources();
   if (!pending_.empty())
     return now_;
   double best = kInf;
@@ -338,8 +341,7 @@ std::vector<ActionEvent> Engine::step(double bound) {
     return out;
   }
 
-  if (sharing_dirty_)
-    share_resources();
+  share_resources();
 
   // Planned completion dates, computed before any floating-point advance so
   // that cancellation noise in (target - now_) cannot strand an action.
@@ -377,7 +379,6 @@ std::vector<ActionEvent> Engine::step(double bound) {
       a->latency_remaining_ = 0;
       if (a->var_ >= 0)
         sys_.set_weight(a->var_, a->priority_);
-      sharing_dirty_ = true;
       if (a->remaining_ > 0)
         a->planned_finish_ = kInf;  // not a data completion
     }
@@ -454,20 +455,17 @@ void Engine::apply_trace_event(const TraceEvent& ev, std::vector<ActionEvent>& o
       break;
     }
   }
-  sharing_dirty_ = true;
 }
 
 void Engine::refresh_host_capacity(int host) {
   const HostRes& res = hosts_[static_cast<size_t>(host)];
   sys_.set_capacity(res.cnst, res.on ? platform_.host(host).speed_flops * res.scale : 0.0);
-  sharing_dirty_ = true;
 }
 
 void Engine::refresh_link_capacity(platform::LinkId link) {
   const LinkRes& res = links_[static_cast<size_t>(link)];
   sys_.set_capacity(res.cnst,
                     res.on ? platform_.link(link).bandwidth_Bps * res.scale * bandwidth_factor_ : 0.0);
-  sharing_dirty_ = true;
 }
 
 void Engine::fail_actions_on_constraint(MaxMinSystem::CnstId cnst, std::vector<ActionEvent>& out) {
@@ -486,9 +484,9 @@ void Engine::finish_action(const ActionPtr& action, ActionState final_state, std
   if (final_state == ActionState::kDone)
     action->remaining_ = 0;
   if (action->var_ >= 0) {
+    action_of_var_[static_cast<size_t>(action->var_)] = nullptr;
     sys_.release_variable(action->var_);
     action->var_ = -1;
-    sharing_dirty_ = true;
   }
   running_.erase(std::remove(running_.begin(), running_.end(), action), running_.end());
   notify(*action, old_state, final_state);
@@ -514,14 +512,12 @@ double Engine::link_bandwidth(platform::LinkId link) const {
 }
 
 double Engine::host_load(int host) {
-  if (sharing_dirty_)
-    share_resources();
+  share_resources();
   return sys_.usage(hosts_.at(static_cast<size_t>(host)).cnst);
 }
 
 double Engine::link_load(platform::LinkId link) {
-  if (sharing_dirty_)
-    share_resources();
+  share_resources();
   return sys_.usage(links_.at(static_cast<size_t>(link)).cnst);
 }
 

@@ -131,7 +131,11 @@ private:
   void fail_actions_on_constraint(MaxMinSystem::CnstId cnst, std::vector<ActionEvent>& out);
   MaxMinSystem::CnstId loopback_constraint(int host);
   void notify(const Action& action, ActionState old_state, ActionState new_state);
-  /// Recompute sharing and refresh each running action's rate.
+  /// Bind a solver variable to its action so rate refreshes can find it.
+  void bind_var(Action* action, MaxMinSystem::VarId var);
+  /// Re-solve sharing (incrementally — only components touched by a mutation
+  /// are recomputed) and refresh the rates of the actions whose allocation
+  /// changed. Cheap no-op when nothing is dirty.
   void share_resources();
   /// Date at which the action will complete under current rates (kInf if
   /// suspended or starved). Does not recompute sharing.
@@ -141,13 +145,13 @@ private:
   MaxMinSystem sys_;
   std::vector<HostRes> hosts_;
   std::vector<LinkRes> links_;
+  std::vector<Action*> action_of_var_;  ///< indexed by VarId; nullptr when free
   std::vector<ActionPtr> running_;
   std::vector<ActionEvent> pending_;  ///< events produced outside step()
   std::priority_queue<TraceEvent, std::vector<TraceEvent>, std::greater<>> trace_events_;
   ActionObserver observer_;
   ResourceObserver resource_observer_;
   double now_ = 0;
-  bool sharing_dirty_ = true;
 
   // model parameters (snapshotted from xbt::Config at construction)
   double tcp_gamma_;

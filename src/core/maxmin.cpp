@@ -10,21 +10,42 @@ namespace sg::core {
 
 namespace {
 constexpr double kEps = 1e-9;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+void MaxMinSystem::mark_var_dirty(VarId var) {
+  if (full_solve_pending_ || var_dirty_[static_cast<size_t>(var)])
+    return;
+  var_dirty_[static_cast<size_t>(var)] = 1;
+  dirty_vars_.push_back(var);
 }
 
-void MaxMinSystem::Constraint::compact(const std::vector<Variable>& vars) {
-  if (dead_elems * 2 < elems.size())
+void MaxMinSystem::mark_cnst_dirty(CnstId cnst, bool need_traverse) {
+  if (full_solve_pending_)
     return;
-  elems.erase(std::remove_if(elems.begin(), elems.end(),
-                             [&](const Element& e) { return !vars[static_cast<size_t>(e.var)].alive; }),
-              elems.end());
-  dead_elems = 0;
+  // Shared constraints couple their users, so any change propagates to all of
+  // them. A fatpipe caps each user independently: only a capacity change
+  // (need_traverse) concerns users other than the (separately dirtied)
+  // variable being added/removed.
+  need_traverse = need_traverse || cnsts_[static_cast<size_t>(cnst)].shared;
+  if (cnst_dirty_[static_cast<size_t>(cnst)]) {
+    if (need_traverse)
+      cnst_dirty_traverse_[static_cast<size_t>(cnst)] = 1;
+    return;
+  }
+  cnst_dirty_[static_cast<size_t>(cnst)] = 1;
+  cnst_dirty_traverse_[static_cast<size_t>(cnst)] = need_traverse ? 1 : 0;
+  dirty_cnsts_.push_back(cnst);
 }
 
 MaxMinSystem::CnstId MaxMinSystem::new_constraint(double capacity, bool shared) {
   if (capacity < 0)
     throw xbt::InvalidArgument("constraint capacity must be non-negative");
-  cnsts_.push_back({capacity, shared, {}, 0});
+  cnsts_.push_back({capacity, shared, {}});
+  cnst_dirty_.push_back(0);
+  cnst_dirty_traverse_.push_back(0);
+  cnst_in_set_.push_back(0);
+  remaining_.push_back(0);
   return static_cast<CnstId>(cnsts_.size() - 1);
 }
 
@@ -39,18 +60,33 @@ MaxMinSystem::VarId MaxMinSystem::new_variable(double weight, double bound) {
   } else {
     vars_.push_back(Variable{weight, bound, 0, true, {}, {}});
     id = static_cast<VarId>(vars_.size() - 1);
+    var_dirty_.push_back(0);
+    var_in_set_.push_back(0);
+    active_.push_back(0);
+    effective_bound_.push_back(kInf);
   }
   ++live_vars_;
+  mark_var_dirty(id);
   return id;
 }
 
 void MaxMinSystem::expand(CnstId cnst, VarId var, double coeff) {
   if (coeff <= 0)
     throw xbt::InvalidArgument("element coefficient must be positive");
-  cnsts_.at(static_cast<size_t>(cnst)).elems.push_back({var, coeff});
-  Variable& v = vars_.at(static_cast<size_t>(var));
+  if (cnst < 0 || static_cast<size_t>(cnst) >= cnsts_.size())
+    throw xbt::InvalidArgument("expand: constraint id " + std::to_string(cnst) + " out of range");
+  if (var < 0 || static_cast<size_t>(var) >= vars_.size())
+    throw xbt::InvalidArgument("expand: variable id " + std::to_string(var) + " out of range");
+  Variable& v = vars_[static_cast<size_t>(var)];
+  if (!v.alive)
+    throw xbt::InvalidArgument("expand: variable id " + std::to_string(var) + " was released");
+  cnsts_[static_cast<size_t>(cnst)].elems.push_back({var, coeff});
   v.cnsts.push_back(cnst);
   v.coeffs.push_back(coeff);
+  // The constraint's existing users must re-share with the newcomer
+  // (membership change: fatpipes stay cap-only).
+  mark_cnst_dirty(cnst, /*need_traverse=*/false);
+  mark_var_dirty(var);
 }
 
 void MaxMinSystem::release_variable(VarId var) {
@@ -61,8 +97,13 @@ void MaxMinSystem::release_variable(VarId var) {
   v.value = 0;
   for (CnstId c : v.cnsts) {
     Constraint& cnst = cnsts_[static_cast<size_t>(c)];
-    ++cnst.dead_elems;
-    cnst.compact(vars_);
+    // Eager removal: a stale element would silently re-attach to whatever
+    // variable later recycles this id. The constraint is re-solved anyway
+    // (it is dirty), so the scan does not change the asymptotic cost.
+    std::erase_if(cnst.elems, [var](const Element& e) { return e.var == var; });
+    // The freed share must be redistributed among the constraint's users
+    // (membership change: fatpipes stay cap-only).
+    mark_cnst_dirty(c, /*need_traverse=*/false);
   }
   v.cnsts.clear();
   v.coeffs.clear();
@@ -73,7 +114,12 @@ void MaxMinSystem::release_variable(VarId var) {
 void MaxMinSystem::set_capacity(CnstId cnst, double capacity) {
   if (capacity < 0)
     throw xbt::InvalidArgument("constraint capacity must be non-negative");
-  cnsts_.at(static_cast<size_t>(cnst)).capacity = capacity;
+  Constraint& c = cnsts_.at(static_cast<size_t>(cnst));
+  if (c.capacity == capacity)
+    return;
+  c.capacity = capacity;
+  // A capacity change moves every user's cap, so fatpipes traverse too.
+  mark_cnst_dirty(cnst, /*need_traverse=*/true);
 }
 
 double MaxMinSystem::capacity(CnstId cnst) const { return cnsts_.at(static_cast<size_t>(cnst)).capacity; }
@@ -81,12 +127,24 @@ double MaxMinSystem::capacity(CnstId cnst) const { return cnsts_.at(static_cast<
 void MaxMinSystem::set_weight(VarId var, double weight) {
   if (weight < 0)
     throw xbt::InvalidArgument("variable weight must be non-negative");
-  vars_.at(static_cast<size_t>(var)).weight = weight;
+  Variable& v = vars_.at(static_cast<size_t>(var));
+  if (v.weight == weight)
+    return;
+  v.weight = weight;
+  if (v.alive)
+    mark_var_dirty(var);
 }
 
 double MaxMinSystem::weight(VarId var) const { return vars_.at(static_cast<size_t>(var)).weight; }
 
-void MaxMinSystem::set_bound(VarId var, double bound) { vars_.at(static_cast<size_t>(var)).bound = bound; }
+void MaxMinSystem::set_bound(VarId var, double bound) {
+  Variable& v = vars_.at(static_cast<size_t>(var));
+  if (v.bound == bound)
+    return;
+  v.bound = bound;
+  if (v.alive)
+    mark_var_dirty(var);
+}
 
 double MaxMinSystem::bound(VarId var) const { return vars_.at(static_cast<size_t>(var)).bound; }
 
@@ -96,145 +154,253 @@ double MaxMinSystem::usage(CnstId cnst) const {
   const Constraint& c = cnsts_.at(static_cast<size_t>(cnst));
   double total = 0;
   for (const Element& e : c.elems) {
-    const Variable& v = vars_[static_cast<size_t>(e.var)];
-    if (!v.alive)
-      continue;
-    const double u = e.coeff * v.value;
+    const double u = e.coeff * vars_[static_cast<size_t>(e.var)].value;
     total = c.shared ? total + u : std::max(total, u);
   }
   return total;
 }
 
 void MaxMinSystem::solve() {
-  constexpr double kInf = std::numeric_limits<double>::infinity();
+  if (full_solve_pending_) {
+    solve_full();
+    return;
+  }
+  if (dirty_vars_.empty() && dirty_cnsts_.empty()) {
+    changed_vars_.clear();
+    return;
+  }
 
-  // Working state. `active[i]` — still growing. `effective_bound[i]` folds the
-  // variable's own bound together with its fatpipe caps.
-  const size_t nv = vars_.size();
-  std::vector<char> active(nv, 0);
-  std::vector<double> effective_bound(nv, kInf);
+  // Transitive closure of the dirty seeds over the variable-constraint graph:
+  // the union of the connected components whose allocation can have changed.
+  // Fatpipe constraints cap each user individually and do not couple them, so
+  // they do not propagate the closure var -> fatpipe -> other vars: they are
+  // included cap-only (traversed only when themselves dirty). This keeps a
+  // shared backbone fatpipe from merging every flow into one component.
+  affected_vars_.clear();
+  affected_cnsts_.clear();
+  traverse_cnst_.clear();
+  auto add_var = [&](VarId v) {
+    if (!var_in_set_[static_cast<size_t>(v)] && vars_[static_cast<size_t>(v)].alive) {
+      var_in_set_[static_cast<size_t>(v)] = 1;
+      affected_vars_.push_back(v);
+    }
+  };
+  auto add_cnst = [&](CnstId c, bool traverse) {
+    if (!cnst_in_set_[static_cast<size_t>(c)]) {
+      cnst_in_set_[static_cast<size_t>(c)] = 1;
+      affected_cnsts_.push_back(c);
+      traverse_cnst_.push_back(traverse ? 1 : 0);
+    }
+  };
+  // Seeds first: a capacity-dirty fatpipe must reach all its users, so it is
+  // added traversable before any cap-only inclusion could shadow it. A
+  // membership-dirty fatpipe stays cap-only — adding/removing one user does
+  // not move the others' caps.
+  for (CnstId c : dirty_cnsts_)
+    add_cnst(c, cnst_dirty_traverse_[static_cast<size_t>(c)] != 0);
+  for (VarId v : dirty_vars_)
+    add_var(v);
+  size_t vi = 0, ci = 0;
+  while (vi < affected_vars_.size() || ci < affected_cnsts_.size()) {
+    if (vi < affected_vars_.size()) {
+      const Variable& v = vars_[static_cast<size_t>(affected_vars_[vi++])];
+      for (CnstId c : v.cnsts)
+        add_cnst(c, cnsts_[static_cast<size_t>(c)].shared);
+    } else {
+      if (traverse_cnst_[ci]) {
+        const Constraint& c = cnsts_[static_cast<size_t>(affected_cnsts_[ci])];
+        for (const Element& e : c.elems)
+          add_var(e.var);
+      }
+      ++ci;
+    }
+  }
+
+  for (VarId v : dirty_vars_)
+    var_dirty_[static_cast<size_t>(v)] = 0;
+  dirty_vars_.clear();
+  for (CnstId c : dirty_cnsts_)
+    cnst_dirty_[static_cast<size_t>(c)] = 0;
+  dirty_cnsts_.clear();
+
+  for (VarId v : affected_vars_)
+    var_in_set_[static_cast<size_t>(v)] = 0;
+  for (CnstId c : affected_cnsts_)
+    cnst_in_set_[static_cast<size_t>(c)] = 0;
+
+  if (affected_vars_.size() * 2 > live_vars_) {
+    solve_full();
+    return;
+  }
+  solve_subset(affected_vars_, affected_cnsts_);
+}
+
+void MaxMinSystem::solve_full() {
+  affected_vars_.clear();
+  affected_cnsts_.clear();
+  for (size_t i = 0; i < vars_.size(); ++i)
+    if (vars_[i].alive)
+      affected_vars_.push_back(static_cast<VarId>(i));
+  for (size_t c = 0; c < cnsts_.size(); ++c)
+    affected_cnsts_.push_back(static_cast<CnstId>(c));
+
+  for (VarId v : dirty_vars_)
+    var_dirty_[static_cast<size_t>(v)] = 0;
+  dirty_vars_.clear();
+  for (CnstId c : dirty_cnsts_)
+    cnst_dirty_[static_cast<size_t>(c)] = 0;
+  dirty_cnsts_.clear();
+  full_solve_pending_ = false;
+
+  ++stats_.full_solves;
+  solve_subset(affected_vars_, affected_cnsts_);
+}
+
+void MaxMinSystem::solve_subset(const std::vector<VarId>& svars, const std::vector<CnstId>& scnsts) {
+  ++stats_.solves;
+  stats_.vars_visited += svars.size();
+
+  // Working state, persistent across solves. `active_[i]` — still growing
+  // (all-zero between solves). `effective_bound_[i]` folds the variable's own
+  // bound together with its fatpipe caps.
   size_t n_active = 0;
-
-  for (size_t i = 0; i < nv; ++i) {
+  old_values_.resize(svars.size());
+  for (size_t k = 0; k < svars.size(); ++k) {
+    const size_t i = static_cast<size_t>(svars[k]);
     Variable& v = vars_[i];
+    old_values_[k] = v.value;
     v.value = 0;
-    if (!v.alive || v.weight <= 0)
+    effective_bound_[i] = kInf;
+    if (v.weight <= 0)
       continue;
-    active[i] = 1;
+    active_[i] = 1;
     ++n_active;
     if (v.bound >= 0)
-      effective_bound[i] = v.bound;
+      effective_bound_[i] = v.bound;
   }
 
   // Fatpipe constraints translate to per-variable caps: cap / coeff.
-  for (const Constraint& c : cnsts_) {
+  for (CnstId cid : scnsts) {
+    const Constraint& c = cnsts_[static_cast<size_t>(cid)];
+    remaining_[static_cast<size_t>(cid)] = c.capacity;
     if (c.shared)
       continue;
     for (const Element& e : c.elems) {
       const size_t i = static_cast<size_t>(e.var);
-      if (i < nv && active[i])
-        effective_bound[i] = std::min(effective_bound[i], c.capacity / e.coeff);
+      if (active_[i])
+        effective_bound_[i] = std::min(effective_bound_[i], c.capacity / e.coeff);
     }
   }
-
-  std::vector<double> remaining(cnsts_.size());
-  for (size_t c = 0; c < cnsts_.size(); ++c)
-    remaining[c] = cnsts_[c].capacity;
 
   while (n_active > 0) {
     // Growth room before the tightest shared constraint saturates.
     double delta = kInf;
-    for (size_t c = 0; c < cnsts_.size(); ++c) {
-      const Constraint& cnst = cnsts_[c];
+    for (CnstId cid : scnsts) {
+      const Constraint& cnst = cnsts_[static_cast<size_t>(cid)];
       if (!cnst.shared)
         continue;
       double denom = 0;
       for (const Element& e : cnst.elems) {
         const size_t i = static_cast<size_t>(e.var);
-        if (active[i])
+        if (active_[i])
           denom += e.coeff * vars_[i].weight;
       }
       if (denom > 0)
-        delta = std::min(delta, std::max(0.0, remaining[c]) / denom);
+        delta = std::min(delta, std::max(0.0, remaining_[static_cast<size_t>(cid)]) / denom);
     }
     // Growth room before a variable bound is reached.
-    for (size_t i = 0; i < nv; ++i)
-      if (active[i] && effective_bound[i] < kInf)
-        delta = std::min(delta, std::max(0.0, effective_bound[i] - vars_[i].value) / vars_[i].weight);
+    for (VarId vid : svars) {
+      const size_t i = static_cast<size_t>(vid);
+      if (active_[i] && effective_bound_[i] < kInf)
+        delta = std::min(delta, std::max(0.0, effective_bound_[i] - vars_[i].value) / vars_[i].weight);
+    }
 
     if (delta == kInf) {
       // Unconstrained variables: give them the "infinite" rate and stop.
-      for (size_t i = 0; i < nv; ++i)
-        if (active[i]) {
+      for (VarId vid : svars) {
+        const size_t i = static_cast<size_t>(vid);
+        if (active_[i]) {
           vars_[i].value = kUnlimited;
-          active[i] = 0;
+          active_[i] = 0;
         }
+      }
       break;
     }
 
     // Grow everyone, consume capacities.
-    for (size_t i = 0; i < nv; ++i)
-      if (active[i])
+    for (VarId vid : svars) {
+      const size_t i = static_cast<size_t>(vid);
+      if (active_[i])
         vars_[i].value += delta * vars_[i].weight;
-    for (size_t c = 0; c < cnsts_.size(); ++c) {
-      const Constraint& cnst = cnsts_[c];
+    }
+    for (CnstId cid : scnsts) {
+      const Constraint& cnst = cnsts_[static_cast<size_t>(cid)];
       if (!cnst.shared)
         continue;
       double used = 0;
       for (const Element& e : cnst.elems) {
         const size_t i = static_cast<size_t>(e.var);
-        if (active[i])
+        if (active_[i])
           used += e.coeff * vars_[i].weight;
       }
-      remaining[c] -= delta * used;
+      remaining_[static_cast<size_t>(cid)] -= delta * used;
     }
 
     // Freeze variables on saturated shared constraints.
     size_t frozen = 0;
-    for (size_t c = 0; c < cnsts_.size(); ++c) {
-      const Constraint& cnst = cnsts_[c];
+    for (CnstId cid : scnsts) {
+      const Constraint& cnst = cnsts_[static_cast<size_t>(cid)];
       if (!cnst.shared)
         continue;
       bool involved = false;
       for (const Element& e : cnst.elems)
-        if (active[static_cast<size_t>(e.var)]) {
+        if (active_[static_cast<size_t>(e.var)]) {
           involved = true;
           break;
         }
       if (!involved)
         continue;
-      if (remaining[c] <= kEps * std::max(1.0, cnst.capacity)) {
+      if (remaining_[static_cast<size_t>(cid)] <= kEps * std::max(1.0, cnst.capacity)) {
         for (const Element& e : cnst.elems) {
           const size_t i = static_cast<size_t>(e.var);
-          if (active[i]) {
-            active[i] = 0;
+          if (active_[i]) {
+            active_[i] = 0;
             ++frozen;
           }
         }
       }
     }
     // Freeze variables that reached their (effective) bound.
-    for (size_t i = 0; i < nv; ++i)
-      if (active[i] && effective_bound[i] < kInf &&
-          vars_[i].value >= effective_bound[i] - kEps * std::max(1.0, effective_bound[i])) {
-        vars_[i].value = effective_bound[i];
-        active[i] = 0;
+    for (VarId vid : svars) {
+      const size_t i = static_cast<size_t>(vid);
+      if (active_[i] && effective_bound_[i] < kInf &&
+          vars_[i].value >= effective_bound_[i] - kEps * std::max(1.0, effective_bound_[i])) {
+        vars_[i].value = effective_bound_[i];
+        active_[i] = 0;
         ++frozen;
       }
+    }
 
     if (frozen == 0) {
       // delta chosen as an exact saturation point must freeze someone;
       // if numerical dust prevented it, force-freeze the tightest variable
       // to guarantee termination.
-      for (size_t i = 0; i < nv; ++i)
-        if (active[i]) {
-          active[i] = 0;
+      for (VarId vid : svars) {
+        const size_t i = static_cast<size_t>(vid);
+        if (active_[i]) {
+          active_[i] = 0;
           ++frozen;
           break;
         }
+      }
     }
     n_active -= frozen;
   }
+
+  changed_vars_.clear();
+  for (size_t k = 0; k < svars.size(); ++k)
+    if (vars_[static_cast<size_t>(svars[k])].value != old_values_[k])
+      changed_vars_.push_back(svars[k]);
 }
 
 }  // namespace sg::core

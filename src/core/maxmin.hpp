@@ -18,6 +18,35 @@
 ///
 /// The same solver is used for computation, communication, their
 /// interference, and parallel tasks, exactly as the paper describes.
+///
+/// ## Solver internals: dirty sets and partial invalidation
+///
+/// Re-running progressive filling over the whole system on every state
+/// change is O(constraints x elements x filling rounds) — the cost that kept
+/// the original SURF from scaling. Instead, the system tracks *dirtiness* at
+/// the granularity of individual variables and constraints:
+///
+///  * every mutation (new_variable, expand, release_variable, set_weight,
+///    set_bound, set_capacity) marks the touched variable/constraint dirty —
+///    no-op mutations (setting a value to itself) mark nothing;
+///  * solve() computes the transitive closure of the dirty seeds over the
+///    bipartite variable-constraint graph. Because the max-min allocation of
+///    a connected component is independent of every other component, this
+///    closure is exactly the union of the components whose allocation can
+///    have changed;
+///  * progressive filling then runs restricted to that closure. Allocations
+///    of untouched components are left frozen, so the per-event cost is
+///    O(affected subgraph), not O(whole system);
+///  * when the closure covers more than half of the live variables, solve()
+///    falls back to solve_full() — the from-scratch path, also available
+///    directly for equivalence testing;
+///  * changed_variables() reports which allocations moved in the last
+///    solve(), letting callers (the SURF engine) refresh only those rates.
+///
+/// The decomposition is sound because progressive filling has a unique fixed
+/// point (the weighted max-min fair allocation), and disjoint components
+/// share no constraint: filling them together or separately yields the same
+/// allocation.
 #pragma once
 
 #include <cstddef>
@@ -42,6 +71,7 @@ public:
   VarId new_variable(double weight, double bound = kNoBound);
 
   /// Declare that variable consumes `coeff` units of `cnst` per unit of rate.
+  /// Throws xbt::InvalidArgument on an out-of-range id or a released variable.
   void expand(CnstId cnst, VarId var, double coeff = 1.0);
 
   /// Release a variable (its consumption disappears from all constraints).
@@ -65,8 +95,32 @@ public:
   size_t variable_count() const { return live_vars_; }
   size_t constraint_count() const { return cnsts_.size(); }
 
-  /// Run progressive filling. Idempotent between modifications.
+  /// Run progressive filling incrementally: only the connected components
+  /// touched by a mutation since the last solve are recomputed; untouched
+  /// allocations stay frozen. Idempotent between modifications.
   void solve();
+
+  /// Recompute every allocation from scratch (the incremental path falls
+  /// back to this when most of the system is dirty; tests use it to check
+  /// incremental ≡ full).
+  void solve_full();
+
+  /// True when a mutation since the last solve may have changed allocations.
+  bool needs_solve() const {
+    return full_solve_pending_ || !dirty_vars_.empty() || !dirty_cnsts_.empty();
+  }
+
+  /// Variables whose allocation changed in the last solve()/solve_full().
+  /// Valid until the next solve.
+  const std::vector<VarId>& changed_variables() const { return changed_vars_; }
+
+  /// Counters for observing the incremental behaviour (tests/benches).
+  struct SolveStats {
+    size_t solves = 0;        ///< solve() calls that had dirty work to do
+    size_t full_solves = 0;   ///< of which ran the from-scratch path
+    size_t vars_visited = 0;  ///< cumulative size of the re-solved subsets
+  };
+  const SolveStats& solve_stats() const { return stats_; }
 
 private:
   struct Variable;
@@ -77,9 +131,7 @@ private:
   struct Constraint {
     double capacity;
     bool shared;
-    std::vector<Element> elems;
-    size_t dead_elems = 0;
-    void compact(const std::vector<Variable>& vars);
+    std::vector<Element> elems;  ///< only live variables: release removes eagerly
   };
   struct Variable {
     double weight;
@@ -90,10 +142,40 @@ private:
     std::vector<double> coeffs;     ///< parallel to cnsts
   };
 
+  void mark_var_dirty(VarId var);
+  /// need_traverse: the change affects users beyond the dirtied variable
+  /// itself (capacity moved). Shared constraints always traverse.
+  void mark_cnst_dirty(CnstId cnst, bool need_traverse);
+  /// Progressive filling restricted to the given variables/constraints.
+  /// Every live variable of a listed constraint must be listed too.
+  void solve_subset(const std::vector<VarId>& svars, const std::vector<CnstId>& scnsts);
+
   std::vector<Constraint> cnsts_;
   std::vector<Variable> vars_;
   std::vector<VarId> free_vars_;
   size_t live_vars_ = 0;
+
+  // -- dirty tracking --------------------------------------------------------
+  std::vector<char> var_dirty_;          ///< indexed by VarId
+  std::vector<char> cnst_dirty_;         ///< indexed by CnstId
+  std::vector<char> cnst_dirty_traverse_;  ///< closure must reach the users
+  std::vector<VarId> dirty_vars_;
+  std::vector<CnstId> dirty_cnsts_;
+  bool full_solve_pending_ = true;  ///< first solve is always full
+  std::vector<VarId> changed_vars_;
+  SolveStats stats_;
+
+  // -- persistent scratch (reset only for the affected subset, so that an
+  //    incremental solve never pays O(system size)) --------------------------
+  std::vector<VarId> affected_vars_;
+  std::vector<CnstId> affected_cnsts_;
+  std::vector<char> traverse_cnst_;  ///< parallel to affected_cnsts_ in solve()
+  std::vector<char> var_in_set_;
+  std::vector<char> cnst_in_set_;
+  std::vector<char> active_;              ///< all-zero between solves
+  std::vector<double> effective_bound_;
+  std::vector<double> remaining_;
+  std::vector<double> old_values_;        ///< parallel to the subset list
 };
 
 }  // namespace sg::core

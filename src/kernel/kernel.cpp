@@ -242,8 +242,7 @@ void Kernel::yield_now() {
 }
 
 void Kernel::exit_self() {
-  Actor* a = self();
-  assert(a != nullptr);
+  assert(self() != nullptr);
   throw ForcedExit{};
 }
 

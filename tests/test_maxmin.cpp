@@ -157,6 +157,32 @@ TEST(MaxMin, VariableIdReuse) {
   EXPECT_NEAR(sys.value(v2), 10.0, 1e-9);
 }
 
+TEST(MaxMin, RecycledVariableDoesNotReviveOldElements) {
+  // Regression: release used to leave the released variable's elements in the
+  // constraint (lazy compaction). When the id was recycled by a variable on a
+  // *different* constraint, the stale element re-attached the new variable to
+  // the old constraint as a phantom flow.
+  MaxMinSystem sys;
+  auto c1 = sys.new_constraint(90.0);
+  auto other = sys.new_constraint(10.0);
+  auto v1 = sys.new_variable(1.0);
+  auto v2 = sys.new_variable(1.0);
+  auto v3 = sys.new_variable(1.0);
+  sys.expand(c1, v1);
+  sys.expand(c1, v2);
+  sys.expand(c1, v3);
+  sys.solve();
+  sys.release_variable(v3);  // 1 dead of 3: lazy compaction would not fire
+  auto v4 = sys.new_variable(1.0);
+  ASSERT_EQ(v4, v3);  // the id is recycled...
+  sys.expand(other, v4);  // ...but onto an unrelated constraint
+  sys.solve_full();
+  EXPECT_NEAR(sys.value(v1), 45.0, 1e-9);  // c1 shared by v1/v2 only
+  EXPECT_NEAR(sys.value(v2), 45.0, 1e-9);
+  EXPECT_NEAR(sys.value(v4), 10.0, 1e-9);
+  EXPECT_NEAR(sys.usage(c1), 90.0, 1e-9);
+}
+
 TEST(MaxMin, ZeroCapacityConstraint) {
   MaxMinSystem sys;
   auto c = sys.new_constraint(0.0);  // failed resource
@@ -189,6 +215,29 @@ TEST(MaxMin, InvalidArguments) {
   auto c = sys.new_constraint(1.0);
   auto v = sys.new_variable(1.0);
   EXPECT_THROW(sys.expand(c, v, 0.0), sg::xbt::InvalidArgument);
+}
+
+TEST(MaxMin, ExpandRejectsBadIds) {
+  MaxMinSystem sys;
+  auto c = sys.new_constraint(10.0);
+  auto v = sys.new_variable(1.0);
+  // Out-of-range ids (both signs) throw the xbt exception, not std::out_of_range.
+  EXPECT_THROW(sys.expand(c + 1, v), sg::xbt::Exception);
+  EXPECT_THROW(sys.expand(-1, v), sg::xbt::Exception);
+  EXPECT_THROW(sys.expand(c, v + 1), sg::xbt::Exception);
+  EXPECT_THROW(sys.expand(c, -1), sg::xbt::Exception);
+}
+
+TEST(MaxMin, ExpandRejectsReleasedVariable) {
+  MaxMinSystem sys;
+  auto c = sys.new_constraint(10.0);
+  auto v = sys.new_variable(1.0);
+  sys.expand(c, v);
+  sys.release_variable(v);
+  EXPECT_THROW(sys.expand(c, v), sg::xbt::InvalidArgument);
+  // The slot stays usable once legitimately recycled.
+  auto v2 = sys.new_variable(1.0);
+  EXPECT_NO_THROW(sys.expand(c, v2));
 }
 
 TEST(MaxMin, CapacityUpdateChangesSolution) {
@@ -270,8 +319,9 @@ TEST_P(MaxMinProperty, FeasibleAndMaxMinOptimal) {
   for (const auto& v : vars) {
     const double val = sys.value(v.id);
     EXPECT_GE(val, 0.0);
-    if (v.bound >= 0)
+    if (v.bound >= 0) {
       EXPECT_LE(val, v.bound * (1 + tol));
+    }
     for (size_t k = 0; k < v.used.size(); ++k) {
       usage_sum[static_cast<size_t>(v.used[k])] += v.coeffs[k] * val;
       usage_max[static_cast<size_t>(v.used[k])] =
@@ -319,5 +369,178 @@ INSTANTIATE_TEST_SUITE_P(
                       RandomSystemParams{8, 200, 20, true, true, true},
                       RandomSystemParams{9, 40, 2, false, false, true},
                       RandomSystemParams{10, 8, 8, true, false, true}));
+
+// -- incremental solving --------------------------------------------------------
+
+TEST(MaxMinIncremental, UntouchedComponentStaysFrozen) {
+  MaxMinSystem sys;
+  auto c1 = sys.new_constraint(100.0);
+  auto c2 = sys.new_constraint(60.0);
+  auto v1 = sys.new_variable(1.0);
+  auto v2 = sys.new_variable(1.0);
+  sys.expand(c1, v1);
+  sys.expand(c2, v2);
+  sys.solve();  // first solve is full
+  EXPECT_NEAR(sys.value(v1), 100.0, 1e-9);
+  EXPECT_NEAR(sys.value(v2), 60.0, 1e-9);
+
+  const auto solves_before = sys.solve_stats().solves;
+  const auto visited_before = sys.solve_stats().vars_visited;
+  sys.set_capacity(c2, 30.0);
+  sys.solve();
+  // Only v2's component was re-solved.
+  EXPECT_EQ(sys.solve_stats().solves, solves_before + 1);
+  EXPECT_EQ(sys.solve_stats().vars_visited, visited_before + 1);
+  EXPECT_NEAR(sys.value(v1), 100.0, 1e-9);
+  EXPECT_NEAR(sys.value(v2), 30.0, 1e-9);
+  ASSERT_EQ(sys.changed_variables().size(), 1u);
+  EXPECT_EQ(sys.changed_variables()[0], v2);
+}
+
+TEST(MaxMinIncremental, SolveIsNoOpWhenClean) {
+  MaxMinSystem sys;
+  auto c = sys.new_constraint(10.0);
+  auto v = sys.new_variable(1.0);
+  sys.expand(c, v);
+  sys.solve();
+  EXPECT_FALSE(sys.needs_solve());
+  const auto solves_before = sys.solve_stats().solves;
+  sys.solve();
+  EXPECT_EQ(sys.solve_stats().solves, solves_before);
+  EXPECT_TRUE(sys.changed_variables().empty());
+  // A no-op mutation does not dirty anything either.
+  sys.set_capacity(c, 10.0);
+  sys.set_weight(v, 1.0);
+  EXPECT_FALSE(sys.needs_solve());
+}
+
+TEST(MaxMinIncremental, NewFlowOnSharedConstraintResharesPeers) {
+  MaxMinSystem sys;
+  auto c = sys.new_constraint(100.0);
+  auto v1 = sys.new_variable(1.0);
+  sys.expand(c, v1);
+  sys.solve();
+  EXPECT_NEAR(sys.value(v1), 100.0, 1e-9);
+  auto v2 = sys.new_variable(1.0);
+  sys.expand(c, v2);
+  sys.solve();
+  EXPECT_NEAR(sys.value(v1), 50.0, 1e-9);
+  EXPECT_NEAR(sys.value(v2), 50.0, 1e-9);
+  sys.release_variable(v2);
+  sys.solve();
+  EXPECT_NEAR(sys.value(v1), 100.0, 1e-9);
+}
+
+TEST(MaxMinIncremental, FatpipeBackboneDoesNotMergeComponents) {
+  // The cluster shape: every flow crosses its private link plus one shared
+  // backbone fatpipe. Churning one flow must not pull the other flows'
+  // components into the re-solve (a fatpipe caps users independently), but a
+  // backbone capacity change must reach all of them.
+  MaxMinSystem sys;
+  auto backbone = sys.new_constraint(1000.0, /*shared=*/false);
+  std::vector<MaxMinSystem::CnstId> links;
+  std::vector<MaxMinSystem::VarId> flows;
+  for (int i = 0; i < 8; ++i) {
+    links.push_back(sys.new_constraint(100.0 + i));
+    auto v = sys.new_variable(1.0);
+    sys.expand(links.back(), v);
+    sys.expand(backbone, v);
+    flows.push_back(v);
+  }
+  sys.solve();
+
+  const auto full_before = sys.solve_stats().full_solves;
+  const auto visited_before = sys.solve_stats().vars_visited;
+  sys.release_variable(flows[0]);
+  flows[0] = sys.new_variable(1.0);
+  sys.expand(links[0], flows[0]);
+  sys.expand(backbone, flows[0]);
+  sys.solve();
+  EXPECT_EQ(sys.solve_stats().full_solves, full_before) << "churn fell back to a full solve";
+  EXPECT_EQ(sys.solve_stats().vars_visited, visited_before + 1)
+      << "churning one flow re-solved other fatpipe users";
+  EXPECT_NEAR(sys.value(flows[0]), 100.0, 1e-9);
+  EXPECT_NEAR(sys.value(flows[3]), 103.0, 1e-9);
+
+  // Capacity change on the fatpipe affects every user's cap.
+  sys.set_capacity(backbone, 50.0);
+  sys.solve();
+  for (auto v : flows)
+    EXPECT_NEAR(sys.value(v), 50.0, 1e-9);
+}
+
+// The headline property: after an arbitrary mutation history, the incremental
+// solve must produce exactly the allocation a from-scratch solve computes.
+// 1000 mixed mutations; every 10 mutations the incremental result is compared
+// to solve_full() on every live variable.
+TEST(MaxMinIncremental, EquivalentToFullSolveUnderRandomMutations) {
+  sg::xbt::Rng rng(20260730);
+  MaxMinSystem sys;
+
+  // Constraints come in small clusters and variables only expand within one
+  // cluster — the shape of real platforms (mostly-independent flows), which
+  // keeps connected components small so the incremental path is exercised
+  // instead of always falling back to solve_full().
+  constexpr int kClusters = 20;
+  constexpr int kCnstsPerCluster = 3;
+  std::vector<MaxMinSystem::CnstId> cnsts;
+  for (int c = 0; c < kClusters * kCnstsPerCluster; ++c)
+    cnsts.push_back(sys.new_constraint(rng.uniform(10.0, 1000.0), rng.uniform01() < 0.8));
+  std::vector<MaxMinSystem::VarId> live;
+  auto random_cnst = [&] { return cnsts[rng.uniform_int(0, cnsts.size() - 1)]; };
+  auto add_var = [&] {
+    const double bound = rng.uniform01() < 0.3 ? rng.uniform(5.0, 200.0) : MaxMinSystem::kNoBound;
+    auto v = sys.new_variable(rng.uniform01() < 0.1 ? 0.0 : rng.uniform(0.5, 4.0), bound);
+    const auto cluster = rng.uniform_int(0, kClusters - 1);
+    const int uses = 1 + static_cast<int>(rng.uniform_int(0, 2));
+    for (int u = 0; u < uses; ++u) {
+      const auto c = cluster * kCnstsPerCluster + rng.uniform_int(0, kCnstsPerCluster - 1);
+      sys.expand(cnsts[static_cast<size_t>(c)], v, rng.uniform(0.5, 2.0));
+    }
+    live.push_back(v);
+  };
+  for (int i = 0; i < 60; ++i)
+    add_var();
+  sys.solve();
+
+  for (int step = 1; step <= 1000; ++step) {
+    const double kind = rng.uniform01();
+    if (kind < 0.25 || live.empty()) {
+      add_var();
+    } else if (kind < 0.45) {
+      const size_t k = rng.uniform_int(0, live.size() - 1);
+      sys.release_variable(live[k]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(k));
+    } else if (kind < 0.65) {
+      sys.set_weight(live[rng.uniform_int(0, live.size() - 1)],
+                     rng.uniform01() < 0.15 ? 0.0 : rng.uniform(0.5, 4.0));
+    } else if (kind < 0.8) {
+      sys.set_bound(live[rng.uniform_int(0, live.size() - 1)],
+                    rng.uniform01() < 0.3 ? MaxMinSystem::kNoBound : rng.uniform(5.0, 200.0));
+    } else {
+      sys.set_capacity(random_cnst(), rng.uniform(10.0, 1000.0));
+    }
+
+    sys.solve();  // incremental
+
+    if (step % 10 == 0) {
+      std::vector<double> incremental(live.size());
+      for (size_t k = 0; k < live.size(); ++k)
+        incremental[k] = sys.value(live[k]);
+      sys.solve_full();
+      for (size_t k = 0; k < live.size(); ++k) {
+        const double full = sys.value(live[k]);
+        EXPECT_NEAR(incremental[k], full, 1e-9 * std::max(1.0, std::abs(full)))
+            << "step " << step << ", variable " << live[k];
+      }
+    }
+  }
+
+  // The sweep must actually have exercised the incremental path.
+  const auto& stats = sys.solve_stats();
+  EXPECT_GT(stats.solves, stats.full_solves * 2)
+      << "incremental path was not exercised (solves=" << stats.solves
+      << ", full=" << stats.full_solves << ")";
+}
 
 }  // namespace
