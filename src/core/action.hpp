@@ -5,6 +5,7 @@
 /// and advances its remaining work as simulated time passes.
 #pragma once
 
+#include <cstdint>
 #include <limits>
 #include <memory>
 #include <string>
@@ -39,14 +40,18 @@ public:
   const std::string& name() const { return name_; }
 
   double total() const { return total_; }
-  double remaining() const { return remaining_; }
+  /// Remaining work as of the engine's current simulated time. Progress is
+  /// tracked lazily (synced when the action's rate changes), so this
+  /// extrapolates from the last sync point.
+  double remaining() const;
   /// Rate allocated by the last sharing recomputation (work units per second).
   double rate() const { return rate_; }
   double start_time() const { return start_time_; }
   /// Completion (or failure) date; NaN while still running.
   double finish_time() const { return finish_time_; }
-  /// Remaining latency phase (communications only).
-  double latency_remaining() const { return latency_remaining_; }
+  /// Remaining latency phase (communications only), as of the engine's
+  /// current simulated time.
+  double latency_remaining() const;
 
   double priority() const { return priority_; }
 
@@ -67,27 +72,37 @@ public:
   /// Arbitrary user payload (the kernel attaches the waiting activity).
   void* user_data = nullptr;
 
-private:
-  friend class Engine;
+protected:
+  // Protected, not private: the engine instantiates actions through a local
+  // derived shell so std::make_shared can fuse the control block and the
+  // action into one allocation (see Engine's make_action).
   Action(Engine* engine, ActionKind kind, std::string name, double total, double priority);
 
+private:
+  friend class Engine;
+
+  // Field order groups what the per-event hot path (rate refresh, heap
+  // pop, completion) touches into the leading cache lines; cold metadata
+  // (name, bookkeeping for failures) trails.
   Engine* engine_;
-  ActionKind kind_;
-  std::string name_;
-  double total_;
   double remaining_;
   double rate_ = 0;
-  double priority_;
-  double start_time_ = 0;
-  double finish_time_ = std::numeric_limits<double>::quiet_NaN();
+  double last_update_ = 0;     ///< date remaining_/latency_remaining_ were last synced
+  std::uint64_t heap_stamp_ = 0;  ///< completion-heap entries older than this are stale
+  size_t run_idx_ = 0;         ///< index in the engine's running_ vector (O(1) removal)
   double latency_remaining_ = 0;
-  double rate_bound_ = MaxMinSystem::kNoBound;  ///< e.g. TCP window cap
-  double planned_finish_ = 0;  ///< engine-internal: completion date this step
+  double finish_time_ = std::numeric_limits<double>::quiet_NaN();
   MaxMinSystem::VarId var_ = -1;
   ActionState state_ = ActionState::kRunning;
+  ActionKind kind_;
   bool in_latency_phase_ = false;
+  bool in_heap_ = false;  ///< has a live (non-stale) completion-heap entry
   int host_ = -1;  ///< host an exec/sleep runs on (failure propagation)
   int peer_host_ = -1;  ///< comm destination host
+  double priority_;
+  double total_;
+  double start_time_ = 0;
+  std::string name_;
   std::vector<MaxMinSystem::CnstId> cnsts_used_;  ///< for failure propagation
 };
 

@@ -38,44 +38,57 @@ void declare_engine_config() {
 
 Action::Action(Engine* engine, ActionKind kind, std::string name, double total, double priority)
     : engine_(engine),
-      kind_(kind),
-      name_(std::move(name)),
-      total_(total),
       remaining_(total),
+      kind_(kind),
       priority_(priority),
-      start_time_(engine->now()) {}
+      total_(total),
+      start_time_(engine->now()),
+      name_(std::move(name)) {}
 
 void Action::suspend() {
   if (state_ != ActionState::kRunning)
     return;
+  engine_->sync_progress(*this);  // freeze progress at the suspension date
   state_ = ActionState::kSuspended;
   if (var_ >= 0 && !in_latency_phase_)
     engine_->sys_.set_weight(var_, 0.0);
   if (kind_ == ActionKind::kSleep)
     rate_ = 0.0;
+  engine_->orphan_heap_entry(*this);  // completion date is now +inf
   engine_->notify(*this, ActionState::kRunning, ActionState::kSuspended);
 }
 
 void Action::resume() {
   if (state_ != ActionState::kSuspended)
     return;
+  engine_->sync_progress(*this);  // restart the progress clock at now
   state_ = ActionState::kRunning;
   if (var_ >= 0 && !in_latency_phase_)
     engine_->sys_.set_weight(var_, priority_);
   if (kind_ == ActionKind::kSleep)
     rate_ = 1.0;
+  // rate_ still holds the pre-suspension allocation; if the solver zeroed it
+  // meanwhile, the post-resume solve will report the change and reschedule.
+  engine_->schedule_completion(engine_->running_[run_idx_]);
   engine_->notify(*this, ActionState::kSuspended, ActionState::kRunning);
 }
 
 void Action::cancel() {
   if (state_ != ActionState::kRunning && state_ != ActionState::kSuspended)
     return;
-  // Find our shared handle in the engine and finish through the normal path.
-  for (const ActionPtr& a : engine_->running_)
-    if (a.get() == this) {
-      engine_->finish_action(a, ActionState::kCanceled, nullptr);
-      return;
-    }
+  engine_->finish_action(engine_->running_[run_idx_], ActionState::kCanceled, nullptr);
+}
+
+double Action::remaining() const {
+  if (state_ != ActionState::kRunning || in_latency_phase_ || rate_ <= 0)
+    return remaining_;
+  return std::max(0.0, remaining_ - rate_ * (engine_->now_ - last_update_));
+}
+
+double Action::latency_remaining() const {
+  if (state_ != ActionState::kRunning || !in_latency_phase_)
+    return latency_remaining_;
+  return std::max(0.0, latency_remaining_ - (engine_->now_ - last_update_));
 }
 
 void Action::set_priority(double priority) {
@@ -87,6 +100,20 @@ void Action::set_priority(double priority) {
 // ---------------------------------------------------------------------------
 // Engine
 // ---------------------------------------------------------------------------
+
+namespace {
+/// Shell that exposes Action's protected constructor so std::make_shared can
+/// allocate the action and its shared_ptr control block in one block (fewer
+/// mallocs per event, and the refcount lands next to the hot fields).
+struct ConcreteAction : Action {
+  ConcreteAction(Engine* engine, ActionKind kind, std::string name, double total, double priority)
+      : Action(engine, kind, std::move(name), total, priority) {}
+};
+ActionPtr make_action(Engine* engine, ActionKind kind, const std::string& name, double total,
+                      double priority) {
+  return std::make_shared<ConcreteAction>(engine, kind, name, total, priority);
+}
+}  // namespace
 
 Engine::Engine(platform::Platform platform) : platform_(std::move(platform)) {
   if (!platform_.sealed())
@@ -151,12 +178,14 @@ ActionPtr Engine::exec_start(int host, double flops, double priority, const std:
   HostRes& res = hosts_.at(static_cast<size_t>(host));
   if (!res.on)
     throw xbt::HostFailureException("exec_start: host " + platform_.host(host).name + " is down");
-  auto action = ActionPtr(new Action(this, ActionKind::kExec, name, flops, priority));
+  auto action = make_action(this, ActionKind::kExec, name, flops, priority);
   action->host_ = host;
   bind_var(action.get(), sys_.new_variable(priority));
   sys_.expand(res.cnst, action->var_, 1.0);
   action->cnsts_used_.push_back(res.cnst);
-  running_.push_back(action);
+  add_running(action);
+  if (action->remaining_ <= 0)
+    schedule_completion(action);  // zero work: completes now even if starved
   notify(*action, ActionState::kRunning, ActionState::kRunning);
   SG_DEBUG(surf, "exec_start %s on %s: %.0f flops", name.c_str(), platform_.host(host).name.c_str(), flops);
   return action;
@@ -171,7 +200,7 @@ MaxMinSystem::CnstId Engine::loopback_constraint(int host) {
 
 ActionPtr Engine::comm_start(int src_host, int dst_host, double bytes, double rate_limit,
                              const std::string& name) {
-  auto action = ActionPtr(new Action(this, ActionKind::kComm, name, bytes, 1.0));
+  auto action = make_action(this, ActionKind::kComm, name, bytes, 1.0);
   action->host_ = src_host;
   action->peer_host_ = dst_host;
 
@@ -221,7 +250,9 @@ ActionPtr Engine::comm_start(int src_host, int dst_host, double bytes, double ra
     sys_.set_weight(action->var_, action->priority_);
   }
 
-  running_.push_back(action);
+  add_running(action);
+  if (action->in_latency_phase_ || action->remaining_ <= 0)
+    schedule_completion(action);  // latency expiry (or zero bytes): date known now
   notify(*action, ActionState::kRunning, ActionState::kRunning);
   return action;
 }
@@ -240,7 +271,7 @@ ActionPtr Engine::ptask_start(const std::vector<int>& hosts, const std::vector<d
   // coefficient k on a resource means "rate v consumes k*v of the resource",
   // so at completion (integral of v = 1) exactly flops[i] / bytes[i][j] have
   // been consumed. This is SimGrid's L07 parallel-task model.
-  auto action = ActionPtr(new Action(this, ActionKind::kPtask, name, 1.0, 1.0));
+  auto action = make_action(this, ActionKind::kPtask, name, 1.0, 1.0);
   bind_var(action.get(), sys_.new_variable(0.0));
 
   double latency = 0.0;
@@ -273,7 +304,9 @@ ActionPtr Engine::ptask_start(const std::vector<int>& hosts, const std::vector<d
   } else {
     sys_.set_weight(action->var_, action->priority_);
   }
-  running_.push_back(action);
+  add_running(action);
+  if (action->in_latency_phase_)
+    schedule_completion(action);
   return action;
 }
 
@@ -281,10 +314,11 @@ ActionPtr Engine::sleep_start(int host, double duration, const std::string& name
   HostRes& res = hosts_.at(static_cast<size_t>(host));
   if (!res.on)
     throw xbt::HostFailureException("sleep_start: host is down");
-  auto action = ActionPtr(new Action(this, ActionKind::kSleep, name, duration, 1.0));
+  auto action = make_action(this, ActionKind::kSleep, name, duration, 1.0);
   action->host_ = host;
   action->rate_ = 1.0;  // time passes at rate 1
-  running_.push_back(action);
+  add_running(action);
+  schedule_completion(action);  // sleeps never change rate: date known now
   return action;
 }
 
@@ -295,15 +329,118 @@ void Engine::bind_var(Action* action, MaxMinSystem::VarId var) {
   action_of_var_[static_cast<size_t>(var)] = action;
 }
 
+void Engine::add_running(const ActionPtr& action) {
+  action->last_update_ = now_;
+  action->run_idx_ = running_.size();
+  running_.push_back(action);
+}
+
+void Engine::sync_progress(Action& a) {
+  if (a.state_ == ActionState::kRunning) {
+    const double dt = now_ - a.last_update_;
+    if (dt > 0) {
+      if (a.in_latency_phase_)
+        a.latency_remaining_ = std::max(0.0, a.latency_remaining_ - dt);
+      else if (a.rate_ > 0)
+        a.remaining_ = std::max(0.0, a.remaining_ - a.rate_ * dt);
+    }
+  }
+  a.last_update_ = now_;
+}
+
+void Engine::heap_push(HeapEntry entry) {
+  size_t hole = completion_heap_.size();
+  completion_heap_.push_back(std::move(entry));
+  // Sift up.
+  while (hole > 0) {
+    const size_t parent = (hole - 1) / 4;
+    if (completion_heap_[parent].date <= completion_heap_[hole].date)
+      break;
+    std::swap(completion_heap_[parent], completion_heap_[hole]);
+    hole = parent;
+  }
+}
+
+void Engine::heap_sift_down(size_t hole) {
+  const size_t n = completion_heap_.size();
+  while (true) {
+    const size_t first_child = 4 * hole + 1;
+    if (first_child >= n)
+      break;
+    size_t best = first_child;
+    const size_t end = std::min(first_child + 4, n);
+    for (size_t c = first_child + 1; c < end; ++c)
+      if (completion_heap_[c].date < completion_heap_[best].date)
+        best = c;
+    if (completion_heap_[hole].date <= completion_heap_[best].date)
+      break;
+    std::swap(completion_heap_[hole], completion_heap_[best]);
+    hole = best;
+  }
+}
+
+void Engine::heap_pop_front() {
+  completion_heap_.front() = std::move(completion_heap_.back());
+  completion_heap_.pop_back();
+  if (!completion_heap_.empty())
+    heap_sift_down(0);
+}
+
+void Engine::heap_rebuild() {
+  for (size_t i = completion_heap_.size() / 4 + 1; i-- > 0;)
+    heap_sift_down(i);
+}
+
+void Engine::orphan_heap_entry(Action& a) {
+  ++a.heap_stamp_;  // any entry already in the heap is now stale
+  if (a.in_heap_) {
+    ++heap_stale_;
+    a.in_heap_ = false;
+  }
+}
+
+void Engine::schedule_completion(const ActionPtr& a) {
+  orphan_heap_entry(*a);
+  const double date = action_finish_date(*a);
+  if (date == kInf)
+    return;
+  a->in_heap_ = true;
+  heap_push(HeapEntry{date, a->heap_stamp_, a});
+  // Stale entries are normally reaped as they surface at the top, but ones
+  // buried under a far-future top would otherwise pin their (possibly
+  // finished) actions and grow the heap. Compact once they dominate.
+  if (heap_stale_ >= 8 && heap_stale_ * 2 > completion_heap_.size()) {
+    std::erase_if(completion_heap_,
+                  [](const HeapEntry& e) { return e.stamp != e.action->heap_stamp_; });
+    heap_stale_ = 0;
+    heap_rebuild();
+  }
+}
+
+double Engine::next_completion_date() {
+  while (!completion_heap_.empty() &&
+         completion_heap_.front().stamp != completion_heap_.front().action->heap_stamp_) {
+    heap_pop_front();
+    --heap_stale_;
+  }
+  return completion_heap_.empty() ? kInf : completion_heap_.front().date;
+}
+
 void Engine::share_resources() {
   // Sleeps manage their rate directly (1, or 0 while suspended); everyone
   // else mirrors its solver allocation. Only actions whose allocation moved
-  // in this (incremental) solve need a refresh.
+  // in this (incremental) solve need a refresh — and only those need a new
+  // completion date: an unchanged rate leaves the heap entry valid.
+  if (!sys_.needs_solve())
+    return;
   sys_.solve();
   for (MaxMinSystem::VarId v : sys_.changed_variables()) {
     Action* a = action_of_var_[static_cast<size_t>(v)];
-    if (a != nullptr)
-      a->rate_ = sys_.value(v);
+    if (a == nullptr)
+      continue;
+    sync_progress(*a);  // fold in progress made at the old rate
+    a->rate_ = sys_.value(v);
+    schedule_completion(running_[a->run_idx_]);
   }
 }
 
@@ -323,9 +460,7 @@ double Engine::next_event_time() {
   share_resources();
   if (!pending_.empty())
     return now_;
-  double best = kInf;
-  for (const ActionPtr& a : running_)
-    best = std::min(best, action_finish_date(*a));
+  double best = next_completion_date();
   if (!trace_events_.empty())
     best = std::min(best, std::max(trace_events_.top().time, now_));
   return best;
@@ -343,55 +478,53 @@ std::vector<ActionEvent> Engine::step(double bound) {
 
   share_resources();
 
-  // Planned completion dates, computed before any floating-point advance so
-  // that cancellation noise in (target - now_) cannot strand an action.
-  double next = kInf;
-  for (const ActionPtr& a : running_) {
-    a->planned_finish_ = action_finish_date(*a);
-    next = std::min(next, a->planned_finish_);
-  }
+  // Next event: earliest valid completion date or trace event. Completion
+  // dates were computed when the rates were assigned, in absolute time, so
+  // no floating-point advance can strand an action with an un-completable
+  // remainder.
+  double next = next_completion_date();
   if (!trace_events_.empty())
     next = std::min(next, std::max(trace_events_.top().time, now_));
 
   const double target = std::min(next, bound);
   if (target == kInf)
     return out;  // nothing will ever happen
-  const double dt = std::max(0.0, target - now_);
   const double eps = time_eps_at(target);
-
-  // Advance all running actions by dt.
-  for (const ActionPtr& a : running_) {
-    if (a->state_ == ActionState::kSuspended)
-      continue;
-    if (a->in_latency_phase_)
-      a->latency_remaining_ = std::max(0.0, a->latency_remaining_ - dt);
-    else if (a->rate_ > 0)
-      a->remaining_ = std::max(0.0, a->remaining_ - a->rate_ * dt);
-  }
   now_ = target;
 
-  // Latency phases that just expired start consuming bandwidth. Their data
-  // phase begins at the next step, so their planned date is consumed here
-  // (except when there is no data to transfer at all).
-  for (const ActionPtr& a : running_) {
-    if (a->state_ != ActionState::kSuspended && a->in_latency_phase_ && a->planned_finish_ <= target + eps) {
+  // Pop every due completion-heap entry. Stale entries (stamp mismatch) are
+  // skipped; latency expiries switch the action to its data phase; the rest
+  // are real completions. Cost: O(fired + stale + log heap), independent of
+  // the number of running actions.
+  while (!completion_heap_.empty()) {
+    const HeapEntry& top = completion_heap_.front();
+    if (top.stamp != top.action->heap_stamp_) {
+      heap_pop_front();
+      --heap_stale_;
+      continue;
+    }
+    if (top.date > target + eps)
+      break;
+    ActionPtr a = std::move(completion_heap_.front().action);
+    heap_pop_front();
+    a->in_heap_ = false;
+    if (a->state_ != ActionState::kRunning)
+      continue;
+    if (a->in_latency_phase_) {
+      // Latency just expired: start consuming bandwidth. The data phase gets
+      // its rate (and completion date) from the next sharing recomputation —
+      // unless there is no data to transfer at all.
+      sync_progress(*a);
       a->in_latency_phase_ = false;
       a->latency_remaining_ = 0;
       if (a->var_ >= 0)
         sys_.set_weight(a->var_, a->priority_);
-      if (a->remaining_ > 0)
-        a->planned_finish_ = kInf;  // not a data completion
+      if (a->remaining_ <= 0)
+        finish_action(std::move(a), ActionState::kDone, &out);
+    } else {
+      finish_action(std::move(a), ActionState::kDone, &out);
     }
   }
-
-  // Completions: every action whose planned date falls in this step.
-  // finish_action mutates running_, so collect first.
-  std::vector<ActionPtr> finished;
-  for (const ActionPtr& a : running_)
-    if (a->state_ == ActionState::kRunning && !a->in_latency_phase_ && a->planned_finish_ <= target + eps)
-      finished.push_back(a);
-  for (const ActionPtr& a : finished)
-    finish_action(a, ActionState::kDone, &out);
 
   // Trace events due now.
   while (!trace_events_.empty() && trace_events_.top().time <= now_ + kTimeEps) {
@@ -477,18 +610,34 @@ void Engine::fail_actions_on_constraint(MaxMinSystem::CnstId cnst, std::vector<A
     finish_action(a, ActionState::kFailed, &out);
 }
 
-void Engine::finish_action(const ActionPtr& action, ActionState final_state, std::vector<ActionEvent>* out) {
+// Takes the ActionPtr by value: callers may pass a reference into running_,
+// which the swap-removal below would otherwise invalidate mid-function.
+void Engine::finish_action(ActionPtr action, ActionState final_state, std::vector<ActionEvent>* out) {
+  // Idempotence guard: an observer notified below may re-enter and finish
+  // (e.g. cancel) an action that a caller already collected as a victim.
+  // Finishing twice would reuse the stale run_idx_ and corrupt running_.
+  if (action->state_ != ActionState::kRunning && action->state_ != ActionState::kSuspended)
+    return;
+  sync_progress(*action);  // credit progress made since the last rate change
   const ActionState old_state = action->state_;
   action->state_ = final_state;
   action->finish_time_ = now_;
   if (final_state == ActionState::kDone)
     action->remaining_ = 0;
+  orphan_heap_entry(*action);  // orphan any entry still in the completion heap
   if (action->var_ >= 0) {
     action_of_var_[static_cast<size_t>(action->var_)] = nullptr;
     sys_.release_variable(action->var_);
     action->var_ = -1;
   }
-  running_.erase(std::remove(running_.begin(), running_.end(), action), running_.end());
+  // O(1) removal: swap with the last running action.
+  const size_t idx = action->run_idx_;
+  const size_t last = running_.size() - 1;
+  if (idx != last) {
+    running_[idx] = std::move(running_[last]);
+    running_[idx]->run_idx_ = idx;
+  }
+  running_.pop_back();
   notify(*action, old_state, final_state);
   if (out != nullptr)
     out->push_back(ActionEvent{action, final_state == ActionState::kFailed});

@@ -122,23 +122,58 @@ private:
     bool operator>(const TraceEvent& other) const { return time > other.time; }
   };
 
+  /// One entry in the completion-date min-heap. Entries are never updated in
+  /// place: rescheduling an action pushes a fresh entry and bumps the
+  /// action's heap_stamp_, so older entries are recognized as stale and
+  /// skipped when popped (lazy invalidation). Entries hold a shared_ptr so a
+  /// stale entry can never dangle.
+  struct HeapEntry {
+    double date;
+    std::uint64_t stamp;
+    ActionPtr action;
+  };
+
+  /// completion_heap_ is a 4-ary min-heap on HeapEntry::date: half the depth
+  /// of a binary heap and contiguous children, so a push/pop touches fewer
+  /// cache lines — this is the hot path of every simulated event.
+  void heap_push(HeapEntry entry);
+  void heap_pop_front();
+  void heap_sift_down(size_t hole);
+  void heap_rebuild();
+
   void schedule_trace_events();
   void schedule_next(const trace::Trace& trace, TraceEvent::Kind kind, int index, double after);
   void apply_trace_event(const TraceEvent& ev, std::vector<ActionEvent>& out);
   void refresh_host_capacity(int host);
   void refresh_link_capacity(platform::LinkId link);
-  void finish_action(const ActionPtr& action, ActionState final_state, std::vector<ActionEvent>* out);
+  void finish_action(ActionPtr action, ActionState final_state, std::vector<ActionEvent>* out);
   void fail_actions_on_constraint(MaxMinSystem::CnstId cnst, std::vector<ActionEvent>& out);
   MaxMinSystem::CnstId loopback_constraint(int host);
   void notify(const Action& action, ActionState old_state, ActionState new_state);
   /// Bind a solver variable to its action so rate refreshes can find it.
   void bind_var(Action* action, MaxMinSystem::VarId var);
+  /// Register a freshly created action as running (sets its running_ index).
+  void add_running(const ActionPtr& action);
   /// Re-solve sharing (incrementally — only components touched by a mutation
-  /// are recomputed) and refresh the rates of the actions whose allocation
-  /// changed. Cheap no-op when nothing is dirty.
+  /// are recomputed), refresh the rates of the actions whose allocation
+  /// changed, and reschedule exactly those in the completion heap. Cheap
+  /// no-op when nothing is dirty.
   void share_resources();
+  /// Fold elapsed time into remaining_/latency_remaining_ using the rate
+  /// that was in effect since the last sync. Must run before a rate change.
+  void sync_progress(Action& a);
+  /// Invalidate the action's current heap entry and push a fresh one at its
+  /// completion date under current rates (no entry if that date is +inf).
+  /// Assumes progress is already synced to now_.
+  void schedule_completion(const ActionPtr& a);
+  /// Mark the action's current heap entry (if any) stale via a stamp bump,
+  /// keeping the stale-entry count for compaction accounting.
+  void orphan_heap_entry(Action& a);
+  /// Pop stale heap tops; returns the next valid completion date (kInf when
+  /// none). O(stale + 1).
+  double next_completion_date();
   /// Date at which the action will complete under current rates (kInf if
-  /// suspended or starved). Does not recompute sharing.
+  /// suspended or starved). Assumes progress is synced to now_.
   double action_finish_date(const Action& a) const;
 
   platform::Platform platform_;
@@ -147,6 +182,8 @@ private:
   std::vector<LinkRes> links_;
   std::vector<Action*> action_of_var_;  ///< indexed by VarId; nullptr when free
   std::vector<ActionPtr> running_;
+  std::vector<HeapEntry> completion_heap_;  ///< 4-ary min-heap (heap_push/heap_pop_front)
+  size_t heap_stale_ = 0;  ///< stale entries currently in completion_heap_
   std::vector<ActionEvent> pending_;  ///< events produced outside step()
   std::priority_queue<TraceEvent, std::vector<TraceEvent>, std::greater<>> trace_events_;
   ActionObserver observer_;

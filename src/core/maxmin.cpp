@@ -56,7 +56,14 @@ MaxMinSystem::VarId MaxMinSystem::new_variable(double weight, double bound) {
   if (!free_vars_.empty()) {
     id = free_vars_.back();
     free_vars_.pop_back();
-    vars_[static_cast<size_t>(id)] = Variable{weight, bound, 0, true, {}, {}};
+    // Reset in place: release_variable() already cleared cnsts/coeffs, and
+    // reusing their capacity spares two deallocate/reallocate pairs per
+    // recycled variable — the common case in churn workloads.
+    Variable& v = vars_[static_cast<size_t>(id)];
+    v.weight = weight;
+    v.bound = bound;
+    v.value = 0;
+    v.alive = true;
   } else {
     vars_.push_back(Variable{weight, bound, 0, true, {}, {}});
     id = static_cast<VarId>(vars_.size() - 1);

@@ -2,20 +2,24 @@
 
 #include <algorithm>
 #include <limits>
-#include <map>
 #include <queue>
 
 #include "xbt/exception.hpp"
 
 namespace sg::platform {
 
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
 NodeId Platform::add_host(const HostSpec& spec) {
   if (sealed_)
     throw xbt::InvalidArgument("platform is sealed");
-  if (node_by_name(spec.name))
+  if (node_index_.count(spec.name))
     throw xbt::InvalidArgument("duplicate node name: " + spec.name);
   const NodeId id = static_cast<NodeId>(node_names_.size());
   node_names_.push_back(spec.name);
+  node_index_.emplace(spec.name, id);
   nodes_.push_back({true, static_cast<int>(hosts_.size())});
   hosts_.push_back(spec);
   host_nodes_.push_back(id);
@@ -32,10 +36,11 @@ NodeId Platform::add_host(const std::string& name, double speed_flops) {
 NodeId Platform::add_router(const std::string& name) {
   if (sealed_)
     throw xbt::InvalidArgument("platform is sealed");
-  if (node_by_name(name))
+  if (node_index_.count(name))
     throw xbt::InvalidArgument("duplicate node name: " + name);
   const NodeId id = static_cast<NodeId>(node_names_.size());
   node_names_.push_back(name);
+  node_index_.emplace(name, id);
   nodes_.push_back({false, -1});
   return id;
 }
@@ -43,14 +48,16 @@ NodeId Platform::add_router(const std::string& name) {
 LinkId Platform::add_link(const LinkSpec& spec) {
   if (sealed_)
     throw xbt::InvalidArgument("platform is sealed");
-  if (link_by_name(spec.name))
+  if (link_index_.count(spec.name))
     throw xbt::InvalidArgument("duplicate link name: " + spec.name);
   if (spec.bandwidth_Bps <= 0)
     throw xbt::InvalidArgument("link " + spec.name + ": bandwidth must be positive");
   if (spec.latency_s < 0)
     throw xbt::InvalidArgument("link " + spec.name + ": latency must be non-negative");
   links_.push_back(spec);
-  return static_cast<LinkId>(links_.size() - 1);
+  const LinkId id = static_cast<LinkId>(links_.size() - 1);
+  link_index_.emplace(spec.name, id);
+  return id;
 }
 
 LinkId Platform::add_link(const std::string& name, double bandwidth_Bps, double latency_s, SharingPolicy policy) {
@@ -78,18 +85,15 @@ void Platform::add_route(NodeId src, NodeId dst, std::vector<LinkId> links, bool
   for (LinkId l : links)
     if (l < 0 || static_cast<size_t>(l) >= links_.size())
       throw xbt::InvalidArgument("add_route: bad link id");
-  const size_t n = hosts_.size();
-  if (routes_.size() < n * n)
-    routes_.resize(n * n);
   double lat = 0;
   for (LinkId l : links)
     lat += links_[static_cast<size_t>(l)].latency_s;
   const int s = host_index(src);
   const int d = host_index(dst);
-  routes_[static_cast<size_t>(s) * n + static_cast<size_t>(d)] = Route{links, lat};
+  route_cache_[pair_key(s, d)] = Route{links, lat};
   if (symmetric) {
     std::vector<LinkId> rev(links.rbegin(), links.rend());
-    routes_[static_cast<size_t>(d) * n + static_cast<size_t>(s)] = Route{std::move(rev), lat};
+    route_cache_[pair_key(d, s)] = Route{std::move(rev), lat};
   }
 }
 
@@ -108,10 +112,10 @@ NodeId Platform::host_node(int host_index) const {
 }
 
 std::optional<NodeId> Platform::node_by_name(const std::string& name) const {
-  for (size_t i = 0; i < node_names_.size(); ++i)
-    if (node_names_[i] == name)
-      return static_cast<NodeId>(i);
-  return std::nullopt;
+  auto it = node_index_.find(name);
+  if (it == node_index_.end())
+    return std::nullopt;
+  return it->second;
 }
 
 std::optional<int> Platform::host_by_name(const std::string& name) const {
@@ -122,103 +126,124 @@ std::optional<int> Platform::host_by_name(const std::string& name) const {
 }
 
 std::optional<LinkId> Platform::link_by_name(const std::string& name) const {
-  for (size_t i = 0; i < links_.size(); ++i)
-    if (links_[i].name == name)
-      return static_cast<LinkId>(i);
-  return std::nullopt;
+  auto it = link_index_.find(name);
+  if (it == link_index_.end())
+    return std::nullopt;
+  return it->second;
 }
 
 void Platform::seal() {
   if (sealed_)
     return;
-  const size_t n = hosts_.size();
-  // Explicit routes may have sized this already; keep them (they win).
-  if (routes_.size() < n * n)
-    routes_.resize(n * n);
-  if (!edges_.empty())
-    compute_graph_routes();
-  // A host talking to itself uses the empty loopback route.
-  for (size_t h = 0; h < n; ++h)
-    if (!routes_[h * n + h])
-      routes_[h * n + h] = Route{{}, 0.0};
+  adj_.assign(nodes_.size(), {});
+  for (const Edge& e : edges_) {
+    adj_[static_cast<size_t>(e.a)].push_back({e.b, e.link});
+    adj_[static_cast<size_t>(e.b)].push_back({e.a, e.link});
+  }
   sealed_ = true;
 }
 
-void Platform::compute_graph_routes() {
+void Platform::check_host_index(int host_index, const char* what) const {
+  if (host_index < 0 || static_cast<size_t>(host_index) >= hosts_.size())
+    throw xbt::InvalidArgument(std::string(what) + ": host index " + std::to_string(host_index) +
+                               " out of range (platform has " + std::to_string(hosts_.size()) + " hosts)");
+}
+
+const Platform::SsspTree& Platform::sssp_from(NodeId src) const {
+  auto hit = sssp_cache_.find(src);
+  if (hit != sssp_cache_.end()) {
+    // Refresh LRU position (the list is tiny — at most kSsspCacheCap).
+    auto pos = std::find(sssp_lru_.begin(), sssp_lru_.end(), src);
+    sssp_lru_.erase(pos);
+    sssp_lru_.push_back(src);
+    return hit->second;
+  }
+
+  if (sssp_cache_.size() >= kSsspCacheCap) {
+    sssp_cache_.erase(sssp_lru_.front());
+    sssp_lru_.erase(sssp_lru_.begin());
+  }
+
   const size_t n_nodes = nodes_.size();
-  const size_t n_hosts = hosts_.size();
-
-  // adjacency: node -> (neighbor, link)
-  std::vector<std::vector<std::pair<NodeId, LinkId>>> adj(n_nodes);
-  for (const Edge& e : edges_) {
-    adj[static_cast<size_t>(e.a)].push_back({e.b, e.link});
-    adj[static_cast<size_t>(e.b)].push_back({e.a, e.link});
-  }
-
-  constexpr double kInf = std::numeric_limits<double>::infinity();
-  for (size_t s = 0; s < n_hosts; ++s) {
-    const NodeId src = host_nodes_[s];
-    std::vector<double> dist(n_nodes, kInf);
-    std::vector<NodeId> prev_node(n_nodes, -1);
-    std::vector<LinkId> prev_link(n_nodes, -1);
-    using QE = std::pair<double, NodeId>;
-    std::priority_queue<QE, std::vector<QE>, std::greater<>> queue;
-    dist[static_cast<size_t>(src)] = 0.0;
-    queue.push({0.0, src});
-    while (!queue.empty()) {
-      auto [d, u] = queue.top();
-      queue.pop();
-      if (d > dist[static_cast<size_t>(u)])
-        continue;
-      for (auto [v, l] : adj[static_cast<size_t>(u)]) {
-        // Metric: latency, with a tiny per-hop epsilon so zero-latency LANs
-        // still prefer fewer hops; ties implicitly favour first-declared edges.
-        const double w = links_[static_cast<size_t>(l)].latency_s + 1e-9;
-        if (dist[static_cast<size_t>(u)] + w < dist[static_cast<size_t>(v)]) {
-          dist[static_cast<size_t>(v)] = dist[static_cast<size_t>(u)] + w;
-          prev_node[static_cast<size_t>(v)] = u;
-          prev_link[static_cast<size_t>(v)] = l;
-          queue.push({dist[static_cast<size_t>(v)], v});
-        }
+  SsspTree tree;
+  tree.dist.assign(n_nodes, kInf);
+  tree.prev_node.assign(n_nodes, -1);
+  tree.prev_link.assign(n_nodes, -1);
+  using QE = std::pair<double, NodeId>;
+  std::priority_queue<QE, std::vector<QE>, std::greater<>> queue;
+  tree.dist[static_cast<size_t>(src)] = 0.0;
+  queue.push({0.0, src});
+  while (!queue.empty()) {
+    auto [d, u] = queue.top();
+    queue.pop();
+    if (d > tree.dist[static_cast<size_t>(u)])
+      continue;
+    for (auto [v, l] : adj_[static_cast<size_t>(u)]) {
+      // Metric: latency, with a tiny per-hop epsilon so zero-latency LANs
+      // still prefer fewer hops; ties implicitly favour first-declared edges.
+      const double w = links_[static_cast<size_t>(l)].latency_s + 1e-9;
+      if (tree.dist[static_cast<size_t>(u)] + w < tree.dist[static_cast<size_t>(v)]) {
+        tree.dist[static_cast<size_t>(v)] = tree.dist[static_cast<size_t>(u)] + w;
+        tree.prev_node[static_cast<size_t>(v)] = u;
+        tree.prev_link[static_cast<size_t>(v)] = l;
+        queue.push({tree.dist[static_cast<size_t>(v)], v});
       }
     }
-    for (size_t d = 0; d < n_hosts; ++d) {
-      if (d == s)
-        continue;
-      auto& slot = routes_[s * n_hosts + d];
-      if (slot)
-        continue;  // explicit route wins
-      const NodeId dst = host_nodes_[d];
-      if (dist[static_cast<size_t>(dst)] == kInf)
-        continue;  // unreachable
-      std::vector<LinkId> path;
-      double lat = 0;
-      for (NodeId v = dst; v != src; v = prev_node[static_cast<size_t>(v)]) {
-        path.push_back(prev_link[static_cast<size_t>(v)]);
-        lat += links_[static_cast<size_t>(prev_link[static_cast<size_t>(v)])].latency_s;
-      }
-      std::reverse(path.begin(), path.end());
-      slot = Route{std::move(path), lat};
-    }
   }
+
+  auto [ins, inserted] = sssp_cache_.emplace(src, std::move(tree));
+  sssp_lru_.push_back(src);
+  (void)inserted;
+  return ins->second;
 }
 
 const Route& Platform::route(int src_host, int dst_host) const {
+  check_host_index(src_host, "route");
+  check_host_index(dst_host, "route");
   if (!sealed_)
-    throw xbt::InvalidArgument("platform must be sealed before routing queries");
-  const size_t n = hosts_.size();
-  const auto& slot = routes_[static_cast<size_t>(src_host) * n + static_cast<size_t>(dst_host)];
-  if (!slot)
+    throw xbt::InvalidArgument("platform must be sealed before routing between " +
+                               hosts_[static_cast<size_t>(src_host)].name + " and " +
+                               hosts_[static_cast<size_t>(dst_host)].name + " (call Platform::seal())");
+
+  auto it = route_cache_.find(pair_key(src_host, dst_host));
+  if (it != route_cache_.end())
+    return it->second;
+  if (src_host == dst_host)
+    return loopback_route_;  // a host talking to itself, absent an explicit self-route
+
+  const NodeId src = host_nodes_[static_cast<size_t>(src_host)];
+  const NodeId dst = host_nodes_[static_cast<size_t>(dst_host)];
+  const SsspTree& tree = sssp_from(src);
+  if (tree.dist[static_cast<size_t>(dst)] == kInf)
     throw xbt::InvalidArgument("no route between " + hosts_[static_cast<size_t>(src_host)].name + " and " +
-                               hosts_[static_cast<size_t>(dst_host)].name);
-  return *slot;
+                               hosts_[static_cast<size_t>(dst_host)].name +
+                               ": hosts are in disconnected components");
+
+  std::vector<LinkId> path;
+  double lat = 0;
+  for (NodeId v = dst; v != src; v = tree.prev_node[static_cast<size_t>(v)]) {
+    path.push_back(tree.prev_link[static_cast<size_t>(v)]);
+    lat += links_[static_cast<size_t>(tree.prev_link[static_cast<size_t>(v)])].latency_s;
+  }
+  std::reverse(path.begin(), path.end());
+  auto [ins, inserted] = route_cache_.emplace(pair_key(src_host, dst_host), Route{std::move(path), lat});
+  (void)inserted;
+  return ins->second;
 }
 
 bool Platform::reachable(int src_host, int dst_host) const {
+  check_host_index(src_host, "reachable");
+  check_host_index(dst_host, "reachable");
   if (!sealed_)
-    throw xbt::InvalidArgument("platform must be sealed before routing queries");
-  const size_t n = hosts_.size();
-  return routes_[static_cast<size_t>(src_host) * n + static_cast<size_t>(dst_host)].has_value();
+    throw xbt::InvalidArgument("platform must be sealed before routing between " +
+                               hosts_[static_cast<size_t>(src_host)].name + " and " +
+                               hosts_[static_cast<size_t>(dst_host)].name + " (call Platform::seal())");
+  if (route_cache_.count(pair_key(src_host, dst_host)))
+    return true;
+  if (src_host == dst_host)
+    return true;
+  const SsspTree& tree = sssp_from(host_nodes_[static_cast<size_t>(src_host)]);
+  return tree.dist[static_cast<size_t>(host_nodes_[static_cast<size_t>(dst_host)])] != kInf;
 }
 
 }  // namespace sg::platform

@@ -5,13 +5,33 @@
 /// Two routing styles are supported, matching the paper's "simulation of
 /// complex communications (multi-hop routing)":
 ///  * explicit routes:  add_route(src, dst, {links...})
-///  * graph mode:       add_edge(nodeA, nodeB, link) + seal() computes
-///                      latency-shortest paths between all host pairs.
+///  * graph mode:       add_edge(nodeA, nodeB, link) + seal() validates the
+///                      graph; latency-shortest paths are then resolved
+///                      lazily, on first use of each (src, dst) pair.
 /// Topologies may also be imported from generators (see sg::topo, BRITE).
+///
+/// ## Lazy on-demand routing
+///
+/// seal() is O(nodes + edges): it only validates the description and builds
+/// the adjacency structure. The first route(src, dst) query runs Dijkstra
+/// from `src` and memoizes the whole single-source shortest-path tree, so
+/// the next query from the same source is O(path length). Resolved routes
+/// are additionally stored in a per-pair cache with stable references:
+/// a `const Route&` obtained from route() stays valid for the lifetime of
+/// the platform, no matter how many other pairs are resolved later.
+/// Explicit add_route() entries always win over graph-derived paths, and a
+/// host talking to itself uses the empty loopback route unless an explicit
+/// self-route overrides it.
+///
+/// The caches are an implementation detail: route() stays `const`. They make
+/// routing non-thread-safe; resolve routes from a single thread (the
+/// simulation kernel is single-threaded anyway).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "trace/trace.hpp"
@@ -63,12 +83,12 @@ public:
   void add_edge(NodeId a, NodeId b, LinkId link);
 
   /// Explicit mode: full route between two hosts. When symmetric, the
-  /// reversed route serves dst->src as well.
+  /// reversed route serves dst->src as well. Explicit routes always win over
+  /// graph-derived ones.
   void add_route(NodeId src, NodeId dst, std::vector<LinkId> links, bool symmetric = true);
 
-  /// Freeze the topology: validate, and in graph mode compute all-pairs
-  /// shortest paths (Dijkstra per host, latency metric; bandwidth breaks ties
-  /// in favour of fatter paths). Explicit routes always win over derived ones.
+  /// Freeze the topology: validate and build the routing adjacency.
+  /// O(nodes + edges) — shortest paths are resolved lazily by route().
   void seal();
   bool sealed() const { return sealed_; }
 
@@ -94,7 +114,10 @@ public:
   std::optional<int> host_by_name(const std::string& name) const;
   std::optional<LinkId> link_by_name(const std::string& name) const;
 
-  /// Route between two hosts (by host index). Throws if unreachable.
+  /// Route between two hosts (by host index), resolved on demand and
+  /// memoized. The returned reference stays valid for the platform's
+  /// lifetime. Throws xbt::InvalidArgument (naming both hosts) when the
+  /// platform is not sealed or the pair is unreachable.
   const Route& route(int src_host, int dst_host) const;
   bool reachable(int src_host, int dst_host) const;
 
@@ -102,13 +125,36 @@ public:
   struct Edge { NodeId a; NodeId b; LinkId link; };
   const std::vector<Edge>& edges() const { return edges_; }
 
+  // -- cache introspection (tests/benches) ----------------------------------
+  /// Number of (src, dst) routes resolved (or explicitly declared) so far.
+  size_t resolved_route_count() const { return route_cache_.size(); }
+  /// Number of memoized single-source shortest-path trees currently held.
+  size_t cached_sssp_tree_count() const { return sssp_cache_.size(); }
+
 private:
   struct NodeRec {
     bool host = false;
     int host_index = -1;
   };
 
-  void compute_graph_routes();
+  /// Single-source shortest-path tree, indexed by NodeId.
+  struct SsspTree {
+    std::vector<double> dist;
+    std::vector<NodeId> prev_node;
+    std::vector<LinkId> prev_link;
+  };
+
+  static std::uint64_t pair_key(int src_host, int dst_host) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src_host)) << 32) |
+           static_cast<std::uint32_t>(dst_host);
+  }
+
+  void check_host_index(int host_index, const char* what) const;
+  /// Memoized Dijkstra from `src` (latency metric, tiny per-hop epsilon so
+  /// zero-latency LANs still prefer fewer hops). LRU-bounded: at most
+  /// kSsspCacheCap trees are kept, each O(nodes) — resolved Routes themselves
+  /// are cached forever, so evicting a tree only costs re-running Dijkstra.
+  const SsspTree& sssp_from(NodeId src) const;
 
   std::vector<std::string> node_names_;
   std::vector<NodeRec> nodes_;
@@ -116,9 +162,24 @@ private:
   std::vector<NodeId> host_nodes_;
   std::vector<LinkSpec> links_;
   std::vector<Edge> edges_;
+  std::unordered_map<std::string, NodeId> node_index_;  ///< name -> node id
+  std::unordered_map<std::string, LinkId> link_index_;  ///< name -> link id
 
-  // routes_[src * host_count + dst]; empty optional = unreachable
-  std::vector<std::optional<Route>> routes_;
+  /// adjacency: node -> (neighbor, link); built by seal().
+  std::vector<std::vector<std::pair<NodeId, LinkId>>> adj_;
+
+  /// Resolved routes keyed by (src, dst) host-index pair. Explicit routes are
+  /// inserted here eagerly (they pre-empt lazy resolution); graph-derived
+  /// routes are added on first query. unordered_map guarantees reference
+  /// stability of mapped values across inserts, which is what keeps
+  /// `const Route&` call sites valid.
+  mutable std::unordered_map<std::uint64_t, Route> route_cache_;
+
+  static constexpr size_t kSsspCacheCap = 64;
+  mutable std::unordered_map<NodeId, SsspTree> sssp_cache_;
+  mutable std::vector<NodeId> sssp_lru_;  ///< least-recent first
+
+  Route loopback_route_;  ///< shared empty self-route
   bool sealed_ = false;
 };
 

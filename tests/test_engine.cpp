@@ -9,6 +9,8 @@
 #include "trace/trace.hpp"
 #include "xbt/config.hpp"
 #include "xbt/exception.hpp"
+#include "xbt/random.hpp"
+#include "xbt/str.hpp"
 
 namespace {
 
@@ -380,6 +382,285 @@ TEST_F(EngineTest, LoadIntrospection) {
   auto a = e.exec_start(0, 1e10);
   EXPECT_DOUBLE_EQ(e.host_load(0), 1e9);
   (void)a;
+}
+
+// ---------------------------------------------------------------------------
+// Completion-heap equivalence sweep: the heap-driven step() must order and
+// date completions exactly like the old exhaustive scan. The reference is an
+// independent fluid simulation of weighted max-min sharing on one link
+// (rate_i = C * w_i / sum of active weights), driven through the same random
+// schedule of starts, suspends, resumes, and priority changes — every such
+// event re-rates all flows, exercising heap invalidation en masse.
+// ---------------------------------------------------------------------------
+
+namespace heap_sweep {
+
+struct RefFlow {
+  double remaining;
+  double weight;
+  bool suspended = false;
+  bool done = false;
+  double finish = -1.0;
+};
+
+class RefLink {
+public:
+  explicit RefLink(double capacity) : capacity_(capacity) {}
+
+  int start(double bytes, double weight) {
+    flows_.push_back({bytes, weight});
+    return static_cast<int>(flows_.size()) - 1;
+  }
+  // Mutators apply at the model's current date: callers must run_until(t)
+  // to the mutation time first.
+  void suspend(int i) { flows_[static_cast<size_t>(i)].suspended = true; }
+  void resume(int i) { flows_[static_cast<size_t>(i)].suspended = false; }
+  void set_weight(int i, double w) { flows_[static_cast<size_t>(i)].weight = w; }
+
+  /// Advance the fluid model to `t`, completing flows on the way.
+  void run_until(double t) {
+    while (true) {
+      const double w_sum = active_weight();
+      double next_done = std::numeric_limits<double>::infinity();
+      int which = -1;
+      if (w_sum > 0) {
+        for (size_t i = 0; i < flows_.size(); ++i) {
+          const RefFlow& f = flows_[i];
+          if (f.done || f.suspended || f.weight <= 0)
+            continue;
+          const double rate = capacity_ * f.weight / w_sum;
+          const double eta = now_ + f.remaining / rate;
+          if (eta < next_done) {
+            next_done = eta;
+            which = static_cast<int>(i);
+          }
+        }
+      }
+      if (which < 0 || next_done > t) {
+        advance_to(t);
+        return;
+      }
+      advance_to(next_done);
+      flows_[static_cast<size_t>(which)].done = true;
+      flows_[static_cast<size_t>(which)].finish = next_done;
+      flows_[static_cast<size_t>(which)].remaining = 0;
+    }
+  }
+
+  const RefFlow& flow(int i) const { return flows_[static_cast<size_t>(i)]; }
+  size_t flow_count() const { return flows_.size(); }
+
+private:
+  double active_weight() const {
+    double s = 0;
+    for (const RefFlow& f : flows_)
+      if (!f.done && !f.suspended)
+        s += f.weight;
+    return s;
+  }
+  void advance_to(double t) {
+    const double dt = t - now_;
+    if (dt > 0) {
+      const double w_sum = active_weight();
+      if (w_sum > 0)
+        for (RefFlow& f : flows_)
+          if (!f.done && !f.suspended && f.weight > 0)
+            f.remaining = std::max(0.0, f.remaining - capacity_ * f.weight / w_sum * dt);
+    }
+    now_ = t;
+  }
+
+  double capacity_;
+  double now_ = 0;
+  std::vector<RefFlow> flows_;
+};
+
+}  // namespace heap_sweep
+
+TEST_F(EngineTest, HeapMatchesScanUnderRateChurn) {
+  using namespace heap_sweep;
+  sg::xbt::Rng rng(2024);
+  const double kCapacity = 1e8;
+  Engine e(sg::platform::make_dumbbell(1e9, kCapacity, 0.0));
+  RefLink ref(kCapacity);
+
+  std::vector<ActionPtr> actions;
+  std::vector<double> engine_finish;  // filled as completions fire
+
+  auto drain = [&](const std::vector<ActionEvent>& events) {
+    for (const auto& ev : events) {
+      EXPECT_EQ(ev.action->state(), ActionState::kDone);
+      EXPECT_FALSE(ev.failed);
+    }
+  };
+
+  // Random schedule: 30 ops at increasing dates, each a start / suspend /
+  // resume / priority change. Every op shifts every active flow's rate.
+  double t = 0;
+  for (int op = 0; op < 30; ++op) {
+    t += rng.uniform(0.05, 0.6);
+    // Run both models to date t.
+    while (e.next_event_time() < t)
+      drain(e.step(t));
+    drain(e.step(t));  // advance the clock the rest of the way
+    ASSERT_DOUBLE_EQ(e.now(), t);
+    ref.run_until(t);
+
+    const double pick = rng.uniform01();
+    if (pick < 0.45 || actions.empty()) {
+      const double bytes = rng.uniform(1e6, 5e8);
+      const double prio = rng.uniform(0.5, 4.0);
+      auto a = e.comm_start(0, 1, bytes);
+      a->set_priority(prio);
+      actions.push_back(a);
+      ref.start(bytes, prio);
+    } else {
+      const int i = static_cast<int>(rng.uniform_int(0, actions.size() - 1));
+      if (pick < 0.65) {
+        actions[static_cast<size_t>(i)]->suspend();
+        if (actions[static_cast<size_t>(i)]->state() == ActionState::kSuspended)
+          ref.suspend(i);
+      } else if (pick < 0.85) {
+        actions[static_cast<size_t>(i)]->resume();
+        if (!ref.flow(i).done)
+          ref.resume(i);
+      } else {
+        const double prio = rng.uniform(0.5, 4.0);
+        if (actions[static_cast<size_t>(i)]->state() == ActionState::kRunning ||
+            actions[static_cast<size_t>(i)]->state() == ActionState::kSuspended) {
+          actions[static_cast<size_t>(i)]->set_priority(prio);
+          ref.set_weight(i, prio);
+        }
+      }
+    }
+  }
+
+  // Resume any still-suspended flows and run both models dry.
+  for (size_t i = 0; i < actions.size(); ++i)
+    if (actions[i]->state() == ActionState::kSuspended) {
+      actions[i]->resume();
+      ref.resume(static_cast<int>(i));
+    }
+  for (int guard = 0; guard < 100000; ++guard) {
+    if (std::isinf(e.next_event_time()))
+      break;
+    drain(e.step());
+  }
+  ref.run_until(1e9);
+
+  // Every flow completed, at the reference date. The completion *ordering*
+  // is implied: identical dates means identical order.
+  ASSERT_EQ(actions.size(), ref.flow_count());
+  for (size_t i = 0; i < actions.size(); ++i) {
+    ASSERT_EQ(actions[i]->state(), ActionState::kDone) << "flow " << i;
+    ASSERT_TRUE(ref.flow(static_cast<int>(i)).done) << "flow " << i;
+    EXPECT_NEAR(actions[i]->finish_time(), ref.flow(static_cast<int>(i)).finish,
+                1e-6 * std::max(1.0, ref.flow(static_cast<int>(i)).finish))
+        << "flow " << i;
+  }
+}
+
+TEST_F(EngineTest, HeapCompletionsAreChronological) {
+  // Many independent execs with random sizes completing in bursts: events
+  // must fire in non-decreasing time order and at their own finish dates.
+  sg::xbt::Rng rng(7);
+  Platform p;
+  for (int i = 0; i < 64; ++i)
+    p.add_host(sg::xbt::format("h%d", i), 1e9);
+  Engine e(std::move(p));
+  std::vector<ActionPtr> actions;
+  for (int i = 0; i < 256; ++i)
+    actions.push_back(e.exec_start(i % 64, rng.uniform(1e7, 1e10)));
+
+  double last = 0;
+  size_t fired = 0;
+  for (int guard = 0; guard < 100000 && fired < actions.size(); ++guard) {
+    for (const auto& ev : e.step()) {
+      EXPECT_GE(e.now(), last);
+      last = e.now();
+      EXPECT_DOUBLE_EQ(ev.action->finish_time(), e.now());
+      ++fired;
+    }
+  }
+  EXPECT_EQ(fired, actions.size());
+  EXPECT_EQ(e.running_action_count(), 0u);
+}
+
+TEST_F(EngineTest, ZeroWorkActionCompletesOnStarvedResource) {
+  // A 0-flop exec on a host whose availability is currently 0 must still
+  // complete immediately: its solver allocation never changes (0 -> 0), so
+  // the completion has to be scheduled at creation, not via a rate refresh.
+  Platform p;
+  sg::platform::HostSpec spec;
+  spec.name = "h";
+  spec.speed_flops = 1e9;
+  spec.availability = sg::trace::Trace("a", {{0.0, 0.0}}, -1.0);  // starved
+  p.add_host(spec);
+  Engine e(std::move(p));
+  auto a = e.exec_start(0, 0.0);
+  EXPECT_DOUBLE_EQ(run_until_done(e, a), 0.0);
+  EXPECT_EQ(a->state(), ActionState::kDone);
+}
+
+TEST_F(EngineTest, CanceledActionsAreNotPinnedByStaleHeapEntries) {
+  // Cancelling actions whose completion dates lie far in the future leaves
+  // stale heap entries buried under the top; compaction must release them
+  // (and the actions they hold) without waiting for simulated time to reach
+  // those dates.
+  Platform p;
+  p.add_host("h", 1e9);
+  Engine e(std::move(p));
+  std::vector<std::weak_ptr<Action>> ghosts;
+  {
+    std::vector<ActionPtr> sleeps;
+    for (int i = 0; i < 20; ++i)
+      sleeps.push_back(e.sleep_start(0, 1e9));
+    for (auto& s : sleeps) {
+      s->cancel();
+      ghosts.push_back(s);
+    }
+  }
+  e.step();  // drain the cancellation events (they hold the last strong refs)
+  // Any new scheduling triggers the stale-dominated compaction.
+  auto trigger = e.sleep_start(0, 1.0);
+  (void)trigger;
+  int expired = 0;
+  for (const auto& g : ghosts)
+    expired += g.expired();
+  EXPECT_EQ(expired, 20);
+}
+
+TEST_F(EngineTest, ReentrantObserverCancelDoesNotDoubleFinish) {
+  // A host failure collects its victims up front; an observer that reacts to
+  // the first failure by cancelling a sibling must not make the engine
+  // finish that sibling twice (regression: stale run_idx_ reuse corrupted
+  // the running set).
+  Platform p;
+  p.add_host("h", 1e9);
+  Engine e(std::move(p));
+  auto a = e.exec_start(0, 1e12, 1.0, "a");
+  auto b = e.exec_start(0, 1e12, 1.0, "b");
+  auto c = e.exec_start(0, 1e12, 1.0, "c");
+  e.set_action_observer([&](const Action& act, ActionState, ActionState ns) {
+    if (ns == ActionState::kFailed && act.name() == "a")
+      b->cancel();  // re-enters finish_action while b is a pending victim
+  });
+  e.set_host_state(0, false);
+  auto events = e.step();  // drain pending failure events
+  EXPECT_EQ(a->state(), ActionState::kFailed);
+  EXPECT_EQ(b->state(), ActionState::kCanceled);
+  EXPECT_EQ(c->state(), ActionState::kFailed);
+  EXPECT_EQ(e.running_action_count(), 0u);
+  // Each action reported exactly once.
+  int seen_a = 0, seen_b = 0, seen_c = 0;
+  for (const auto& ev : events) {
+    seen_a += ev.action.get() == a.get();
+    seen_b += ev.action.get() == b.get();
+    seen_c += ev.action.get() == c.get();
+  }
+  EXPECT_EQ(seen_a, 1);
+  EXPECT_EQ(seen_b, 1);
+  EXPECT_EQ(seen_c, 1);
 }
 
 TEST_F(EngineTest, ObserverSeesTransitions) {

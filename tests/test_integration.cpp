@@ -273,7 +273,12 @@ TEST_F(IntegrationTest, TracedExecutionSurvivesFailuresAndRendersGantt) {
   MSG_process_create("phoenix", [] {
     ++attempts;
     m_task_t t = MSG_task_create("work", 10e9, 0);  // 10 s of work: dies at t=2
-    MSG_task_execute(t);
+    try {
+      MSG_task_execute(t);
+    } catch (...) {
+      MSG_task_destroy(t);  // host failure unwinds the actor mid-execute
+      throw;
+    }
     MSG_task_destroy(t);
   }, MSG_get_host_by_name("flaky"), /*daemon=*/true, /*auto_restart=*/true);
   MSG_process_create("observer", [] { MSG_process_sleep(6.0); },
