@@ -1,19 +1,22 @@
 #!/usr/bin/env python3
 """Compare benchmark JSON against a baseline and fail on regressions.
 
-Supports two input shapes:
+Supports three input shapes:
   * google-benchmark JSON ("benchmarks" entries with "real_time", in ns
     unless "time_unit" says otherwise) — BENCH_maxmin.json
   * our engine-bench JSON ("benchmarks" entries with "wall_time_s") —
-    BENCH_engine.json
+    BENCH_engine.json, BENCH_fault_churn.json
+  * memory metrics ("benchmarks" entries with "bytes") — the bytes-per-action
+    and bytes-per-flow records in BENCH_engine.json
 
-All tracked metrics are wall times: lower is better. A benchmark regresses
-when current > baseline * (1 + threshold). Benchmarks present on only one
-side are reported but never fail the job, and a missing baseline file skips
-the comparison entirely (first run on a branch, expired artifact, ...).
+All tracked metrics are lower-is-better. A benchmark regresses when
+current > baseline * (1 + threshold). Benchmarks present on only one side
+are reported but never fail the job, and a missing baseline file skips the
+comparison entirely (first run on a branch, expired artifact, ...).
 
 Sub-millisecond timings are compared with a 1 ms absolute floor so scheduler
-noise on shared CI runners cannot fail the job on a microbenchmark.
+noise on shared CI runners cannot fail the job on a microbenchmark. Memory
+metrics are deterministic, so no floor applies to them.
 
 Usage: compare_bench.py BASELINE CURRENT [--threshold 0.25]
 """
@@ -26,22 +29,24 @@ import sys
 ABS_FLOOR_S = 1e-3
 
 
-def load_times(path):
-    """name -> wall time in seconds."""
+def load_metrics(path):
+    """name -> (value, kind) where kind is 'time' (seconds) or 'bytes'."""
     with open(path) as fh:
         data = json.load(fh)
-    times = {}
+    metrics = {}
     unit_scale = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}
     for entry in data.get("benchmarks", []):
         name = entry.get("name")
         if name is None:
             continue
-        if "wall_time_s" in entry:
-            times[name] = float(entry["wall_time_s"])
+        if "bytes" in entry:
+            metrics[name] = (float(entry["bytes"]), "bytes")
+        elif "wall_time_s" in entry:
+            metrics[name] = (float(entry["wall_time_s"]), "time")
         elif "real_time" in entry:
             scale = unit_scale.get(entry.get("time_unit", "ns"), 1e-9)
-            times[name] = float(entry["real_time"]) * scale
-    return times
+            metrics[name] = (float(entry["real_time"]) * scale, "time")
+    return metrics
 
 
 def main():
@@ -49,7 +54,7 @@ def main():
     parser.add_argument("baseline")
     parser.add_argument("current")
     parser.add_argument("--threshold", type=float, default=0.25,
-                        help="fractional slowdown that fails the job (default 0.25)")
+                        help="fractional increase that fails the job (default 0.25)")
     args = parser.parse_args()
 
     if not os.path.exists(args.baseline):
@@ -60,31 +65,32 @@ def main():
         print(f"error: current results missing at {args.current}")
         return 1
 
-    baseline = load_times(args.baseline)
-    current = load_times(args.current)
+    baseline = load_metrics(args.baseline)
+    current = load_metrics(args.current)
 
     regressions = []
-    print(f"{'benchmark':50s} {'baseline':>12s} {'current':>12s} {'ratio':>8s}")
+    print(f"{'benchmark':50s} {'baseline':>14s} {'current':>14s} {'ratio':>8s}")
     for name in sorted(current):
-        cur = current[name]
+        cur, kind = current[name]
         if name not in baseline:
-            print(f"{name:50s} {'(new)':>12s} {cur:12.6f} {'':>8s}")
+            print(f"{name:50s} {'(new)':>14s} {cur:14.6f} {'':>8s}")
             continue
-        base = baseline[name]
+        base, _ = baseline[name]
         ratio = cur / base if base > 0 else float("inf")
+        noise_floor = ABS_FLOOR_S if kind == "time" else 0.0
         flag = ""
-        if cur > base * (1.0 + args.threshold) and cur > ABS_FLOOR_S:
+        if cur > base * (1.0 + args.threshold) and cur > noise_floor:
             flag = "  REGRESSED"
             regressions.append((name, base, cur, ratio))
-        print(f"{name:50s} {base:12.6f} {cur:12.6f} {ratio:8.2f}{flag}")
+        print(f"{name:50s} {base:14.6f} {cur:14.6f} {ratio:8.2f}{flag}")
     for name in sorted(set(baseline) - set(current)):
-        print(f"{name:50s} {baseline[name]:12.6f} {'(gone)':>12s}")
+        print(f"{name:50s} {baseline[name][0]:14.6f} {'(gone)':>14s}")
 
     if regressions:
         print(f"\n{len(regressions)} benchmark(s) regressed more than "
               f"{args.threshold:.0%} vs the main baseline:")
         for name, base, cur, ratio in regressions:
-            print(f"  {name}: {base:.6f}s -> {cur:.6f}s ({ratio:.2f}x)")
+            print(f"  {name}: {base:.6f} -> {cur:.6f} ({ratio:.2f}x)")
         return 1
     print("\nno benchmark regressed beyond the threshold")
     return 0

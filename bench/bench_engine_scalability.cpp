@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "core/engine.hpp"
 #include "msg/msg.hpp"
 #include "platform/builders.hpp"
@@ -26,18 +27,11 @@ using namespace sg::msg;
 
 namespace {
 
-struct BenchRecord {
-  std::string name;
-  double wall_time_s = 0;
-  std::string extra_key;  ///< optional secondary metric (informational)
-  double extra_value = 0;
-};
-
-std::vector<BenchRecord> g_records;
+bench::JsonWriter g_json;
 
 void record(const std::string& name, double wall, const std::string& extra_key = "",
             double extra_value = 0) {
-  g_records.push_back({name, wall, extra_key, extra_value});
+  g_json.record(name, wall, extra_key, extra_value);
 }
 
 double run_master_worker(int n_workers, int tasks_per_worker, double* sim_time) {
@@ -76,7 +70,13 @@ double run_master_worker(int n_workers, int tasks_per_worker, double* sim_time) 
 // private up/down links; adjacent ids keep each pair's resources on
 // neighboring cache lines). Steady state: whenever a flow completes, a new
 // one starts on the same pair — exactly one component changes per event.
-double run_engine_churn(int n_pairs, int n_events, double* events_per_sec) {
+struct ChurnMemory {
+  double bytes_per_action = 0;  ///< slimmed Action + fused control block
+  double bytes_per_flow = 0;    ///< solver arena + SoA bytes per live flow
+};
+
+double run_engine_churn(int n_pairs, int n_events, double* events_per_sec,
+                        ChurnMemory* mem = nullptr) {
   using Clock = std::chrono::steady_clock;
   sg::platform::ClusterSpec spec;
   spec.count = 2 * n_pairs;
@@ -113,6 +113,16 @@ double run_engine_churn(int n_pairs, int n_events, double* events_per_sec) {
   }
   const double wall = std::chrono::duration<double>(Clock::now() - t0).count();
   *events_per_sec = n_events / wall;
+  if (mem != nullptr) {
+    // sizeof(Action) understates the allocation by the shared_ptr control
+    // block that allocate_shared fuses in front of it (2 refcounts + vtable
+    // + allocator copy, 32 bytes with libstdc++).
+    mem->bytes_per_action = static_cast<double>(sizeof(sg::core::Action) + 32);
+    const auto stats = engine.sharing_system().memory_stats();
+    if (stats.live_variables > 0)
+      mem->bytes_per_flow =
+          static_cast<double>(stats.total_bytes()) / static_cast<double>(stats.live_variables);
+  }
   return wall;
 }
 
@@ -151,25 +161,6 @@ void run_seal(int n_hosts, double* seal_s, double* first_routes_s) {
   *first_routes_s = std::chrono::duration<double>(t2 - t1).count();
 }
 
-void write_json(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", path.c_str());
-    std::exit(1);
-  }
-  std::fprintf(f, "{\n  \"benchmarks\": [\n");
-  for (size_t i = 0; i < g_records.size(); ++i) {
-    const BenchRecord& r = g_records[i];
-    std::fprintf(f, "    {\"name\": \"%s\", \"wall_time_s\": %.9g", r.name.c_str(), r.wall_time_s);
-    if (!r.extra_key.empty())
-      std::fprintf(f, ", \"%s\": %.9g", r.extra_key.c_str(), r.extra_value);
-    std::fprintf(f, "}%s\n", i + 1 < g_records.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
-  std::printf("wrote %s (%zu benchmarks)\n", path.c_str(), g_records.size());
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -192,14 +183,15 @@ int main(int argc, char** argv) {
 
   std::printf("E9a: SURF incremental churn — client/server pairs, 1 flow per event\n\n");
   std::printf("%10s %12s %15s %18s\n", "pairs", "events", "wall time (s)", "events/s");
+  ChurnMemory mem;
   for (int pairs : {100, 500, 1000, 2000, 4000, 8000}) {
     const int n_events = 10000;
-    // Best of 3: the absolute times are milliseconds, so one scheduler blip
-    // would otherwise dominate the tracked metric.
+    // Best of 5: the absolute times are milliseconds on a shared CI runner,
+    // so scheduler blips would otherwise dominate the tracked metric.
     double wall = 1e30, eps = 0;
-    for (int rep = 0; rep < 3; ++rep) {
+    for (int rep = 0; rep < 5; ++rep) {
       double rep_eps = 0;
-      const double rep_wall = run_engine_churn(pairs, n_events, &rep_eps);
+      const double rep_wall = run_engine_churn(pairs, n_events, &rep_eps, pairs == 8000 ? &mem : nullptr);
       if (rep_wall < wall) {
         wall = rep_wall;
         eps = rep_eps;
@@ -208,6 +200,12 @@ int main(int argc, char** argv) {
     std::printf("%10d %12d %15.3f %18.0f\n", pairs, n_events, wall, eps);
     record(sg::xbt::format("churn/pairs:%d", pairs), wall, "events_per_sec", eps);
   }
+  std::printf("\nsteady-state footprint at 8000 pairs: %.0f bytes/action (object + fused\n",
+              mem.bytes_per_action);
+  std::printf("control block), %.0f solver bytes/flow (element arena + SoA arrays).\n",
+              mem.bytes_per_flow);
+  g_json.record_bytes("mem/action_bytes", mem.bytes_per_action);
+  g_json.record_bytes("mem/solver_bytes_per_flow", mem.bytes_per_flow);
   std::printf("\nshape: the incremental solver re-solves only the component the completed\n");
   std::printf("flow touches, and the completion-date heap replaces the per-event scan of\n");
   std::printf("all running actions, so per-event cost is O(affected + log n) and stays\n");
@@ -227,6 +225,6 @@ int main(int argc, char** argv) {
   std::printf("thousands of processes fit in one OS process (the paper's MSG design point)\n");
 
   if (!json_path.empty())
-    write_json(json_path);
+    g_json.write(json_path);
   return 0;
 }

@@ -3,21 +3,31 @@
 /// CPU, a data transfer across a route, or a parallel task spanning both.
 /// The engine assigns each running action a rate from the MaxMin solution
 /// and advances its remaining work as simulated time passes.
+///
+/// The steady-state Action object is deliberately small (~2 cache lines,
+/// control block included): the per-event hot path (rate refresh, heap pop,
+/// completion) reads the leading fields; state/kind/flags are packed into
+/// single bytes; the display name lives in a lazily-populated side table
+/// co-owned by the action's own control block (most actions keep their
+/// kind's default name and pay nothing); and the set of constraints the
+/// action consumes is not stored here at all — it is read from the solver's
+/// element arena, which the engine also uses as its cnst -> actions
+/// failure-propagation index.
 #pragma once
 
 #include <cstdint>
 #include <limits>
 #include <memory>
 #include <string>
-#include <vector>
 
 #include "core/maxmin.hpp"
 
 namespace sg::core {
 
 class Engine;
+struct ActionBlockPool;
 
-enum class ActionState {
+enum class ActionState : std::uint8_t {
   kRunning,   ///< progressing (or waiting out its latency phase)
   kSuspended, ///< paused by the application; consumes nothing
   kDone,      ///< completed successfully
@@ -25,7 +35,7 @@ enum class ActionState {
   kCanceled,  ///< cancelled by the application
 };
 
-enum class ActionKind { kExec, kComm, kPtask, kSleep };
+enum class ActionKind : std::uint8_t { kExec, kComm, kPtask, kSleep };
 
 /// One resource-consuming activity. Created via Engine::exec_start /
 /// comm_start / ptask_start / sleep_start; owned jointly by the engine (while
@@ -34,10 +44,15 @@ class Action {
 public:
   Action(const Action&) = delete;
   Action& operator=(const Action&) = delete;
+  ~Action();
 
   ActionState state() const { return state_; }
   ActionKind kind() const { return kind_; }
-  const std::string& name() const { return name_; }
+  /// Display name: the name passed at creation, or the kind's default
+  /// ("exec", "comm", "ptask", "sleep"). Looked up in a side table the
+  /// action's control block co-owns, so the action itself stays slim and
+  /// the name outlives the engine together with the ActionPtr.
+  const std::string& name() const;
 
   double total() const { return total_; }
   /// Remaining work as of the engine's current simulated time. Progress is
@@ -76,14 +91,14 @@ protected:
   // Protected, not private: the engine instantiates actions through a local
   // derived shell so std::make_shared can fuse the control block and the
   // action into one allocation (see Engine's make_action).
-  Action(Engine* engine, ActionKind kind, std::string name, double total, double priority);
+  Action(Engine* engine, ActionKind kind, double total, double priority);
 
 private:
   friend class Engine;
 
   // Field order groups what the per-event hot path (rate refresh, heap
-  // pop, completion) touches into the leading cache lines; cold metadata
-  // (name, bookkeeping for failures) trails.
+  // pop, completion) touches into the leading cache line; packed metadata
+  // and the rarely-read fields trail.
   Engine* engine_;
   double remaining_;
   double rate_ = 0;
@@ -93,17 +108,21 @@ private:
   double latency_remaining_ = 0;
   double finish_time_ = std::numeric_limits<double>::quiet_NaN();
   MaxMinSystem::VarId var_ = -1;
+  std::uint32_t sleep_idx_ = 0;  ///< index in the host's sleep index (sleeps only)
+  int host_ = -1;  ///< host an exec/sleep runs on (failure propagation)
+  int peer_host_ = -1;  ///< comm destination host
   ActionState state_ = ActionState::kRunning;
   ActionKind kind_;
   bool in_latency_phase_ = false;
   bool in_heap_ = false;  ///< has a live (non-stale) completion-heap entry
-  int host_ = -1;  ///< host an exec/sleep runs on (failure propagation)
-  int peer_host_ = -1;  ///< comm destination host
+  bool has_name_ = false;  ///< a custom name sits in pool_->names
   double priority_;
   double total_;
   double start_time_ = 0;
-  std::string name_;
-  std::vector<MaxMinSystem::CnstId> cnsts_used_;  ///< for failure propagation
+  /// Shared pool + name table; co-owned by this action's control block, so
+  /// it outlives the action (and possibly the engine). Set only for actions
+  /// with a custom name (has_name_).
+  ActionBlockPool* pool_ = nullptr;
 };
 
 using ActionPtr = std::shared_ptr<Action>;

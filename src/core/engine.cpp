@@ -20,6 +20,10 @@ constexpr double kTimeEps = 1e-12;
 /// (~DBL_EPSILON * now) can never strand an action with an un-completable
 /// remainder.
 inline double time_eps_at(double t) { return 1e-9 * std::max(1.0, std::abs(t)); }
+
+/// Default display names, indexed by ActionKind. Actions created with these
+/// names (the overwhelming majority) occupy no slot in the name side table.
+const std::string kDefaultNames[] = {"exec", "comm", "ptask", "sleep"};
 }  // namespace
 
 void declare_engine_config() {
@@ -32,18 +36,78 @@ void declare_engine_config() {
   cfg.declare("network/loopback-lat", 1e-7, "intra-host communication latency, s");
 }
 
+/// Shared state co-owned by the engine and (via the allocator copy in every
+/// control block) by each action: the LIFO block recycler and the lazily-
+/// populated name side table. Living here rather than in the Engine keeps
+/// both safe for ActionPtrs that outlive their engine.
+///
+/// The recycler serves the single block size allocate_shared<ConcreteAction>
+/// requests (action + control block fused). Steady-state churn re-uses the
+/// block freed by the previous event — still cache-hot — instead of paying a
+/// malloc/free round-trip and pulling cold lines per action.
+struct ActionBlockPool {
+  /// Cap on retained free blocks (~10 MB at typical block sizes): beyond a
+  /// concurrency spike of this size, freed blocks go back to the allocator
+  /// instead of pinning peak memory for the rest of the run.
+  static constexpr size_t kMaxFreeBlocks = 64 * 1024;
+  std::vector<void*> free_blocks;
+  size_t block_bytes = 0;  ///< learned from the first allocation
+  /// Custom display names (see Engine::set_action_name); actions created
+  /// with their kind's default name have no entry.
+  std::unordered_map<const Action*, std::string> names;
+
+  ~ActionBlockPool() {
+    for (void* p : free_blocks)
+      ::operator delete(p);
+  }
+  void* allocate(size_t bytes) {
+    if (bytes == block_bytes && !free_blocks.empty()) {
+      void* p = free_blocks.back();
+      free_blocks.pop_back();
+      return p;
+    }
+    if (block_bytes == 0)
+      block_bytes = bytes;
+    return ::operator new(bytes);
+  }
+  void deallocate(void* p, size_t bytes) {
+    if (bytes == block_bytes && free_blocks.size() < kMaxFreeBlocks) {
+      free_blocks.push_back(p);
+      return;
+    }
+    ::operator delete(p);
+  }
+};
+
 // ---------------------------------------------------------------------------
 // Action methods (need Engine internals)
 // ---------------------------------------------------------------------------
 
-Action::Action(Engine* engine, ActionKind kind, std::string name, double total, double priority)
+Action::Action(Engine* engine, ActionKind kind, double total, double priority)
     : engine_(engine),
       remaining_(total),
       kind_(kind),
       priority_(priority),
       total_(total),
-      start_time_(engine->now()),
-      name_(std::move(name)) {}
+      start_time_(engine->now()) {}
+
+Action::~Action() {
+  // The name side table lives in the block pool, which this action's
+  // control block co-owns (the allocator stored there holds a shared_ptr
+  // and is destroyed only after this destructor runs) — so the erase is
+  // safe even for an ActionPtr that outlives its engine.
+  if (has_name_)
+    pool_->names.erase(this);
+}
+
+const std::string& Action::name() const {
+  if (has_name_) {
+    auto it = pool_->names.find(this);
+    if (it != pool_->names.end())
+      return it->second;
+  }
+  return kDefaultNames[static_cast<size_t>(kind_)];
+}
 
 void Action::suspend() {
   if (state_ != ActionState::kRunning)
@@ -102,20 +166,51 @@ void Action::set_priority(double priority) {
 // ---------------------------------------------------------------------------
 
 namespace {
-/// Shell that exposes Action's protected constructor so std::make_shared can
-/// allocate the action and its shared_ptr control block in one block (fewer
-/// mallocs per event, and the refcount lands next to the hot fields).
+/// Shell that exposes Action's protected constructor so allocate_shared can
+/// fuse the control block and the action into one pooled block (one
+/// allocation per action, and the refcount lands next to the hot fields).
 struct ConcreteAction : Action {
-  ConcreteAction(Engine* engine, ActionKind kind, std::string name, double total, double priority)
-      : Action(engine, kind, std::move(name), total, priority) {}
+  ConcreteAction(Engine* engine, ActionKind kind, double total, double priority)
+      : Action(engine, kind, total, priority) {}
 };
-ActionPtr make_action(Engine* engine, ActionKind kind, const std::string& name, double total,
-                      double priority) {
-  return std::make_shared<ConcreteAction>(engine, kind, name, total, priority);
+
+/// Routes allocate_shared through the engine's block pool. Holds the pool by
+/// shared_ptr: the copy stored in each control block keeps the pool alive
+/// until the last action is gone.
+template <typename T>
+struct PoolAllocator {
+  using value_type = T;
+  std::shared_ptr<ActionBlockPool> pool;
+
+  explicit PoolAllocator(std::shared_ptr<ActionBlockPool> p) : pool(std::move(p)) {}
+  template <typename U>
+  PoolAllocator(const PoolAllocator<U>& other) : pool(other.pool) {}
+
+  T* allocate(size_t n) { return static_cast<T*>(pool->allocate(n * sizeof(T))); }
+  void deallocate(T* p, size_t n) { pool->deallocate(p, n * sizeof(T)); }
+  template <typename U>
+  bool operator==(const PoolAllocator<U>& other) const {
+    return pool == other.pool;
+  }
+};
+
+ActionPtr make_action(const std::shared_ptr<ActionBlockPool>& pool, Engine* engine, ActionKind kind,
+                      double total, double priority) {
+  return std::allocate_shared<ConcreteAction>(PoolAllocator<ConcreteAction>(pool), engine, kind, total,
+                                              priority);
 }
 }  // namespace
 
-Engine::Engine(platform::Platform platform) : platform_(std::move(platform)) {
+void Engine::set_action_name(Action* action, const std::string& name) {
+  if (name == kDefaultNames[static_cast<size_t>(action->kind_)])
+    return;
+  action_pool_->names[action] = name;
+  action->pool_ = action_pool_.get();
+  action->has_name_ = true;
+}
+
+Engine::Engine(platform::Platform platform)
+    : platform_(std::move(platform)), action_pool_(std::make_shared<ActionBlockPool>()) {
   if (!platform_.sealed())
     platform_.seal();
   declare_engine_config();
@@ -174,50 +269,72 @@ void Engine::schedule_next(const trace::Trace& trace, TraceEvent::Kind kind, int
     trace_events_.push(TraceEvent{next->time, kind, index, next->value});
 }
 
+ActionPtr Engine::exec_start(int host, double flops, double priority) {
+  return exec_start_impl(host, flops, priority, nullptr);
+}
+
 ActionPtr Engine::exec_start(int host, double flops, double priority, const std::string& name) {
+  return exec_start_impl(host, flops, priority, &name);
+}
+
+ActionPtr Engine::exec_start_impl(int host, double flops, double priority, const std::string* name) {
   HostRes& res = hosts_.at(static_cast<size_t>(host));
   if (!res.on)
     throw xbt::HostFailureException("exec_start: host " + platform_.host(host).name + " is down");
-  auto action = make_action(this, ActionKind::kExec, name, flops, priority);
+  auto action = make_action(action_pool_, this, ActionKind::kExec, flops, priority);
+  if (name != nullptr)
+    set_action_name(action.get(), *name);  // before notify: observers read name()
   action->host_ = host;
   bind_var(action.get(), sys_.new_variable(priority));
   sys_.expand(res.cnst, action->var_, 1.0);
-  action->cnsts_used_.push_back(res.cnst);
   add_running(action);
   if (action->remaining_ <= 0)
     schedule_completion(action);  // zero work: completes now even if starved
   notify(*action, ActionState::kRunning, ActionState::kRunning);
-  SG_DEBUG(surf, "exec_start %s on %s: %.0f flops", name.c_str(), platform_.host(host).name.c_str(), flops);
+  SG_DEBUG(surf, "exec_start on %s: %.0f flops", platform_.host(host).name.c_str(), flops);
   return action;
 }
 
 MaxMinSystem::CnstId Engine::loopback_constraint(int host) {
   HostRes& res = hosts_.at(static_cast<size_t>(host));
   if (res.loopback < 0)
-    res.loopback = sys_.new_constraint(loopback_bw_, /*shared=*/true);
+    res.loopback = sys_.new_constraint(res.on ? loopback_bw_ : 0.0, /*shared=*/true);
   return res.loopback;
 }
 
 ActionPtr Engine::comm_start(int src_host, int dst_host, double bytes, double rate_limit,
                              const std::string& name) {
-  auto action = make_action(this, ActionKind::kComm, name, bytes, 1.0);
+  return comm_start_impl(src_host, dst_host, bytes, rate_limit, &name);
+}
+
+ActionPtr Engine::comm_start(int src_host, int dst_host, double bytes, double rate_limit) {
+  return comm_start_impl(src_host, dst_host, bytes, rate_limit, nullptr);
+}
+
+ActionPtr Engine::comm_start_impl(int src_host, int dst_host, double bytes, double rate_limit,
+                                  const std::string* name) {
+  auto action = make_action(action_pool_, this, ActionKind::kComm, bytes, 1.0);
+  if (name != nullptr)
+    set_action_name(action.get(), *name);  // before notify: observers read name()
   action->host_ = src_host;
   action->peer_host_ = dst_host;
 
   double latency = 0.0;
   bool dead_route = false;
+  const platform::Route* route = nullptr;
   if (src_host == dst_host) {
     latency = loopback_lat_;
-    action->cnsts_used_.push_back(loopback_constraint(src_host));
+    // The loopback is part of the host: it dies (and fails its comms) with it.
+    if (!hosts_.at(static_cast<size_t>(src_host)).on)
+      dead_route = true;
   } else {
-    const auto& route = platform_.route(src_host, dst_host);
-    latency = route.latency;
-    for (platform::LinkId l : route.links) {
-      const LinkRes& res = links_[static_cast<size_t>(l)];
-      if (!res.on)
+    route = &platform_.route(src_host, dst_host);
+    latency = route->latency;
+    for (platform::LinkId l : route->links)
+      if (!links_[static_cast<size_t>(l)].on) {
         dead_route = true;
-      action->cnsts_used_.push_back(res.cnst);
-    }
+        break;
+      }
   }
 
   if (dead_route) {
@@ -225,7 +342,6 @@ ActionPtr Engine::comm_start(int src_host, int dst_host, double bytes, double ra
     // so the kernel sees a normal failure event.
     action->state_ = ActionState::kFailed;
     action->finish_time_ = now_;
-    action->cnsts_used_.clear();
     pending_.push_back(ActionEvent{action, true});
     return action;
   }
@@ -239,8 +355,12 @@ ActionPtr Engine::comm_start(int src_host, int dst_host, double bytes, double ra
   }
 
   bind_var(action.get(), sys_.new_variable(0.0, bound));  // weight 0 during latency phase
-  for (MaxMinSystem::CnstId c : action->cnsts_used_)
-    sys_.expand(c, action->var_, 1.0);
+  if (src_host == dst_host) {
+    sys_.expand(loopback_constraint(src_host), action->var_, 1.0);
+  } else {
+    for (platform::LinkId l : route->links)
+      sys_.expand(links_[static_cast<size_t>(l)].cnst, action->var_, 1.0);
+  }
 
   action->latency_remaining_ = latency;
   if (latency > 0) {
@@ -259,6 +379,13 @@ ActionPtr Engine::comm_start(int src_host, int dst_host, double bytes, double ra
 
 ActionPtr Engine::ptask_start(const std::vector<int>& hosts, const std::vector<double>& flops,
                               const std::vector<std::vector<double>>& bytes, const std::string& name) {
+  auto action = ptask_start(hosts, flops, bytes);
+  set_action_name(action.get(), name);
+  return action;
+}
+
+ActionPtr Engine::ptask_start(const std::vector<int>& hosts, const std::vector<double>& flops,
+                              const std::vector<std::vector<double>>& bytes) {
   if (hosts.empty() || flops.size() != hosts.size())
     throw xbt::InvalidArgument("ptask_start: hosts/flops size mismatch");
   if (!bytes.empty() && bytes.size() != hosts.size())
@@ -271,16 +398,13 @@ ActionPtr Engine::ptask_start(const std::vector<int>& hosts, const std::vector<d
   // coefficient k on a resource means "rate v consumes k*v of the resource",
   // so at completion (integral of v = 1) exactly flops[i] / bytes[i][j] have
   // been consumed. This is SimGrid's L07 parallel-task model.
-  auto action = make_action(this, ActionKind::kPtask, name, 1.0, 1.0);
+  auto action = make_action(action_pool_, this, ActionKind::kPtask, 1.0, 1.0);
   bind_var(action.get(), sys_.new_variable(0.0));
 
   double latency = 0.0;
   for (size_t i = 0; i < hosts.size(); ++i) {
-    if (flops[i] > 0) {
-      const auto cnst = hosts_[static_cast<size_t>(hosts[i])].cnst;
-      sys_.expand(cnst, action->var_, flops[i]);
-      action->cnsts_used_.push_back(cnst);
-    }
+    if (flops[i] > 0)
+      sys_.expand(hosts_[static_cast<size_t>(hosts[i])].cnst, action->var_, flops[i]);
   }
   for (size_t i = 0; i < bytes.size(); ++i) {
     if (bytes[i].size() != hosts.size())
@@ -290,11 +414,8 @@ ActionPtr Engine::ptask_start(const std::vector<int>& hosts, const std::vector<d
         continue;
       const auto& route = platform_.route(hosts[i], hosts[j]);
       latency = std::max(latency, route.latency);
-      for (platform::LinkId l : route.links) {
-        const LinkRes& res = links_[static_cast<size_t>(l)];
-        sys_.expand(res.cnst, action->var_, bytes[i][j]);
-        action->cnsts_used_.push_back(res.cnst);
-      }
+      for (platform::LinkId l : route.links)
+        sys_.expand(links_[static_cast<size_t>(l)].cnst, action->var_, bytes[i][j]);
     }
   }
 
@@ -311,12 +432,22 @@ ActionPtr Engine::ptask_start(const std::vector<int>& hosts, const std::vector<d
 }
 
 ActionPtr Engine::sleep_start(int host, double duration, const std::string& name) {
+  auto action = sleep_start(host, duration);
+  set_action_name(action.get(), name);
+  return action;
+}
+
+ActionPtr Engine::sleep_start(int host, double duration) {
   HostRes& res = hosts_.at(static_cast<size_t>(host));
   if (!res.on)
     throw xbt::HostFailureException("sleep_start: host is down");
-  auto action = make_action(this, ActionKind::kSleep, name, duration, 1.0);
+  auto action = make_action(action_pool_, this, ActionKind::kSleep, duration, 1.0);
   action->host_ = host;
   action->rate_ = 1.0;  // time passes at rate 1
+  // Sleeps have no solver variable, so the arena cannot index them; the
+  // per-host sleep list keeps host-failure sweeps O(affected).
+  action->sleep_idx_ = static_cast<std::uint32_t>(res.sleeps.size());
+  res.sleeps.push_back(action.get());
   add_running(action);
   schedule_completion(action);  // sleeps never change rate: date known now
   return action;
@@ -331,8 +462,16 @@ void Engine::bind_var(Action* action, MaxMinSystem::VarId var) {
 
 void Engine::add_running(const ActionPtr& action) {
   action->last_update_ = now_;
-  action->run_idx_ = running_.size();
-  running_.push_back(action);
+  if (!free_run_slots_.empty()) {
+    const size_t idx = free_run_slots_.back();
+    free_run_slots_.pop_back();
+    action->run_idx_ = idx;
+    running_[idx] = action;
+  } else {
+    action->run_idx_ = running_.size();
+    running_.push_back(action);
+  }
+  ++running_count_;
 }
 
 void Engine::sync_progress(Action& a) {
@@ -348,21 +487,21 @@ void Engine::sync_progress(Action& a) {
   a.last_update_ = now_;
 }
 
-void Engine::heap_push(HeapEntry entry) {
-  size_t hole = completion_heap_.size();
-  completion_heap_.push_back(std::move(entry));
+void Engine::heap_push(std::vector<HeapEntry>& heap, HeapEntry entry) {
+  size_t hole = heap.size();
+  heap.push_back(std::move(entry));
   // Sift up.
   while (hole > 0) {
     const size_t parent = (hole - 1) / 4;
-    if (completion_heap_[parent].date <= completion_heap_[hole].date)
+    if (heap[parent].date <= heap[hole].date)
       break;
-    std::swap(completion_heap_[parent], completion_heap_[hole]);
+    std::swap(heap[parent], heap[hole]);
     hole = parent;
   }
 }
 
-void Engine::heap_sift_down(size_t hole) {
-  const size_t n = completion_heap_.size();
+void Engine::heap_sift_down(std::vector<HeapEntry>& heap, size_t hole) {
+  const size_t n = heap.size();
   while (true) {
     const size_t first_child = 4 * hole + 1;
     if (first_child >= n)
@@ -370,31 +509,41 @@ void Engine::heap_sift_down(size_t hole) {
     size_t best = first_child;
     const size_t end = std::min(first_child + 4, n);
     for (size_t c = first_child + 1; c < end; ++c)
-      if (completion_heap_[c].date < completion_heap_[best].date)
+      if (heap[c].date < heap[best].date)
         best = c;
-    if (completion_heap_[hole].date <= completion_heap_[best].date)
+    if (heap[hole].date <= heap[best].date)
       break;
-    std::swap(completion_heap_[hole], completion_heap_[best]);
+    std::swap(heap[hole], heap[best]);
     hole = best;
   }
 }
 
-void Engine::heap_pop_front() {
-  completion_heap_.front() = std::move(completion_heap_.back());
-  completion_heap_.pop_back();
-  if (!completion_heap_.empty())
-    heap_sift_down(0);
+void Engine::heap_pop_front(std::vector<HeapEntry>& heap) {
+  heap.front() = std::move(heap.back());
+  heap.pop_back();
+  if (!heap.empty())
+    heap_sift_down(heap, 0);
 }
 
-void Engine::heap_rebuild() {
-  for (size_t i = completion_heap_.size() / 4 + 1; i-- > 0;)
-    heap_sift_down(i);
+void Engine::heap_rebuild(std::vector<HeapEntry>& heap) {
+  for (size_t i = heap.size() / 4 + 1; i-- > 0;)
+    heap_sift_down(heap, i);
+}
+
+double Engine::reap_heap_top(std::vector<HeapEntry>& heap, size_t& stale) {
+  while (!heap.empty() && heap.front().stamp != heap.front().action->heap_stamp_) {
+    heap_pop_front(heap);
+    --stale;
+  }
+  return heap.empty() ? kInf : heap.front().date;
 }
 
 void Engine::orphan_heap_entry(Action& a) {
-  ++a.heap_stamp_;  // any entry already in the heap is now stale
+  ++a.heap_stamp_;  // any entry already in a heap is now stale
   if (a.in_heap_) {
-    ++heap_stale_;
+    // A live entry sits in the latency heap exactly while the action is in
+    // its latency phase (the expiry pop clears in_heap_ first).
+    ++(a.in_latency_phase_ ? latency_stale_ : heap_stale_);
     a.in_heap_ = false;
   }
 }
@@ -405,25 +554,28 @@ void Engine::schedule_completion(const ActionPtr& a) {
   if (date == kInf)
     return;
   a->in_heap_ = true;
-  heap_push(HeapEntry{date, a->heap_stamp_, a});
+  if (a->in_latency_phase_) {
+    // Near-term event: keep it out of the big heap (see the member docs).
+    heap_push(latency_heap_, HeapEntry{date, a->heap_stamp_, a});
+    return;
+  }
+  heap_push(completion_heap_, HeapEntry{date, a->heap_stamp_, a});
   // Stale entries are normally reaped as they surface at the top, but ones
   // buried under a far-future top would otherwise pin their (possibly
-  // finished) actions and grow the heap. Compact once they dominate.
+  // finished) actions and grow the heap. Compact once they dominate. (The
+  // latency heap needs no compaction: its entries expire within a route
+  // latency of being pushed.)
   if (heap_stale_ >= 8 && heap_stale_ * 2 > completion_heap_.size()) {
     std::erase_if(completion_heap_,
                   [](const HeapEntry& e) { return e.stamp != e.action->heap_stamp_; });
     heap_stale_ = 0;
-    heap_rebuild();
+    heap_rebuild(completion_heap_);
   }
 }
 
 double Engine::next_completion_date() {
-  while (!completion_heap_.empty() &&
-         completion_heap_.front().stamp != completion_heap_.front().action->heap_stamp_) {
-    heap_pop_front();
-    --heap_stale_;
-  }
-  return completion_heap_.empty() ? kInf : completion_heap_.front().date;
+  return std::min(reap_heap_top(latency_heap_, latency_stale_),
+                  reap_heap_top(completion_heap_, heap_stale_));
 }
 
 void Engine::share_resources() {
@@ -492,21 +644,20 @@ std::vector<ActionEvent> Engine::step(double bound) {
   const double eps = time_eps_at(target);
   now_ = target;
 
-  // Pop every due completion-heap entry. Stale entries (stamp mismatch) are
-  // skipped; latency expiries switch the action to its data phase; the rest
-  // are real completions. Cost: O(fired + stale + log heap), independent of
-  // the number of running actions.
-  while (!completion_heap_.empty()) {
-    const HeapEntry& top = completion_heap_.front();
-    if (top.stamp != top.action->heap_stamp_) {
-      heap_pop_front();
-      --heap_stale_;
-      continue;
-    }
-    if (top.date > target + eps)
+  // Pop every due event-heap entry (latency expiries from the small near-
+  // term heap, completions from the big one). Stale entries (stamp
+  // mismatch) are skipped; latency expiries switch the action to its data
+  // phase; the rest are real completions. Cost: O(fired + stale + log
+  // heap), independent of the number of running actions.
+  while (true) {
+    const double d_latency = reap_heap_top(latency_heap_, latency_stale_);
+    const double d_completion = reap_heap_top(completion_heap_, heap_stale_);
+    std::vector<HeapEntry>& src = d_latency <= d_completion ? latency_heap_ : completion_heap_;
+    const double date = std::min(d_latency, d_completion);
+    if (date == kInf || date > target + eps)
       break;
-    ActionPtr a = std::move(completion_heap_.front().action);
-    heap_pop_front();
+    ActionPtr a = std::move(src.front().action);
+    heap_pop_front(src);
     a->in_heap_ = false;
     if (a->state_ != ActionState::kRunning)
       continue;
@@ -545,24 +696,7 @@ void Engine::apply_trace_event(const TraceEvent& ev, std::vector<ActionEvent>& o
       break;
     }
     case TraceEvent::Kind::kHostState: {
-      const bool on = ev.value > 0.5;
-      HostRes& res = hosts_[static_cast<size_t>(ev.index)];
-      if (res.on != on) {
-        res.on = on;
-        refresh_host_capacity(ev.index);
-        if (!on) {
-          fail_actions_on_constraint(res.cnst, out);
-          // sleeps on this host die too
-          std::vector<ActionPtr> victims;
-          for (const ActionPtr& a : running_)
-            if (a->kind_ == ActionKind::kSleep && a->host_ == ev.index)
-              victims.push_back(a);
-          for (const ActionPtr& a : victims)
-            finish_action(a, ActionState::kFailed, &out);
-        }
-        if (resource_observer_)
-          resource_observer_(true, ev.index, on);
-      }
+      apply_host_state(ev.index, ev.value > 0.5, out);
       schedule_next(platform_.host(ev.index).state, ev.kind, ev.index, ev.time);
       break;
     }
@@ -574,16 +708,7 @@ void Engine::apply_trace_event(const TraceEvent& ev, std::vector<ActionEvent>& o
       break;
     }
     case TraceEvent::Kind::kLinkState: {
-      const bool on = ev.value > 0.5;
-      LinkRes& res = links_[static_cast<size_t>(ev.index)];
-      if (res.on != on) {
-        res.on = on;
-        refresh_link_capacity(static_cast<platform::LinkId>(ev.index));
-        if (!on)
-          fail_actions_on_constraint(res.cnst, out);
-        if (resource_observer_)
-          resource_observer_(false, ev.index, on);
-      }
+      apply_link_state(static_cast<platform::LinkId>(ev.index), ev.value > 0.5, out);
       schedule_next(platform_.link(static_cast<platform::LinkId>(ev.index)).state, ev.kind, ev.index, ev.time);
       break;
     }
@@ -593,6 +718,8 @@ void Engine::apply_trace_event(const TraceEvent& ev, std::vector<ActionEvent>& o
 void Engine::refresh_host_capacity(int host) {
   const HostRes& res = hosts_[static_cast<size_t>(host)];
   sys_.set_capacity(res.cnst, res.on ? platform_.host(host).speed_flops * res.scale : 0.0);
+  if (res.loopback >= 0)
+    sys_.set_capacity(res.loopback, res.on ? loopback_bw_ : 0.0);
 }
 
 void Engine::refresh_link_capacity(platform::LinkId link) {
@@ -602,10 +729,28 @@ void Engine::refresh_link_capacity(platform::LinkId link) {
 }
 
 void Engine::fail_actions_on_constraint(MaxMinSystem::CnstId cnst, std::vector<ActionEvent>& out) {
+  // The solver's element arena IS the cnst -> actions index: walk the
+  // constraint's user list and map variables back to actions. Collect
+  // before finishing — finish_action releases the victim's variable, which
+  // mutates the very list being walked. Duplicate entries (a variable
+  // expanded twice on the constraint) and actions spanning several failed
+  // constraints are deduplicated by finish_action's idempotence: each action
+  // emits exactly one failure event.
   std::vector<ActionPtr> victims;
-  for (const ActionPtr& a : running_)
-    if (std::find(a->cnsts_used_.begin(), a->cnsts_used_.end(), cnst) != a->cnsts_used_.end())
-      victims.push_back(a);
+  sys_.for_each_variable_on(cnst, [&](MaxMinSystem::VarId v, double) {
+    Action* a = action_of_var_[static_cast<size_t>(v)];
+    if (a != nullptr && (victims.empty() || victims.back().get() != a))
+      victims.push_back(running_[a->run_idx_]);
+  });
+  for (const ActionPtr& a : victims)
+    finish_action(a, ActionState::kFailed, &out);
+}
+
+void Engine::fail_sleeps_on_host(int host, std::vector<ActionEvent>& out) {
+  // Copy out of the index first: finish_action swap-removes from it.
+  std::vector<ActionPtr> victims;
+  for (Action* a : hosts_[static_cast<size_t>(host)].sleeps)
+    victims.push_back(running_[a->run_idx_]);
   for (const ActionPtr& a : victims)
     finish_action(a, ActionState::kFailed, &out);
 }
@@ -614,7 +759,8 @@ void Engine::fail_actions_on_constraint(MaxMinSystem::CnstId cnst, std::vector<A
 // which the swap-removal below would otherwise invalidate mid-function.
 void Engine::finish_action(ActionPtr action, ActionState final_state, std::vector<ActionEvent>* out) {
   // Idempotence guard: an observer notified below may re-enter and finish
-  // (e.g. cancel) an action that a caller already collected as a victim.
+  // (e.g. cancel) an action that a caller already collected as a victim —
+  // and a failure may reach the same action through several constraints.
   // Finishing twice would reuse the stale run_idx_ and corrupt running_.
   if (action->state_ != ActionState::kRunning && action->state_ != ActionState::kSuspended)
     return;
@@ -630,14 +776,19 @@ void Engine::finish_action(ActionPtr action, ActionState final_state, std::vecto
     sys_.release_variable(action->var_);
     action->var_ = -1;
   }
-  // O(1) removal: swap with the last running action.
-  const size_t idx = action->run_idx_;
-  const size_t last = running_.size() - 1;
-  if (idx != last) {
-    running_[idx] = std::move(running_[last]);
-    running_[idx]->run_idx_ = idx;
+  if (action->kind_ == ActionKind::kSleep && action->host_ >= 0) {
+    // O(1) removal from the host's sleep index.
+    auto& sleeps = hosts_[static_cast<size_t>(action->host_)].sleeps;
+    const std::uint32_t si = action->sleep_idx_;
+    sleeps[si] = sleeps.back();
+    sleeps[si]->sleep_idx_ = si;
+    sleeps.pop_back();
   }
-  running_.pop_back();
+  // O(1) removal: clear the slot and recycle it (LIFO keeps it cache-hot).
+  const size_t idx = action->run_idx_;
+  running_[idx].reset();
+  free_run_slots_.push_back(idx);
+  --running_count_;
   notify(*action, old_state, final_state);
   if (out != nullptr)
     out->push_back(ActionEvent{action, final_state == ActionState::kFailed});
@@ -670,42 +821,48 @@ double Engine::link_load(platform::LinkId link) {
   return sys_.usage(links_.at(static_cast<size_t>(link)).cnst);
 }
 
-void Engine::set_host_state(int host, bool on) {
-  HostRes& res = hosts_.at(static_cast<size_t>(host));
+void Engine::apply_host_state(int host, bool on, std::vector<ActionEvent>& out) {
+  HostRes& res = hosts_[static_cast<size_t>(host)];
   if (res.on == on)
     return;
   res.on = on;
   refresh_host_capacity(host);
   if (!on) {
-    std::vector<ActionEvent> out;
     fail_actions_on_constraint(res.cnst, out);
-    std::vector<ActionPtr> victims;
-    for (const ActionPtr& a : running_)
-      if (a->kind_ == ActionKind::kSleep && a->host_ == host)
-        victims.push_back(a);
-    for (const ActionPtr& a : victims)
-      finish_action(a, ActionState::kFailed, &out);
-    for (auto& ev : out)
-      pending_.push_back(std::move(ev));
+    if (res.loopback >= 0)
+      fail_actions_on_constraint(res.loopback, out);
+    fail_sleeps_on_host(host, out);
   }
   if (resource_observer_)
     resource_observer_(true, host, on);
 }
 
-void Engine::set_link_state(platform::LinkId link, bool on) {
-  LinkRes& res = links_.at(static_cast<size_t>(link));
+void Engine::apply_link_state(platform::LinkId link, bool on, std::vector<ActionEvent>& out) {
+  LinkRes& res = links_[static_cast<size_t>(link)];
   if (res.on == on)
     return;
   res.on = on;
   refresh_link_capacity(link);
-  if (!on) {
-    std::vector<ActionEvent> out;
+  if (!on)
     fail_actions_on_constraint(res.cnst, out);
-    for (auto& ev : out)
-      pending_.push_back(std::move(ev));
-  }
   if (resource_observer_)
     resource_observer_(false, link, on);
+}
+
+void Engine::set_host_state(int host, bool on) {
+  hosts_.at(static_cast<size_t>(host));  // range check with the usual exception
+  std::vector<ActionEvent> out;
+  apply_host_state(host, on, out);
+  for (auto& ev : out)
+    pending_.push_back(std::move(ev));
+}
+
+void Engine::set_link_state(platform::LinkId link, bool on) {
+  links_.at(static_cast<size_t>(link));  // range check with the usual exception
+  std::vector<ActionEvent> out;
+  apply_link_state(link, on, out);
+  for (auto& ev : out)
+    pending_.push_back(std::move(ev));
 }
 
 void Engine::set_host_scale(int host, double scale) {

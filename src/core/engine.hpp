@@ -4,11 +4,16 @@
 /// all running actions. Time advances from event to event: the next action
 /// completion, the next latency-phase expiry, or the next trace event
 /// (availability change or failure).
+///
+/// Failure propagation is O(affected): when a resource dies, its victims are
+/// found through the solver's element arena (constraint -> variables ->
+/// actions) and a per-host sleep index, never by scanning the running set.
 #pragma once
 
 #include <functional>
 #include <limits>
 #include <queue>
+#include <string>
 #include <vector>
 
 #include "core/action.hpp"
@@ -16,6 +21,8 @@
 #include "platform/platform.hpp"
 
 namespace sg::core {
+
+struct ActionBlockPool;  // LIFO recycler for action allocations (engine.cpp)
 
 /// What the engine reports after each step.
 struct ActionEvent {
@@ -37,27 +44,36 @@ public:
   const platform::Platform& platform() const { return platform_; }
 
   // -- starting activities ---------------------------------------------------
+  // Each creator comes in two overloads: the name-less one keeps the default
+  // display name ("exec", "comm", ...) without even constructing a
+  // std::string — creation is the hot path of churn workloads — while the
+  // named one stores the custom name in the shared side table (see
+  // ActionBlockPool).
+
   /// Computation of `flops` on a host. Throws HostFailureException if the
   /// host is currently down.
-  ActionPtr exec_start(int host, double flops, double priority = 1.0,
-                       const std::string& name = "exec");
+  ActionPtr exec_start(int host, double flops, double priority = 1.0);
+  ActionPtr exec_start(int host, double flops, double priority, const std::string& name);
 
   /// Point-to-point transfer of `bytes` from src to dst along the platform
   /// route. rate_limit (> 0) additionally caps the transfer rate (sender
   /// throttling). The TCP window cap gamma/(2*latency) applies automatically.
-  ActionPtr comm_start(int src_host, int dst_host, double bytes, double rate_limit = -1.0,
-                       const std::string& name = "comm");
+  ActionPtr comm_start(int src_host, int dst_host, double bytes, double rate_limit = -1.0);
+  ActionPtr comm_start(int src_host, int dst_host, double bytes, double rate_limit,
+                       const std::string& name);
 
   /// Parallel task (paper: "Parallel tasks" under resource sharing): a single
   /// activity consuming several CPUs and the links between them. The action
   /// completes when the common progress fraction reaches 1.
   /// flops[i] is the work of hosts[i]; bytes[i][j] the data sent i -> j.
   ActionPtr ptask_start(const std::vector<int>& hosts, const std::vector<double>& flops,
-                        const std::vector<std::vector<double>>& bytes,
-                        const std::string& name = "ptask");
+                        const std::vector<std::vector<double>>& bytes);
+  ActionPtr ptask_start(const std::vector<int>& hosts, const std::vector<double>& flops,
+                        const std::vector<std::vector<double>>& bytes, const std::string& name);
 
   /// Pure delay on a host (fails if the host dies while sleeping).
-  ActionPtr sleep_start(int host, double duration, const std::string& name = "sleep");
+  ActionPtr sleep_start(int host, double duration);
+  ActionPtr sleep_start(int host, double duration, const std::string& name);
 
   // -- time advance -----------------------------------------------------------
   /// Date of the next engine event (action completion / trace event), or
@@ -89,7 +105,11 @@ public:
   void set_link_scale(platform::LinkId link, double scale);
 
   /// Number of actions still running.
-  size_t running_action_count() const { return running_.size(); }
+  size_t running_action_count() const { return running_count_; }
+
+  /// Read-only view of the sharing system (tests and the memory-footprint
+  /// bench metrics; the solver's arena doubles as the failure index).
+  const MaxMinSystem& sharing_system() const { return sys_; }
 
   /// Observer invoked on every action state transition (viz/tracing hook).
   using ActionObserver = std::function<void(const Action&, ActionState /*old*/, ActionState /*new*/)>;
@@ -108,6 +128,10 @@ private:
     MaxMinSystem::CnstId loopback = -1;  ///< lazily created
     double scale = 1.0;
     bool on = true;
+    /// Sleeps currently running on this host (swap-removed via
+    /// Action::sleep_idx_): sleeps have no solver variable, so the arena
+    /// cannot index them — this list keeps host-failure sweeps O(affected).
+    std::vector<Action*> sleeps;
   };
   struct LinkRes {
     MaxMinSystem::CnstId cnst = -1;
@@ -133,27 +157,49 @@ private:
     ActionPtr action;
   };
 
-  /// completion_heap_ is a 4-ary min-heap on HeapEntry::date: half the depth
+  /// Both event heaps are 4-ary min-heaps on HeapEntry::date: half the depth
   /// of a binary heap and contiguous children, so a push/pop touches fewer
   /// cache lines — this is the hot path of every simulated event.
-  void heap_push(HeapEntry entry);
-  void heap_pop_front();
-  void heap_sift_down(size_t hole);
-  void heap_rebuild();
+  static void heap_push(std::vector<HeapEntry>& heap, HeapEntry entry);
+  static void heap_pop_front(std::vector<HeapEntry>& heap);
+  static void heap_sift_down(std::vector<HeapEntry>& heap, size_t hole);
+  static void heap_rebuild(std::vector<HeapEntry>& heap);
+  /// Pop stale entries off a heap's top; returns its next valid date (kInf
+  /// when empty). O(stale + 1).
+  static double reap_heap_top(std::vector<HeapEntry>& heap, size_t& stale);
 
   void schedule_trace_events();
   void schedule_next(const trace::Trace& trace, TraceEvent::Kind kind, int index, double after);
   void apply_trace_event(const TraceEvent& ev, std::vector<ActionEvent>& out);
+  /// Shared up/down transition logic (trace events and set_*_state): adjust
+  /// capacity and, on death, deliver failures through the index. O(affected).
+  void apply_host_state(int host, bool on, std::vector<ActionEvent>& out);
+  void apply_link_state(platform::LinkId link, bool on, std::vector<ActionEvent>& out);
   void refresh_host_capacity(int host);
   void refresh_link_capacity(platform::LinkId link);
   void finish_action(ActionPtr action, ActionState final_state, std::vector<ActionEvent>* out);
+  /// Fail every action with a live solver variable on `cnst`. O(degree of
+  /// cnst): victims come from the solver's element arena, not from a scan of
+  /// the running set. Safe against duplicate elements and against the same
+  /// action spanning several failed constraints (each action emits exactly
+  /// one failure event).
   void fail_actions_on_constraint(MaxMinSystem::CnstId cnst, std::vector<ActionEvent>& out);
+  /// Fail the sleeps of a dying host via its sleep index. O(affected).
+  void fail_sleeps_on_host(int host, std::vector<ActionEvent>& out);
   MaxMinSystem::CnstId loopback_constraint(int host);
   void notify(const Action& action, ActionState old_state, ActionState new_state);
   /// Bind a solver variable to its action so rate refreshes can find it.
   void bind_var(Action* action, MaxMinSystem::VarId var);
   /// Register a freshly created action as running (sets its running_ index).
   void add_running(const ActionPtr& action);
+  /// Store a custom display name in the side table (no-op when `name` is the
+  /// kind's default — the common case pays nothing).
+  void set_action_name(Action* action, const std::string& name);
+  /// Shared bodies of the creator overloads; a non-null name is applied
+  /// before the creation notify() so observers already see it.
+  ActionPtr exec_start_impl(int host, double flops, double priority, const std::string* name);
+  ActionPtr comm_start_impl(int src_host, int dst_host, double bytes, double rate_limit,
+                            const std::string* name);
   /// Re-solve sharing (incrementally — only components touched by a mutation
   /// are recomputed), refresh the rates of the actions whose allocation
   /// changed, and reschedule exactly those in the completion heap. Cheap
@@ -180,10 +226,30 @@ private:
   MaxMinSystem sys_;
   std::vector<HostRes> hosts_;
   std::vector<LinkRes> links_;
+  /// Block recycler + action-name side table behind make_action: held by
+  /// shared_ptr because every action's control block co-owns it, so block
+  /// deallocation and name lookup/erase stay safe even for an ActionPtr
+  /// that outlives the engine.
+  std::shared_ptr<ActionBlockPool> action_pool_;
   std::vector<Action*> action_of_var_;  ///< indexed by VarId; nullptr when free
+  /// Slot table of running actions (nullptr = free slot, recycled LIFO).
+  /// Slots are never swapped, so finishing an action touches no other
+  /// action's cache lines; nothing iterates this table on the hot path.
   std::vector<ActionPtr> running_;
-  std::vector<HeapEntry> completion_heap_;  ///< 4-ary min-heap (heap_push/heap_pop_front)
+  std::vector<size_t> free_run_slots_;
+  size_t running_count_ = 0;
+  /// Far-future events: completion dates of flowing actions, sleeps. At
+  /// scale this heap is large (one entry per running action), so keeping
+  /// near-term traffic out of it matters: a near-term push would bubble to
+  /// the root and its pop re-sinks a far-future tail entry through the full
+  /// depth — three deep traversals of cold cache lines.
+  std::vector<HeapEntry> completion_heap_;
   size_t heap_stale_ = 0;  ///< stale entries currently in completion_heap_
+  /// Near-term events: latency-phase expiries (now + route latency). Entries
+  /// live for microseconds of simulated time, so this heap stays tiny and
+  /// cache-resident no matter how many actions run.
+  std::vector<HeapEntry> latency_heap_;
+  size_t latency_stale_ = 0;
   std::vector<ActionEvent> pending_;  ///< events produced outside step()
   std::priority_queue<TraceEvent, std::vector<TraceEvent>, std::greater<>> trace_events_;
   ActionObserver observer_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <string>
 
 #include "xbt/exception.hpp"
 
@@ -13,40 +14,180 @@ constexpr double kEps = 1e-9;
 constexpr double kInf = std::numeric_limits<double>::infinity();
 }  // namespace
 
-void MaxMinSystem::mark_var_dirty(VarId var) {
-  if (full_solve_pending_ || var_dirty_[static_cast<size_t>(var)])
+// ---------------------------------------------------------------------------
+// Element arena
+// ---------------------------------------------------------------------------
+
+std::int32_t MaxMinSystem::alloc_node() {
+  std::int32_t n;
+  if (free_nodes_ != kNoNode) {
+    n = free_nodes_;
+    free_nodes_ = node(n).next;
+  } else {
+    if (static_cast<size_t>(arena_size_) == chunks_.size() * kChunkNodes)
+      chunks_.push_back(std::make_unique<ElemNode[]>(kChunkNodes));
+    n = arena_size_++;
+  }
+  ++nodes_in_use_;
+  ElemNode& nd = node(n);
+  nd.count = 0;
+  nd.next = kNoNode;
+  return n;
+}
+
+void MaxMinSystem::free_node(std::int32_t n) {
+  node(n).next = free_nodes_;
+  free_nodes_ = n;
+  --nodes_in_use_;
+}
+
+void MaxMinSystem::list_insert(std::int32_t& head, std::int32_t peer, double coeff) {
+  if (head == kNoNode || node(head).count == kNodeEntries) {
+    // Prepend a fresh node (order within a list is irrelevant to the math).
+    const std::int32_t n = alloc_node();
+    ElemNode& nd = node(n);
+    nd.next = head;
+    nd.count = 1;
+    nd.id[0] = peer;
+    nd.coeff[0] = coeff;
+    head = n;
     return;
-  var_dirty_[static_cast<size_t>(var)] = 1;
+  }
+  ElemNode& nd = node(head);
+  nd.id[nd.count] = peer;
+  nd.coeff[nd.count] = coeff;
+  ++nd.count;
+}
+
+std::int32_t MaxMinSystem::list_remove_all(std::int32_t& head, std::int32_t peer) {
+  std::int32_t removed = 0;
+  std::int32_t* link = &head;
+  while (*link != kNoNode) {
+    ElemNode& nd = node(*link);
+    for (std::int32_t k = 0; k < nd.count;) {
+      if (nd.id[k] == peer) {
+        // Node-local swap-remove: other nodes stay untouched.
+        --nd.count;
+        nd.id[k] = nd.id[nd.count];
+        nd.coeff[k] = nd.coeff[nd.count];
+        ++removed;
+      } else {
+        ++k;
+      }
+    }
+    if (nd.count == 0) {
+      const std::int32_t dead = *link;
+      *link = nd.next;
+      free_node(dead);
+    } else {
+      link = &nd.next;
+    }
+  }
+  return removed;
+}
+
+void MaxMinSystem::list_free(std::int32_t& head) {
+  while (head != kNoNode) {
+    const std::int32_t n = head;
+    head = node(n).next;
+    free_node(n);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Id management and mutations
+// ---------------------------------------------------------------------------
+
+void MaxMinSystem::check_var(VarId var, const char* what) const {
+  if (var < 0 || static_cast<size_t>(var) >= var_weight_.size())
+    throw xbt::InvalidArgument(std::string(what) + ": variable id " + std::to_string(var) +
+                               " out of range");
+}
+
+void MaxMinSystem::check_cnst(CnstId cnst, const char* what) const {
+  if (cnst < 0 || static_cast<size_t>(cnst) >= cnst_core_.size())
+    throw xbt::InvalidArgument(std::string(what) + ": constraint id " + std::to_string(cnst) +
+                               " out of range");
+}
+
+void MaxMinSystem::mark_var_dirty(VarId var) {
+  if (full_solve_pending_ || (var_flags_[static_cast<size_t>(var)] & kFlagDirty))
+    return;
+  var_flags_[static_cast<size_t>(var)] |= kFlagDirty;
   dirty_vars_.push_back(var);
 }
 
 void MaxMinSystem::mark_cnst_dirty(CnstId cnst, bool need_traverse) {
   if (full_solve_pending_)
     return;
+  unsigned char& flags = cnst_flags_[static_cast<size_t>(cnst)];
   // Shared constraints couple their users, so any change propagates to all of
   // them. A fatpipe caps each user independently: only a capacity change
   // (need_traverse) concerns users other than the (separately dirtied)
   // variable being added/removed.
-  need_traverse = need_traverse || cnsts_[static_cast<size_t>(cnst)].shared;
-  if (cnst_dirty_[static_cast<size_t>(cnst)]) {
+  need_traverse = need_traverse || (flags & kFlagShared);
+  if (flags & kFlagDirty) {
     if (need_traverse)
-      cnst_dirty_traverse_[static_cast<size_t>(cnst)] = 1;
+      flags |= kFlagTraverse;
     return;
   }
-  cnst_dirty_[static_cast<size_t>(cnst)] = 1;
-  cnst_dirty_traverse_[static_cast<size_t>(cnst)] = need_traverse ? 1 : 0;
+  flags |= kFlagDirty;
+  if (need_traverse)
+    flags |= kFlagTraverse;
+  else
+    flags &= static_cast<unsigned char>(~kFlagTraverse);
   dirty_cnsts_.push_back(cnst);
 }
 
 MaxMinSystem::CnstId MaxMinSystem::new_constraint(double capacity, bool shared) {
   if (capacity < 0)
     throw xbt::InvalidArgument("constraint capacity must be non-negative");
-  cnsts_.push_back({capacity, shared, {}});
-  cnst_dirty_.push_back(0);
-  cnst_dirty_traverse_.push_back(0);
-  cnst_in_set_.push_back(0);
-  remaining_.push_back(0);
-  return static_cast<CnstId>(cnsts_.size() - 1);
+  CnstId id;
+  if (!free_cnsts_.empty()) {
+    id = free_cnsts_.back();
+    free_cnsts_.pop_back();
+    const size_t i = static_cast<size_t>(id);
+    // release_constraint already freed the element list and zeroed the
+    // degree; keep the dirty bit as-is (a pending seed is merely harmless).
+    cnst_core_[i].capacity = capacity;
+    cnst_flags_[i] |= kFlagAlive;
+    if (shared)
+      cnst_flags_[i] |= kFlagShared;
+    else
+      cnst_flags_[i] &= static_cast<unsigned char>(~kFlagShared);
+  } else {
+    id = static_cast<CnstId>(cnst_core_.size());
+    cnst_core_.push_back({capacity, kNoNode, 0});
+    cnst_flags_.push_back(static_cast<unsigned char>(kFlagAlive | (shared ? kFlagShared : 0)));
+    remaining_.push_back(0);
+  }
+  ++live_cnsts_;
+  return id;
+}
+
+void MaxMinSystem::release_constraint(CnstId cnst) {
+  check_cnst(cnst, "release_constraint");
+  const size_t i = static_cast<size_t>(cnst);
+  if (!(cnst_flags_[i] & kFlagAlive))
+    return;
+  cnst_flags_[i] &= static_cast<unsigned char>(~kFlagAlive);
+  // Every user loses a cap/share: remove the back-references and re-solve
+  // the freed variables' components.
+  for (std::int32_t n = cnst_core_[i].head; n != kNoNode; n = node(n).next) {
+    const ElemNode& nd = node(n);
+    for (std::int32_t k = 0; k < nd.count; ++k) {
+      const VarId v = nd.id[k];
+      const std::int32_t removed = list_remove_all(var_link_[static_cast<size_t>(v)].head, cnst);
+      if (removed > 0) {  // duplicates were already removed by an earlier pass
+        var_link_[static_cast<size_t>(v)].degree -= removed;
+        mark_var_dirty(v);
+      }
+    }
+  }
+  list_free(cnst_core_[i].head);
+  cnst_core_[i].degree = 0;
+  free_cnsts_.push_back(cnst);
+  --live_cnsts_;
 }
 
 MaxMinSystem::VarId MaxMinSystem::new_variable(double weight, double bound) {
@@ -54,22 +195,22 @@ MaxMinSystem::VarId MaxMinSystem::new_variable(double weight, double bound) {
     throw xbt::InvalidArgument("variable weight must be non-negative");
   VarId id;
   if (!free_vars_.empty()) {
+    // Recycle in place: the SoA slots and the (just-freed, cache-hot) arena
+    // nodes of the released variable are what churn workloads re-use.
     id = free_vars_.back();
     free_vars_.pop_back();
-    // Reset in place: release_variable() already cleared cnsts/coeffs, and
-    // reusing their capacity spares two deallocate/reallocate pairs per
-    // recycled variable — the common case in churn workloads.
-    Variable& v = vars_[static_cast<size_t>(id)];
-    v.weight = weight;
-    v.bound = bound;
-    v.value = 0;
-    v.alive = true;
+    const size_t i = static_cast<size_t>(id);
+    var_weight_[i] = weight;
+    var_bound_[i] = bound;
+    var_value_[i] = 0;
+    var_flags_[i] |= kFlagAlive;
   } else {
-    vars_.push_back(Variable{weight, bound, 0, true, {}, {}});
-    id = static_cast<VarId>(vars_.size() - 1);
-    var_dirty_.push_back(0);
-    var_in_set_.push_back(0);
-    active_.push_back(0);
+    id = static_cast<VarId>(var_weight_.size());
+    var_weight_.push_back(weight);
+    var_bound_.push_back(bound);
+    var_value_.push_back(0);
+    var_flags_.push_back(kFlagAlive);
+    var_link_.push_back({kNoNode, 0});
     effective_bound_.push_back(kInf);
   }
   ++live_vars_;
@@ -80,16 +221,18 @@ MaxMinSystem::VarId MaxMinSystem::new_variable(double weight, double bound) {
 void MaxMinSystem::expand(CnstId cnst, VarId var, double coeff) {
   if (coeff <= 0)
     throw xbt::InvalidArgument("element coefficient must be positive");
-  if (cnst < 0 || static_cast<size_t>(cnst) >= cnsts_.size())
-    throw xbt::InvalidArgument("expand: constraint id " + std::to_string(cnst) + " out of range");
-  if (var < 0 || static_cast<size_t>(var) >= vars_.size())
-    throw xbt::InvalidArgument("expand: variable id " + std::to_string(var) + " out of range");
-  Variable& v = vars_[static_cast<size_t>(var)];
-  if (!v.alive)
+  check_cnst(cnst, "expand");
+  check_var(var, "expand");
+  if (!(var_flags_[static_cast<size_t>(var)] & kFlagAlive))
     throw xbt::InvalidArgument("expand: variable id " + std::to_string(var) + " was released");
-  cnsts_[static_cast<size_t>(cnst)].elems.push_back({var, coeff});
-  v.cnsts.push_back(cnst);
-  v.coeffs.push_back(coeff);
+  if (!(cnst_flags_[static_cast<size_t>(cnst)] & kFlagAlive))
+    throw xbt::InvalidArgument("expand: constraint id " + std::to_string(cnst) + " was released");
+  CnstCore& cc = cnst_core_[static_cast<size_t>(cnst)];
+  list_insert(cc.head, var, coeff);
+  ++cc.degree;
+  VarLink& vl = var_link_[static_cast<size_t>(var)];
+  list_insert(vl.head, cnst, coeff);
+  ++vl.degree;
   // The constraint's existing users must re-share with the newcomer
   // (membership change: fatpipes stay cap-only).
   mark_cnst_dirty(cnst, /*need_traverse=*/false);
@@ -97,23 +240,30 @@ void MaxMinSystem::expand(CnstId cnst, VarId var, double coeff) {
 }
 
 void MaxMinSystem::release_variable(VarId var) {
-  Variable& v = vars_.at(static_cast<size_t>(var));
-  if (!v.alive)
+  check_var(var, "release_variable");
+  const size_t i = static_cast<size_t>(var);
+  if (!(var_flags_[i] & kFlagAlive))
     return;
-  v.alive = false;
-  v.value = 0;
-  for (CnstId c : v.cnsts) {
-    Constraint& cnst = cnsts_[static_cast<size_t>(c)];
-    // Eager removal: a stale element would silently re-attach to whatever
-    // variable later recycles this id. The constraint is re-solved anyway
-    // (it is dirty), so the scan does not change the asymptotic cost.
-    std::erase_if(cnst.elems, [var](const Element& e) { return e.var == var; });
-    // The freed share must be redistributed among the constraint's users
-    // (membership change: fatpipes stay cap-only).
-    mark_cnst_dirty(c, /*need_traverse=*/false);
+  var_flags_[i] &= static_cast<unsigned char>(~kFlagAlive);
+  var_value_[i] = 0;
+  for (std::int32_t n = var_link_[i].head; n != kNoNode; n = node(n).next) {
+    const ElemNode& nd = node(n);
+    for (std::int32_t k = 0; k < nd.count; ++k) {
+      const CnstId c = nd.id[k];
+      // Eager removal: a stale element would silently re-attach to whatever
+      // variable later recycles this id. The constraint is re-solved anyway
+      // (it is dirty), so the scan does not change the asymptotic cost.
+      const std::int32_t removed = list_remove_all(cnst_core_[static_cast<size_t>(c)].head, var);
+      if (removed > 0) {
+        cnst_core_[static_cast<size_t>(c)].degree -= removed;
+        // The freed share must be redistributed among the constraint's users
+        // (membership change: fatpipes stay cap-only).
+        mark_cnst_dirty(c, /*need_traverse=*/false);
+      }
+    }
   }
-  v.cnsts.clear();
-  v.coeffs.clear();
+  list_free(var_link_[i].head);
+  var_link_[i].degree = 0;
   free_vars_.push_back(var);
   --live_vars_;
 }
@@ -121,51 +271,86 @@ void MaxMinSystem::release_variable(VarId var) {
 void MaxMinSystem::set_capacity(CnstId cnst, double capacity) {
   if (capacity < 0)
     throw xbt::InvalidArgument("constraint capacity must be non-negative");
-  Constraint& c = cnsts_.at(static_cast<size_t>(cnst));
-  if (c.capacity == capacity)
+  check_cnst(cnst, "set_capacity");
+  CnstCore& cc = cnst_core_[static_cast<size_t>(cnst)];
+  if (cc.capacity == capacity)
     return;
-  c.capacity = capacity;
+  cc.capacity = capacity;
   // A capacity change moves every user's cap, so fatpipes traverse too.
   mark_cnst_dirty(cnst, /*need_traverse=*/true);
 }
 
-double MaxMinSystem::capacity(CnstId cnst) const { return cnsts_.at(static_cast<size_t>(cnst)).capacity; }
+double MaxMinSystem::capacity(CnstId cnst) const {
+  check_cnst(cnst, "capacity");
+  return cnst_core_[static_cast<size_t>(cnst)].capacity;
+}
 
 void MaxMinSystem::set_weight(VarId var, double weight) {
   if (weight < 0)
     throw xbt::InvalidArgument("variable weight must be non-negative");
-  Variable& v = vars_.at(static_cast<size_t>(var));
-  if (v.weight == weight)
+  if (var_weight_.at(static_cast<size_t>(var)) == weight)
     return;
-  v.weight = weight;
-  if (v.alive)
+  var_weight_[static_cast<size_t>(var)] = weight;
+  if (var_flags_[static_cast<size_t>(var)] & kFlagAlive)
     mark_var_dirty(var);
 }
 
-double MaxMinSystem::weight(VarId var) const { return vars_.at(static_cast<size_t>(var)).weight; }
+double MaxMinSystem::weight(VarId var) const { return var_weight_.at(static_cast<size_t>(var)); }
 
 void MaxMinSystem::set_bound(VarId var, double bound) {
-  Variable& v = vars_.at(static_cast<size_t>(var));
-  if (v.bound == bound)
+  if (var_bound_.at(static_cast<size_t>(var)) == bound)
     return;
-  v.bound = bound;
-  if (v.alive)
+  var_bound_[static_cast<size_t>(var)] = bound;
+  if (var_flags_[static_cast<size_t>(var)] & kFlagAlive)
     mark_var_dirty(var);
 }
 
-double MaxMinSystem::bound(VarId var) const { return vars_.at(static_cast<size_t>(var)).bound; }
+double MaxMinSystem::bound(VarId var) const { return var_bound_.at(static_cast<size_t>(var)); }
 
-double MaxMinSystem::value(VarId var) const { return vars_.at(static_cast<size_t>(var)).value; }
+double MaxMinSystem::value(VarId var) const { return var_value_.at(static_cast<size_t>(var)); }
 
 double MaxMinSystem::usage(CnstId cnst) const {
-  const Constraint& c = cnsts_.at(static_cast<size_t>(cnst));
+  check_cnst(cnst, "usage");
+  const bool shared = (cnst_flags_[static_cast<size_t>(cnst)] & kFlagShared) != 0;
   double total = 0;
-  for (const Element& e : c.elems) {
-    const double u = e.coeff * vars_[static_cast<size_t>(e.var)].value;
-    total = c.shared ? total + u : std::max(total, u);
+  for (std::int32_t n = cnst_core_[static_cast<size_t>(cnst)].head; n != kNoNode; n = node(n).next) {
+    const ElemNode& nd = node(n);
+    for (std::int32_t k = 0; k < nd.count; ++k) {
+      const double u = nd.coeff[k] * var_value_[static_cast<size_t>(nd.id[k])];
+      total = shared ? total + u : std::max(total, u);
+    }
   }
   return total;
 }
+
+size_t MaxMinSystem::constraint_degree(CnstId cnst) const {
+  check_cnst(cnst, "constraint_degree");
+  return static_cast<size_t>(cnst_core_[static_cast<size_t>(cnst)].degree);
+}
+
+size_t MaxMinSystem::variable_degree(VarId var) const {
+  check_var(var, "variable_degree");
+  return static_cast<size_t>(var_link_[static_cast<size_t>(var)].degree);
+}
+
+MaxMinSystem::MemoryStats MaxMinSystem::memory_stats() const {
+  MemoryStats m;
+  m.live_variables = live_vars_;
+  m.live_constraints = live_cnsts_;
+  m.arena_nodes_in_use = nodes_in_use_;
+  m.arena_nodes_allocated = static_cast<size_t>(arena_size_);
+  m.arena_bytes = chunks_.size() * kChunkNodes * sizeof(ElemNode);
+  auto cap_bytes = [](const auto& v) { return v.capacity() * sizeof(v[0]); };
+  m.soa_bytes = cap_bytes(cnst_core_) + cap_bytes(cnst_flags_) + cap_bytes(free_cnsts_) +
+                cap_bytes(var_weight_) + cap_bytes(var_bound_) + cap_bytes(var_value_) +
+                cap_bytes(var_flags_) + cap_bytes(var_link_) + cap_bytes(free_vars_) +
+                cap_bytes(effective_bound_) + cap_bytes(remaining_);
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Solving
+// ---------------------------------------------------------------------------
 
 void MaxMinSystem::solve() {
   if (full_solve_pending_) {
@@ -187,14 +372,16 @@ void MaxMinSystem::solve() {
   affected_cnsts_.clear();
   traverse_cnst_.clear();
   auto add_var = [&](VarId v) {
-    if (!var_in_set_[static_cast<size_t>(v)] && vars_[static_cast<size_t>(v)].alive) {
-      var_in_set_[static_cast<size_t>(v)] = 1;
+    unsigned char& flags = var_flags_[static_cast<size_t>(v)];
+    if (!(flags & kFlagInSet) && (flags & kFlagAlive)) {
+      flags |= kFlagInSet;
       affected_vars_.push_back(v);
     }
   };
   auto add_cnst = [&](CnstId c, bool traverse) {
-    if (!cnst_in_set_[static_cast<size_t>(c)]) {
-      cnst_in_set_[static_cast<size_t>(c)] = 1;
+    unsigned char& flags = cnst_flags_[static_cast<size_t>(c)];
+    if (!(flags & kFlagInSet) && (flags & kFlagAlive)) {
+      flags |= kFlagInSet;
       affected_cnsts_.push_back(c);
       traverse_cnst_.push_back(traverse ? 1 : 0);
     }
@@ -204,36 +391,35 @@ void MaxMinSystem::solve() {
   // membership-dirty fatpipe stays cap-only — adding/removing one user does
   // not move the others' caps.
   for (CnstId c : dirty_cnsts_)
-    add_cnst(c, cnst_dirty_traverse_[static_cast<size_t>(c)] != 0);
+    add_cnst(c, (cnst_flags_[static_cast<size_t>(c)] & kFlagTraverse) != 0);
   for (VarId v : dirty_vars_)
     add_var(v);
   size_t vi = 0, ci = 0;
   while (vi < affected_vars_.size() || ci < affected_cnsts_.size()) {
     if (vi < affected_vars_.size()) {
-      const Variable& v = vars_[static_cast<size_t>(affected_vars_[vi++])];
-      for (CnstId c : v.cnsts)
-        add_cnst(c, cnsts_[static_cast<size_t>(c)].shared);
+      const VarId v = affected_vars_[vi++];
+      for_each_constraint_of(v, [&](CnstId c, double) {
+        add_cnst(c, (cnst_flags_[static_cast<size_t>(c)] & kFlagShared) != 0);
+      });
     } else {
       if (traverse_cnst_[ci]) {
-        const Constraint& c = cnsts_[static_cast<size_t>(affected_cnsts_[ci])];
-        for (const Element& e : c.elems)
-          add_var(e.var);
+        for_each_variable_on(affected_cnsts_[ci], [&](VarId v, double) { add_var(v); });
       }
       ++ci;
     }
   }
 
   for (VarId v : dirty_vars_)
-    var_dirty_[static_cast<size_t>(v)] = 0;
+    var_flags_[static_cast<size_t>(v)] &= static_cast<unsigned char>(~kFlagDirty);
   dirty_vars_.clear();
   for (CnstId c : dirty_cnsts_)
-    cnst_dirty_[static_cast<size_t>(c)] = 0;
+    cnst_flags_[static_cast<size_t>(c)] &= static_cast<unsigned char>(~(kFlagDirty | kFlagTraverse));
   dirty_cnsts_.clear();
 
   for (VarId v : affected_vars_)
-    var_in_set_[static_cast<size_t>(v)] = 0;
+    var_flags_[static_cast<size_t>(v)] &= static_cast<unsigned char>(~kFlagInSet);
   for (CnstId c : affected_cnsts_)
-    cnst_in_set_[static_cast<size_t>(c)] = 0;
+    cnst_flags_[static_cast<size_t>(c)] &= static_cast<unsigned char>(~kFlagInSet);
 
   if (affected_vars_.size() * 2 > live_vars_) {
     solve_full();
@@ -245,17 +431,18 @@ void MaxMinSystem::solve() {
 void MaxMinSystem::solve_full() {
   affected_vars_.clear();
   affected_cnsts_.clear();
-  for (size_t i = 0; i < vars_.size(); ++i)
-    if (vars_[i].alive)
+  for (size_t i = 0; i < var_flags_.size(); ++i)
+    if (var_flags_[i] & kFlagAlive)
       affected_vars_.push_back(static_cast<VarId>(i));
-  for (size_t c = 0; c < cnsts_.size(); ++c)
-    affected_cnsts_.push_back(static_cast<CnstId>(c));
+  for (size_t c = 0; c < cnst_flags_.size(); ++c)
+    if (cnst_flags_[c] & kFlagAlive)
+      affected_cnsts_.push_back(static_cast<CnstId>(c));
 
   for (VarId v : dirty_vars_)
-    var_dirty_[static_cast<size_t>(v)] = 0;
+    var_flags_[static_cast<size_t>(v)] &= static_cast<unsigned char>(~kFlagDirty);
   dirty_vars_.clear();
   for (CnstId c : dirty_cnsts_)
-    cnst_dirty_[static_cast<size_t>(c)] = 0;
+    cnst_flags_[static_cast<size_t>(c)] &= static_cast<unsigned char>(~(kFlagDirty | kFlagTraverse));
   dirty_cnsts_.clear();
   full_solve_pending_ = false;
 
@@ -267,35 +454,38 @@ void MaxMinSystem::solve_subset(const std::vector<VarId>& svars, const std::vect
   ++stats_.solves;
   stats_.vars_visited += svars.size();
 
-  // Working state, persistent across solves. `active_[i]` — still growing
-  // (all-zero between solves). `effective_bound_[i]` folds the variable's own
-  // bound together with its fatpipe caps.
+  // Working state, persistent across solves. The active bit — still growing
+  // (all clear between solves). `effective_bound_[i]` folds the variable's
+  // own bound together with its fatpipe caps. All hot fields are SoA arrays,
+  // so these loops touch exactly the cache lines of the subset's ids.
   size_t n_active = 0;
   old_values_.resize(svars.size());
   for (size_t k = 0; k < svars.size(); ++k) {
     const size_t i = static_cast<size_t>(svars[k]);
-    Variable& v = vars_[i];
-    old_values_[k] = v.value;
-    v.value = 0;
+    old_values_[k] = var_value_[i];
+    var_value_[i] = 0;
     effective_bound_[i] = kInf;
-    if (v.weight <= 0)
+    if (var_weight_[i] <= 0)
       continue;
-    active_[i] = 1;
+    var_flags_[i] |= kFlagActive;
     ++n_active;
-    if (v.bound >= 0)
-      effective_bound_[i] = v.bound;
+    if (var_bound_[i] >= 0)
+      effective_bound_[i] = var_bound_[i];
   }
 
   // Fatpipe constraints translate to per-variable caps: cap / coeff.
   for (CnstId cid : scnsts) {
-    const Constraint& c = cnsts_[static_cast<size_t>(cid)];
-    remaining_[static_cast<size_t>(cid)] = c.capacity;
-    if (c.shared)
+    const size_t c = static_cast<size_t>(cid);
+    remaining_[c] = cnst_core_[c].capacity;
+    if (cnst_flags_[c] & kFlagShared)
       continue;
-    for (const Element& e : c.elems) {
-      const size_t i = static_cast<size_t>(e.var);
-      if (active_[i])
-        effective_bound_[i] = std::min(effective_bound_[i], c.capacity / e.coeff);
+    for (std::int32_t n = cnst_core_[c].head; n != kNoNode; n = node(n).next) {
+      const ElemNode& nd = node(n);
+      for (std::int32_t k = 0; k < nd.count; ++k) {
+        const size_t i = static_cast<size_t>(nd.id[k]);
+        if (var_flags_[i] & kFlagActive)
+          effective_bound_[i] = std::min(effective_bound_[i], cnst_core_[c].capacity / nd.coeff[k]);
+      }
     }
   }
 
@@ -303,32 +493,35 @@ void MaxMinSystem::solve_subset(const std::vector<VarId>& svars, const std::vect
     // Growth room before the tightest shared constraint saturates.
     double delta = kInf;
     for (CnstId cid : scnsts) {
-      const Constraint& cnst = cnsts_[static_cast<size_t>(cid)];
-      if (!cnst.shared)
+      const size_t c = static_cast<size_t>(cid);
+      if (!(cnst_flags_[c] & kFlagShared))
         continue;
       double denom = 0;
-      for (const Element& e : cnst.elems) {
-        const size_t i = static_cast<size_t>(e.var);
-        if (active_[i])
-          denom += e.coeff * vars_[i].weight;
+      for (std::int32_t n = cnst_core_[c].head; n != kNoNode; n = node(n).next) {
+        const ElemNode& nd = node(n);
+        for (std::int32_t k = 0; k < nd.count; ++k) {
+          const size_t i = static_cast<size_t>(nd.id[k]);
+          if (var_flags_[i] & kFlagActive)
+            denom += nd.coeff[k] * var_weight_[i];
+        }
       }
       if (denom > 0)
-        delta = std::min(delta, std::max(0.0, remaining_[static_cast<size_t>(cid)]) / denom);
+        delta = std::min(delta, std::max(0.0, remaining_[c]) / denom);
     }
     // Growth room before a variable bound is reached.
     for (VarId vid : svars) {
       const size_t i = static_cast<size_t>(vid);
-      if (active_[i] && effective_bound_[i] < kInf)
-        delta = std::min(delta, std::max(0.0, effective_bound_[i] - vars_[i].value) / vars_[i].weight);
+      if ((var_flags_[i] & kFlagActive) && effective_bound_[i] < kInf)
+        delta = std::min(delta, std::max(0.0, effective_bound_[i] - var_value_[i]) / var_weight_[i]);
     }
 
     if (delta == kInf) {
       // Unconstrained variables: give them the "infinite" rate and stop.
       for (VarId vid : svars) {
         const size_t i = static_cast<size_t>(vid);
-        if (active_[i]) {
-          vars_[i].value = kUnlimited;
-          active_[i] = 0;
+        if (var_flags_[i] & kFlagActive) {
+          var_value_[i] = kUnlimited;
+          var_flags_[i] &= static_cast<unsigned char>(~kFlagActive);
         }
       }
       break;
@@ -337,42 +530,51 @@ void MaxMinSystem::solve_subset(const std::vector<VarId>& svars, const std::vect
     // Grow everyone, consume capacities.
     for (VarId vid : svars) {
       const size_t i = static_cast<size_t>(vid);
-      if (active_[i])
-        vars_[i].value += delta * vars_[i].weight;
+      if (var_flags_[i] & kFlagActive)
+        var_value_[i] += delta * var_weight_[i];
     }
     for (CnstId cid : scnsts) {
-      const Constraint& cnst = cnsts_[static_cast<size_t>(cid)];
-      if (!cnst.shared)
+      const size_t c = static_cast<size_t>(cid);
+      if (!(cnst_flags_[c] & kFlagShared))
         continue;
       double used = 0;
-      for (const Element& e : cnst.elems) {
-        const size_t i = static_cast<size_t>(e.var);
-        if (active_[i])
-          used += e.coeff * vars_[i].weight;
+      for (std::int32_t n = cnst_core_[c].head; n != kNoNode; n = node(n).next) {
+        const ElemNode& nd = node(n);
+        for (std::int32_t k = 0; k < nd.count; ++k) {
+          const size_t i = static_cast<size_t>(nd.id[k]);
+          if (var_flags_[i] & kFlagActive)
+            used += nd.coeff[k] * var_weight_[i];
+        }
       }
-      remaining_[static_cast<size_t>(cid)] -= delta * used;
+      remaining_[c] -= delta * used;
     }
 
     // Freeze variables on saturated shared constraints.
     size_t frozen = 0;
     for (CnstId cid : scnsts) {
-      const Constraint& cnst = cnsts_[static_cast<size_t>(cid)];
-      if (!cnst.shared)
+      const size_t c = static_cast<size_t>(cid);
+      if (!(cnst_flags_[c] & kFlagShared))
         continue;
       bool involved = false;
-      for (const Element& e : cnst.elems)
-        if (active_[static_cast<size_t>(e.var)]) {
-          involved = true;
-          break;
-        }
+      for (std::int32_t n = cnst_core_[c].head; n != kNoNode && !involved; n = node(n).next) {
+        const ElemNode& nd = node(n);
+        for (std::int32_t k = 0; k < nd.count; ++k)
+          if (var_flags_[static_cast<size_t>(nd.id[k])] & kFlagActive) {
+            involved = true;
+            break;
+          }
+      }
       if (!involved)
         continue;
-      if (remaining_[static_cast<size_t>(cid)] <= kEps * std::max(1.0, cnst.capacity)) {
-        for (const Element& e : cnst.elems) {
-          const size_t i = static_cast<size_t>(e.var);
-          if (active_[i]) {
-            active_[i] = 0;
-            ++frozen;
+      if (remaining_[c] <= kEps * std::max(1.0, cnst_core_[c].capacity)) {
+        for (std::int32_t n = cnst_core_[c].head; n != kNoNode; n = node(n).next) {
+          const ElemNode& nd = node(n);
+          for (std::int32_t k = 0; k < nd.count; ++k) {
+            const size_t i = static_cast<size_t>(nd.id[k]);
+            if (var_flags_[i] & kFlagActive) {
+              var_flags_[i] &= static_cast<unsigned char>(~kFlagActive);
+              ++frozen;
+            }
           }
         }
       }
@@ -380,10 +582,10 @@ void MaxMinSystem::solve_subset(const std::vector<VarId>& svars, const std::vect
     // Freeze variables that reached their (effective) bound.
     for (VarId vid : svars) {
       const size_t i = static_cast<size_t>(vid);
-      if (active_[i] && effective_bound_[i] < kInf &&
-          vars_[i].value >= effective_bound_[i] - kEps * std::max(1.0, effective_bound_[i])) {
-        vars_[i].value = effective_bound_[i];
-        active_[i] = 0;
+      if ((var_flags_[i] & kFlagActive) && effective_bound_[i] < kInf &&
+          var_value_[i] >= effective_bound_[i] - kEps * std::max(1.0, effective_bound_[i])) {
+        var_value_[i] = effective_bound_[i];
+        var_flags_[i] &= static_cast<unsigned char>(~kFlagActive);
         ++frozen;
       }
     }
@@ -394,8 +596,8 @@ void MaxMinSystem::solve_subset(const std::vector<VarId>& svars, const std::vect
       // to guarantee termination.
       for (VarId vid : svars) {
         const size_t i = static_cast<size_t>(vid);
-        if (active_[i]) {
-          active_[i] = 0;
+        if (var_flags_[i] & kFlagActive) {
+          var_flags_[i] &= static_cast<unsigned char>(~kFlagActive);
           ++frozen;
           break;
         }
@@ -406,7 +608,7 @@ void MaxMinSystem::solve_subset(const std::vector<VarId>& svars, const std::vect
 
   changed_vars_.clear();
   for (size_t k = 0; k < svars.size(); ++k)
-    if (vars_[static_cast<size_t>(svars[k])].value != old_values_[k])
+    if (var_value_[static_cast<size_t>(svars[k])] != old_values_[k])
       changed_vars_.push_back(svars[k]);
 }
 

@@ -47,9 +47,49 @@
 /// point (the weighted max-min fair allocation), and disjoint components
 /// share no constraint: filling them together or separately yields the same
 /// allocation.
+///
+/// ## Data layout: element arena and SoA hot fields
+///
+/// At scale the solver is memory-bound, not compute-bound: a churn event
+/// touches a handful of variables/constraints, and the cost is dominated by
+/// the cache lines those touches pull in. The layout is therefore organized
+/// around density and reuse rather than around per-object encapsulation:
+///
+///  * **Element arena.** The incidence lists (which variables sit on a
+///    constraint; which constraints a variable crosses) are not per-object
+///    `std::vector`s but unrolled linked lists of 4-entry nodes living in one
+///    shared, chunked arena. A node packs 4 (peer id, coefficient) pairs in
+///    56 bytes; a list is a chain of node indices. Since the common
+///    exec/comm case has degree <= 4 (one CPU, or a couple of route links),
+///    the fast path is a single node — one pointer chase, one cache line.
+///    Nodes are recycled through an index-linked free list, so steady-state
+///    churn re-uses the same (cache-hot) lines instead of walking the heap
+///    allocator. Chunks (256 nodes, ~14 KiB) give address stability without
+///    vector-growth copies.
+///  * **SoA hot fields.** The fields progressive filling actually reads per
+///    round (`value`, `weight`, `bound`, `active`, per-constraint
+///    `remaining`) are parallel arrays indexed by id, scanned linearly in
+///    solve_subset; cold metadata does not share their cache lines.
+///  * **Id recycling.** Variable *and* constraint ids are recycled through
+///    free lists (release_variable / release_constraint), keeping the id
+///    space — and with it every parallel array — dense under churn.
+///
+/// Invariants the arena maintains:
+///  * element lists contain only live peers: release_variable eagerly
+///    removes the variable's entries from every constraint list it was on
+///    (and release_constraint symmetrically), so a recycled id can never
+///    revive a stale element;
+///  * an (var, cnst) incidence appears exactly once per expand() call —
+///    expanding twice yields two entries, matching the additive consumption
+///    semantics of the old layout;
+///  * the per-id degree counters track live entries, so degree introspection
+///    is O(1) and the engine can reach "all actions on a failed resource"
+///    in O(degree) via for_each_variable_on().
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace sg::core {
@@ -66,12 +106,18 @@ public:
   /// otherwise each user is individually capped (fatpipe).
   CnstId new_constraint(double capacity, bool shared = true);
 
+  /// Release a constraint: its caps/shares disappear and every variable that
+  /// was on it is freed to grow. The id is recycled by a later
+  /// new_constraint. No-op when already released.
+  void release_constraint(CnstId cnst);
+
   /// Create an activity variable. weight > 0 makes it active (its allocation
   /// grows proportionally to weight); weight == 0 suspends it (allocation 0).
   VarId new_variable(double weight, double bound = kNoBound);
 
   /// Declare that variable consumes `coeff` units of `cnst` per unit of rate.
-  /// Throws xbt::InvalidArgument on an out-of-range id or a released variable.
+  /// Throws xbt::InvalidArgument on an out-of-range id or a released
+  /// variable/constraint.
   void expand(CnstId cnst, VarId var, double coeff = 1.0);
 
   /// Release a variable (its consumption disappears from all constraints).
@@ -93,7 +139,37 @@ public:
 
   /// Number of live (not released) variables.
   size_t variable_count() const { return live_vars_; }
-  size_t constraint_count() const { return cnsts_.size(); }
+  /// Number of live (not released) constraints.
+  size_t constraint_count() const { return live_cnsts_; }
+
+  /// Live entries on a constraint / live constraints under a variable (an id
+  /// expanded twice on the same constraint counts twice).
+  size_t constraint_degree(CnstId cnst) const;
+  size_t variable_degree(VarId var) const;
+
+  /// Visit every (constraint, coeff) incidence of a live variable. This is
+  /// the engine's replacement for keeping its own per-action constraint
+  /// list: the arena already has it.
+  template <typename Fn>
+  void for_each_constraint_of(VarId var, Fn&& fn) const {
+    for (std::int32_t n = var_link_[static_cast<size_t>(var)].head; n != kNoNode; n = node(n).next) {
+      const ElemNode& nd = node(n);
+      for (std::int32_t k = 0; k < nd.count; ++k)
+        fn(static_cast<CnstId>(nd.id[k]), nd.coeff[k]);
+    }
+  }
+
+  /// Visit every (variable, coeff) incidence on a live constraint — the
+  /// cnst -> users index failure propagation runs on. O(degree). The
+  /// callback must not mutate the system; collect first, then mutate.
+  template <typename Fn>
+  void for_each_variable_on(CnstId cnst, Fn&& fn) const {
+    for (std::int32_t n = cnst_core_[static_cast<size_t>(cnst)].head; n != kNoNode; n = node(n).next) {
+      const ElemNode& nd = node(n);
+      for (std::int32_t k = 0; k < nd.count; ++k)
+        fn(static_cast<VarId>(nd.id[k]), nd.coeff[k]);
+    }
+  }
 
   /// Run progressive filling incrementally: only the connected components
   /// touched by a mutation since the last solve are recomputed; untouched
@@ -122,25 +198,49 @@ public:
   };
   const SolveStats& solve_stats() const { return stats_; }
 
-private:
-  struct Variable;
-  struct Element {
-    VarId var;
-    double coeff;
+  /// Footprint introspection (tests / the memory-tracking bench metrics).
+  struct MemoryStats {
+    size_t live_variables = 0;
+    size_t live_constraints = 0;
+    size_t arena_nodes_in_use = 0;     ///< nodes currently on some list
+    size_t arena_nodes_allocated = 0;  ///< nodes ever created (>= in_use)
+    size_t arena_bytes = 0;            ///< bytes held by arena chunks
+    size_t soa_bytes = 0;              ///< bytes held by the parallel arrays
+    size_t total_bytes() const { return arena_bytes + soa_bytes; }
   };
-  struct Constraint {
-    double capacity;
-    bool shared;
-    std::vector<Element> elems;  ///< only live variables: release removes eagerly
+  MemoryStats memory_stats() const;
+
+ private:
+  // -- element arena ---------------------------------------------------------
+  static constexpr std::int32_t kNoNode = -1;
+  static constexpr std::int32_t kNodeEntries = 4;  ///< degree <= 4 fast path
+  struct ElemNode {
+    std::int32_t count;             ///< live entries in this node
+    std::int32_t next;              ///< next node of the list (or free list)
+    std::int32_t id[kNodeEntries];  ///< peer id: var ids on a constraint's
+                                    ///< list, cnst ids on a variable's list
+    double coeff[kNodeEntries];
   };
-  struct Variable {
-    double weight;
-    double bound;
-    double value = 0;
-    bool alive = true;
-    std::vector<CnstId> cnsts;      ///< constraints this variable uses
-    std::vector<double> coeffs;     ///< parallel to cnsts
-  };
+  static constexpr size_t kChunkShift = 8;
+  static constexpr size_t kChunkNodes = size_t{1} << kChunkShift;  ///< 256 nodes / ~14 KiB
+
+  ElemNode& node(std::int32_t i) {
+    return chunks_[static_cast<size_t>(i) >> kChunkShift][static_cast<size_t>(i) & (kChunkNodes - 1)];
+  }
+  const ElemNode& node(std::int32_t i) const {
+    return chunks_[static_cast<size_t>(i) >> kChunkShift][static_cast<size_t>(i) & (kChunkNodes - 1)];
+  }
+  std::int32_t alloc_node();
+  void free_node(std::int32_t n);
+  /// Append one (peer, coeff) entry to the list rooted at `head`.
+  void list_insert(std::int32_t& head, std::int32_t peer, double coeff);
+  /// Remove every entry whose id == peer; returns how many were removed.
+  std::int32_t list_remove_all(std::int32_t& head, std::int32_t peer);
+  /// Free the whole chain and reset head to kNoNode.
+  void list_free(std::int32_t& head);
+
+  void check_var(VarId var, const char* what) const;
+  void check_cnst(CnstId cnst, const char* what) const;
 
   void mark_var_dirty(VarId var);
   /// need_traverse: the change affects users beyond the dirtied variable
@@ -150,15 +250,49 @@ private:
   /// Every live variable of a listed constraint must be listed too.
   void solve_subset(const std::vector<VarId>& svars, const std::vector<CnstId>& scnsts);
 
-  std::vector<Constraint> cnsts_;
-  std::vector<Variable> vars_;
+  // -- arena storage ---------------------------------------------------------
+  std::vector<std::unique_ptr<ElemNode[]>> chunks_;
+  std::int32_t free_nodes_ = kNoNode;  ///< index-linked through ElemNode::next
+  std::int32_t arena_size_ = 0;        ///< nodes ever created
+  size_t nodes_in_use_ = 0;
+
+  // Per-id bookkeeping bits, one byte per id: the dirty/in-set/alive/active
+  // states are always consulted together on the hot path, so packing them
+  // costs one cache line per id instead of four.
+  static constexpr unsigned char kFlagAlive = 1;
+  static constexpr unsigned char kFlagDirty = 2;
+  static constexpr unsigned char kFlagInSet = 4;
+  static constexpr unsigned char kFlagActive = 8;    ///< vars: still growing in solve
+  static constexpr unsigned char kFlagTraverse = 8;  ///< cnsts: closure must reach users
+  static constexpr unsigned char kFlagShared = 16;   ///< cnsts: capacity is divided
+
+  // -- constraint storage (indexed by CnstId) --------------------------------
+  /// Capacity + arena list head + degree, fused: the solver always reads
+  /// them together, and four constraints share a cache line.
+  struct CnstCore {
+    double capacity;
+    std::int32_t head;    ///< arena list of users
+    std::int32_t degree;  ///< live entries on that list
+  };
+  std::vector<CnstCore> cnst_core_;
+  std::vector<unsigned char> cnst_flags_;
+  std::vector<CnstId> free_cnsts_;
+  size_t live_cnsts_ = 0;
+
+  // -- variable storage: hot solve fields as SoA (indexed by VarId) ----------
+  std::vector<double> var_weight_;
+  std::vector<double> var_bound_;
+  std::vector<double> var_value_;
+  std::vector<unsigned char> var_flags_;
+  struct VarLink {
+    std::int32_t head;    ///< arena list of constraints
+    std::int32_t degree;  ///< live entries on that list
+  };
+  std::vector<VarLink> var_link_;
   std::vector<VarId> free_vars_;
   size_t live_vars_ = 0;
 
   // -- dirty tracking --------------------------------------------------------
-  std::vector<char> var_dirty_;          ///< indexed by VarId
-  std::vector<char> cnst_dirty_;         ///< indexed by CnstId
-  std::vector<char> cnst_dirty_traverse_;  ///< closure must reach the users
   std::vector<VarId> dirty_vars_;
   std::vector<CnstId> dirty_cnsts_;
   bool full_solve_pending_ = true;  ///< first solve is always full
@@ -170,9 +304,6 @@ private:
   std::vector<VarId> affected_vars_;
   std::vector<CnstId> affected_cnsts_;
   std::vector<char> traverse_cnst_;  ///< parallel to affected_cnsts_ in solve()
-  std::vector<char> var_in_set_;
-  std::vector<char> cnst_in_set_;
-  std::vector<char> active_;              ///< all-zero between solves
   std::vector<double> effective_bound_;
   std::vector<double> remaining_;
   std::vector<double> old_values_;        ///< parallel to the subset list

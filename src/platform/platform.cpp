@@ -4,13 +4,70 @@
 #include <limits>
 #include <queue>
 
+#include "xbt/config.hpp"
 #include "xbt/exception.hpp"
 
 namespace sg::platform {
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Fibonacci-style mix: pair keys are (src << 32 | dst), so the raw value is
+/// far too structured for the linear-probing table's power-of-2 mask.
+inline size_t route_hash(std::uint64_t key) {
+  return static_cast<size_t>((key ^ (key >> 29)) * 0x9E3779B97F4A7C15ull >> 16);
+}
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// Resolved-route index (open addressing over a stable deque)
+// ---------------------------------------------------------------------------
+
+Route* Platform::route_find(std::uint64_t key) const {
+  if (route_keys_.empty())
+    return nullptr;
+  const size_t mask = route_keys_.size() - 1;
+  for (size_t i = route_hash(key) & mask;; i = (i + 1) & mask) {
+    if (route_keys_[i] == key)
+      return &route_store_[route_slots_[i]];
+    if (route_keys_[i] == kEmptyKey)
+      return nullptr;
+  }
+}
+
+void Platform::route_index_grow() const {
+  const size_t new_cap = route_keys_.empty() ? 64 : route_keys_.size() * 2;
+  std::vector<std::uint64_t> old_keys = std::move(route_keys_);
+  std::vector<std::uint32_t> old_slots = std::move(route_slots_);
+  route_keys_.assign(new_cap, kEmptyKey);
+  route_slots_.assign(new_cap, 0);
+  const size_t mask = new_cap - 1;
+  for (size_t i = 0; i < old_keys.size(); ++i) {
+    if (old_keys[i] == kEmptyKey)
+      continue;
+    size_t j = route_hash(old_keys[i]) & mask;
+    while (route_keys_[j] != kEmptyKey)
+      j = (j + 1) & mask;
+    route_keys_[j] = old_keys[i];
+    route_slots_[j] = old_slots[i];
+  }
+}
+
+Route& Platform::route_slot(std::uint64_t key) const {
+  // Grow at 70% load so probe runs stay short.
+  if (route_keys_.empty() || route_store_.size() * 10 >= route_keys_.size() * 7)
+    route_index_grow();
+  const size_t mask = route_keys_.size() - 1;
+  size_t i = route_hash(key) & mask;
+  while (route_keys_[i] != kEmptyKey && route_keys_[i] != key)
+    i = (i + 1) & mask;
+  if (route_keys_[i] == key)
+    return route_store_[route_slots_[i]];
+  route_keys_[i] = key;
+  route_slots_[i] = static_cast<std::uint32_t>(route_store_.size());
+  route_store_.emplace_back();
+  return route_store_.back();
+}
 
 NodeId Platform::add_host(const HostSpec& spec) {
   if (sealed_)
@@ -90,10 +147,10 @@ void Platform::add_route(NodeId src, NodeId dst, std::vector<LinkId> links, bool
     lat += links_[static_cast<size_t>(l)].latency_s;
   const int s = host_index(src);
   const int d = host_index(dst);
-  route_cache_[pair_key(s, d)] = Route{links, lat};
+  route_slot(pair_key(s, d)) = Route{links, lat};
   if (symmetric) {
     std::vector<LinkId> rev(links.rbegin(), links.rend());
-    route_cache_[pair_key(d, s)] = Route{std::move(rev), lat};
+    route_slot(pair_key(d, s)) = Route{std::move(rev), lat};
   }
 }
 
@@ -140,6 +197,15 @@ void Platform::seal() {
     adj_[static_cast<size_t>(e.a)].push_back({e.b, e.link});
     adj_[static_cast<size_t>(e.b)].push_back({e.a, e.link});
   }
+  // SSSP-tree LRU capacity: configured floor, raised adaptively with the
+  // platform size so that > 64 concurrently active sources (each tree is
+  // O(nodes)) do not evict each other in a thrash loop.
+  auto& cfg = xbt::Config::instance();
+  cfg.declare("routing/sssp-cache", 64.0,
+              "max memoized single-source shortest-path trees (LRU); "
+              "seal() raises it to hosts/16 when that is larger");
+  const double configured = std::max(1.0, cfg.get("routing/sssp-cache"));
+  sssp_cache_cap_ = std::max(static_cast<size_t>(configured), hosts_.size() / 16);
   sealed_ = true;
 }
 
@@ -152,16 +218,18 @@ void Platform::check_host_index(int host_index, const char* what) const {
 const Platform::SsspTree& Platform::sssp_from(NodeId src) const {
   auto hit = sssp_cache_.find(src);
   if (hit != sssp_cache_.end()) {
-    // Refresh LRU position (the list is tiny — at most kSsspCacheCap).
-    auto pos = std::find(sssp_lru_.begin(), sssp_lru_.end(), src);
-    sssp_lru_.erase(pos);
-    sssp_lru_.push_back(src);
+    hit->second.last_used = ++sssp_tick_;  // O(1) LRU refresh
     return hit->second;
   }
 
-  if (sssp_cache_.size() >= kSsspCacheCap) {
-    sssp_cache_.erase(sssp_lru_.front());
-    sssp_lru_.erase(sssp_lru_.begin());
+  if (sssp_cache_.size() >= sssp_cache_cap_) {
+    // Evict the least recently used tree. The O(cap) scan only runs on a
+    // miss, where the Dijkstra below dominates it anyway.
+    auto lru = sssp_cache_.begin();
+    for (auto it = std::next(lru); it != sssp_cache_.end(); ++it)
+      if (it->second.last_used < lru->second.last_used)
+        lru = it;
+    sssp_cache_.erase(lru);
   }
 
   const size_t n_nodes = nodes_.size();
@@ -191,8 +259,8 @@ const Platform::SsspTree& Platform::sssp_from(NodeId src) const {
     }
   }
 
+  tree.last_used = ++sssp_tick_;
   auto [ins, inserted] = sssp_cache_.emplace(src, std::move(tree));
-  sssp_lru_.push_back(src);
   (void)inserted;
   return ins->second;
 }
@@ -205,9 +273,8 @@ const Route& Platform::route(int src_host, int dst_host) const {
                                hosts_[static_cast<size_t>(src_host)].name + " and " +
                                hosts_[static_cast<size_t>(dst_host)].name + " (call Platform::seal())");
 
-  auto it = route_cache_.find(pair_key(src_host, dst_host));
-  if (it != route_cache_.end())
-    return it->second;
+  if (const Route* cached = route_find(pair_key(src_host, dst_host)))
+    return *cached;
   if (src_host == dst_host)
     return loopback_route_;  // a host talking to itself, absent an explicit self-route
 
@@ -226,9 +293,9 @@ const Route& Platform::route(int src_host, int dst_host) const {
     lat += links_[static_cast<size_t>(tree.prev_link[static_cast<size_t>(v)])].latency_s;
   }
   std::reverse(path.begin(), path.end());
-  auto [ins, inserted] = route_cache_.emplace(pair_key(src_host, dst_host), Route{std::move(path), lat});
-  (void)inserted;
-  return ins->second;
+  Route& slot = route_slot(pair_key(src_host, dst_host));
+  slot = Route{std::move(path), lat};
+  return slot;
 }
 
 bool Platform::reachable(int src_host, int dst_host) const {
@@ -238,7 +305,7 @@ bool Platform::reachable(int src_host, int dst_host) const {
     throw xbt::InvalidArgument("platform must be sealed before routing between " +
                                hosts_[static_cast<size_t>(src_host)].name + " and " +
                                hosts_[static_cast<size_t>(dst_host)].name + " (call Platform::seal())");
-  if (route_cache_.count(pair_key(src_host, dst_host)))
+  if (route_find(pair_key(src_host, dst_host)) != nullptr)
     return true;
   if (src_host == dst_host)
     return true;

@@ -26,9 +26,15 @@
 /// The caches are an implementation detail: route() stays `const`. They make
 /// routing non-thread-safe; resolve routes from a single thread (the
 /// simulation kernel is single-threaded anyway).
+///
+/// The SSSP-tree cache is LRU-bounded; its capacity is configurable via the
+/// `routing/sssp-cache` config key (default 64) and adaptively raised to
+/// hosts/16 at seal() time, so platforms with many concurrently active
+/// sources do not thrash the cache.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -127,9 +133,12 @@ public:
 
   // -- cache introspection (tests/benches) ----------------------------------
   /// Number of (src, dst) routes resolved (or explicitly declared) so far.
-  size_t resolved_route_count() const { return route_cache_.size(); }
+  size_t resolved_route_count() const { return route_store_.size(); }
   /// Number of memoized single-source shortest-path trees currently held.
   size_t cached_sssp_tree_count() const { return sssp_cache_.size(); }
+  /// Capacity of the SSSP-tree LRU: max(routing/sssp-cache, hosts/16),
+  /// fixed at seal() time.
+  size_t sssp_cache_capacity() const { return sssp_cache_cap_; }
 
 private:
   struct NodeRec {
@@ -142,6 +151,7 @@ private:
     std::vector<double> dist;
     std::vector<NodeId> prev_node;
     std::vector<LinkId> prev_link;
+    std::uint64_t last_used = 0;  ///< LRU tick; hits bump it in O(1)
   };
 
   static std::uint64_t pair_key(int src_host, int dst_host) {
@@ -168,16 +178,30 @@ private:
   /// adjacency: node -> (neighbor, link); built by seal().
   std::vector<std::vector<std::pair<NodeId, LinkId>>> adj_;
 
-  /// Resolved routes keyed by (src, dst) host-index pair. Explicit routes are
-  /// inserted here eagerly (they pre-empt lazy resolution); graph-derived
-  /// routes are added on first query. unordered_map guarantees reference
-  /// stability of mapped values across inserts, which is what keeps
-  /// `const Route&` call sites valid.
-  mutable std::unordered_map<std::uint64_t, Route> route_cache_;
+  /// Resolved routes keyed by (src, dst) host-index pair. Explicit routes
+  /// are inserted eagerly (they pre-empt lazy resolution); graph-derived
+  /// routes are added on first query. The index is open-addressing (linear
+  /// probing over a power-of-2 table): a lookup is one probe run through a
+  /// flat array instead of a hash-node chase — route() is on the hot path of
+  /// every communication start. Routes themselves live in a deque, whose
+  /// references stay stable across growth; that is what keeps `const Route&`
+  /// call sites valid.
+  static constexpr std::uint64_t kEmptyKey = ~std::uint64_t{0};
+  mutable std::vector<std::uint64_t> route_keys_;   ///< kEmptyKey = free slot
+  mutable std::vector<std::uint32_t> route_slots_;  ///< parallel: index into route_store_
+  mutable std::deque<Route> route_store_;
 
-  static constexpr size_t kSsspCacheCap = 64;
+  Route* route_find(std::uint64_t key) const;
+  /// Existing record for key, or a freshly inserted empty one.
+  Route& route_slot(std::uint64_t key) const;
+  void route_index_grow() const;
+
+  size_t sssp_cache_cap_ = 64;  ///< adjusted by seal() (config + host count)
+  /// LRU by last_used tick: a cache hit is an O(1) counter bump; eviction
+  /// scans for the minimum, which a Dijkstra run (the reason we are
+  /// evicting) dwarfs even at the hosts/16 adaptive capacity.
   mutable std::unordered_map<NodeId, SsspTree> sssp_cache_;
-  mutable std::vector<NodeId> sssp_lru_;  ///< least-recent first
+  mutable std::uint64_t sssp_tick_ = 0;
 
   Route loopback_route_;  ///< shared empty self-route
   bool sealed_ = false;

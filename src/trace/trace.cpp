@@ -85,9 +85,21 @@ std::optional<TracePoint> Trace::next_event_after(double t) const {
   const double local = t - base;
   auto it = std::upper_bound(points_.begin(), points_.end(), local,
                              [](double v, const TracePoint& p) { return v < p.time; });
-  if (it != points_.end())
-    return TracePoint{base + it->time, it->value};
-  return TracePoint{base + periodicity_ + points_.front().time, points_.front().value};
+  // `t - base` and `base + time` round independently, so the candidate can
+  // land exactly on (or before) t; returning it would make a caller that
+  // chains next_event_after re-fire the same event forever. Skip forward
+  // until the date is strictly in the future (at most one extra period).
+  double b = base;
+  while (true) {
+    if (it == points_.end()) {
+      b += periodicity_;
+      it = points_.begin();
+    }
+    const double at = b + it->time;
+    if (at > t)
+      return TracePoint{at, it->value};
+    ++it;
+  }
 }
 
 double Trace::horizon() const {

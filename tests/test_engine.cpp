@@ -663,6 +663,174 @@ TEST_F(EngineTest, ReentrantObserverCancelDoesNotDoubleFinish) {
   EXPECT_EQ(seen_c, 1);
 }
 
+// ---------------------------------------------------------------------------
+// Failure propagation through the arena index: victims are found via the
+// solver's element lists (cnst -> vars -> actions) and the per-host sleep
+// index, never by scanning the running set. These tests pin the delivery
+// invariants — most importantly exactly-one-event per failed action.
+// ---------------------------------------------------------------------------
+
+TEST_F(EngineTest, PtaskSpanningTwoFailedConstraintsEmitsOneEvent) {
+  // A ptask over host 0's CPU and the 0-1 link; host 0 and the link die at
+  // the same instant. The action sits on both dead constraints but must
+  // emit exactly one failure event.
+  Platform p;
+  auto a = p.add_host("a", 1e9);
+  auto b = p.add_host("b", 1e9);
+  auto l = p.add_link("l", 1e8, 0.0);
+  p.add_route(a, b, {l});
+  Engine e(std::move(p));
+  auto pt = e.ptask_start({0, 1}, {1e12, 1e12}, {{0.0, 1e12}, {0.0, 0.0}});
+  auto bystander = e.exec_start(1, 1e12);
+  e.step(0.5);
+  e.set_host_state(0, false);
+  e.set_link_state(0, false);
+  auto events = e.step();
+  int pt_failures = 0;
+  for (const auto& ev : events)
+    if (ev.action.get() == pt.get()) {
+      EXPECT_TRUE(ev.failed);
+      ++pt_failures;
+    }
+  EXPECT_EQ(pt_failures, 1) << "action spanning two failed constraints double-delivered";
+  EXPECT_EQ(pt->state(), ActionState::kFailed);
+  EXPECT_EQ(bystander->state(), ActionState::kRunning) << "unaffected action was touched";
+  EXPECT_EQ(e.running_action_count(), 1u);
+}
+
+TEST_F(EngineTest, DuplicateElementsOnOneConstraintFailOnce) {
+  // Symmetric ptask traffic puts the same variable twice on the same link
+  // constraint; the link's death must still deliver a single event.
+  Platform p;
+  auto a = p.add_host("a", 1e9);
+  auto b = p.add_host("b", 1e9);
+  auto l = p.add_link("l", 1e8, 0.0);
+  p.add_route(a, b, {l});
+  Engine e(std::move(p));
+  auto pt = e.ptask_start({0, 1}, {0.0, 0.0}, {{0.0, 1e12}, {1e12, 0.0}});
+  e.step(0.25);
+  e.set_link_state(0, false);
+  auto events = e.step();
+  int failures = 0;
+  for (const auto& ev : events)
+    if (ev.action.get() == pt.get() && ev.failed)
+      ++failures;
+  EXPECT_EQ(failures, 1);
+  EXPECT_EQ(pt->state(), ActionState::kFailed);
+}
+
+TEST_F(EngineTest, LoopbackCommDiesWithItsHost) {
+  Platform p;
+  p.add_host("h", 1e9);
+  p.add_host("other", 1e9);
+  Engine e(std::move(p));
+  auto c = e.comm_start(0, 0, 1e12);
+  e.step(0.1);
+  EXPECT_EQ(c->state(), ActionState::kRunning);
+  e.set_host_state(0, false);
+  auto events = e.step();
+  int failures = 0;
+  for (const auto& ev : events)
+    if (ev.action.get() == c.get() && ev.failed)
+      ++failures;
+  EXPECT_EQ(failures, 1) << "loopback comm must die with its host";
+  EXPECT_EQ(c->state(), ActionState::kFailed);
+
+  // Starting a loopback transfer on a dead host fails immediately, like a
+  // transfer over a dead route.
+  auto dead = e.comm_start(0, 0, 100.0);
+  EXPECT_EQ(dead->state(), ActionState::kFailed);
+
+  // After recovery the loopback works again at full speed.
+  e.set_host_state(0, true);
+  e.step();
+  auto revived = e.comm_start(0, 0, 1e9);
+  for (int guard = 0; guard < 1000 && revived->state() == ActionState::kRunning; ++guard)
+    e.step();
+  EXPECT_EQ(revived->state(), ActionState::kDone);
+}
+
+TEST_F(EngineTest, SleepIndexKillsOnlyAffectedHost) {
+  Platform p;
+  p.add_host("a", 1e9);
+  p.add_host("b", 1e9);
+  Engine e(std::move(p));
+  auto s_a1 = e.sleep_start(0, 100.0);
+  auto s_b = e.sleep_start(1, 100.0);
+  auto s_a2 = e.sleep_start(0, 200.0);
+  e.step(1.0);
+  e.set_host_state(0, false);
+  auto events = e.step();
+  EXPECT_EQ(events.size(), 2u);
+  EXPECT_EQ(s_a1->state(), ActionState::kFailed);
+  EXPECT_EQ(s_a2->state(), ActionState::kFailed);
+  EXPECT_EQ(s_b->state(), ActionState::kRunning);
+  // The index stays consistent after the swap-removals: the survivor still
+  // completes at its own date.
+  EXPECT_DOUBLE_EQ(run_until_done(e, s_b), 100.0);
+}
+
+TEST_F(EngineTest, SuspendedActionStillFailsWithItsResource) {
+  // A suspended exec keeps its solver variable, so the arena index must
+  // still find it when the host dies.
+  Platform p;
+  p.add_host("h", 1e9);
+  Engine e(std::move(p));
+  auto a = e.exec_start(0, 1e12);
+  e.step(0.5);
+  a->suspend();
+  e.set_host_state(0, false);
+  e.step();
+  EXPECT_EQ(a->state(), ActionState::kFailed);
+}
+
+TEST_F(EngineTest, NamedActionOutlivesEngine) {
+  // The name side table (and the block the action lives in) are co-owned by
+  // the action's control block, so an ActionPtr — named or not — may
+  // legally outlive its engine; destroying it afterwards must not touch
+  // freed engine memory (regression caught by ASan).
+  ActionPtr survivor_named;
+  ActionPtr survivor_plain;
+  {
+    Platform p;
+    p.add_host("h", 1e9);
+    Engine e(std::move(p));
+    survivor_named = e.exec_start(0, 1e9, 1.0, "long-lived");
+    survivor_plain = e.exec_start(0, 1e9);
+    run_until_done(e, survivor_named);
+    run_until_done(e, survivor_plain);
+  }
+  // name() only needs the co-owned side table, not the engine.
+  EXPECT_EQ(survivor_named->name(), "long-lived");
+  EXPECT_EQ(survivor_plain->name(), "exec");
+  survivor_named.reset();
+  survivor_plain.reset();
+}
+
+TEST_F(EngineTest, NamedAndDefaultActionNames) {
+  Platform p;
+  p.add_host("h", 1e9);
+  Engine e(std::move(p));
+  // The creation notify must already see the custom name.
+  std::vector<std::string> observed;
+  e.set_action_observer([&](const Action& a, ActionState, ActionState ns) {
+    if (ns == ActionState::kRunning)
+      observed.push_back(a.name());
+  });
+  auto plain = e.exec_start(0, 1e9);
+  auto named = e.exec_start(0, 1e9, 1.0, "my-job");
+  ASSERT_EQ(observed.size(), 2u);
+  EXPECT_EQ(observed[0], "exec");
+  EXPECT_EQ(observed[1], "my-job");
+  e.set_action_observer(nullptr);
+  auto explicit_default = e.sleep_start(0, 1.0, "sleep");
+  EXPECT_EQ(plain->name(), "exec");
+  EXPECT_EQ(named->name(), "my-job");
+  EXPECT_EQ(explicit_default->name(), "sleep");
+  run_until_done(e, named);
+  EXPECT_EQ(named->name(), "my-job") << "name must survive completion";
+}
+
 TEST_F(EngineTest, ObserverSeesTransitions) {
   Platform p;
   p.add_host("h", 1e9);

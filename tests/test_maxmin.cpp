@@ -543,4 +543,193 @@ TEST(MaxMinIncremental, EquivalentToFullSolveUnderRandomMutations) {
       << ", full=" << stats.full_solves << ")";
 }
 
+// -- element arena ---------------------------------------------------------------
+//
+// The incidence lists live in a shared arena of 4-entry nodes with an
+// index-linked free list. These tests pin the recycling invariants: churn
+// must not grow the arena, degree growth past the small-buffer threshold
+// must chain nodes correctly, and released ids (variables *and* constraints)
+// must never revive stale elements.
+
+TEST(MaxMinArena, ReleaseReuseCyclesKeepFootprintFlat) {
+  MaxMinSystem sys;
+  std::vector<MaxMinSystem::CnstId> cnsts;
+  for (int c = 0; c < 10; ++c)
+    cnsts.push_back(sys.new_constraint(100.0 + c));
+
+  auto build = [&] {
+    std::vector<MaxMinSystem::VarId> vars;
+    for (int i = 0; i < 100; ++i) {
+      auto v = sys.new_variable(1.0);
+      for (int u = 0; u < 3; ++u)
+        sys.expand(cnsts[static_cast<size_t>((i + u) % 10)], v);
+      vars.push_back(v);
+    }
+    return vars;
+  };
+
+  auto vars = build();
+  sys.solve();
+  const auto baseline = sys.memory_stats();
+  EXPECT_GT(baseline.arena_nodes_in_use, 0u);
+
+  for (int cycle = 0; cycle < 50; ++cycle) {
+    for (auto v : vars)
+      sys.release_variable(v);
+    EXPECT_EQ(sys.variable_count(), 0u);
+    vars = build();
+    sys.solve();
+  }
+
+  const auto after = sys.memory_stats();
+  // Same shape rebuilt 50 times: the free lists must hand back the same
+  // nodes and ids, not grow the arena.
+  EXPECT_EQ(after.arena_nodes_in_use, baseline.arena_nodes_in_use);
+  EXPECT_EQ(after.arena_nodes_allocated, baseline.arena_nodes_allocated);
+  EXPECT_EQ(after.arena_bytes, baseline.arena_bytes);
+  EXPECT_EQ(after.live_variables, 100u);
+}
+
+TEST(MaxMinArena, DegreeGrowthPastSmallBufferThreshold) {
+  // Degree <= 4 fits one node; 19 constraints forces a 5-node chain. The
+  // allocation must still be limited by the tightest cap / coeff ratio.
+  MaxMinSystem sys;
+  std::vector<MaxMinSystem::CnstId> cnsts;
+  auto v = sys.new_variable(1.0);
+  for (int c = 0; c < 19; ++c) {
+    auto id = sys.new_constraint(100.0 + 10.0 * c);
+    sys.expand(id, v, 1.0 + c);  // cap/coeff minimized at c=18: 280/19
+    cnsts.push_back(id);
+  }
+  EXPECT_EQ(sys.variable_degree(v), 19u);
+  for (auto c : cnsts)
+    EXPECT_EQ(sys.constraint_degree(c), 1u);
+  sys.solve();
+  double tightest = 1e30;
+  for (int c = 0; c < 19; ++c)
+    tightest = std::min(tightest, (100.0 + 10.0 * c) / (1.0 + c));
+  EXPECT_NEAR(sys.value(v), tightest, 1e-9 * tightest);
+
+  const auto in_use = sys.memory_stats().arena_nodes_in_use;
+  sys.release_variable(v);
+  // The 5-node chain and the 19 single-entry constraint nodes all free.
+  EXPECT_EQ(sys.memory_stats().arena_nodes_in_use, in_use - 5 - 19);
+}
+
+TEST(MaxMinArena, DuplicateExpandAddsConsumption) {
+  // Expanding the same (cnst, var) twice keeps both elements: consumption is
+  // additive, exactly like the old per-object vector layout.
+  MaxMinSystem sys;
+  auto c = sys.new_constraint(100.0);
+  auto v = sys.new_variable(1.0);
+  sys.expand(c, v, 1.0);
+  sys.expand(c, v, 1.0);
+  EXPECT_EQ(sys.constraint_degree(c), 2u);
+  EXPECT_EQ(sys.variable_degree(v), 2u);
+  sys.solve();
+  EXPECT_NEAR(sys.value(v), 50.0, 1e-9);
+  EXPECT_NEAR(sys.usage(c), 100.0, 1e-9);
+  sys.release_variable(v);
+  EXPECT_EQ(sys.constraint_degree(c), 0u);
+}
+
+TEST(MaxMinArena, ConstraintReleaseFreesUsersAndRecyclesId) {
+  MaxMinSystem sys;
+  auto narrow = sys.new_constraint(10.0);
+  auto wide = sys.new_constraint(100.0);
+  auto v = sys.new_variable(1.0);
+  sys.expand(narrow, v);
+  sys.expand(wide, v);
+  sys.solve();
+  EXPECT_NEAR(sys.value(v), 10.0, 1e-9);
+
+  sys.release_constraint(narrow);
+  EXPECT_EQ(sys.constraint_count(), 1u);
+  EXPECT_EQ(sys.variable_degree(v), 1u);  // the narrow element is gone
+  sys.solve();
+  EXPECT_NEAR(sys.value(v), 100.0, 1e-9) << "releasing the bottleneck must free its users";
+
+  // The id is recycled; stale elements must not re-attach to it.
+  auto recycled = sys.new_constraint(7.0);
+  EXPECT_EQ(recycled, narrow);
+  EXPECT_EQ(sys.constraint_degree(recycled), 0u);
+  sys.solve();
+  EXPECT_NEAR(sys.value(v), 100.0, 1e-9) << "recycled constraint revived a stale element";
+
+  auto v2 = sys.new_variable(1.0);
+  sys.expand(recycled, v2);
+  sys.solve_full();
+  EXPECT_NEAR(sys.value(v2), 7.0, 1e-9);
+  EXPECT_NEAR(sys.value(v), 100.0, 1e-9);
+}
+
+TEST(MaxMinArena, ReleasedConstraintOperations) {
+  MaxMinSystem sys;
+  auto c = sys.new_constraint(10.0);
+  auto v = sys.new_variable(1.0);
+  sys.expand(c, v);
+  sys.release_constraint(c);
+  EXPECT_THROW(sys.expand(c, v), sg::xbt::InvalidArgument);
+  EXPECT_NO_THROW(sys.release_constraint(c));  // idempotent
+  EXPECT_THROW(sys.release_constraint(c + 1), sg::xbt::Exception);
+  // A release while dirty must not confuse the next incremental solve.
+  sys.solve();
+  EXPECT_GE(sys.value(v), MaxMinSystem::kUnlimited);  // unconstrained now
+}
+
+TEST(MaxMinArena, ConstraintIdRecyclingStress) {
+  // Random create/release cycles over both id spaces with full-solve
+  // equivalence checks: recycling must be indistinguishable from fresh ids.
+  sg::xbt::Rng rng(97);
+  MaxMinSystem sys;
+  std::vector<MaxMinSystem::CnstId> cnsts;
+  std::vector<std::pair<MaxMinSystem::VarId, std::vector<MaxMinSystem::CnstId>>> vars;
+
+  for (int step = 0; step < 400; ++step) {
+    const double op = rng.uniform01();
+    if (op < 0.3 || cnsts.size() < 3) {
+      cnsts.push_back(sys.new_constraint(rng.uniform(10.0, 500.0)));
+    } else if (op < 0.45) {
+      // Release a random constraint; forget it from every tracked variable.
+      const size_t k = rng.uniform_int(0, cnsts.size() - 1);
+      sys.release_constraint(cnsts[k]);
+      for (auto& [v, used] : vars)
+        std::erase(used, cnsts[k]);
+      cnsts.erase(cnsts.begin() + static_cast<std::ptrdiff_t>(k));
+    } else if (op < 0.75 || vars.empty()) {
+      auto v = sys.new_variable(rng.uniform(0.5, 2.0));
+      std::vector<MaxMinSystem::CnstId> used;
+      const int uses = 1 + static_cast<int>(rng.uniform_int(0, 2));
+      for (int u = 0; u < uses; ++u) {
+        const auto c = cnsts[rng.uniform_int(0, cnsts.size() - 1)];
+        sys.expand(c, v);
+        used.push_back(c);
+      }
+      vars.push_back({v, std::move(used)});
+    } else {
+      const size_t k = rng.uniform_int(0, vars.size() - 1);
+      sys.release_variable(vars[k].first);
+      vars.erase(vars.begin() + static_cast<std::ptrdiff_t>(k));
+    }
+
+    sys.solve();
+    if (step % 20 == 0) {
+      std::vector<double> incremental;
+      incremental.reserve(vars.size());
+      for (const auto& [v, used] : vars)
+        incremental.push_back(sys.value(v));
+      sys.solve_full();
+      for (size_t k = 0; k < vars.size(); ++k)
+        EXPECT_NEAR(incremental[k], sys.value(vars[k].first),
+                    1e-9 * std::max(1.0, sys.value(vars[k].first)))
+            << "step " << step;
+      // Degrees must agree with the tracked incidences.
+      for (const auto& [v, used] : vars)
+        EXPECT_EQ(sys.variable_degree(v), used.size());
+    }
+  }
+  EXPECT_EQ(sys.constraint_count(), cnsts.size());
+  EXPECT_EQ(sys.variable_count(), vars.size());
+}
+
 }  // namespace

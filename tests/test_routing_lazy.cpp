@@ -11,6 +11,7 @@
 
 #include "platform/platform.hpp"
 #include "topo/brite.hpp"
+#include "xbt/config.hpp"
 #include "xbt/exception.hpp"
 #include "xbt/random.hpp"
 
@@ -254,6 +255,51 @@ TEST(LazyRouting, OutOfRangeHostIndexIsDiagnosed) {
     EXPECT_NE(msg.find("5"), std::string::npos) << msg;
     EXPECT_NE(msg.find("out of range"), std::string::npos) << msg;
   }
+}
+
+// ---------------------------------------------------------------------------
+// SSSP-tree cache sizing: `routing/sssp-cache` config floor, raised to
+// hosts/16 at seal time.
+// ---------------------------------------------------------------------------
+
+namespace {
+Platform star_platform(int n_hosts) {
+  Platform p;
+  const NodeId sw = p.add_router("sw");
+  for (int i = 0; i < n_hosts; ++i) {
+    const NodeId h = p.add_host("h" + std::to_string(i), 1e9);
+    const LinkId l = p.add_link("l" + std::to_string(i), 1e8, 1e-4);
+    p.add_edge(h, sw, l);
+  }
+  return p;
+}
+}  // namespace
+
+TEST(LazyRouting, SsspCacheCapacityIsConfigurable) {
+  auto& cfg = sg::xbt::Config::instance();
+  cfg.declare("routing/sssp-cache", 64.0);
+  cfg.set("routing/sssp-cache", 4.0);
+  Platform p = star_platform(32);  // hosts/16 = 2 < configured 4
+  p.seal();
+  cfg.set("routing/sssp-cache", 64.0);  // restore the global default
+  EXPECT_EQ(p.sssp_cache_capacity(), 4u);
+  for (int s = 0; s < 12; ++s)
+    (void)p.route(s, (s + 1) % 32);
+  EXPECT_LE(p.cached_sssp_tree_count(), 4u);
+  // Results stay correct under the tiny cache.
+  for (int s = 0; s < 12; ++s)
+    EXPECT_EQ(p.route(s, (s + 1) % 32).links.size(), 2u);
+}
+
+TEST(LazyRouting, SsspCacheGrowsWithPlatformSize) {
+  Platform p = star_platform(2048);  // hosts/16 = 128 > default 64
+  p.seal();
+  EXPECT_EQ(p.sssp_cache_capacity(), 128u);
+  // 100 distinct sources now fit without thrashing (the old fixed 64 cap
+  // would have evicted 36 of them).
+  for (int s = 0; s < 100; ++s)
+    (void)p.route(s, s + 1000);
+  EXPECT_EQ(p.cached_sssp_tree_count(), 100u);
 }
 
 }  // namespace

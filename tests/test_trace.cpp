@@ -113,4 +113,21 @@ TEST(Trace, SquareWaveBuilder) {
   EXPECT_DOUBLE_EQ(t.value_at(15.0), 0.0);
 }
 
+TEST(Trace, NextEventAfterAlwaysStrictlyAdvances) {
+  // Regression: for a periodic trace whose point times are not exactly
+  // representable (0.6 here), `base + point` can round back onto the query
+  // time after a few periods; next_event_after then returned its own input
+  // and a caller chaining events (the engine's trace scheduler) span
+  // forever at constant simulated time.
+  sg::trace::Trace tr("s", {{0.0, 0.0}, {0.6, 1.0}, {2.9, 0.0}}, 3.0);
+  double t = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    auto next = tr.next_event_after(t);
+    ASSERT_TRUE(next.has_value());
+    ASSERT_GT(next->time, t) << "event " << i << " did not advance";
+    t = next->time;
+  }
+  EXPECT_GT(t, 900.0);  // ~3 events per 3-second period
+}
+
 }  // namespace
