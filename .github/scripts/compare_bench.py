@@ -6,8 +6,13 @@ Supports three input shapes:
     unless "time_unit" says otherwise) — BENCH_maxmin.json
   * our engine-bench JSON ("benchmarks" entries with "wall_time_s") —
     BENCH_engine.json, BENCH_fault_churn.json
-  * memory metrics ("benchmarks" entries with "bytes") — the bytes-per-action
-    and bytes-per-flow records in BENCH_engine.json
+  * memory metrics ("benchmarks" entries with "bytes") — the bytes-per-action,
+    bytes-per-flow and routing_bytes_per_host records in BENCH_engine.json
+
+Entries may also carry secondary metrics (events_per_sec, ns_per_route,
+sim_time_s, ...). Those are informational: they are printed alongside the
+tracked metric as "name#key" rows but never fail the job — the primary
+wall time / bytes value is what gates.
 
 All tracked metrics are lower-is-better. A benchmark regresses when
 current > baseline * (1 + threshold). Benchmarks present on only one side
@@ -29,8 +34,12 @@ import sys
 ABS_FLOOR_S = 1e-3
 
 
+PRIMARY_KEYS = ("bytes", "wall_time_s", "real_time", "time_unit", "name")
+
+
 def load_metrics(path):
-    """name -> (value, kind) where kind is 'time' (seconds) or 'bytes'."""
+    """name -> (value, kind): kind 'time' (seconds) or 'bytes' gates;
+    'info' rows are printed but never fail."""
     with open(path) as fh:
         data = json.load(fh)
     metrics = {}
@@ -46,6 +55,15 @@ def load_metrics(path):
         elif "real_time" in entry:
             scale = unit_scale.get(entry.get("time_unit", "ns"), 1e-9)
             metrics[name] = (float(entry["real_time"]) * scale, "time")
+        # Secondary metrics only exist in the engine-bench shape; google-
+        # benchmark entries carry bookkeeping numbers (family_index,
+        # iterations, cpu_time, ...) that would drown the table.
+        if "wall_time_s" not in entry and "bytes" not in entry:
+            continue
+        for key, value in entry.items():
+            if key in PRIMARY_KEYS or not isinstance(value, (int, float)):
+                continue
+            metrics[f"{name}#{key}"] = (float(value), "info")
     return metrics
 
 
@@ -79,7 +97,7 @@ def main():
         ratio = cur / base if base > 0 else float("inf")
         noise_floor = ABS_FLOOR_S if kind == "time" else 0.0
         flag = ""
-        if cur > base * (1.0 + args.threshold) and cur > noise_floor:
+        if kind != "info" and cur > base * (1.0 + args.threshold) and cur > noise_floor:
             flag = "  REGRESSED"
             regressions.append((name, base, cur, ratio))
         print(f"{name:50s} {base:14.6f} {cur:14.6f} {ratio:8.2f}{flag}")

@@ -321,16 +321,16 @@ ActionPtr Engine::comm_start_impl(int src_host, int dst_host, double bytes, doub
 
   double latency = 0.0;
   bool dead_route = false;
-  const platform::Route* route = nullptr;
+  platform::RouteView route;  // empty until resolved; consumed immediately
   if (src_host == dst_host) {
     latency = loopback_lat_;
     // The loopback is part of the host: it dies (and fails its comms) with it.
     if (!hosts_.at(static_cast<size_t>(src_host)).on)
       dead_route = true;
   } else {
-    route = &platform_.route(src_host, dst_host);
-    latency = route->latency;
-    for (platform::LinkId l : route->links)
+    route = platform_.route(src_host, dst_host);
+    latency = route.latency();
+    for (platform::LinkId l : route)
       if (!links_[static_cast<size_t>(l)].on) {
         dead_route = true;
         break;
@@ -358,7 +358,7 @@ ActionPtr Engine::comm_start_impl(int src_host, int dst_host, double bytes, doub
   if (src_host == dst_host) {
     sys_.expand(loopback_constraint(src_host), action->var_, 1.0);
   } else {
-    for (platform::LinkId l : route->links)
+    for (platform::LinkId l : route)
       sys_.expand(links_[static_cast<size_t>(l)].cnst, action->var_, 1.0);
   }
 
@@ -412,9 +412,9 @@ ActionPtr Engine::ptask_start(const std::vector<int>& hosts, const std::vector<d
     for (size_t j = 0; j < bytes[i].size(); ++j) {
       if (i == j || bytes[i][j] <= 0)
         continue;
-      const auto& route = platform_.route(hosts[i], hosts[j]);
-      latency = std::max(latency, route.latency);
-      for (platform::LinkId l : route.links)
+      const auto route = platform_.route(hosts[i], hosts[j]);
+      latency = std::max(latency, route.latency());
+      for (platform::LinkId l : route)
         sys_.expand(links_[static_cast<size_t>(l)].cnst, action->var_, bytes[i][j]);
     }
   }
@@ -487,21 +487,23 @@ void Engine::sync_progress(Action& a) {
   a.last_update_ = now_;
 }
 
-void Engine::heap_push(std::vector<HeapEntry>& heap, HeapEntry entry) {
-  size_t hole = heap.size();
-  heap.push_back(std::move(entry));
-  // Sift up.
+void Engine::EventHeap::push(double date, std::uint64_t stamp, ActionPtr action) {
+  size_t hole = dates.size();
+  dates.push_back(date);
+  payloads.push_back(Payload{stamp, std::move(action)});
+  // Sift up: the compare loop reads only the dense dates array.
   while (hole > 0) {
     const size_t parent = (hole - 1) / 4;
-    if (heap[parent].date <= heap[hole].date)
+    if (dates[parent] <= dates[hole])
       break;
-    std::swap(heap[parent], heap[hole]);
+    std::swap(dates[parent], dates[hole]);
+    std::swap(payloads[parent], payloads[hole]);
     hole = parent;
   }
 }
 
-void Engine::heap_sift_down(std::vector<HeapEntry>& heap, size_t hole) {
-  const size_t n = heap.size();
+void Engine::EventHeap::sift_down(size_t hole) {
+  const size_t n = dates.size();
   while (true) {
     const size_t first_child = 4 * hole + 1;
     if (first_child >= n)
@@ -509,33 +511,51 @@ void Engine::heap_sift_down(std::vector<HeapEntry>& heap, size_t hole) {
     size_t best = first_child;
     const size_t end = std::min(first_child + 4, n);
     for (size_t c = first_child + 1; c < end; ++c)
-      if (heap[c].date < heap[best].date)
+      if (dates[c] < dates[best])
         best = c;
-    if (heap[hole].date <= heap[best].date)
+    if (dates[hole] <= dates[best])
       break;
-    std::swap(heap[hole], heap[best]);
+    std::swap(dates[hole], dates[best]);
+    std::swap(payloads[hole], payloads[best]);
     hole = best;
   }
 }
 
-void Engine::heap_pop_front(std::vector<HeapEntry>& heap) {
-  heap.front() = std::move(heap.back());
-  heap.pop_back();
-  if (!heap.empty())
-    heap_sift_down(heap, 0);
+void Engine::EventHeap::pop_front() {
+  dates.front() = dates.back();
+  dates.pop_back();
+  payloads.front() = std::move(payloads.back());
+  payloads.pop_back();
+  if (!dates.empty())
+    sift_down(0);
 }
 
-void Engine::heap_rebuild(std::vector<HeapEntry>& heap) {
-  for (size_t i = heap.size() / 4 + 1; i-- > 0;)
-    heap_sift_down(heap, i);
+void Engine::EventHeap::rebuild() {
+  for (size_t i = dates.size() / 4 + 1; i-- > 0;)
+    sift_down(i);
 }
 
-double Engine::reap_heap_top(std::vector<HeapEntry>& heap, size_t& stale) {
-  while (!heap.empty() && heap.front().stamp != heap.front().action->heap_stamp_) {
-    heap_pop_front(heap);
+double Engine::reap_heap_top(EventHeap& heap, size_t& stale) {
+  while (!heap.empty() && heap.top().stamp != heap.top().action->heap_stamp_) {
+    heap.pop_front();
     --stale;
   }
-  return heap.empty() ? kInf : heap.front().date;
+  return heap.empty() ? kInf : heap.top_date();
+}
+
+void Engine::compact_completion_heap() {
+  size_t kept = 0;
+  for (size_t i = 0; i < completion_heap_.size(); ++i) {
+    if (completion_heap_.payloads[i].stamp != completion_heap_.payloads[i].action->heap_stamp_)
+      continue;
+    completion_heap_.dates[kept] = completion_heap_.dates[i];
+    completion_heap_.payloads[kept] = std::move(completion_heap_.payloads[i]);
+    ++kept;
+  }
+  completion_heap_.dates.resize(kept);
+  completion_heap_.payloads.resize(kept);
+  heap_stale_ = 0;
+  completion_heap_.rebuild();
 }
 
 void Engine::orphan_heap_entry(Action& a) {
@@ -556,21 +576,17 @@ void Engine::schedule_completion(const ActionPtr& a) {
   a->in_heap_ = true;
   if (a->in_latency_phase_) {
     // Near-term event: keep it out of the big heap (see the member docs).
-    heap_push(latency_heap_, HeapEntry{date, a->heap_stamp_, a});
+    latency_heap_.push(date, a->heap_stamp_, a);
     return;
   }
-  heap_push(completion_heap_, HeapEntry{date, a->heap_stamp_, a});
+  completion_heap_.push(date, a->heap_stamp_, a);
   // Stale entries are normally reaped as they surface at the top, but ones
   // buried under a far-future top would otherwise pin their (possibly
   // finished) actions and grow the heap. Compact once they dominate. (The
   // latency heap needs no compaction: its entries expire within a route
   // latency of being pushed.)
-  if (heap_stale_ >= 8 && heap_stale_ * 2 > completion_heap_.size()) {
-    std::erase_if(completion_heap_,
-                  [](const HeapEntry& e) { return e.stamp != e.action->heap_stamp_; });
-    heap_stale_ = 0;
-    heap_rebuild(completion_heap_);
-  }
+  if (heap_stale_ >= 8 && heap_stale_ * 2 > completion_heap_.size())
+    compact_completion_heap();
 }
 
 double Engine::next_completion_date() {
@@ -652,12 +668,12 @@ std::vector<ActionEvent> Engine::step(double bound) {
   while (true) {
     const double d_latency = reap_heap_top(latency_heap_, latency_stale_);
     const double d_completion = reap_heap_top(completion_heap_, heap_stale_);
-    std::vector<HeapEntry>& src = d_latency <= d_completion ? latency_heap_ : completion_heap_;
+    EventHeap& src = d_latency <= d_completion ? latency_heap_ : completion_heap_;
     const double date = std::min(d_latency, d_completion);
     if (date == kInf || date > target + eps)
       break;
-    ActionPtr a = std::move(src.front().action);
-    heap_pop_front(src);
+    ActionPtr a = std::move(src.top().action);
+    src.pop_front();
     a->in_heap_ = false;
     if (a->state_ != ActionState::kRunning)
       continue;

@@ -146,27 +146,40 @@ private:
     bool operator>(const TraceEvent& other) const { return time > other.time; }
   };
 
-  /// One entry in the completion-date min-heap. Entries are never updated in
-  /// place: rescheduling an action pushes a fresh entry and bumps the
-  /// action's heap_stamp_, so older entries are recognized as stale and
-  /// skipped when popped (lazy invalidation). Entries hold a shared_ptr so a
-  /// stale entry can never dangle.
-  struct HeapEntry {
-    double date;
-    std::uint64_t stamp;
-    ActionPtr action;
+  /// Event min-heap in SoA layout: the 4-ary heap order lives in a dense
+  /// array of dates, with the payload (stamp + ActionPtr) in a parallel
+  /// array. Sift compares only touch the 8-byte dates — four children per
+  /// cache line instead of two 32-byte entries — so the per-event heap
+  /// traffic reads half the lines the old array-of-structs layout did; the
+  /// 24-byte payloads move only when a compare decides a swap.
+  ///
+  /// Entries are never updated in place: rescheduling an action pushes a
+  /// fresh entry and bumps the action's heap_stamp_, so older entries are
+  /// recognized as stale and skipped when popped (lazy invalidation).
+  /// Payloads hold a shared_ptr so a stale entry can never dangle.
+  struct EventHeap {
+    struct Payload {
+      std::uint64_t stamp;
+      ActionPtr action;
+    };
+    std::vector<double> dates;
+    std::vector<Payload> payloads;
+
+    bool empty() const { return dates.empty(); }
+    size_t size() const { return dates.size(); }
+    double top_date() const { return dates.front(); }
+    Payload& top() { return payloads.front(); }
+    void push(double date, std::uint64_t stamp, ActionPtr action);
+    void pop_front();
+    void sift_down(size_t hole);
+    void rebuild();
   };
 
-  /// Both event heaps are 4-ary min-heaps on HeapEntry::date: half the depth
-  /// of a binary heap and contiguous children, so a push/pop touches fewer
-  /// cache lines — this is the hot path of every simulated event.
-  static void heap_push(std::vector<HeapEntry>& heap, HeapEntry entry);
-  static void heap_pop_front(std::vector<HeapEntry>& heap);
-  static void heap_sift_down(std::vector<HeapEntry>& heap, size_t hole);
-  static void heap_rebuild(std::vector<HeapEntry>& heap);
   /// Pop stale entries off a heap's top; returns its next valid date (kInf
   /// when empty). O(stale + 1).
-  static double reap_heap_top(std::vector<HeapEntry>& heap, size_t& stale);
+  static double reap_heap_top(EventHeap& heap, size_t& stale);
+  /// Erase every stale completion-heap entry and restore the heap order.
+  void compact_completion_heap();
 
   void schedule_trace_events();
   void schedule_next(const trace::Trace& trace, TraceEvent::Kind kind, int index, double after);
@@ -243,12 +256,12 @@ private:
   /// near-term traffic out of it matters: a near-term push would bubble to
   /// the root and its pop re-sinks a far-future tail entry through the full
   /// depth — three deep traversals of cold cache lines.
-  std::vector<HeapEntry> completion_heap_;
+  EventHeap completion_heap_;
   size_t heap_stale_ = 0;  ///< stale entries currently in completion_heap_
   /// Near-term events: latency-phase expiries (now + route latency). Entries
   /// live for microseconds of simulated time, so this heap stays tiny and
   /// cache-resident no matter how many actions run.
-  std::vector<HeapEntry> latency_heap_;
+  EventHeap latency_heap_;
   size_t latency_stale_ = 0;
   std::vector<ActionEvent> pending_;  ///< events produced outside step()
   std::priority_queue<TraceEvent, std::vector<TraceEvent>, std::greater<>> trace_events_;

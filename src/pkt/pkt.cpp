@@ -47,12 +47,12 @@ PacketNet::PacketNet(const platform::Platform& platform, TcpParams params)
 int PacketNet::add_flow(const FlowSpec& spec) {
   FlowState f;
   f.spec = spec;
-  const auto& route = platform_->route(spec.src_host, spec.dst_host);
-  if (route.links.empty())
+  // Materialize the per-flow paths: packet forwarding indexes hops randomly,
+  // and the RouteView is invalidated by the reverse-route resolution below.
+  f.path = platform_->route(spec.src_host, spec.dst_host).links();
+  if (f.path.empty())
     throw xbt::InvalidArgument("PacketNet: loopback flows are not simulated at packet level");
-  f.path = route.links;
-  const auto& rroute = platform_->route(spec.dst_host, spec.src_host);
-  f.rpath = rroute.links;
+  f.rpath = platform_->route(spec.dst_host, spec.src_host).links();
   f.cwnd = params_.init_cwnd_segments * params_.mss;
   f.ssthresh = params_.init_ssthresh_segments * params_.mss;
   f.rto = params_.min_rto;

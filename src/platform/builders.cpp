@@ -5,22 +5,20 @@
 namespace sg::platform {
 
 Platform make_cluster(const ClusterSpec& spec) {
+  // Built on the cluster-zone routing rule: member-to-member routes are
+  // composed in O(1) from the interned up/down segments, so every bench and
+  // example using make_cluster inherits O(hosts) routing state for free.
   Platform p;
-  const NodeId sw = p.add_router(spec.prefix + "-switch");
-  const NodeId out = p.add_router(spec.prefix + "-out");
-  LinkSpec backbone;
-  backbone.name = spec.prefix + "-backbone";
-  backbone.bandwidth_Bps = spec.backbone_bandwidth;
-  backbone.latency_s = spec.backbone_latency;
-  backbone.policy = spec.backbone_fatpipe ? SharingPolicy::kFatpipe : SharingPolicy::kShared;
-  const LinkId bb = p.add_link(backbone);
-  p.add_edge(sw, out, bb);
-  for (int i = 0; i < spec.count; ++i) {
-    const std::string name = xbt::format("%s%d", spec.prefix.c_str(), i);
-    const NodeId h = p.add_host(name, spec.host_speed);
-    const LinkId l = p.add_link(name + "-link", spec.link_bandwidth, spec.link_latency);
-    p.add_edge(h, sw, l);
-  }
+  ClusterZoneSpec zone;
+  zone.name = spec.prefix;
+  zone.count = spec.count;
+  zone.host_speed = spec.host_speed;
+  zone.link_bandwidth = spec.link_bandwidth;
+  zone.link_latency = spec.link_latency;
+  zone.backbone_bandwidth = spec.backbone_bandwidth;
+  zone.backbone_latency = spec.backbone_latency;
+  zone.backbone_fatpipe = spec.backbone_fatpipe;
+  p.add_cluster_zone(zone);
   p.seal();
   return p;
 }

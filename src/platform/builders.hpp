@@ -19,8 +19,9 @@ struct ClusterSpec {
   bool backbone_fatpipe = false;
 };
 
-/// Star cluster: each host has a private link to a central switch; all
-/// traffic additionally crosses the shared backbone link.
+/// Star cluster: each host has a private link to a central switch; traffic
+/// leaving the cluster additionally crosses the backbone link. Built on a
+/// cluster zone, so member routes are O(1)-composed with no per-pair state.
 Platform make_cluster(const ClusterSpec& spec);
 
 /// Two hosts joined by a single shared link (the minimal contention scenario).

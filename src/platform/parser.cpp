@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <map>
+#include <set>
 #include <sstream>
 
 #include "xbt/exception.hpp"
@@ -127,6 +128,40 @@ Platform parse_platform(const std::string& text) {
           if (f == "fatpipe")
             spec.policy = SharingPolicy::kFatpipe;
         p.add_link(spec);
+      } else if (kind == "cluster") {
+        if (tokens.size() < 2)
+          throw xbt::InvalidArgument("cluster needs a name");
+        std::vector<std::string> flags;
+        auto attrs = parse_attrs(tokens, 2, flags);
+        ClusterZoneSpec spec;
+        spec.name = tokens[1];
+        if (!attrs.count("hosts"))
+          throw xbt::InvalidArgument("cluster " + spec.name + " needs hosts:<count>");
+        try {
+          spec.count = std::stoi(attrs["hosts"]);
+        } catch (const std::exception&) {
+          throw xbt::InvalidArgument("cluster " + spec.name + ": bad hosts count: " + attrs["hosts"]);
+        }
+        if (attrs.count("prefix"))
+          spec.host_prefix = attrs["prefix"];
+        if (attrs.count("speed"))
+          spec.host_speed = xbt::parse_speed(attrs["speed"]);
+        if (attrs.count("bw"))
+          spec.link_bandwidth = xbt::parse_bandwidth(attrs["bw"]);
+        if (attrs.count("lat"))
+          spec.link_latency = xbt::parse_time(attrs["lat"]);
+        spec.backbone_bandwidth = attrs.count("backbone") ? xbt::parse_bandwidth(attrs["backbone"]) : 0.0;
+        if (attrs.count("blat"))
+          spec.backbone_latency = xbt::parse_time(attrs["blat"]);
+        for (const std::string& f : flags)
+          if (f == "fatpipe")
+            spec.backbone_fatpipe = true;
+        // blat/fatpipe describe the backbone: accepting them without one
+        // would silently simulate a different topology than the user wrote.
+        if (spec.backbone_bandwidth <= 0 && (attrs.count("blat") || spec.backbone_fatpipe))
+          throw xbt::InvalidArgument("cluster " + spec.name +
+                                     ": blat/fatpipe need a backbone:<bandwidth>");
+        p.add_cluster_zone(spec);
       } else if (kind == "edge") {
         if (tokens.size() != 4)
           throw xbt::InvalidArgument("edge wants: edge <node> <node> <link>");
@@ -177,15 +212,67 @@ Platform load_platform(const std::string& path) {
 }
 
 std::string dump_platform(const Platform& p) {
+  // Cluster zones dump as one `cluster` directive each; the hosts, links,
+  // routers and edges they own are implied by it and skipped below. Clusters
+  // come first so that edges referencing their gateways parse. (Graph zones
+  // are membership metadata with no textual form; they are not dumped.)
   std::ostringstream out;
+  std::set<size_t> zone_hosts;
+  std::set<size_t> zone_links;
+  std::set<NodeId> zone_nodes;     ///< not dumped as host/router lines
+  std::set<NodeId> zone_interior;  ///< hub + members: their edges are implied
+  for (size_t z = 0; z < p.zone_count(); ++z) {
+    const ZoneId zid = static_cast<ZoneId>(z);
+    if (p.zone_kind(zid) != ZoneKind::kCluster)
+      continue;
+    const ClusterZoneSpec& spec = p.cluster_zone_spec(zid);
+    out << "cluster " << spec.name << " hosts:" << spec.count;
+    if (!spec.host_prefix.empty() && spec.host_prefix != spec.name)
+      out << " prefix:" << spec.host_prefix;
+    out << " speed:" << spec.host_speed << " bw:" << spec.link_bandwidth
+        << " lat:" << spec.link_latency;
+    if (spec.backbone_bandwidth > 0) {
+      out << " backbone:" << spec.backbone_bandwidth << " blat:" << spec.backbone_latency;
+      if (spec.backbone_fatpipe)
+        out << " fatpipe";
+    }
+    out << "\n";
+    const int first = p.zone_first_host(zid);
+    for (int m = 0; m < spec.count; ++m) {
+      zone_hosts.insert(static_cast<size_t>(first + m));
+      const NodeId hn = p.host_node(first + m);
+      zone_nodes.insert(hn);
+      zone_interior.insert(hn);
+      auto up = p.link_by_name(p.host(first + m).name + "-link");
+      if (up)
+        zone_links.insert(static_cast<size_t>(*up));
+    }
+    if (auto hub = p.node_by_name(spec.name + "-switch")) {
+      zone_nodes.insert(*hub);
+      // A hub that doubles as the gateway (no backbone) is the attach point:
+      // ad-hoc WAN edges at it must still be dumped. Member edges are caught
+      // by the member side either way.
+      if (spec.backbone_bandwidth > 0)
+        zone_interior.insert(*hub);
+    }
+    if (spec.backbone_bandwidth > 0) {
+      zone_nodes.insert(p.zone_gateway(zid));
+      if (auto bb = p.link_by_name(spec.name + "-backbone"))
+        zone_links.insert(static_cast<size_t>(*bb));
+    }
+  }
   for (size_t h = 0; h < p.host_count(); ++h) {
+    if (zone_hosts.count(h))
+      continue;
     const HostSpec& spec = p.host(static_cast<int>(h));
     out << "host " << spec.name << " speed:" << spec.speed_flops << "\n";
   }
   for (size_t n = 0; n < p.node_count(); ++n)
-    if (!p.is_host(static_cast<NodeId>(n)))
+    if (!p.is_host(static_cast<NodeId>(n)) && !zone_nodes.count(static_cast<NodeId>(n)))
       out << "router " << p.node_name(static_cast<NodeId>(n)) << "\n";
   for (size_t l = 0; l < p.link_count(); ++l) {
+    if (zone_links.count(l))
+      continue;
     const LinkSpec& spec = p.link(static_cast<LinkId>(l));
     out << "link " << spec.name << " bw:" << spec.bandwidth_Bps << " lat:" << spec.latency_s;
     if (spec.policy == SharingPolicy::kFatpipe)
@@ -193,7 +280,8 @@ std::string dump_platform(const Platform& p) {
     out << "\n";
   }
   for (const auto& e : p.edges())
-    out << "edge " << p.node_name(e.a) << " " << p.node_name(e.b) << " " << p.link(e.link).name << "\n";
+    if (!zone_interior.count(e.a) && !zone_interior.count(e.b))
+      out << "edge " << p.node_name(e.a) << " " << p.node_name(e.b) << " " << p.link(e.link).name << "\n";
   return out.str();
 }
 

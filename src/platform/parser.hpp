@@ -1,11 +1,17 @@
 /// \file parser.hpp
 /// Text format for platform files. Line-oriented, '#' comments:
 ///
-///   host   node1 speed:2Gf [avail:<file|inline>] [state:<file>]
-///   router r1
-///   link   l1 bw:125MBps lat:50us [fatpipe]
-///   edge   node1 r1 l1
-///   route  node1 node2 l1 l2 l3 [oneway]
+///   host    node1 speed:2Gf [avail:<file|inline>] [state:<file>]
+///   router  r1
+///   link    l1 bw:125MBps lat:50us [fatpipe]
+///   edge    node1 r1 l1
+///   route   node1 node2 l1 l2 l3 [oneway]
+///   cluster c0 hosts:1024 speed:1Gf bw:125MBps lat:50us backbone:10GBps [blat:500us] [fatpipe] [prefix:c0-]
+///
+/// `cluster` creates a cluster zone (see platform.hpp): hosts `<prefix><i>`
+/// (prefix defaults to the cluster name) behind private links and an
+/// optional backbone; the zone gateway `<name>-out` (or the `<name>-switch`
+/// hub when no backbone is given) can be referenced by later edge lines.
 ///
 /// Inline traces use avail:"0 1.0;5 0.5;P:10" (time value pairs separated by
 /// ';', optional P:<periodicity>).

@@ -6,6 +6,7 @@
 
 #include "xbt/config.hpp"
 #include "xbt/exception.hpp"
+#include "xbt/str.hpp"
 
 namespace sg::platform {
 
@@ -17,19 +18,29 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 inline size_t route_hash(std::uint64_t key) {
   return static_cast<size_t>((key ^ (key >> 29)) * 0x9E3779B97F4A7C15ull >> 16);
 }
+
+/// FNV-1a over a link sequence, for the segment dedup index.
+inline std::uint64_t seg_content_hash(const LinkId* links, size_t n) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(links[i]));
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
 }  // namespace
 
 // ---------------------------------------------------------------------------
-// Resolved-route index (open addressing over a stable deque)
+// Resolved-route index (open addressing, RouteRefs stored inline)
 // ---------------------------------------------------------------------------
 
-Route* Platform::route_find(std::uint64_t key) const {
+const RouteRef* Platform::route_find(std::uint64_t key) const {
   if (route_keys_.empty())
     return nullptr;
   const size_t mask = route_keys_.size() - 1;
   for (size_t i = route_hash(key) & mask;; i = (i + 1) & mask) {
     if (route_keys_[i] == key)
-      return &route_store_[route_slots_[i]];
+      return &route_refs_[i];
     if (route_keys_[i] == kEmptyKey)
       return nullptr;
   }
@@ -38,9 +49,9 @@ Route* Platform::route_find(std::uint64_t key) const {
 void Platform::route_index_grow() const {
   const size_t new_cap = route_keys_.empty() ? 64 : route_keys_.size() * 2;
   std::vector<std::uint64_t> old_keys = std::move(route_keys_);
-  std::vector<std::uint32_t> old_slots = std::move(route_slots_);
+  std::vector<RouteRef> old_refs = std::move(route_refs_);
   route_keys_.assign(new_cap, kEmptyKey);
-  route_slots_.assign(new_cap, 0);
+  route_refs_.assign(new_cap, RouteRef{});
   const size_t mask = new_cap - 1;
   for (size_t i = 0; i < old_keys.size(); ++i) {
     if (old_keys[i] == kEmptyKey)
@@ -49,25 +60,72 @@ void Platform::route_index_grow() const {
     while (route_keys_[j] != kEmptyKey)
       j = (j + 1) & mask;
     route_keys_[j] = old_keys[i];
-    route_slots_[j] = old_slots[i];
+    route_refs_[j] = old_refs[i];
   }
 }
 
-Route& Platform::route_slot(std::uint64_t key) const {
+RouteRef& Platform::route_slot(std::uint64_t key) const {
   // Grow at 70% load so probe runs stay short.
-  if (route_keys_.empty() || route_store_.size() * 10 >= route_keys_.size() * 7)
+  if (route_keys_.empty() || route_count_ * 10 >= route_keys_.size() * 7)
     route_index_grow();
   const size_t mask = route_keys_.size() - 1;
   size_t i = route_hash(key) & mask;
   while (route_keys_[i] != kEmptyKey && route_keys_[i] != key)
     i = (i + 1) & mask;
-  if (route_keys_[i] == key)
-    return route_store_[route_slots_[i]];
-  route_keys_[i] = key;
-  route_slots_[i] = static_cast<std::uint32_t>(route_store_.size());
-  route_store_.emplace_back();
-  return route_store_.back();
+  if (route_keys_[i] != key) {
+    route_keys_[i] = key;
+    ++route_count_;
+  }
+  return route_refs_[i];
 }
+
+// ---------------------------------------------------------------------------
+// Interned segment arena
+// ---------------------------------------------------------------------------
+
+SegId Platform::append_segment(const LinkId* links, size_t n) const {
+  SegRec rec;
+  rec.off = static_cast<std::uint32_t>(seg_links_.size());
+  rec.len = static_cast<std::uint32_t>(n);
+  for (size_t i = 0; i < n; ++i) {
+    seg_links_.push_back(links[i]);
+    rec.latency += links_[static_cast<size_t>(links[i])].latency_s;
+  }
+  segs_.push_back(rec);
+  return static_cast<SegId>(segs_.size() - 1);
+}
+
+SegId Platform::intern_segment(const LinkId* links, size_t n) const {
+  const std::uint64_t h = seg_content_hash(links, n);
+  auto& candidates = seg_dedup_[h];
+  for (SegId s : candidates) {
+    const SegRec& rec = segs_[static_cast<size_t>(s)];
+    if (rec.len == n &&
+        std::equal(links, links + n, seg_links_.begin() + rec.off))
+      return s;
+  }
+  const SegId s = append_segment(links, n);
+  candidates.push_back(s);
+  return s;
+}
+
+RouteView Platform::make_view(const RouteRef& ref) const {
+  RouteView v;
+  v.latency_ = ref.latency;
+  const SegId parts[3] = {ref.up, ref.mid, ref.down};
+  for (int i = 0; i < 3; ++i) {
+    if (parts[i] == kNoSeg)
+      continue;
+    const SegRec& rec = segs_[static_cast<size_t>(parts[i])];
+    v.spans_[i].b = seg_links_.data() + rec.off;
+    v.spans_[i].n = rec.len;
+  }
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Construction
+// ---------------------------------------------------------------------------
 
 NodeId Platform::add_host(const HostSpec& spec) {
   if (sealed_)
@@ -80,6 +138,7 @@ NodeId Platform::add_host(const HostSpec& spec) {
   nodes_.push_back({true, static_cast<int>(hosts_.size())});
   hosts_.push_back(spec);
   host_nodes_.push_back(id);
+  host_zone_.push_back(-1);
   return id;
 }
 
@@ -133,6 +192,25 @@ void Platform::add_edge(NodeId a, NodeId b, LinkId link) {
     throw xbt::InvalidArgument("add_edge: bad node id");
   if (link < 0 || static_cast<size_t>(link) >= links_.size())
     throw xbt::InvalidArgument("add_edge: bad link id");
+  // Cluster zones rely on the gateway being the zone's only connection to the
+  // rest of the platform: O(1) composition assumes every path in/out crosses
+  // it. Reject edges that would splice into a cluster's interior.
+  for (NodeId n : {a, b}) {
+    if (nodes_[static_cast<size_t>(n)].host) {
+      const ZoneId z = host_zone_[static_cast<size_t>(nodes_[static_cast<size_t>(n)].host_index)];
+      if (z >= 0 && zones_[static_cast<size_t>(z)].kind == ZoneKind::kCluster)
+        throw xbt::InvalidArgument("add_edge: " + node_names_[static_cast<size_t>(n)] +
+                                   " is a member of cluster zone " + zones_[static_cast<size_t>(z)].name +
+                                   "; attach through the zone gateway instead");
+    } else {
+      // A hub that doubles as the gateway (no backbone) IS the attach point.
+      for (const ZoneRec& z : zones_)
+        if (z.hub == n && z.gateway != n)
+          throw xbt::InvalidArgument("add_edge: " + node_names_[static_cast<size_t>(n)] +
+                                     " is the hub of cluster zone " + z.name +
+                                     "; attach through the zone gateway instead");
+    }
+  }
   edges_.push_back({a, b, link});
 }
 
@@ -142,17 +220,147 @@ void Platform::add_route(NodeId src, NodeId dst, std::vector<LinkId> links, bool
   for (LinkId l : links)
     if (l < 0 || static_cast<size_t>(l) >= links_.size())
       throw xbt::InvalidArgument("add_route: bad link id");
-  double lat = 0;
-  for (LinkId l : links)
-    lat += links_[static_cast<size_t>(l)].latency_s;
   const int s = host_index(src);
   const int d = host_index(dst);
-  route_slot(pair_key(s, d)) = Route{links, lat};
+  const SegId seg = links.empty() ? kNoSeg : intern_segment(links.data(), links.size());
+  const double lat = seg == kNoSeg ? 0.0 : segs_[static_cast<size_t>(seg)].latency;
+  route_slot(pair_key(s, d)) = RouteRef{kNoSeg, seg, kNoSeg, lat};
   if (symmetric) {
     std::vector<LinkId> rev(links.rbegin(), links.rend());
-    route_slot(pair_key(d, s)) = Route{std::move(rev), lat};
+    const SegId rseg = rev.empty() ? kNoSeg : intern_segment(rev.data(), rev.size());
+    route_slot(pair_key(d, s)) = RouteRef{kNoSeg, rseg, kNoSeg, lat};
   }
 }
+
+// ---------------------------------------------------------------------------
+// Zones
+// ---------------------------------------------------------------------------
+
+ZoneId Platform::add_cluster_zone(const ClusterZoneSpec& spec) {
+  if (sealed_)
+    throw xbt::InvalidArgument("platform is sealed");
+  if (spec.count <= 0)
+    throw xbt::InvalidArgument("cluster zone " + spec.name + ": count must be positive");
+  for (const ZoneRec& z : zones_)
+    if (z.name == spec.name)
+      throw xbt::InvalidArgument("duplicate zone name: " + spec.name);
+
+  ZoneRec zone;
+  zone.name = spec.name;
+  zone.kind = ZoneKind::kCluster;
+  zone.spec = spec;
+  zone.up_latency = spec.link_latency;
+  const std::string& prefix = spec.host_prefix.empty() ? spec.name : spec.host_prefix;
+  const ZoneId zid = static_cast<ZoneId>(zones_.size());
+
+  const NodeId hub = add_router(spec.name + "-switch");
+  zone.hub = hub;
+  const bool has_backbone = spec.backbone_bandwidth > 0;
+  if (has_backbone) {
+    zone.gateway = add_router(spec.name + "-out");
+    LinkSpec bb;
+    bb.name = spec.name + "-backbone";
+    bb.bandwidth_Bps = spec.backbone_bandwidth;
+    bb.latency_s = spec.backbone_latency;
+    bb.policy = spec.backbone_fatpipe ? SharingPolicy::kFatpipe : SharingPolicy::kShared;
+    zone.backbone = add_link(bb);
+    zone.backbone_latency = spec.backbone_latency;
+    edges_.push_back({hub, zone.gateway, zone.backbone});
+  } else {
+    zone.gateway = hub;
+  }
+
+  zone.first_host = static_cast<int>(hosts_.size());
+  zone.count = spec.count;
+  // Hosts, private links, edges — names and declaration order match the
+  // historical make_cluster() exactly, so flat-graph twins are comparable
+  // link-id for link-id.
+  for (int m = 0; m < spec.count; ++m) {
+    const std::string name = xbt::format("%s%d", prefix.c_str(), m);
+    const NodeId h = add_host(name, spec.host_speed);
+    const LinkId l = add_link(name + "-link", spec.link_bandwidth, spec.link_latency);
+    if (m == 0)
+      zone.first_uplink = l;
+    else if (l != zone.first_uplink + m)
+      throw xbt::InvalidArgument("cluster zone " + spec.name + ": member links must be contiguous");
+    edges_.push_back({h, hub, l});
+    host_zone_[static_cast<size_t>(nodes_[static_cast<size_t>(h)].host_index)] = zid;
+  }
+
+  // Intern the per-member route pieces, contiguously: [up], [up, bb],
+  // [bb, up]. Without a backbone the hub is the gateway and all three
+  // pieces collapse to [up].
+  zone.seg_intra0 = static_cast<SegId>(segs_.size());
+  for (int m = 0; m < spec.count; ++m) {
+    const LinkId up = zone.first_uplink + m;
+    append_segment(&up, 1);
+  }
+  if (has_backbone) {
+    zone.seg_out0 = static_cast<SegId>(segs_.size());
+    for (int m = 0; m < spec.count; ++m) {
+      const LinkId out[2] = {zone.first_uplink + m, zone.backbone};
+      append_segment(out, 2);
+    }
+    zone.seg_in0 = static_cast<SegId>(segs_.size());
+    for (int m = 0; m < spec.count; ++m) {
+      const LinkId in[2] = {zone.backbone, zone.first_uplink + m};
+      append_segment(in, 2);
+    }
+  } else {
+    zone.seg_out0 = zone.seg_intra0;
+    zone.seg_in0 = zone.seg_intra0;
+  }
+
+  zones_.push_back(std::move(zone));
+  return zid;
+}
+
+ZoneId Platform::add_graph_zone(const std::string& name, NodeId gateway) {
+  if (sealed_)
+    throw xbt::InvalidArgument("platform is sealed");
+  if (gateway < 0 || static_cast<size_t>(gateway) >= nodes_.size())
+    throw xbt::InvalidArgument("add_graph_zone: bad gateway node");
+  for (const ZoneRec& z : zones_)
+    if (z.name == name)
+      throw xbt::InvalidArgument("duplicate zone name: " + name);
+  ZoneRec zone;
+  zone.name = name;
+  zone.kind = ZoneKind::kDijkstra;
+  zone.gateway = gateway;
+  zones_.push_back(std::move(zone));
+  return static_cast<ZoneId>(zones_.size() - 1);
+}
+
+void Platform::zone_add_host(ZoneId zone, int host_index) {
+  if (zone < 0 || static_cast<size_t>(zone) >= zones_.size())
+    throw xbt::InvalidArgument("zone_add_host: bad zone id");
+  check_host_index(host_index, "zone_add_host");
+  if (zones_[static_cast<size_t>(zone)].kind == ZoneKind::kCluster)
+    throw xbt::InvalidArgument("zone_add_host: cluster zones own their members");
+  if (host_zone_[static_cast<size_t>(host_index)] >= 0)
+    throw xbt::InvalidArgument("zone_add_host: " + hosts_[static_cast<size_t>(host_index)].name +
+                               " already belongs to a zone");
+  host_zone_[static_cast<size_t>(host_index)] = zone;
+  ++zones_[static_cast<size_t>(zone)].count;
+}
+
+std::optional<ZoneId> Platform::zone_by_name(const std::string& name) const {
+  for (size_t z = 0; z < zones_.size(); ++z)
+    if (zones_[z].name == name)
+      return static_cast<ZoneId>(z);
+  return std::nullopt;
+}
+
+const ClusterZoneSpec& Platform::cluster_zone_spec(ZoneId zone) const {
+  const ZoneRec& z = zones_.at(static_cast<size_t>(zone));
+  if (z.kind != ZoneKind::kCluster)
+    throw xbt::InvalidArgument("zone " + z.name + " is not a cluster zone");
+  return z.spec;
+}
+
+// ---------------------------------------------------------------------------
+// Lookup
+// ---------------------------------------------------------------------------
 
 bool Platform::is_host(NodeId node) const {
   return node >= 0 && static_cast<size_t>(node) < nodes_.size() && nodes_[static_cast<size_t>(node)].host;
@@ -215,6 +423,16 @@ void Platform::check_host_index(int host_index, const char* what) const {
                                " out of range (platform has " + std::to_string(hosts_.size()) + " hosts)");
 }
 
+void Platform::throw_no_route(int src_host, int dst_host) const {
+  throw xbt::InvalidArgument("no route between " + hosts_[static_cast<size_t>(src_host)].name + " and " +
+                             hosts_[static_cast<size_t>(dst_host)].name +
+                             ": hosts are in disconnected components");
+}
+
+// ---------------------------------------------------------------------------
+// Routing
+// ---------------------------------------------------------------------------
+
 const Platform::SsspTree& Platform::sssp_from(NodeId src) const {
   auto hit = sssp_cache_.find(src);
   if (hit != sssp_cache_.end()) {
@@ -265,7 +483,81 @@ const Platform::SsspTree& Platform::sssp_from(NodeId src) const {
   return ins->second;
 }
 
-const Route& Platform::route(int src_host, int dst_host) const {
+bool Platform::node_path_segment(NodeId from, NodeId to, SegId* seg) const {
+  if (from == to) {
+    *seg = kNoSeg;
+    return true;
+  }
+  const std::uint64_t key = pair_key(from, to);
+  auto hit = node_pair_segs_.find(key);
+  if (hit != node_pair_segs_.end()) {
+    *seg = hit->second;
+    return true;
+  }
+  const SsspTree& tree = sssp_from(from);
+  if (tree.dist[static_cast<size_t>(to)] == kInf)
+    return false;
+  std::vector<LinkId> path;
+  for (NodeId v = to; v != from; v = tree.prev_node[static_cast<size_t>(v)])
+    path.push_back(tree.prev_link[static_cast<size_t>(v)]);
+  std::reverse(path.begin(), path.end());
+  *seg = intern_segment(path.data(), path.size());
+  node_pair_segs_.emplace(key, *seg);
+  return true;
+}
+
+bool Platform::compose_zone_route(int src_host, int dst_host, RouteRef* out) const {
+  const ZoneId zs = host_zone_[static_cast<size_t>(src_host)];
+  const ZoneId zd = host_zone_[static_cast<size_t>(dst_host)];
+  const ZoneRec* src_zone =
+      zs >= 0 && zones_[static_cast<size_t>(zs)].kind == ZoneKind::kCluster ? &zones_[static_cast<size_t>(zs)] : nullptr;
+  const ZoneRec* dst_zone =
+      zd >= 0 && zones_[static_cast<size_t>(zd)].kind == ZoneKind::kCluster ? &zones_[static_cast<size_t>(zd)] : nullptr;
+  if (src_zone == nullptr && dst_zone == nullptr)
+    return false;  // no cluster rule applies: plain graph resolution
+
+  if (src_zone != nullptr && src_zone == dst_zone) {
+    // Intra-cluster: up(i) through the hub to up(j). O(1), no Dijkstra, no
+    // per-pair state — this is the 99% path of a cluster workload.
+    const int mi = src_host - src_zone->first_host;
+    const int mj = dst_host - src_zone->first_host;
+    out->up = src_zone->seg_intra0 + mi;
+    out->mid = kNoSeg;
+    out->down = src_zone->seg_intra0 + mj;
+    out->latency = 2 * src_zone->up_latency;
+    return true;
+  }
+
+  // Leaving and/or entering a cluster: member -> gateway, gateway -> gateway
+  // through the flat graph (memoized per endpoint node pair — all members
+  // of a cluster share their gateway's entries, so this never scales with
+  // member pairs), gateway -> member.
+  RouteRef ref;
+  NodeId mid_from;
+  NodeId mid_to;
+  if (src_zone != nullptr) {
+    ref.up = src_zone->seg_out0 + (src_host - src_zone->first_host);
+    ref.latency += src_zone->up_latency + src_zone->backbone_latency;
+    mid_from = src_zone->gateway;
+  } else {
+    mid_from = host_nodes_[static_cast<size_t>(src_host)];
+  }
+  if (dst_zone != nullptr) {
+    ref.down = dst_zone->seg_in0 + (dst_host - dst_zone->first_host);
+    ref.latency += dst_zone->up_latency + dst_zone->backbone_latency;
+    mid_to = dst_zone->gateway;
+  } else {
+    mid_to = host_nodes_[static_cast<size_t>(dst_host)];
+  }
+  if (!node_path_segment(mid_from, mid_to, &ref.mid))
+    throw_no_route(src_host, dst_host);
+  if (ref.mid != kNoSeg)
+    ref.latency += segs_[static_cast<size_t>(ref.mid)].latency;
+  *out = ref;
+  return true;
+}
+
+RouteView Platform::route(int src_host, int dst_host) const {
   check_host_index(src_host, "route");
   check_host_index(dst_host, "route");
   if (!sealed_)
@@ -273,29 +565,30 @@ const Route& Platform::route(int src_host, int dst_host) const {
                                hosts_[static_cast<size_t>(src_host)].name + " and " +
                                hosts_[static_cast<size_t>(dst_host)].name + " (call Platform::seal())");
 
-  if (const Route* cached = route_find(pair_key(src_host, dst_host)))
-    return *cached;
+  // Explicit routes (and memoized graph resolutions) win over everything.
+  if (const RouteRef* cached = route_find(pair_key(src_host, dst_host)))
+    return make_view(*cached);
   if (src_host == dst_host)
-    return loopback_route_;  // a host talking to itself, absent an explicit self-route
+    return RouteView{};  // loopback, absent an explicit self-route
+
+  RouteRef composed;
+  if (compose_zone_route(src_host, dst_host, &composed))
+    return make_view(composed);  // zone rule: O(1), never cached per pair
 
   const NodeId src = host_nodes_[static_cast<size_t>(src_host)];
   const NodeId dst = host_nodes_[static_cast<size_t>(dst_host)];
   const SsspTree& tree = sssp_from(src);
   if (tree.dist[static_cast<size_t>(dst)] == kInf)
-    throw xbt::InvalidArgument("no route between " + hosts_[static_cast<size_t>(src_host)].name + " and " +
-                               hosts_[static_cast<size_t>(dst_host)].name +
-                               ": hosts are in disconnected components");
+    throw_no_route(src_host, dst_host);
 
   std::vector<LinkId> path;
-  double lat = 0;
-  for (NodeId v = dst; v != src; v = tree.prev_node[static_cast<size_t>(v)]) {
+  for (NodeId v = dst; v != src; v = tree.prev_node[static_cast<size_t>(v)])
     path.push_back(tree.prev_link[static_cast<size_t>(v)]);
-    lat += links_[static_cast<size_t>(tree.prev_link[static_cast<size_t>(v)])].latency_s;
-  }
   std::reverse(path.begin(), path.end());
-  Route& slot = route_slot(pair_key(src_host, dst_host));
-  slot = Route{std::move(path), lat};
-  return slot;
+  const SegId seg = intern_segment(path.data(), path.size());
+  RouteRef& slot = route_slot(pair_key(src_host, dst_host));
+  slot = RouteRef{kNoSeg, seg, kNoSeg, segs_[static_cast<size_t>(seg)].latency};
+  return make_view(slot);
 }
 
 bool Platform::reachable(int src_host, int dst_host) const {
@@ -309,8 +602,45 @@ bool Platform::reachable(int src_host, int dst_host) const {
     return true;
   if (src_host == dst_host)
     return true;
-  const SsspTree& tree = sssp_from(host_nodes_[static_cast<size_t>(src_host)]);
-  return tree.dist[static_cast<size_t>(host_nodes_[static_cast<size_t>(dst_host)])] != kInf;
+
+  const ZoneId zs = host_zone_[static_cast<size_t>(src_host)];
+  const ZoneId zd = host_zone_[static_cast<size_t>(dst_host)];
+  const bool src_cluster = zs >= 0 && zones_[static_cast<size_t>(zs)].kind == ZoneKind::kCluster;
+  const bool dst_cluster = zd >= 0 && zones_[static_cast<size_t>(zd)].kind == ZoneKind::kCluster;
+  if (src_cluster && zs == zd)
+    return true;
+  const NodeId from = src_cluster ? zones_[static_cast<size_t>(zs)].gateway
+                                  : host_nodes_[static_cast<size_t>(src_host)];
+  const NodeId to = dst_cluster ? zones_[static_cast<size_t>(zd)].gateway
+                                : host_nodes_[static_cast<size_t>(dst_host)];
+  if (from == to)
+    return true;
+  const SsspTree& tree = sssp_from(from);
+  return tree.dist[static_cast<size_t>(to)] != kInf;
+}
+
+RoutingMemoryStats Platform::routing_memory() const {
+  RoutingMemoryStats s;
+  s.segment_bytes = seg_links_.capacity() * sizeof(LinkId) + segs_.capacity() * sizeof(SegRec);
+  // unordered_map footprint approximation: bucket pointers + one heap node
+  // per entry (key + value + chain pointer).
+  s.segment_bytes += seg_dedup_.bucket_count() * sizeof(void*);
+  for (const auto& [h, v] : seg_dedup_) {
+    (void)h;
+    s.segment_bytes += sizeof(std::uint64_t) + sizeof(std::vector<SegId>) + sizeof(void*) * 2 +
+                       v.capacity() * sizeof(SegId);
+  }
+  s.segment_bytes += node_pair_segs_.bucket_count() * sizeof(void*) +
+                     node_pair_segs_.size() * (sizeof(std::uint64_t) + sizeof(SegId) + sizeof(void*) * 2);
+  s.pair_cache_bytes =
+      route_keys_.capacity() * sizeof(std::uint64_t) + route_refs_.capacity() * sizeof(RouteRef);
+  for (const auto& [src, tree] : sssp_cache_) {
+    (void)src;
+    s.sssp_bytes += tree.dist.capacity() * sizeof(double) + tree.prev_node.capacity() * sizeof(NodeId) +
+                    tree.prev_link.capacity() * sizeof(LinkId) + sizeof(SsspTree) + sizeof(void*) * 3;
+  }
+  s.zone_bytes = zones_.capacity() * sizeof(ZoneRec) + host_zone_.capacity() * sizeof(std::int32_t);
+  return s;
 }
 
 }  // namespace sg::platform

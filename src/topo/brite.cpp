@@ -133,8 +133,9 @@ Topology import_brite(const std::string& text) {
   return topo;
 }
 
-platform::Platform to_platform(const Topology& topo, const std::string& prefix, double host_speed) {
-  platform::Platform p;
+namespace {
+std::vector<platform::NodeId> add_topology(platform::Platform& p, const Topology& topo,
+                                           const std::string& prefix, double host_speed) {
   std::vector<platform::NodeId> ids;
   ids.reserve(topo.nodes.size());
   for (size_t i = 0; i < topo.nodes.size(); ++i)
@@ -145,8 +146,27 @@ platform::Platform to_platform(const Topology& topo, const std::string& prefix, 
         p.add_link(xbt::format("%s-l%zu", prefix.c_str(), i), e.bandwidth_Bps, e.latency_s);
     p.add_edge(ids[static_cast<size_t>(e.from)], ids[static_cast<size_t>(e.to)], l);
   }
+  return ids;
+}
+}  // namespace
+
+platform::Platform to_platform(const Topology& topo, const std::string& prefix, double host_speed) {
+  platform::Platform p;
+  add_topology(p, topo, prefix, host_speed);
   p.seal();
   return p;
+}
+
+platform::ZoneId add_to_platform(platform::Platform& p, const Topology& topo,
+                                 const std::string& prefix, double host_speed, int gateway_index) {
+  if (gateway_index < 0 || static_cast<size_t>(gateway_index) >= topo.nodes.size())
+    throw xbt::InvalidArgument("add_to_platform: gateway index out of range");
+  const std::vector<platform::NodeId> ids = add_topology(p, topo, prefix, host_speed);
+  const platform::ZoneId zone =
+      p.add_graph_zone(prefix, ids[static_cast<size_t>(gateway_index)]);
+  for (platform::NodeId n : ids)
+    p.zone_add_host(zone, p.host_index(n));
+  return zone;
 }
 
 }  // namespace sg::topo

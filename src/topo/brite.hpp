@@ -61,4 +61,16 @@ Topology import_brite(const std::string& text);
 platform::Platform to_platform(const Topology& topo, const std::string& prefix = "node",
                                double host_speed = 1e9);
 
+/// Import the topology into an existing platform as a Dijkstra (graph) zone
+/// named `prefix`: hosts/links/edges are created as in to_platform() and the
+/// hosts become zone members, routed through the flat graph exactly as
+/// unzoned hosts are — including traffic from cluster zones, which runs
+/// Dijkstra from the cluster gateway straight to the member. The node at
+/// `gateway_index` is recorded as the zone's conventional attach point
+/// (zone_gateway() introspection; connect cluster gateways or WAN links to
+/// it with add_edge) but does not constrain routing. Returns the zone id.
+platform::ZoneId add_to_platform(platform::Platform& p, const Topology& topo,
+                                 const std::string& prefix, double host_speed = 1e9,
+                                 int gateway_index = 0);
+
 }  // namespace sg::topo

@@ -81,7 +81,7 @@ TEST_F(FaultInjectionTest, RandomFlapsMatchBruteForceReference) {
       if (src == dst) {
         t.hosts.insert(src);  // loopback dies with its host
       } else {
-        for (LinkId l : platform.route(src, dst).links)
+        for (LinkId l : platform.route(src, dst))
           t.links.insert(l);
       }
       tracked.push_back(std::move(t));
@@ -117,7 +117,7 @@ TEST_F(FaultInjectionTest, RandomFlapsMatchBruteForceReference) {
                                  {{0.0, 1e7}, {0.0, 0.0}});
         t.hosts.insert(h);
         t.hosts.insert(h2);
-        for (LinkId l : platform.route(h, h2).links)
+        for (LinkId l : platform.route(h, h2))
           t.links.insert(l);
         tracked.push_back(std::move(t));
       }

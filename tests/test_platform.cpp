@@ -44,13 +44,13 @@ TEST(Platform, ExplicitRoute) {
   auto l2 = p.add_link("l2", 1e8, 2e-3);
   p.add_route(a, b, {l1, l2});
   p.seal();
-  const Route& r = p.route(0, 1);
-  ASSERT_EQ(r.links.size(), 2u);
-  EXPECT_DOUBLE_EQ(r.latency, 3e-3);
+  const RouteView r = p.route(0, 1);
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.latency(), 3e-3);
   // symmetric reverse route
-  const Route& rr = p.route(1, 0);
-  EXPECT_EQ(rr.links.front(), l2);
-  EXPECT_EQ(rr.links.back(), l1);
+  const std::vector<LinkId> rr = p.route(1, 0).links();
+  EXPECT_EQ(rr.front(), l2);
+  EXPECT_EQ(rr.back(), l1);
 }
 
 TEST(Platform, OneWayRoute) {
@@ -81,11 +81,11 @@ TEST(Platform, GraphRoutingShortestLatency) {
   p.add_edge(a, r2, slow1);
   p.add_edge(r2, b, slow2);
   p.seal();
-  const Route& r = p.route(0, 1);
-  ASSERT_EQ(r.links.size(), 2u);
-  EXPECT_EQ(r.links[0], fast1);
-  EXPECT_EQ(r.links[1], fast2);
-  EXPECT_NEAR(r.latency, 2e-4, 1e-12);
+  const std::vector<LinkId> r = p.route(0, 1).links();
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r[0], fast1);
+  EXPECT_EQ(r[1], fast2);
+  EXPECT_NEAR(p.route(0, 1).latency(), 2e-4, 1e-12);
 }
 
 TEST(Platform, GraphRoutingMultiHopChain) {
@@ -98,9 +98,9 @@ TEST(Platform, GraphRoutingMultiHopChain) {
     p.add_edge(hosts[static_cast<size_t>(i)], hosts[static_cast<size_t>(i + 1)], l);
   }
   p.seal();
-  EXPECT_EQ(p.route(0, 4).links.size(), 4u);
-  EXPECT_NEAR(p.route(0, 4).latency, 4e-3, 1e-12);
-  EXPECT_EQ(p.route(2, 3).links.size(), 1u);
+  EXPECT_EQ(p.route(0, 4).size(), 4u);
+  EXPECT_NEAR(p.route(0, 4).latency(), 4e-3, 1e-12);
+  EXPECT_EQ(p.route(2, 3).size(), 1u);
 }
 
 TEST(Platform, UnreachableHosts) {
@@ -117,7 +117,7 @@ TEST(Platform, LoopbackRouteAlwaysExists) {
   p.add_host("a", 1e9);
   p.seal();
   EXPECT_TRUE(p.reachable(0, 0));
-  EXPECT_TRUE(p.route(0, 0).links.empty());
+  EXPECT_TRUE(p.route(0, 0).empty());
 }
 
 TEST(Platform, ExplicitRouteWinsOverGraph) {
@@ -129,7 +129,7 @@ TEST(Platform, ExplicitRouteWinsOverGraph) {
   p.add_edge(a, b, graph_link);
   p.add_route(a, b, {special});
   p.seal();
-  EXPECT_EQ(p.route(0, 1).links[0], special);
+  EXPECT_EQ(p.route(0, 1).links().front(), special);
 }
 
 TEST(PlatformParser, RoundTrip) {
@@ -150,13 +150,13 @@ edge n1 r0 l1
   EXPECT_DOUBLE_EQ(p.link(0).bandwidth_Bps, 1.25e8);
   EXPECT_DOUBLE_EQ(p.link(1).latency_s, 1e-2);
   EXPECT_EQ(p.link(1).policy, SharingPolicy::kFatpipe);
-  EXPECT_EQ(p.route(0, 1).links.size(), 2u);
+  EXPECT_EQ(p.route(0, 1).size(), 2u);
 
   // dump and re-parse: same structure
   Platform p2 = parse_platform(dump_platform(p));
   EXPECT_EQ(p2.host_count(), p.host_count());
   EXPECT_EQ(p2.link_count(), p.link_count());
-  EXPECT_EQ(p2.route(0, 1).links.size(), 2u);
+  EXPECT_EQ(p2.route(0, 1).size(), 2u);
 }
 
 TEST(PlatformParser, InlineTraces) {
@@ -178,8 +178,8 @@ link l0 bw:100MBps lat:1ms
 route a b l0
 )";
   Platform p = parse_platform(text);
-  EXPECT_EQ(p.route(0, 1).links.size(), 1u);
-  EXPECT_EQ(p.route(1, 0).links.size(), 1u);
+  EXPECT_EQ(p.route(0, 1).size(), 1u);
+  EXPECT_EQ(p.route(1, 0).size(), 1u);
 }
 
 TEST(PlatformParser, Errors) {
@@ -195,8 +195,8 @@ TEST(Builders, Cluster) {
   Platform p = make_cluster(spec);
   EXPECT_EQ(p.host_count(), 4u);
   // node0 -> node1: private link, backbone? no — both behind the same switch.
-  const Route& r = p.route(0, 1);
-  EXPECT_EQ(r.links.size(), 2u);  // up + down private links
+  const RouteView r = p.route(0, 1);
+  EXPECT_EQ(r.size(), 2u);  // up + down private links
 }
 
 TEST(Builders, ClusterCrossBackbone) {
@@ -211,7 +211,7 @@ TEST(Builders, ClusterCrossBackbone) {
     for (int j = 0; j < 3; ++j) {
       if (i == j)
         continue;
-      for (auto l : p.route(i, j).links)
+      for (auto l : p.route(i, j))
         EXPECT_NE(l, *bb);
     }
 }
@@ -219,7 +219,7 @@ TEST(Builders, ClusterCrossBackbone) {
 TEST(Builders, Dumbbell) {
   Platform p = make_dumbbell(1e9, 1.25e8, 1e-4);
   EXPECT_EQ(p.host_count(), 2u);
-  EXPECT_EQ(p.route(0, 1).links.size(), 1u);
+  EXPECT_EQ(p.route(0, 1).size(), 1u);
 }
 
 TEST(Builders, ClientServerLanSharedSegment) {
@@ -230,10 +230,128 @@ TEST(Builders, ClientServerLanSharedSegment) {
   auto s1 = *p.host_by_name("server1");
   // All client->server routes share the hub segment.
   auto hub = *p.link_by_name("hub-segment");
-  const auto& r1 = p.route(c1, s1);
-  const auto& r2 = p.route(c2, s1);
-  EXPECT_NE(std::find(r1.links.begin(), r1.links.end(), hub), r1.links.end());
-  EXPECT_NE(std::find(r2.links.begin(), r2.links.end(), hub), r2.links.end());
+  const auto r1 = p.route(c1, s1).links();
+  const auto r2 = p.route(c2, s1).links();
+  EXPECT_NE(std::find(r1.begin(), r1.end(), hub), r1.end());
+  EXPECT_NE(std::find(r2.begin(), r2.end(), hub), r2.end());
+}
+
+// ---------------------------------------------------------------------------
+// Cluster zones: the `cluster` parser directive and zone introspection.
+// ---------------------------------------------------------------------------
+
+TEST(PlatformParser, ClusterDirective) {
+  const std::string text =
+      "cluster c0 hosts:16 speed:1Gf bw:125MBps lat:50us backbone:10GBps blat:500us fatpipe\n";
+  Platform p = parse_platform(text);
+  EXPECT_EQ(p.host_count(), 16u);
+  EXPECT_EQ(p.link_count(), 17u);  // 16 up-links + backbone
+  ASSERT_EQ(p.zone_count(), 1u);
+  EXPECT_EQ(p.zone_kind(0), ZoneKind::kCluster);
+  EXPECT_EQ(p.zone_name(0), "c0");
+  ASSERT_TRUE(p.host_by_name("c00").has_value());
+  EXPECT_DOUBLE_EQ(p.host(*p.host_by_name("c00")).speed_flops, 1e9);
+  auto bb = p.link_by_name("c0-backbone");
+  ASSERT_TRUE(bb.has_value());
+  EXPECT_EQ(p.link(*bb).policy, SharingPolicy::kFatpipe);
+  EXPECT_DOUBLE_EQ(p.link(*bb).bandwidth_Bps, 1e10);
+  EXPECT_DOUBLE_EQ(p.link(*bb).latency_s, 5e-4);
+  // Member routes: private up + down, composed by the zone rule.
+  EXPECT_EQ(p.route(0, 15).size(), 2u);
+  EXPECT_NEAR(p.route(0, 15).latency(), 1e-4, 1e-12);
+  // Zone composition leaves no per-pair state behind.
+  EXPECT_EQ(p.resolved_route_count(), 0u);
+}
+
+TEST(PlatformParser, ClusterDirectiveWithoutBackbone) {
+  Platform p = parse_platform("cluster lan hosts:4 bw:1Gbps lat:10us\n");
+  EXPECT_EQ(p.link_count(), 4u);  // no backbone link
+  EXPECT_FALSE(p.link_by_name("lan-backbone").has_value());
+  // Without a backbone the hub doubles as the gateway.
+  EXPECT_EQ(p.zone_gateway(0), *p.node_by_name("lan-switch"));
+  EXPECT_EQ(p.route(1, 3).size(), 2u);
+}
+
+TEST(PlatformParser, ClusterDirectiveErrors) {
+  EXPECT_THROW(parse_platform("cluster\n"), sg::xbt::InvalidArgument);
+  EXPECT_THROW(parse_platform("cluster c0\n"), sg::xbt::InvalidArgument);  // no hosts:
+  EXPECT_THROW(parse_platform("cluster c0 hosts:0\n"), sg::xbt::InvalidArgument);
+  EXPECT_THROW(parse_platform("cluster c0 hosts:abc\n"), sg::xbt::InvalidArgument);  // not std::
+  EXPECT_THROW(parse_platform("cluster c0 hosts:99999999999999\n"), sg::xbt::InvalidArgument);
+  // Backbone attributes without a backbone would silently change the shape.
+  EXPECT_THROW(parse_platform("cluster c0 hosts:4 blat:1ms\n"), sg::xbt::InvalidArgument);
+  EXPECT_THROW(parse_platform("cluster c0 hosts:4 fatpipe\n"), sg::xbt::InvalidArgument);
+}
+
+TEST(PlatformParser, ClusterRoundTrip) {
+  const std::string text = R"(
+cluster c0 hosts:8 speed:2Gf bw:125MBps lat:50us backbone:1250MBps blat:500us fatpipe
+cluster c1 hosts:4 prefix:edge- speed:1Gf bw:250MBps lat:20us
+host lone speed:1Gf
+router wan
+link wan0 bw:12.5MBps lat:20ms
+link wan1 bw:12.5MBps lat:30ms
+link wan2 bw:25MBps lat:15ms
+edge c0-out wan wan0
+edge c1-switch wan wan1
+edge lone wan wan2
+)";
+  Platform p = parse_platform(text);
+  Platform p2 = parse_platform(dump_platform(p));
+  EXPECT_EQ(p2.host_count(), p.host_count());
+  EXPECT_EQ(p2.link_count(), p.link_count());
+  EXPECT_EQ(p2.zone_count(), p.zone_count());
+  // Same routes (by link name) between the same hosts across the round-trip.
+  auto names = [](const Platform& plat, int s, int d) {
+    std::vector<std::string> out;
+    for (LinkId l : plat.route(s, d))
+      out.push_back(plat.link(l).name);
+    return out;
+  };
+  const std::vector<std::pair<std::string, std::string>> pairs = {
+      {"c00", "c07"}, {"c00", "edge-0"}, {"edge-2", "lone"}, {"c03", "lone"}};
+  for (const auto& [a, b] : pairs) {
+    const int s1 = *p.host_by_name(a), d1 = *p.host_by_name(b);
+    const int s2 = *p2.host_by_name(a), d2 = *p2.host_by_name(b);
+    EXPECT_EQ(names(p, s1, d1), names(p2, s2, d2)) << a << " -> " << b;
+    EXPECT_DOUBLE_EQ(p.route(s1, d1).latency(), p2.route(s2, d2).latency()) << a << " -> " << b;
+  }
+}
+
+TEST(Platform, ClusterZoneInteriorIsSealedOffFromAdHocEdges) {
+  Platform p;
+  ClusterZoneSpec spec;
+  spec.name = "c";
+  spec.count = 2;
+  p.add_cluster_zone(spec);
+  const NodeId outsider = p.add_host("outsider", 1e9);
+  const LinkId l = p.add_link("wild", 1e8, 1e-4);
+  // Splicing into a member or the hub would break the gateway invariant that
+  // makes O(1) composition exact.
+  EXPECT_THROW(p.add_edge(outsider, *p.node_by_name("c0"), l), sg::xbt::InvalidArgument);
+  EXPECT_THROW(p.add_edge(outsider, *p.node_by_name("c-switch"), l), sg::xbt::InvalidArgument);
+  // The gateway is the attach point.
+  p.add_edge(outsider, *p.node_by_name("c-out"), l);
+  p.seal();
+  EXPECT_EQ(p.route(*p.host_by_name("c0"), *p.host_by_name("outsider")).size(), 3u);
+}
+
+TEST(Builders, ClusterIsZoneBacked) {
+  ClusterSpec spec;
+  spec.count = 6;
+  Platform p = make_cluster(spec);
+  ASSERT_EQ(p.zone_count(), 1u);
+  EXPECT_EQ(p.zone_kind(0), ZoneKind::kCluster);
+  for (int i = 0; i < 6; ++i)
+    EXPECT_EQ(p.zone_of_host(i), 0);
+  // All member pairs compose without touching the pair cache or Dijkstra.
+  for (int i = 0; i < 6; ++i)
+    for (int j = 0; j < 6; ++j)
+      if (i != j) {
+        EXPECT_EQ(p.route(i, j).size(), 2u);
+      }
+  EXPECT_EQ(p.resolved_route_count(), 0u);
+  EXPECT_EQ(p.cached_sssp_tree_count(), 0u);
 }
 
 }  // namespace

@@ -1,7 +1,8 @@
 /// Property tests for lazy on-demand routing: lazily resolved routes must be
 /// identical (same links, same latency) to the old eager all-pairs
-/// computation, references returned by route() must stay stable while other
-/// pairs resolve, and the SSSP-tree LRU must never change results.
+/// computation, resolved route contents must stay stable while other pairs
+/// resolve (segment interning), and the SSSP-tree LRU must never change
+/// results.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -24,7 +25,11 @@ using namespace sg::platform;
 /// same metric (latency + 1e-9 per hop so zero-latency LANs prefer fewer
 /// hops, ties favour first-declared edges).
 struct EagerRoutes {
-  std::vector<std::optional<Route>> routes;  // src * n_hosts + dst
+  struct FlatRoute {
+    std::vector<LinkId> links;
+    double latency = 0;
+  };
+  std::vector<std::optional<FlatRoute>> routes;  // src * n_hosts + dst
   size_t n_hosts;
 
   explicit EagerRoutes(const Platform& p) : n_hosts(p.host_count()) {
@@ -73,7 +78,7 @@ struct EagerRoutes {
           lat += p.link(prev_link[static_cast<size_t>(v)]).latency_s;
         }
         std::reverse(path.begin(), path.end());
-        routes[s * n_hosts + d] = Route{std::move(path), lat};
+        routes[s * n_hosts + d] = FlatRoute{std::move(path), lat};
       }
     }
   }
@@ -90,9 +95,9 @@ void expect_all_pairs_match(const Platform& p) {
       ASSERT_EQ(p.reachable(s, d), expected.has_value()) << "pair " << s << " -> " << d;
       if (!expected)
         continue;
-      const Route& got = p.route(s, d);
-      EXPECT_EQ(got.links, expected->links) << "pair " << s << " -> " << d;
-      EXPECT_DOUBLE_EQ(got.latency, expected->latency) << "pair " << s << " -> " << d;
+      const RouteView got = p.route(s, d);
+      EXPECT_EQ(got.links(), expected->links) << "pair " << s << " -> " << d;
+      EXPECT_DOUBLE_EQ(got.latency(), expected->latency) << "pair " << s << " -> " << d;
     }
 }
 
@@ -149,14 +154,16 @@ TEST(LazyRouting, ExplicitRoutesWinOverLazyResolution) {
   p.add_route(a, c, {slow});
   p.seal();
   // Explicit (a, c) wins even though the graph offers a lower-latency path.
-  EXPECT_EQ(p.route(0, 2).links, std::vector<LinkId>{slow});
+  EXPECT_EQ(p.route(0, 2).links(), std::vector<LinkId>{slow});
   // The graph still serves the other pairs.
-  EXPECT_EQ(p.route(0, 1).links, std::vector<LinkId>{fast});
+  EXPECT_EQ(p.route(0, 1).links(), std::vector<LinkId>{fast});
 }
 
-TEST(LazyRouting, RouteReferencesStayValidAsMorePairsResolve) {
-  // A cluster big enough that resolving all pairs rehashes the route cache
-  // and cycles the SSSP-tree LRU several times over.
+TEST(LazyRouting, RouteContentsStayStableAsMorePairsResolve) {
+  // A star big enough that resolving all pairs rehashes the route cache,
+  // grows the segment arena many times over, and cycles the SSSP-tree LRU.
+  // Routes materialized early must read back identical afterwards: segment
+  // interning may move storage, never contents.
   Platform p;
   const int n = 80;  // > SSSP cache capacity
   const NodeId sw = p.add_router("sw");
@@ -168,10 +175,8 @@ TEST(LazyRouting, RouteReferencesStayValidAsMorePairsResolve) {
   }
   p.seal();
 
-  const Route& pinned = p.route(0, 1);
-  const Route* pinned_addr = &pinned;
-  const std::vector<LinkId> pinned_links = pinned.links;
-  const double pinned_latency = pinned.latency;
+  const std::vector<LinkId> pinned_links = p.route(0, 1).links();
+  const double pinned_latency = p.route(0, 1).latency();
 
   // Resolve well over 1000 further pairs.
   int resolved = 0;
@@ -183,11 +188,31 @@ TEST(LazyRouting, RouteReferencesStayValidAsMorePairsResolve) {
       }
   ASSERT_GE(resolved, 1500);
 
-  // Same object, same contents: the pinned reference never moved.
-  const Route& again = p.route(0, 1);
-  EXPECT_EQ(&again, pinned_addr);
-  EXPECT_EQ(pinned.links, pinned_links);
-  EXPECT_DOUBLE_EQ(pinned.latency, pinned_latency);
+  // Same contents on a fresh query: segment storage may move, contents may
+  // not. (Graph paths here are distinct [up_s, up_d] sequences per pair, so
+  // interning cannot merge them — deduplication across identical sequences
+  // is pinned by SegmentInterningDeduplicatesIdenticalPaths below.)
+  EXPECT_EQ(p.route(0, 1).links(), pinned_links);
+  EXPECT_DOUBLE_EQ(p.route(0, 1).latency(), pinned_latency);
+  EXPECT_GE(p.resolved_route_count(), 1500u);
+}
+
+TEST(LazyRouting, SegmentInterningDeduplicatesIdenticalPaths) {
+  // Four explicit routes (two pairs, both directions) all traverse the same
+  // single-link sequence: the arena must hold exactly one segment, shared by
+  // all four cached RouteRefs.
+  Platform p;
+  const NodeId a = p.add_host("a", 1e9);
+  const NodeId b = p.add_host("b", 1e9);
+  const NodeId c = p.add_host("c", 1e9);
+  const NodeId d = p.add_host("d", 1e9);
+  const LinkId l = p.add_link("shared", 1e8, 1e-3);
+  p.add_route(a, b, {l});
+  p.add_route(c, d, {l});
+  p.seal();
+  EXPECT_EQ(p.resolved_route_count(), 4u);
+  EXPECT_EQ(p.interned_segment_count(), 1u);
+  EXPECT_EQ(p.route(0, 1).links(), p.route(3, 2).links());
 }
 
 TEST(LazyRouting, SsspCacheEvictionDoesNotChangeResults) {
@@ -206,11 +231,11 @@ TEST(LazyRouting, SsspCacheEvictionDoesNotChangeResults) {
   p.seal();
 
   for (int s = 0; s + 1 < n; ++s)
-    EXPECT_EQ(p.route(s, s + 1).links.size(), 1u);
+    EXPECT_EQ(p.route(s, s + 1).size(), 1u);
   EXPECT_LE(p.cached_sssp_tree_count(), 64u);
   // First sources were evicted; fresh queries must agree with the chain.
   for (int s = 0; s < 10; ++s)
-    EXPECT_EQ(p.route(s, n - 1).links.size(), static_cast<size_t>(n - 1 - s));
+    EXPECT_EQ(p.route(s, n - 1).size(), static_cast<size_t>(n - 1 - s));
 }
 
 TEST(LazyRouting, UnsealedRouteNamesBothHosts) {
@@ -288,7 +313,7 @@ TEST(LazyRouting, SsspCacheCapacityIsConfigurable) {
   EXPECT_LE(p.cached_sssp_tree_count(), 4u);
   // Results stay correct under the tiny cache.
   for (int s = 0; s < 12; ++s)
-    EXPECT_EQ(p.route(s, (s + 1) % 32).links.size(), 2u);
+    EXPECT_EQ(p.route(s, (s + 1) % 32).size(), 2u);
 }
 
 TEST(LazyRouting, SsspCacheGrowsWithPlatformSize) {

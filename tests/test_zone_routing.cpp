@@ -1,0 +1,285 @@
+/// Property tests for hierarchical zone routing: on random cluster and mixed
+/// zone/graph platforms, every route(src, dst) must return exactly the link
+/// sequence and latency the flat graph-mode resolution produces — zone
+/// composition is an O(1) fast path, never a different answer. The flat
+/// reference platform is a structural twin built with plain add_host /
+/// add_link / add_edge in the same declaration order, so node and link ids
+/// coincide and link sequences compare directly.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "platform/platform.hpp"
+#include "topo/brite.hpp"
+#include "xbt/exception.hpp"
+#include "xbt/random.hpp"
+#include "xbt/str.hpp"
+
+namespace {
+
+using namespace sg::platform;
+
+/// Flat twin of add_cluster_zone(): same names, same creation order, no zone
+/// metadata — routes resolve through plain graph-mode Dijkstra.
+void add_cluster_flat(Platform& p, const ClusterZoneSpec& spec) {
+  const std::string& prefix = spec.host_prefix.empty() ? spec.name : spec.host_prefix;
+  const NodeId hub = p.add_router(spec.name + "-switch");
+  if (spec.backbone_bandwidth > 0) {
+    const NodeId out = p.add_router(spec.name + "-out");
+    LinkSpec bb;
+    bb.name = spec.name + "-backbone";
+    bb.bandwidth_Bps = spec.backbone_bandwidth;
+    bb.latency_s = spec.backbone_latency;
+    bb.policy = spec.backbone_fatpipe ? SharingPolicy::kFatpipe : SharingPolicy::kShared;
+    p.add_edge(hub, out, p.add_link(bb));
+  }
+  for (int m = 0; m < spec.count; ++m) {
+    const std::string name = sg::xbt::format("%s%d", prefix.c_str(), m);
+    const NodeId h = p.add_host(name, spec.host_speed);
+    const LinkId l = p.add_link(name + "-link", spec.link_bandwidth, spec.link_latency);
+    p.add_edge(h, hub, l);
+  }
+}
+
+/// Flat twin of sg::topo::add_to_platform() (no zone record).
+void add_topology_flat(Platform& p, const sg::topo::Topology& topo, const std::string& prefix,
+                       double host_speed) {
+  std::vector<NodeId> ids;
+  for (size_t i = 0; i < topo.nodes.size(); ++i)
+    ids.push_back(p.add_host(sg::xbt::format("%s%zu", prefix.c_str(), i), host_speed));
+  for (size_t i = 0; i < topo.edges.size(); ++i) {
+    const auto& e = topo.edges[i];
+    const LinkId l =
+        p.add_link(sg::xbt::format("%s-l%zu", prefix.c_str(), i), e.bandwidth_Bps, e.latency_s);
+    p.add_edge(ids[static_cast<size_t>(e.from)], ids[static_cast<size_t>(e.to)], l);
+  }
+}
+
+/// Every pair must agree on reachability; reachable pairs must agree on the
+/// exact link sequence and latency.
+void expect_equivalent(const Platform& zoned, const Platform& flat) {
+  ASSERT_EQ(zoned.host_count(), flat.host_count());
+  ASSERT_EQ(zoned.link_count(), flat.link_count());
+  const int n = static_cast<int>(zoned.host_count());
+  for (int s = 0; s < n; ++s)
+    for (int d = 0; d < n; ++d) {
+      const bool r = flat.reachable(s, d);
+      ASSERT_EQ(zoned.reachable(s, d), r)
+          << "pair " << zoned.host(s).name << " -> " << zoned.host(d).name;
+      if (!r || s == d)
+        continue;
+      EXPECT_EQ(zoned.route(s, d).links(), flat.route(s, d).links())
+          << "pair " << zoned.host(s).name << " -> " << zoned.host(d).name;
+      EXPECT_DOUBLE_EQ(zoned.route(s, d).latency(), flat.route(s, d).latency())
+          << "pair " << zoned.host(s).name << " -> " << zoned.host(d).name;
+    }
+}
+
+/// Random mixed platform: 2-3 cluster zones (random shape, some without a
+/// backbone, some fatpipe), a random WAN router mesh with distinct random
+/// latencies (unique shortest paths), a BRITE graph zone, free hosts, and a
+/// sprinkle of explicit routes. Built twice: with zones, and flat.
+struct Scenario {
+  Platform zoned;
+  Platform flat;
+
+  explicit Scenario(std::uint64_t seed) {
+    sg::xbt::Rng rng(seed);
+
+    std::vector<ClusterZoneSpec> clusters;
+    const int n_clusters = 2 + static_cast<int>(rng.uniform_int(0, 1));
+    for (int c = 0; c < n_clusters; ++c) {
+      ClusterZoneSpec spec;
+      spec.name = "c" + std::to_string(c);
+      spec.count = 3 + static_cast<int>(rng.uniform_int(0, 7));
+      spec.link_bandwidth = rng.uniform(1e7, 1e9);
+      spec.link_latency = rng.uniform(1e-6, 1e-4);
+      if (rng.uniform01() < 0.3) {
+        spec.backbone_bandwidth = 0;  // hub doubles as the gateway
+      } else {
+        spec.backbone_bandwidth = rng.uniform(1e8, 1e10);
+        spec.backbone_latency = rng.uniform(1e-5, 1e-3);
+        spec.backbone_fatpipe = rng.uniform01() < 0.5;
+      }
+      clusters.push_back(spec);
+    }
+
+    for (const auto& spec : clusters) {
+      zoned.add_cluster_zone(spec);
+      add_cluster_flat(flat, spec);
+    }
+
+    // WAN mesh: routers in a random tree plus chords, distinct latencies.
+    const int n_routers = 3 + static_cast<int>(rng.uniform_int(0, 2));
+    std::vector<NodeId> zr, fr;
+    for (int r = 0; r < n_routers; ++r) {
+      const std::string name = "wan-r" + std::to_string(r);
+      zr.push_back(zoned.add_router(name));
+      fr.push_back(flat.add_router(name));
+    }
+    int wan_link = 0;
+    auto connect = [&](NodeId za, NodeId fa, NodeId zb, NodeId fb) {
+      const std::string name = "wan-l" + std::to_string(wan_link++);
+      const double bw = rng.uniform(1e7, 1e9);
+      const double lat = rng.uniform(1e-4, 1e-1) * (1.0 + rng.uniform01());  // distinct w.p. 1
+      zoned.add_edge(za, zb, zoned.add_link(name, bw, lat));
+      flat.add_edge(fa, fb, flat.add_link(name, bw, lat));
+    };
+    for (int r = 1; r < n_routers; ++r) {
+      const int parent = static_cast<int>(rng.uniform_int(0, r - 1));
+      connect(zr[r], fr[r], zr[parent], fr[parent]);
+    }
+    if (n_routers >= 3 && rng.uniform01() < 0.7)  // a chord: alternative paths
+      connect(zr[0], fr[0], zr[n_routers - 1], fr[n_routers - 1]);
+
+    // Attach each cluster gateway to a random router (one cluster is left
+    // dangling 20% of the time: cross-zone pairs must then be unreachable in
+    // both builds).
+    for (size_t c = 0; c < clusters.size(); ++c) {
+      if (c + 1 == clusters.size() && rng.uniform01() < 0.2)
+        continue;
+      const int r = static_cast<int>(rng.uniform_int(0, n_routers - 1));
+      const NodeId zgw = zoned.zone_gateway(static_cast<ZoneId>(c));
+      const auto fgw = flat.node_by_name(zoned.node_name(zgw));
+      connect(zgw, fgw.value(), zr[r], fr[r]);
+    }
+
+    // A BRITE WAN as a graph zone, attached to a router.
+    sg::topo::WaxmanSpec wspec;
+    wspec.n_nodes = 4;
+    wspec.seed = seed * 11 + 3;
+    const auto topo = sg::topo::generate_waxman(wspec);
+    const ZoneId gz = sg::topo::add_to_platform(zoned, topo, "brite", 1e9);
+    add_topology_flat(flat, topo, "brite", 1e9);
+    {
+      const NodeId zgw = zoned.zone_gateway(gz);
+      const auto fgw = flat.node_by_name(zoned.node_name(zgw));
+      const int r = static_cast<int>(rng.uniform_int(0, n_routers - 1));
+      connect(zgw, *fgw, zr[r], fr[r]);
+    }
+
+    // Free (zone-less) hosts on random routers.
+    const int n_free = static_cast<int>(rng.uniform_int(1, 3));
+    for (int h = 0; h < n_free; ++h) {
+      const std::string name = "free" + std::to_string(h);
+      const NodeId zh = zoned.add_host(name, 1e9);
+      const NodeId fh = flat.add_host(name, 1e9);
+      const int r = static_cast<int>(rng.uniform_int(0, n_routers - 1));
+      connect(zh, fh, zr[r], fr[r]);
+    }
+
+    // Explicit routes must win over zone composition — in both builds, so
+    // answers keep matching. One intra-cluster pair, one cross pair.
+    const int n_hosts = static_cast<int>(zoned.host_count());
+    for (int i = 0; i < 2; ++i) {
+      const int a = static_cast<int>(rng.uniform_int(0, n_hosts - 1));
+      const int b = static_cast<int>(rng.uniform_int(0, n_hosts - 1));
+      if (a == b)
+        continue;
+      const std::string name = "explicit" + std::to_string(i);
+      const double bw = 1e8;
+      const double lat = rng.uniform(1e-4, 1e-2);
+      const LinkId zl = zoned.add_link(name, bw, lat);
+      const LinkId fl = flat.add_link(name, bw, lat);
+      zoned.add_route(zoned.host_node(a), zoned.host_node(b), {zl});
+      flat.add_route(flat.host_node(a), flat.host_node(b), {fl});
+    }
+
+    zoned.seal();
+    flat.seal();
+  }
+};
+
+TEST(ZoneRouting, HierarchicalMatchesFlatOnRandomMixedPlatforms) {
+  for (std::uint64_t seed : {1u, 5u, 17u, 23u, 42u, 77u, 91u, 123u}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    Scenario sc(seed);
+    expect_equivalent(sc.zoned, sc.flat);
+  }
+}
+
+TEST(ZoneRouting, ExplicitRouteWinsOverClusterComposition) {
+  Platform p;
+  ClusterZoneSpec spec;
+  spec.name = "c";
+  spec.count = 4;
+  p.add_cluster_zone(spec);
+  const LinkId shortcut = p.add_link("shortcut", 1e9, 1e-6);
+  p.add_route(p.host_node(0), p.host_node(3), {shortcut});
+  p.seal();
+  EXPECT_EQ(p.route(0, 3).links(), std::vector<LinkId>{shortcut});
+  EXPECT_EQ(p.route(3, 0).links(), std::vector<LinkId>{shortcut});
+  // Other pairs still compose through the zone rule.
+  EXPECT_EQ(p.route(0, 2).size(), 2u);
+}
+
+TEST(ZoneRouting, IntraClusterCompositionLeavesNoPerPairState) {
+  ClusterZoneSpec spec;
+  spec.name = "big";
+  spec.count = 512;
+  Platform p;
+  p.add_cluster_zone(spec);
+  p.seal();
+  sg::xbt::Rng rng(9);
+  for (int i = 0; i < 5000; ++i) {
+    const int s = static_cast<int>(rng.uniform_int(0, spec.count - 1));
+    const int d = static_cast<int>(rng.uniform_int(0, spec.count - 1));
+    if (s == d)
+      continue;
+    const RouteView r = p.route(s, d);
+    ASSERT_EQ(r.size(), 2u);
+    ASSERT_DOUBLE_EQ(r.latency(), 2 * spec.link_latency);
+  }
+  // No pair cache entries, no Dijkstra trees, O(hosts) segments.
+  EXPECT_EQ(p.resolved_route_count(), 0u);
+  EXPECT_EQ(p.cached_sssp_tree_count(), 0u);
+  EXPECT_EQ(p.interned_segment_count(), 3u * 512u);
+}
+
+TEST(ZoneRouting, CrossZonePairsAreMemoizedPerGatewayPairOnly) {
+  Platform p;
+  for (int c = 0; c < 2; ++c) {
+    ClusterZoneSpec spec;
+    spec.name = "z" + std::to_string(c);
+    spec.count = 64;
+    p.add_cluster_zone(spec);
+  }
+  const LinkId wan = p.add_link("wan", 1e9, 1e-2, SharingPolicy::kFatpipe);
+  p.add_edge(p.zone_gateway(0), p.zone_gateway(1), wan);
+  p.seal();
+  sg::xbt::Rng rng(5);
+  const size_t segs_before = p.interned_segment_count();
+  for (int i = 0; i < 2000; ++i) {
+    const int s = static_cast<int>(rng.uniform_int(0, 63));
+    const int d = 64 + static_cast<int>(rng.uniform_int(0, 63));
+    const RouteView r = p.route(s, d);
+    ASSERT_EQ(r.size(), 5u);  // up, backbone, wan, backbone, down
+  }
+  // One interned gateway->gateway segment serves all 4096 member pairs, and
+  // none of them entered the per-pair cache.
+  EXPECT_EQ(p.interned_segment_count(), segs_before + 1);
+  EXPECT_EQ(p.resolved_route_count(), 0u);
+}
+
+TEST(ZoneRouting, DanglingClusterIsUnreachableWithGoodDiagnostics) {
+  Platform p;
+  ClusterZoneSpec spec;
+  spec.name = "island";
+  spec.count = 2;
+  p.add_cluster_zone(spec);
+  p.add_host("mainland", 1e9);
+  p.seal();
+  EXPECT_TRUE(p.reachable(0, 1));
+  EXPECT_FALSE(p.reachable(0, 2));
+  try {
+    (void)p.route(0, 2);
+    FAIL() << "expected xbt::InvalidArgument";
+  } catch (const sg::xbt::InvalidArgument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("island0"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("mainland"), std::string::npos) << msg;
+  }
+}
+
+}  // namespace
