@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_engine_scalability.dir/bench/bench_engine_scalability.cpp.o"
+  "CMakeFiles/bench_engine_scalability.dir/bench/bench_engine_scalability.cpp.o.d"
+  "bench_engine_scalability"
+  "bench_engine_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_engine_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fault_churn.dir/bench/bench_fault_churn.cpp.o"
+  "CMakeFiles/bench_fault_churn.dir/bench/bench_fault_churn.cpp.o.d"
+  "bench_fault_churn"
+  "bench_fault_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fault_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

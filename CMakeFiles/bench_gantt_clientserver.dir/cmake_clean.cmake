@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gantt_clientserver.dir/bench/bench_gantt_clientserver.cpp.o"
+  "CMakeFiles/bench_gantt_clientserver.dir/bench/bench_gantt_clientserver.cpp.o.d"
+  "bench_gantt_clientserver"
+  "bench_gantt_clientserver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gantt_clientserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gras_lan.dir/bench/bench_gras_lan.cpp.o"
+  "CMakeFiles/bench_gras_lan.dir/bench/bench_gras_lan.cpp.o.d"
+  "bench_gras_lan"
+  "bench_gras_lan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gras_lan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_gras_lan.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gras_wan.dir/bench/bench_gras_wan.cpp.o"
+  "CMakeFiles/bench_gras_wan.dir/bench/bench_gras_wan.cpp.o.d"
+  "bench_gras_wan"
+  "bench_gras_wan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gras_wan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_maxmin_solver.dir/bench/bench_maxmin_solver.cpp.o"
+  "CMakeFiles/bench_maxmin_solver.dir/bench/bench_maxmin_solver.cpp.o.d"
+  "bench_maxmin_solver"
+  "bench_maxmin_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_maxmin_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_shortflow_ablation.dir/bench/bench_shortflow_ablation.cpp.o"
+  "CMakeFiles/bench_shortflow_ablation.dir/bench/bench_shortflow_ablation.cpp.o.d"
+  "bench_shortflow_ablation"
+  "bench_shortflow_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_shortflow_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_simulation_speed.dir/bench/bench_simulation_speed.cpp.o"
+  "CMakeFiles/bench_simulation_speed.dir/bench/bench_simulation_speed.cpp.o.d"
+  "bench_simulation_speed"
+  "bench_simulation_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_simulation_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_smpi_matmul.dir/bench/bench_smpi_matmul.cpp.o"
+  "CMakeFiles/bench_smpi_matmul.dir/bench/bench_smpi_matmul.cpp.o.d"
+  "bench_smpi_matmul"
+  "bench_smpi_matmul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_smpi_matmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

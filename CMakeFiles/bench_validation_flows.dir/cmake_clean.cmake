@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_validation_flows.dir/bench/bench_validation_flows.cpp.o"
+  "CMakeFiles/bench_validation_flows.dir/bench/bench_validation_flows.cpp.o.d"
+  "bench_validation_flows"
+  "bench_validation_flows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_validation_flows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fault_injection.dir/examples/fault_injection.cpp.o"
+  "CMakeFiles/example_fault_injection.dir/examples/fault_injection.cpp.o.d"
+  "example_fault_injection"
+  "example_fault_injection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fault_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

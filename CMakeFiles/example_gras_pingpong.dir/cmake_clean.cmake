@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_gras_pingpong.dir/examples/gras_pingpong.cpp.o"
+  "CMakeFiles/example_gras_pingpong.dir/examples/gras_pingpong.cpp.o.d"
+  "example_gras_pingpong"
+  "example_gras_pingpong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_gras_pingpong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_gras_pingpong.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_master_worker.dir/examples/master_worker.cpp.o"
+  "CMakeFiles/example_master_worker.dir/examples/master_worker.cpp.o.d"
+  "example_master_worker"
+  "example_master_worker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_master_worker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_p2p_filesharing.dir/examples/p2p_filesharing.cpp.o"
+  "CMakeFiles/example_p2p_filesharing.dir/examples/p2p_filesharing.cpp.o.d"
+  "example_p2p_filesharing"
+  "example_p2p_filesharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_p2p_filesharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_p2p_filesharing.
+# This may be replaced when dependencies are built.

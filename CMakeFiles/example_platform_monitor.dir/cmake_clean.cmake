@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_platform_monitor.dir/examples/platform_monitor.cpp.o"
+  "CMakeFiles/example_platform_monitor.dir/examples/platform_monitor.cpp.o.d"
+  "example_platform_monitor"
+  "example_platform_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_platform_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

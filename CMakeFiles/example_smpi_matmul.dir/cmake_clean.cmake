@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_smpi_matmul.dir/examples/smpi_matmul.cpp.o"
+  "CMakeFiles/example_smpi_matmul.dir/examples/smpi_matmul.cpp.o.d"
+  "example_smpi_matmul"
+  "example_smpi_matmul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_smpi_matmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_smpi_matmul.
+# This may be replaced when dependencies are built.

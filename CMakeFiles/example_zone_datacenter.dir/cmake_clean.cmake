@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_zone_datacenter.dir/examples/zone_datacenter.cpp.o"
+  "CMakeFiles/example_zone_datacenter.dir/examples/zone_datacenter.cpp.o.d"
+  "example_zone_datacenter"
+  "example_zone_datacenter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_zone_datacenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_zone_datacenter.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/engine.cpp" "CMakeFiles/simgrid.dir/src/core/engine.cpp.o" "gcc" "CMakeFiles/simgrid.dir/src/core/engine.cpp.o.d"
+  "/root/repo/src/core/maxmin.cpp" "CMakeFiles/simgrid.dir/src/core/maxmin.cpp.o" "gcc" "CMakeFiles/simgrid.dir/src/core/maxmin.cpp.o.d"
+  "/root/repo/src/datadesc/arch.cpp" "CMakeFiles/simgrid.dir/src/datadesc/arch.cpp.o" "gcc" "CMakeFiles/simgrid.dir/src/datadesc/arch.cpp.o.d"
+  "/root/repo/src/datadesc/cdr.cpp" "CMakeFiles/simgrid.dir/src/datadesc/cdr.cpp.o" "gcc" "CMakeFiles/simgrid.dir/src/datadesc/cdr.cpp.o.d"
+  "/root/repo/src/datadesc/datadesc.cpp" "CMakeFiles/simgrid.dir/src/datadesc/datadesc.cpp.o" "gcc" "CMakeFiles/simgrid.dir/src/datadesc/datadesc.cpp.o.d"
+  "/root/repo/src/datadesc/ndr.cpp" "CMakeFiles/simgrid.dir/src/datadesc/ndr.cpp.o" "gcc" "CMakeFiles/simgrid.dir/src/datadesc/ndr.cpp.o.d"
+  "/root/repo/src/datadesc/pastry.cpp" "CMakeFiles/simgrid.dir/src/datadesc/pastry.cpp.o" "gcc" "CMakeFiles/simgrid.dir/src/datadesc/pastry.cpp.o.d"
+  "/root/repo/src/datadesc/pbio.cpp" "CMakeFiles/simgrid.dir/src/datadesc/pbio.cpp.o" "gcc" "CMakeFiles/simgrid.dir/src/datadesc/pbio.cpp.o.d"
+  "/root/repo/src/datadesc/value.cpp" "CMakeFiles/simgrid.dir/src/datadesc/value.cpp.o" "gcc" "CMakeFiles/simgrid.dir/src/datadesc/value.cpp.o.d"
+  "/root/repo/src/datadesc/xdr.cpp" "CMakeFiles/simgrid.dir/src/datadesc/xdr.cpp.o" "gcc" "CMakeFiles/simgrid.dir/src/datadesc/xdr.cpp.o.d"
+  "/root/repo/src/datadesc/xml.cpp" "CMakeFiles/simgrid.dir/src/datadesc/xml.cpp.o" "gcc" "CMakeFiles/simgrid.dir/src/datadesc/xml.cpp.o.d"
+  "/root/repo/src/gras/common.cpp" "CMakeFiles/simgrid.dir/src/gras/common.cpp.o" "gcc" "CMakeFiles/simgrid.dir/src/gras/common.cpp.o.d"
+  "/root/repo/src/gras/real.cpp" "CMakeFiles/simgrid.dir/src/gras/real.cpp.o" "gcc" "CMakeFiles/simgrid.dir/src/gras/real.cpp.o.d"
+  "/root/repo/src/gras/sim.cpp" "CMakeFiles/simgrid.dir/src/gras/sim.cpp.o" "gcc" "CMakeFiles/simgrid.dir/src/gras/sim.cpp.o.d"
+  "/root/repo/src/kernel/context.cpp" "CMakeFiles/simgrid.dir/src/kernel/context.cpp.o" "gcc" "CMakeFiles/simgrid.dir/src/kernel/context.cpp.o.d"
+  "/root/repo/src/kernel/kernel.cpp" "CMakeFiles/simgrid.dir/src/kernel/kernel.cpp.o" "gcc" "CMakeFiles/simgrid.dir/src/kernel/kernel.cpp.o.d"
+  "/root/repo/src/msg/msg.cpp" "CMakeFiles/simgrid.dir/src/msg/msg.cpp.o" "gcc" "CMakeFiles/simgrid.dir/src/msg/msg.cpp.o.d"
+  "/root/repo/src/pkt/pkt.cpp" "CMakeFiles/simgrid.dir/src/pkt/pkt.cpp.o" "gcc" "CMakeFiles/simgrid.dir/src/pkt/pkt.cpp.o.d"
+  "/root/repo/src/platform/builders.cpp" "CMakeFiles/simgrid.dir/src/platform/builders.cpp.o" "gcc" "CMakeFiles/simgrid.dir/src/platform/builders.cpp.o.d"
+  "/root/repo/src/platform/parser.cpp" "CMakeFiles/simgrid.dir/src/platform/parser.cpp.o" "gcc" "CMakeFiles/simgrid.dir/src/platform/parser.cpp.o.d"
+  "/root/repo/src/platform/platform.cpp" "CMakeFiles/simgrid.dir/src/platform/platform.cpp.o" "gcc" "CMakeFiles/simgrid.dir/src/platform/platform.cpp.o.d"
+  "/root/repo/src/smpi/smpi.cpp" "CMakeFiles/simgrid.dir/src/smpi/smpi.cpp.o" "gcc" "CMakeFiles/simgrid.dir/src/smpi/smpi.cpp.o.d"
+  "/root/repo/src/toolbox/toolbox.cpp" "CMakeFiles/simgrid.dir/src/toolbox/toolbox.cpp.o" "gcc" "CMakeFiles/simgrid.dir/src/toolbox/toolbox.cpp.o.d"
+  "/root/repo/src/topo/brite.cpp" "CMakeFiles/simgrid.dir/src/topo/brite.cpp.o" "gcc" "CMakeFiles/simgrid.dir/src/topo/brite.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "CMakeFiles/simgrid.dir/src/trace/trace.cpp.o" "gcc" "CMakeFiles/simgrid.dir/src/trace/trace.cpp.o.d"
+  "/root/repo/src/viz/gantt.cpp" "CMakeFiles/simgrid.dir/src/viz/gantt.cpp.o" "gcc" "CMakeFiles/simgrid.dir/src/viz/gantt.cpp.o.d"
+  "/root/repo/src/xbt/config.cpp" "CMakeFiles/simgrid.dir/src/xbt/config.cpp.o" "gcc" "CMakeFiles/simgrid.dir/src/xbt/config.cpp.o.d"
+  "/root/repo/src/xbt/log.cpp" "CMakeFiles/simgrid.dir/src/xbt/log.cpp.o" "gcc" "CMakeFiles/simgrid.dir/src/xbt/log.cpp.o.d"
+  "/root/repo/src/xbt/random.cpp" "CMakeFiles/simgrid.dir/src/xbt/random.cpp.o" "gcc" "CMakeFiles/simgrid.dir/src/xbt/random.cpp.o.d"
+  "/root/repo/src/xbt/str.cpp" "CMakeFiles/simgrid.dir/src/xbt/str.cpp.o" "gcc" "CMakeFiles/simgrid.dir/src/xbt/str.cpp.o.d"
+  "/root/repo/src/xbt/units.cpp" "CMakeFiles/simgrid.dir/src/xbt/units.cpp.o" "gcc" "CMakeFiles/simgrid.dir/src/xbt/units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

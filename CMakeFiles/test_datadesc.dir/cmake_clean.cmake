@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_datadesc.dir/tests/test_datadesc.cpp.o"
+  "CMakeFiles/test_datadesc.dir/tests/test_datadesc.cpp.o.d"
+  "test_datadesc"
+  "test_datadesc.pdb"
+  "test_datadesc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_datadesc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

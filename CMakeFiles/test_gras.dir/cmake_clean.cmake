@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gras.dir/tests/test_gras.cpp.o"
+  "CMakeFiles/test_gras.dir/tests/test_gras.cpp.o.d"
+  "test_gras"
+  "test_gras.pdb"
+  "test_gras[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

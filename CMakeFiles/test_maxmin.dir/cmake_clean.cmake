@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_maxmin.dir/tests/test_maxmin.cpp.o"
+  "CMakeFiles/test_maxmin.dir/tests/test_maxmin.cpp.o.d"
+  "test_maxmin"
+  "test_maxmin.pdb"
+  "test_maxmin[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_maxmin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pkt.dir/tests/test_pkt.cpp.o"
+  "CMakeFiles/test_pkt.dir/tests/test_pkt.cpp.o.d"
+  "test_pkt"
+  "test_pkt.pdb"
+  "test_pkt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pkt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_routing_lazy.dir/tests/test_routing_lazy.cpp.o"
+  "CMakeFiles/test_routing_lazy.dir/tests/test_routing_lazy.cpp.o.d"
+  "test_routing_lazy"
+  "test_routing_lazy.pdb"
+  "test_routing_lazy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_routing_lazy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

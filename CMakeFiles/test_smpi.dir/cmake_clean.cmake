@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smpi.dir/tests/test_smpi.cpp.o"
+  "CMakeFiles/test_smpi.dir/tests/test_smpi.cpp.o.d"
+  "test_smpi"
+  "test_smpi.pdb"
+  "test_smpi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

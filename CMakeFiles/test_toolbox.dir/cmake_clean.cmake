@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_toolbox.dir/tests/test_toolbox.cpp.o"
+  "CMakeFiles/test_toolbox.dir/tests/test_toolbox.cpp.o.d"
+  "test_toolbox"
+  "test_toolbox.pdb"
+  "test_toolbox[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_toolbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xbt.dir/tests/test_xbt.cpp.o"
+  "CMakeFiles/test_xbt.dir/tests/test_xbt.cpp.o.d"
+  "test_xbt"
+  "test_xbt.pdb"
+  "test_xbt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xbt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zone_routing.dir/tests/test_zone_routing.cpp.o"
+  "CMakeFiles/test_zone_routing.dir/tests/test_zone_routing.cpp.o.d"
+  "test_zone_routing"
+  "test_zone_routing.pdb"
+  "test_zone_routing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zone_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

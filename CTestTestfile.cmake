@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/test_datadesc[1]_include.cmake")
+include("/root/repo/test_engine[1]_include.cmake")
+include("/root/repo/test_fault_injection[1]_include.cmake")
+include("/root/repo/test_gras[1]_include.cmake")
+include("/root/repo/test_integration[1]_include.cmake")
+include("/root/repo/test_kernel[1]_include.cmake")
+include("/root/repo/test_maxmin[1]_include.cmake")
+include("/root/repo/test_msg[1]_include.cmake")
+include("/root/repo/test_pkt[1]_include.cmake")
+include("/root/repo/test_platform[1]_include.cmake")
+include("/root/repo/test_routing_lazy[1]_include.cmake")
+include("/root/repo/test_smpi[1]_include.cmake")
+include("/root/repo/test_toolbox[1]_include.cmake")
+include("/root/repo/test_topo[1]_include.cmake")
+include("/root/repo/test_trace[1]_include.cmake")
+include("/root/repo/test_viz[1]_include.cmake")
+include("/root/repo/test_xbt[1]_include.cmake")
+include("/root/repo/test_zone_routing[1]_include.cmake")
