@@ -5,14 +5,19 @@ Supports three input shapes:
   * google-benchmark JSON ("benchmarks" entries with "real_time", in ns
     unless "time_unit" says otherwise) — BENCH_maxmin.json
   * our engine-bench JSON ("benchmarks" entries with "wall_time_s") —
-    BENCH_engine.json, BENCH_fault_churn.json
-  * memory metrics ("benchmarks" entries with "bytes") — the bytes-per-action,
-    bytes-per-flow and routing_bytes_per_host records in BENCH_engine.json
+    BENCH_engine.json, BENCH_fault_churn.json; this includes the sharded-
+    churn series (sharded_churn/* and sharded_scaleout/*), whose wall times
+    gate like every other engine benchmark
+  * memory metrics ("benchmarks" entries with "bytes") — the bytes-per-
+    action, bytes-per-flow, routing_bytes_per_host and (per-zone solver
+    shard) solver_bytes_per_shard records in BENCH_engine.json
 
-Entries may also carry secondary metrics (events_per_sec, ns_per_route,
-sim_time_s, ...). Those are informational: they are printed alongside the
-tracked metric as "name#key" rows but never fail the job — the primary
-wall time / bytes value is what gates.
+Entries may also carry secondary metrics (events_per_sec, us_per_event,
+ns_per_route, sim_time_s, ...). Those are informational: they are printed
+alongside the tracked metric as "name#key" rows but never fail the job —
+the primary wall time / bytes value is what gates. Ratios of metrics named
+in HIGHER_IS_BETTER are inverted on display so every printed ratio reads
+"above 1.00 = worse".
 
 All tracked metrics are lower-is-better. A benchmark regresses when
 current > baseline * (1 + threshold). Benchmarks present on only one side
@@ -35,6 +40,10 @@ ABS_FLOOR_S = 1e-3
 
 
 PRIMARY_KEYS = ("bytes", "wall_time_s", "real_time", "time_unit", "name")
+
+# Informational metrics where larger is better; their display ratio is
+# inverted so the table reads uniformly (above 1.00 = worse).
+HIGHER_IS_BETTER = {"events_per_sec"}
 
 
 def load_metrics(path):
@@ -95,6 +104,8 @@ def main():
             continue
         base, _ = baseline[name]
         ratio = cur / base if base > 0 else float("inf")
+        if kind == "info" and name.rsplit("#", 1)[-1] in HIGHER_IS_BETTER and cur > 0:
+            ratio = base / cur
         noise_floor = ABS_FLOOR_S if kind == "time" else 0.0
         flag = ""
         if kind != "info" and cur > base * (1.0 + args.threshold) and cur > noise_floor:

@@ -15,8 +15,9 @@ namespace bench {
 struct JsonRecord {
   std::string name;
   double wall_time_s = 0;
-  std::string extra_key;  ///< optional secondary metric (informational)
-  double extra_value = 0;
+  /// Optional secondary metrics (informational "name#key" rows in CI).
+  std::vector<std::pair<std::string, double>> extras;
+  double bytes = 0;
   bool is_bytes = false;  ///< memory metric: emitted as "bytes", not wall time
 };
 
@@ -24,13 +25,21 @@ class JsonWriter {
  public:
   void record(const std::string& name, double wall, const std::string& extra_key = "",
               double extra_value = 0) {
-    records_.push_back({name, wall, extra_key, extra_value, false});
+    JsonRecord r{name, wall, {}, 0, false};
+    if (!extra_key.empty())
+      r.extras.emplace_back(extra_key, extra_value);
+    records_.push_back(std::move(r));
+  }
+
+  void record(const std::string& name, double wall,
+              std::vector<std::pair<std::string, double>> extras) {
+    records_.push_back({name, wall, std::move(extras), 0, false});
   }
 
   /// Deterministic memory metric (tracked by CI like the wall times: lower
   /// is better, but with no timing-noise floor).
   void record_bytes(const std::string& name, double bytes) {
-    records_.push_back({name, 0, "", bytes, true});
+    records_.push_back({name, 0, {}, bytes, true});
   }
 
   void write(const std::string& path) const {
@@ -43,11 +52,11 @@ class JsonWriter {
     for (size_t i = 0; i < records_.size(); ++i) {
       const JsonRecord& r = records_[i];
       if (r.is_bytes) {
-        std::fprintf(f, "    {\"name\": \"%s\", \"bytes\": %.9g", r.name.c_str(), r.extra_value);
+        std::fprintf(f, "    {\"name\": \"%s\", \"bytes\": %.9g", r.name.c_str(), r.bytes);
       } else {
         std::fprintf(f, "    {\"name\": \"%s\", \"wall_time_s\": %.9g", r.name.c_str(), r.wall_time_s);
-        if (!r.extra_key.empty())
-          std::fprintf(f, ", \"%s\": %.9g", r.extra_key.c_str(), r.extra_value);
+        for (const auto& [key, value] : r.extras)
+          std::fprintf(f, ", \"%s\": %.9g", key.c_str(), value);
       }
       std::fprintf(f, "}%s\n", i + 1 < records_.size() ? "," : "");
     }

@@ -1,10 +1,17 @@
 /// Trace-driven fault injection ("simulation of dynamic resource failures"
-/// in the paper): hosts and links of a small cluster go down and come back
-/// following availability/state traces while a workload of computations,
-/// transfers, and timers keeps running. The engine delivers each failure
-/// only to the actions actually on the dead resource (O(affected), via the
-/// solver's element arena and the per-host sleep index), and the example
-/// restarts work as resources heal — a miniature dependability study.
+/// in the paper): hosts and links of a two-zone platform go down and come
+/// back following availability/state traces while a workload of
+/// computations, transfers, and timers keeps running. The engine delivers
+/// each failure only to the actions actually on the dead resource
+/// (O(affected), via the solver's element arena and the per-host sleep
+/// index), and the example restarts work as resources heal — a miniature
+/// dependability study.
+///
+/// The platform is two cluster zones behind a fat-pipe WAN, so the sharded
+/// core is on display too: each zone owns a solver shard and its own event
+/// heaps, a ring of transfers crosses the WAN twice per lap (coupling the
+/// shards through linked replicas), and the final report breaks outages and
+/// completed work down per zone through the platform's shard map.
 #include <cstdio>
 #include <vector>
 
@@ -18,15 +25,31 @@ using namespace sg::platform;
 
 namespace {
 
-/// 16 hosts on a switch; every 4th host flaps (2s up / 0.5s down), two links
-/// flap on their own schedule, and one host's speed follows a square wave.
-Platform make_flaky_cluster() {
+constexpr int kHosts = 16;
+
+/// Two 8-host cluster zones behind a fat-pipe WAN; every 4th host flaps
+/// (2s up / 0.5s down), two member links flap on their own schedule, and
+/// one host's speed follows a square wave. Traces are attached to the
+/// zone-built resources through the mutable spec accessors.
+Platform make_flaky_zones() {
   Platform p;
-  const NodeId sw = p.add_router("switch");
-  for (int i = 0; i < 16; ++i) {
-    HostSpec host;
-    host.name = sg::xbt::format("host%d", i);
-    host.speed_flops = 1e9;
+  for (int z = 0; z < 2; ++z) {
+    ClusterZoneSpec zone;
+    zone.name = sg::xbt::format("dc%d", z);
+    zone.host_prefix = zone.name + "-";
+    zone.count = kHosts / 2;
+    zone.host_speed = 1e9;
+    zone.link_bandwidth = 1.25e8;
+    zone.link_latency = 1e-4;
+    zone.backbone_bandwidth = 1.25e9;
+    zone.backbone_latency = 1e-4;
+    p.add_cluster_zone(zone);
+  }
+  const LinkId wan = p.add_link("wan", 1.25e9, 1e-3, SharingPolicy::kFatpipe);
+  p.add_edge(p.zone_gateway(0), p.zone_gateway(1), wan);
+
+  for (int i = 0; i < kHosts; ++i) {
+    HostSpec& host = p.host_mutable(i);
     if (i % 4 == 0) {
       // 2.5s up / 0.5s down, phase-shifted per host; wrap points that would
       // spill past the period (a trace is one period long).
@@ -43,15 +66,10 @@ Platform make_flaky_cluster() {
     }
     if (i == 1)
       host.availability = sg::trace::square_wave(host.name + "-avail", 1.0, 1.0, 0.4, 1.0);
-    const NodeId h = p.add_host(host);
-    LinkSpec link;
-    link.name = host.name + "-link";
-    link.bandwidth_Bps = 1.25e8;
-    link.latency_s = 1e-4;
-    if (i == 3 || i == 7)
+    if (i == 3 || i == 7) {
+      LinkSpec& link = p.link_mutable(*p.link_by_name(host.name + "-link"));
       link.state = sg::trace::Trace(link.name + "-state", {{0.0, 1.0}, {1.5, 0.0}, {2.0, 1.0}}, 2.5);
-    const LinkId l = p.add_link(link);
-    p.add_edge(h, sw, l);
+    }
   }
   p.seal();
   return p;
@@ -60,30 +78,39 @@ Platform make_flaky_cluster() {
 }  // namespace
 
 int main() {
-  Engine engine(make_flaky_cluster());
+  Engine engine(make_flaky_zones());
+  const Platform& plat = engine.platform();
+  const ShardMap& smap = plat.shard_map();
 
   int done = 0, failed_exec = 0, failed_comm = 0, failed_sleep = 0;
+  std::vector<int> zone_done(plat.zone_count(), 0);
+  std::vector<int> zone_outages(plat.zone_count() + 1, 0);  // [zones..., backbone]
   int host_outages = 0, link_outages = 0;
   engine.set_resource_observer([&](bool is_host, int index, bool now_on) {
-    if (!now_on)
+    if (!now_on) {
       ++(is_host ? host_outages : link_outages);
+      const std::int32_t shard = is_host ? smap.host_shard[static_cast<size_t>(index)]
+                                         : smap.link_shard[static_cast<size_t>(index)];
+      ++zone_outages[shard == 0 ? plat.zone_count() : static_cast<size_t>(shard - 1)];
+    }
     std::printf("t=%7.3f  %s %d %s\n", engine.now(), is_host ? "host" : "link", index,
                 now_on ? "is back" : "FAILED");
   });
 
-  // The workload: a computation per host, a ring of transfers, and a watchdog
-  // timer on each flapping host. Failed work is resubmitted as soon as the
-  // resource allows; transfers re-route the moment comm_start is retried.
+  // The workload: a computation per host, a ring of transfers (crossing the
+  // WAN twice per lap), and a watchdog timer on each flapping host. Failed
+  // work is resubmitted as soon as the resource allows; transfers re-route
+  // the moment comm_start is retried.
   auto submit_exec = [&](int host) {
     if (engine.host_is_on(host))
       engine.exec_start(host, 5e8, 1.0, sg::xbt::format("job-h%d", host));
   };
-  auto submit_comm = [&](int src) { engine.comm_start(src, (src + 1) % 16, 2e7); };
+  auto submit_comm = [&](int src) { engine.comm_start(src, (src + 1) % kHosts, 2e7); };
   auto submit_sleep = [&](int host) {
     if (engine.host_is_on(host))
       engine.sleep_start(host, 0.25, "watchdog");
   };
-  for (int h = 0; h < 16; ++h) {
+  for (int h = 0; h < kHosts; ++h) {
     submit_exec(h);
     submit_comm(h);
     if (h % 4 == 0)
@@ -117,6 +144,7 @@ int main() {
         continue;
       }
       ++done;
+      ++zone_done[static_cast<size_t>(plat.zone_of_host(a.host()))];
       switch (a.kind()) {
         case ActionKind::kExec:
           submit_exec(a.host());
@@ -142,8 +170,23 @@ int main() {
   std::printf("  %6d host outages, %d link outages delivered O(affected)\n", host_outages,
               link_outages);
 
+  // Per-zone breakdown through the shard map: each zone is one solver shard,
+  // the WAN ring segments couple them through the backbone shard.
+  const auto& sys = engine.sharing_system();
+  std::printf("\nper-zone (shard map: %d shards, %zu gateway links):\n", smap.shard_count,
+              smap.gateway_links.size());
+  std::printf("%10s %8s %12s %10s %14s\n", "zone", "shard", "completed", "outages", "solver KB");
+  for (size_t z = 0; z < plat.zone_count(); ++z)
+    std::printf("%10s %8d %12d %10d %14.1f\n", plat.zone_name(static_cast<int>(z)).c_str(),
+                smap.zone_shard[z], zone_done[z], zone_outages[z],
+                sys.shard(smap.zone_shard[z]).memory_stats().total_bytes() / 1024.0);
+  std::printf("%10s %8d %12s %10d %14.1f  (%zu cross-zone joint solves)\n", "backbone", 0, "-",
+              zone_outages[plat.zone_count()], sys.shard(0).memory_stats().total_bytes() / 1024.0,
+              sys.group_solve_count());
+
   const bool plausible = done > 0 && host_outages > 0 && link_outages > 0 &&
-                         (failed_exec + failed_comm + failed_sleep) > 0;
+                         (failed_exec + failed_comm + failed_sleep) > 0 &&
+                         zone_done[0] > 0 && zone_done[1] > 0 && sys.group_solve_count() > 0;
   if (!plausible) {
     std::fprintf(stderr, "fault injection scenario did not exercise failures!\n");
     return 1;

@@ -74,6 +74,7 @@ int main(int argc, char** argv) {
   const auto t0 = std::chrono::steady_clock::now();
   int launched = 0, done = 0;
   long long events = 0;
+  std::vector<long long> zone_tasks(plat.zone_count(), 0);
   for (; launched < window && launched < n_tasks; ++launched)
     dispatch(new Task);
 
@@ -87,6 +88,7 @@ int main(int argc, char** argv) {
       switch (t->stage) {
         case 0:  // task arrived at the worker: crunch
           t->stage = 1;
+          ++zone_tasks[static_cast<size_t>(plat.zone_of_host(t->worker))];
           engine.exec_start(t->worker, rng.uniform(5e7, 5e8))->user_data = t;
           break;
         case 1:  // done crunching: send the result home
@@ -115,5 +117,23 @@ int main(int argc, char** argv) {
               plat.interned_segment_count());
   std::printf("%zu per-pair cache entries, %zu SSSP trees — O(hosts), not O(pairs)\n",
               plat.resolved_route_count(), plat.cached_sssp_tree_count());
+
+  // Per-zone view through the shard map: each zone owns a solver shard (and
+  // its own event heaps); only the master's cross-zone dispatches touch the
+  // backbone shard.
+  const auto& smap = plat.shard_map();
+  const auto& sys = engine.sharing_system();
+  std::printf("\nsimulation shards (%d = %zu zones + backbone):\n", engine.shard_count(),
+              plat.zone_count());
+  std::printf("%10s %8s %8s %12s %16s\n", "zone", "shard", "hosts", "tasks", "solver KB");
+  for (size_t z = 0; z < plat.zone_count(); ++z) {
+    const auto shard = smap.zone_shard[z];
+    std::printf("%10s %8d %8d %12lld %16.0f\n", plat.zone_name(static_cast<int>(z)).c_str(), shard,
+                plat.zone_host_count(static_cast<int>(z)), zone_tasks[z],
+                sys.shard(shard).memory_stats().total_bytes() / 1024.0);
+  }
+  std::printf("%10s %8d %8s %12s %16.0f  (%zu gateway links, %zu joint solves)\n", "backbone", 0,
+              "-", "-", sys.shard(0).memory_stats().total_bytes() / 1024.0,
+              smap.gateway_links.size(), sys.group_solve_count());
   return 0;
 }

@@ -107,15 +107,24 @@ private:
   size_t run_idx_ = 0;         ///< index in the engine's running_ vector (O(1) removal)
   double latency_remaining_ = 0;
   double finish_time_ = std::numeric_limits<double>::quiet_NaN();
-  MaxMinSystem::VarId var_ = -1;
-  std::uint32_t sleep_idx_ = 0;  ///< index in the host's sleep index (sleeps only)
+  ShardedMaxMin::VarId var_ = -1;
+  /// Index in the source host's per-host action index (the sleep list, or —
+  /// with engine/kill-transit-comms — the endpoint-comm list).
+  std::uint32_t host_list_idx_ = 0;
+  /// Index in the destination host's endpoint-comm list (kill-transit only).
+  std::uint32_t peer_list_idx_ = 0;
   int host_ = -1;  ///< host an exec/sleep runs on (failure propagation)
   int peer_host_ = -1;  ///< comm destination host
+  /// Event-heap / solver affinity: the zone shard when the whole activity
+  /// stays inside one zone, the backbone shard (0) otherwise. Assigned at
+  /// creation from the platform's shard map.
+  std::int32_t shard_ = 0;
   ActionState state_ = ActionState::kRunning;
   ActionKind kind_;
   bool in_latency_phase_ = false;
   bool in_heap_ = false;  ///< has a live (non-stale) completion-heap entry
   bool has_name_ = false;  ///< a custom name sits in pool_->names
+  bool in_endpoint_lists_ = false;  ///< registered in the hosts' comm indexes
   double priority_;
   double total_;
   double start_time_ = 0;

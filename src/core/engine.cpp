@@ -34,6 +34,12 @@ void declare_engine_config() {
               "fraction of nominal link bandwidth usable as goodput (TCP/IP header overhead)");
   cfg.declare("network/loopback-bw", 1e10, "intra-host communication bandwidth, B/s");
   cfg.declare("network/loopback-lat", 1e-7, "intra-host communication latency, s");
+  cfg.declare("engine/sharding", 1.0,
+              "partition the solver and event heaps by platform zone (0: one global shard); "
+              "results are identical either way");
+  cfg.declare("engine/kill-transit-comms", 0.0,
+              "a host's death also fails every comm it is an endpoint of (L07-style); "
+              "default 0 keeps CM02 semantics where transit comms outlive their endpoints");
 }
 
 /// Shared state co-owned by the engine and (via the allocator copy in every
@@ -219,6 +225,16 @@ Engine::Engine(platform::Platform platform)
   bandwidth_factor_ = cfg.get("network/bandwidth-factor");
   loopback_bw_ = cfg.get("network/loopback-bw");
   loopback_lat_ = cfg.get("network/loopback-lat");
+  kill_transit_comms_ = cfg.get("engine/kill-transit-comms") != 0.0;
+
+  // Size the solver shards and event heaps from the platform's shard map
+  // (zones + backbone); engine/sharding=0 collapses everything into one
+  // global shard — bit-for-bit the pre-sharding behaviour.
+  const platform::ShardMap& smap = platform_.shard_map();
+  const bool sharding = cfg.get("engine/sharding") != 0.0;
+  const int n_shards = sharding ? smap.shard_count : 1;
+  sys_.init_shards(n_shards);
+  shard_events_.resize(static_cast<size_t>(n_shards));
 
   hosts_.resize(platform_.host_count());
   for (size_t h = 0; h < platform_.host_count(); ++h) {
@@ -228,7 +244,9 @@ Engine::Engine(platform::Platform platform)
       res.scale = spec.availability.value_at(0.0);
     if (!spec.state.empty())
       res.on = spec.state.value_at(0.0) > 0.5;
-    res.cnst = sys_.new_constraint(res.on ? spec.speed_flops * res.scale : 0.0, /*shared=*/true);
+    res.shard = sharding ? smap.host_shard[h] : 0;
+    res.cnst = sys_.new_constraint_in(res.shard, res.on ? spec.speed_flops * res.scale : 0.0,
+                                      /*shared=*/true);
   }
   links_.resize(platform_.link_count());
   for (size_t l = 0; l < platform_.link_count(); ++l) {
@@ -238,8 +256,9 @@ Engine::Engine(platform::Platform platform)
       res.scale = spec.availability.value_at(0.0);
     if (!spec.state.empty())
       res.on = spec.state.value_at(0.0) > 0.5;
-    res.cnst = sys_.new_constraint(res.on ? spec.bandwidth_Bps * res.scale * bandwidth_factor_ : 0.0,
-                                   spec.policy == platform::SharingPolicy::kShared);
+    res.cnst = sys_.new_constraint_in(sharding ? smap.link_shard[l] : 0,
+                                      res.on ? spec.bandwidth_Bps * res.scale * bandwidth_factor_ : 0.0,
+                                      spec.policy == platform::SharingPolicy::kShared);
   }
   schedule_trace_events();
 }
@@ -285,6 +304,7 @@ ActionPtr Engine::exec_start_impl(int host, double flops, double priority, const
   if (name != nullptr)
     set_action_name(action.get(), *name);  // before notify: observers read name()
   action->host_ = host;
+  action->shard_ = res.shard;
   bind_var(action.get(), sys_.new_variable(priority));
   sys_.expand(res.cnst, action->var_, 1.0);
   add_running(action);
@@ -295,10 +315,10 @@ ActionPtr Engine::exec_start_impl(int host, double flops, double priority, const
   return action;
 }
 
-MaxMinSystem::CnstId Engine::loopback_constraint(int host) {
+ShardedMaxMin::CnstId Engine::loopback_constraint(int host) {
   HostRes& res = hosts_.at(static_cast<size_t>(host));
   if (res.loopback < 0)
-    res.loopback = sys_.new_constraint(res.on ? loopback_bw_ : 0.0, /*shared=*/true);
+    res.loopback = sys_.new_constraint_in(res.shard, res.on ? loopback_bw_ : 0.0, /*shared=*/true);
   return res.loopback;
 }
 
@@ -346,7 +366,12 @@ ActionPtr Engine::comm_start_impl(int src_host, int dst_host, double bytes, doub
     return action;
   }
 
-  double bound = MaxMinSystem::kNoBound;
+  // Heap/solver affinity: intra-zone transfers stay in their zone's shard;
+  // anything crossing a zone boundary lives with the backbone.
+  const std::int32_t src_shard = hosts_[static_cast<size_t>(src_host)].shard;
+  action->shard_ = src_shard == hosts_[static_cast<size_t>(dst_host)].shard ? src_shard : 0;
+
+  double bound = ShardedMaxMin::kNoBound;
   if (rate_limit > 0)
     bound = rate_limit;
   if (latency > 0 && src_host != dst_host) {
@@ -371,6 +396,8 @@ ActionPtr Engine::comm_start_impl(int src_host, int dst_host, double bytes, doub
   }
 
   add_running(action);
+  if (kill_transit_comms_)
+    endpoint_lists_add(action);
   if (action->in_latency_phase_ || action->remaining_ <= 0)
     schedule_completion(action);  // latency expiry (or zero bytes): date known now
   notify(*action, ActionState::kRunning, ActionState::kRunning);
@@ -399,6 +426,12 @@ ActionPtr Engine::ptask_start(const std::vector<int>& hosts, const std::vector<d
   // so at completion (integral of v = 1) exactly flops[i] / bytes[i][j] have
   // been consumed. This is SimGrid's L07 parallel-task model.
   auto action = make_action(action_pool_, this, ActionKind::kPtask, 1.0, 1.0);
+  action->shard_ = hosts_[static_cast<size_t>(hosts[0])].shard;
+  for (int h : hosts)
+    if (hosts_[static_cast<size_t>(h)].shard != action->shard_) {
+      action->shard_ = 0;  // spans zones: backbone affinity
+      break;
+    }
   bind_var(action.get(), sys_.new_variable(0.0));
 
   double latency = 0.0;
@@ -443,17 +476,18 @@ ActionPtr Engine::sleep_start(int host, double duration) {
     throw xbt::HostFailureException("sleep_start: host is down");
   auto action = make_action(action_pool_, this, ActionKind::kSleep, duration, 1.0);
   action->host_ = host;
+  action->shard_ = res.shard;
   action->rate_ = 1.0;  // time passes at rate 1
   // Sleeps have no solver variable, so the arena cannot index them; the
   // per-host sleep list keeps host-failure sweeps O(affected).
-  action->sleep_idx_ = static_cast<std::uint32_t>(res.sleeps.size());
+  action->host_list_idx_ = static_cast<std::uint32_t>(res.sleeps.size());
   res.sleeps.push_back(action.get());
   add_running(action);
   schedule_completion(action);  // sleeps never change rate: date known now
   return action;
 }
 
-void Engine::bind_var(Action* action, MaxMinSystem::VarId var) {
+void Engine::bind_var(Action* action, ShardedMaxMin::VarId var) {
   action->var_ = var;
   if (action_of_var_.size() <= static_cast<size_t>(var))
     action_of_var_.resize(static_cast<size_t>(var) + 1, nullptr);
@@ -488,6 +522,7 @@ void Engine::sync_progress(Action& a) {
 }
 
 void Engine::EventHeap::push(double date, std::uint64_t stamp, ActionPtr action) {
+  head_lb = std::min(head_lb, date);
   size_t hole = dates.size();
   dates.push_back(date);
   payloads.push_back(Payload{stamp, std::move(action)});
@@ -526,13 +561,18 @@ void Engine::EventHeap::pop_front() {
   dates.pop_back();
   payloads.front() = std::move(payloads.back());
   payloads.pop_back();
-  if (!dates.empty())
+  if (!dates.empty()) {
     sift_down(0);
+    head_lb = dates.front();
+  } else {
+    head_lb = std::numeric_limits<double>::infinity();
+  }
 }
 
 void Engine::EventHeap::rebuild() {
   for (size_t i = dates.size() / 4 + 1; i-- > 0;)
     sift_down(i);
+  head_lb = dates.empty() ? std::numeric_limits<double>::infinity() : dates.front();
 }
 
 double Engine::reap_heap_top(EventHeap& heap, size_t& stale) {
@@ -543,19 +583,20 @@ double Engine::reap_heap_top(EventHeap& heap, size_t& stale) {
   return heap.empty() ? kInf : heap.top_date();
 }
 
-void Engine::compact_completion_heap() {
+void Engine::compact_completion_heap(ShardEvents& se) {
+  EventHeap& heap = se.completion;
   size_t kept = 0;
-  for (size_t i = 0; i < completion_heap_.size(); ++i) {
-    if (completion_heap_.payloads[i].stamp != completion_heap_.payloads[i].action->heap_stamp_)
+  for (size_t i = 0; i < heap.size(); ++i) {
+    if (heap.payloads[i].stamp != heap.payloads[i].action->heap_stamp_)
       continue;
-    completion_heap_.dates[kept] = completion_heap_.dates[i];
-    completion_heap_.payloads[kept] = std::move(completion_heap_.payloads[i]);
+    heap.dates[kept] = heap.dates[i];
+    heap.payloads[kept] = std::move(heap.payloads[i]);
     ++kept;
   }
-  completion_heap_.dates.resize(kept);
-  completion_heap_.payloads.resize(kept);
-  heap_stale_ = 0;
-  completion_heap_.rebuild();
+  heap.dates.resize(kept);
+  heap.payloads.resize(kept);
+  se.completion_stale = 0;
+  heap.rebuild();
 }
 
 void Engine::orphan_heap_entry(Action& a) {
@@ -563,7 +604,8 @@ void Engine::orphan_heap_entry(Action& a) {
   if (a.in_heap_) {
     // A live entry sits in the latency heap exactly while the action is in
     // its latency phase (the expiry pop clears in_heap_ first).
-    ++(a.in_latency_phase_ ? latency_stale_ : heap_stale_);
+    ShardEvents& se = shard_events_[static_cast<size_t>(a.shard_)];
+    ++(a.in_latency_phase_ ? se.latency_stale : se.completion_stale);
     a.in_heap_ = false;
   }
 }
@@ -574,24 +616,68 @@ void Engine::schedule_completion(const ActionPtr& a) {
   if (date == kInf)
     return;
   a->in_heap_ = true;
+  ShardEvents& se = shard_events_[static_cast<size_t>(a->shard_)];
   if (a->in_latency_phase_) {
     // Near-term event: keep it out of the big heap (see the member docs).
-    latency_heap_.push(date, a->heap_stamp_, a);
+    se.latency.push(date, a->heap_stamp_, a);
     return;
   }
-  completion_heap_.push(date, a->heap_stamp_, a);
+  se.completion.push(date, a->heap_stamp_, a);
   // Stale entries are normally reaped as they surface at the top, but ones
   // buried under a far-future top would otherwise pin their (possibly
   // finished) actions and grow the heap. Compact once they dominate. (The
   // latency heap needs no compaction: its entries expire within a route
   // latency of being pushed.)
-  if (heap_stale_ >= 8 && heap_stale_ * 2 > completion_heap_.size())
-    compact_completion_heap();
+  if (se.completion_stale >= 8 && se.completion_stale * 2 > se.completion.size())
+    compact_completion_heap(se);
+}
+
+double Engine::next_event_source(EventHeap** out_heap, size_t** out_stale) {
+  while (true) {
+    EventHeap* best = nullptr;
+    size_t* best_stale = nullptr;
+    double lb = kInf;
+    double second = kInf;
+    for (ShardEvents& se : shard_events_) {
+      // Within a shard the latency heap wins date ties (strict < on the
+      // completion check), matching the unsharded engine's order.
+      if (se.latency.head_lb < lb) {
+        second = lb;
+        lb = se.latency.head_lb;
+        best = &se.latency;
+        best_stale = &se.latency_stale;
+      } else {
+        second = std::min(second, se.latency.head_lb);
+      }
+      if (se.completion.head_lb < lb) {
+        second = lb;
+        lb = se.completion.head_lb;
+        best = &se.completion;
+        best_stale = &se.completion_stale;
+      } else {
+        second = std::min(second, se.completion.head_lb);
+      }
+    }
+    if (best == nullptr) {
+      *out_heap = nullptr;
+      *out_stale = nullptr;
+      return kInf;
+    }
+    const double d = reap_heap_top(*best, *best_stale);
+    if (d <= second) {
+      *out_heap = best;
+      *out_stale = best_stale;
+      return d;
+    }
+    // The cached head was a stale entry: the heap's true next event is later
+    // than some other shard's bound. The reap corrected the cache — rescan.
+  }
 }
 
 double Engine::next_completion_date() {
-  return std::min(reap_heap_top(latency_heap_, latency_stale_),
-                  reap_heap_top(completion_heap_, heap_stale_));
+  EventHeap* heap;
+  size_t* stale;
+  return next_event_source(&heap, &stale);
 }
 
 void Engine::share_resources() {
@@ -602,7 +688,7 @@ void Engine::share_resources() {
   if (!sys_.needs_solve())
     return;
   sys_.solve();
-  for (MaxMinSystem::VarId v : sys_.changed_variables()) {
+  for (ShardedMaxMin::VarId v : sys_.changed_variables()) {
     Action* a = action_of_var_[static_cast<size_t>(v)];
     if (a == nullptr)
       continue;
@@ -661,19 +747,19 @@ std::vector<ActionEvent> Engine::step(double bound) {
   now_ = target;
 
   // Pop every due event-heap entry (latency expiries from the small near-
-  // term heap, completions from the big one). Stale entries (stamp
-  // mismatch) are skipped; latency expiries switch the action to its data
-  // phase; the rest are real completions. Cost: O(fired + stale + log
-  // heap), independent of the number of running actions.
+  // term heaps, completions from the big ones), k-way-merging the shard
+  // heads. Stale entries (stamp mismatch) are skipped; latency expiries
+  // switch the action to its data phase; the rest are real completions.
+  // Cost: O(fired * shards + stale + log(shard heap)), independent of the
+  // number of running actions (and, per shard, of the platform size).
   while (true) {
-    const double d_latency = reap_heap_top(latency_heap_, latency_stale_);
-    const double d_completion = reap_heap_top(completion_heap_, heap_stale_);
-    EventHeap& src = d_latency <= d_completion ? latency_heap_ : completion_heap_;
-    const double date = std::min(d_latency, d_completion);
-    if (date == kInf || date > target + eps)
+    EventHeap* src = nullptr;
+    size_t* stale = nullptr;
+    const double date = next_event_source(&src, &stale);
+    if (src == nullptr || date > target + eps)
       break;
-    ActionPtr a = std::move(src.top().action);
-    src.pop_front();
+    ActionPtr a = std::move(src->top().action);
+    src->pop_front();
     a->in_heap_ = false;
     if (a->state_ != ActionState::kRunning)
       continue;
@@ -744,7 +830,7 @@ void Engine::refresh_link_capacity(platform::LinkId link) {
                     res.on ? platform_.link(link).bandwidth_Bps * res.scale * bandwidth_factor_ : 0.0);
 }
 
-void Engine::fail_actions_on_constraint(MaxMinSystem::CnstId cnst, std::vector<ActionEvent>& out) {
+void Engine::fail_actions_on_constraint(ShardedMaxMin::CnstId cnst, std::vector<ActionEvent>& out) {
   // The solver's element arena IS the cnst -> actions index: walk the
   // constraint's user list and map variables back to actions. Collect
   // before finishing — finish_action releases the victim's variable, which
@@ -753,7 +839,7 @@ void Engine::fail_actions_on_constraint(MaxMinSystem::CnstId cnst, std::vector<A
   // constraints are deduplicated by finish_action's idempotence: each action
   // emits exactly one failure event.
   std::vector<ActionPtr> victims;
-  sys_.for_each_variable_on(cnst, [&](MaxMinSystem::VarId v, double) {
+  sys_.for_each_variable_on(cnst, [&](ShardedMaxMin::VarId v, double) {
     Action* a = action_of_var_[static_cast<size_t>(v)];
     if (a != nullptr && (victims.empty() || victims.back().get() != a))
       victims.push_back(running_[a->run_idx_]);
@@ -766,6 +852,45 @@ void Engine::fail_sleeps_on_host(int host, std::vector<ActionEvent>& out) {
   // Copy out of the index first: finish_action swap-removes from it.
   std::vector<ActionPtr> victims;
   for (Action* a : hosts_[static_cast<size_t>(host)].sleeps)
+    victims.push_back(running_[a->run_idx_]);
+  for (const ActionPtr& a : victims)
+    finish_action(a, ActionState::kFailed, &out);
+}
+
+void Engine::endpoint_lists_add(const ActionPtr& action) {
+  Action* a = action.get();
+  auto& src = hosts_[static_cast<size_t>(a->host_)].comms;
+  a->host_list_idx_ = static_cast<std::uint32_t>(src.size());
+  src.push_back(a);
+  if (a->peer_host_ != a->host_) {
+    auto& dst = hosts_[static_cast<size_t>(a->peer_host_)].comms;
+    a->peer_list_idx_ = static_cast<std::uint32_t>(dst.size());
+    dst.push_back(a);
+  }
+  a->in_endpoint_lists_ = true;
+}
+
+void Engine::endpoint_list_remove(int host, std::uint32_t idx) {
+  // O(1) swap-removal. The moved action may sit in this list as a source or
+  // as a destination endpoint; patch whichever index points here.
+  auto& comms = hosts_[static_cast<size_t>(host)].comms;
+  comms[idx] = comms.back();
+  comms.pop_back();
+  if (static_cast<size_t>(idx) < comms.size()) {
+    Action* moved = comms[idx];
+    if (moved->host_ == host)
+      moved->host_list_idx_ = idx;
+    else
+      moved->peer_list_idx_ = idx;
+  }
+}
+
+void Engine::fail_endpoint_comms(int host, std::vector<ActionEvent>& out) {
+  // Copy out of the index first: finish_action swap-removes from it. Comms
+  // already killed through a dead constraint (loopback) are skipped by
+  // finish_action's idempotence.
+  std::vector<ActionPtr> victims;
+  for (Action* a : hosts_[static_cast<size_t>(host)].comms)
     victims.push_back(running_[a->run_idx_]);
   for (const ActionPtr& a : victims)
     finish_action(a, ActionState::kFailed, &out);
@@ -795,10 +920,15 @@ void Engine::finish_action(ActionPtr action, ActionState final_state, std::vecto
   if (action->kind_ == ActionKind::kSleep && action->host_ >= 0) {
     // O(1) removal from the host's sleep index.
     auto& sleeps = hosts_[static_cast<size_t>(action->host_)].sleeps;
-    const std::uint32_t si = action->sleep_idx_;
+    const std::uint32_t si = action->host_list_idx_;
     sleeps[si] = sleeps.back();
-    sleeps[si]->sleep_idx_ = si;
+    sleeps[si]->host_list_idx_ = si;
     sleeps.pop_back();
+  } else if (action->in_endpoint_lists_) {
+    endpoint_list_remove(action->host_, action->host_list_idx_);
+    if (action->peer_host_ != action->host_)
+      endpoint_list_remove(action->peer_host_, action->peer_list_idx_);
+    action->in_endpoint_lists_ = false;
   }
   // O(1) removal: clear the slot and recycle it (LIFO keeps it cache-hot).
   const size_t idx = action->run_idx_;
@@ -848,6 +978,8 @@ void Engine::apply_host_state(int host, bool on, std::vector<ActionEvent>& out) 
     if (res.loopback >= 0)
       fail_actions_on_constraint(res.loopback, out);
     fail_sleeps_on_host(host, out);
+    if (kill_transit_comms_)
+      fail_endpoint_comms(host, out);
   }
   if (resource_observer_)
     resource_observer_(true, host, on);

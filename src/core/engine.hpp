@@ -1,13 +1,28 @@
 /// \file engine.hpp
 /// The SURF simulation engine: owns the platform's resource state (speeds,
-/// bandwidth, availability scaling, up/down state), the MaxMin system, and
-/// all running actions. Time advances from event to event: the next action
-/// completion, the next latency-phase expiry, or the next trace event
-/// (availability change or failure).
+/// bandwidth, availability scaling, up/down state), the sharded MaxMin
+/// system, and all running actions. Time advances from event to event: the
+/// next action completion, the next latency-phase expiry, or the next trace
+/// event (availability change or failure).
+///
+/// The simulation core is sharded along zone boundaries (engine/sharding,
+/// on by default): each sealed zone gets its own MaxMinSystem shard and its
+/// own completion/latency heaps, sized from the platform's shard map; the
+/// backbone shard (0) holds WAN/gateway constraints and unzoned resources.
+/// Actions carry a shard tag assigned at creation (the zone shard for
+/// intra-zone activities, backbone otherwise), step() takes a k-way min
+/// over the shard heap heads, and a re-solve touches only the dirty shards
+/// — so intra-zone per-event cost is independent of total platform size.
+/// Cross-zone flows couple shards only through the solver's linked-replica
+/// layer (see maxmin.hpp); results are identical to the unsharded engine.
 ///
 /// Failure propagation is O(affected): when a resource dies, its victims are
 /// found through the solver's element arena (constraint -> variables ->
 /// actions) and a per-host sleep index, never by scanning the running set.
+/// By default a transit communication survives the death of its endpoint
+/// hosts (CM02 semantics); setting engine/kill-transit-comms makes a host's
+/// death also fail every comm it is an endpoint of (L07-style), delivered
+/// through a per-host endpoint index, still O(affected).
 #pragma once
 
 #include <functional>
@@ -109,7 +124,13 @@ public:
 
   /// Read-only view of the sharing system (tests and the memory-footprint
   /// bench metrics; the solver's arena doubles as the failure index).
-  const MaxMinSystem& sharing_system() const { return sys_; }
+  const ShardedMaxMin& sharing_system() const { return sys_; }
+
+  /// Number of simulation shards (zones + backbone; 1 when engine/sharding
+  /// is off or the platform has no zones).
+  int shard_count() const { return static_cast<int>(shard_events_.size()); }
+  /// Shard a host's resources (and its local activities) belong to.
+  std::int32_t shard_of_host(int host) const { return hosts_[static_cast<size_t>(host)].shard; }
 
   /// Observer invoked on every action state transition (viz/tracing hook).
   using ActionObserver = std::function<void(const Action&, ActionState /*old*/, ActionState /*new*/)>;
@@ -124,17 +145,23 @@ private:
   friend class Action;
 
   struct HostRes {
-    MaxMinSystem::CnstId cnst = -1;
-    MaxMinSystem::CnstId loopback = -1;  ///< lazily created
+    ShardedMaxMin::CnstId cnst = -1;
+    ShardedMaxMin::CnstId loopback = -1;  ///< lazily created
+    std::int32_t shard = 0;  ///< zone shard (0: unzoned / sharding off)
     double scale = 1.0;
     bool on = true;
     /// Sleeps currently running on this host (swap-removed via
-    /// Action::sleep_idx_): sleeps have no solver variable, so the arena
+    /// Action::host_list_idx_): sleeps have no solver variable, so the arena
     /// cannot index them — this list keeps host-failure sweeps O(affected).
     std::vector<Action*> sleeps;
+    /// Comms this host is an endpoint of, maintained only under
+    /// engine/kill-transit-comms (src side indexed by host_list_idx_, dst
+    /// side by peer_list_idx_) so a host death can fail its transit comms
+    /// in O(affected).
+    std::vector<Action*> comms;
   };
   struct LinkRes {
-    MaxMinSystem::CnstId cnst = -1;
+    ShardedMaxMin::CnstId cnst = -1;
     double scale = 1.0;
     bool on = true;
   };
@@ -164,6 +191,11 @@ private:
     };
     std::vector<double> dates;
     std::vector<Payload> payloads;
+    /// Lower bound on the next *valid* entry's date (the root date, which a
+    /// stale root can only understate; +inf when empty). The k-way shard
+    /// scan reads only these cached heads — one dense pass, no payload or
+    /// Action dereferences — and reaps just the winning heap.
+    double head_lb = std::numeric_limits<double>::infinity();
 
     bool empty() const { return dates.empty(); }
     size_t size() const { return dates.size(); }
@@ -175,11 +207,27 @@ private:
     void rebuild();
   };
 
+  /// Per-shard event state: one far-future completion heap and one tiny
+  /// near-term latency heap per shard, plus their stale-entry counts. An
+  /// intra-zone event pushes/pops only in its own shard's (per-zone-sized,
+  /// cache-resident) heaps; step() takes a k-way min over the shard heads.
+  struct ShardEvents {
+    EventHeap completion;
+    size_t completion_stale = 0;
+    EventHeap latency;
+    size_t latency_stale = 0;
+  };
+
   /// Pop stale entries off a heap's top; returns its next valid date (kInf
-  /// when empty). O(stale + 1).
+  /// when empty) and leaves head_lb exact. O(stale + 1).
   static double reap_heap_top(EventHeap& heap, size_t& stale);
+  /// Earliest valid entry across every shard heap: scan the cached head
+  /// bounds, reap only the apparent winner, rescan if the reap revealed a
+  /// stale head. Returns the date (kInf when all empty); *out names the
+  /// winning heap (nullptr when none).
+  double next_event_source(EventHeap** out_heap, size_t** out_stale);
   /// Erase every stale completion-heap entry and restore the heap order.
-  void compact_completion_heap();
+  void compact_completion_heap(ShardEvents& se);
 
   void schedule_trace_events();
   void schedule_next(const trace::Trace& trace, TraceEvent::Kind kind, int index, double after);
@@ -196,13 +244,19 @@ private:
   /// the running set. Safe against duplicate elements and against the same
   /// action spanning several failed constraints (each action emits exactly
   /// one failure event).
-  void fail_actions_on_constraint(MaxMinSystem::CnstId cnst, std::vector<ActionEvent>& out);
+  void fail_actions_on_constraint(ShardedMaxMin::CnstId cnst, std::vector<ActionEvent>& out);
   /// Fail the sleeps of a dying host via its sleep index. O(affected).
   void fail_sleeps_on_host(int host, std::vector<ActionEvent>& out);
-  MaxMinSystem::CnstId loopback_constraint(int host);
+  /// Fail the comms a dying host is an endpoint of (engine/kill-transit-
+  /// comms only), via the per-host endpoint index. O(affected).
+  void fail_endpoint_comms(int host, std::vector<ActionEvent>& out);
+  /// Register / swap-remove a comm in its endpoints' comm indexes.
+  void endpoint_lists_add(const ActionPtr& action);
+  void endpoint_list_remove(int host, std::uint32_t idx);
+  ShardedMaxMin::CnstId loopback_constraint(int host);
   void notify(const Action& action, ActionState old_state, ActionState new_state);
   /// Bind a solver variable to its action so rate refreshes can find it.
-  void bind_var(Action* action, MaxMinSystem::VarId var);
+  void bind_var(Action* action, ShardedMaxMin::VarId var);
   /// Register a freshly created action as running (sets its running_ index).
   void add_running(const ActionPtr& action);
   /// Store a custom display name in the side table (no-op when `name` is the
@@ -236,7 +290,7 @@ private:
   double action_finish_date(const Action& a) const;
 
   platform::Platform platform_;
-  MaxMinSystem sys_;
+  ShardedMaxMin sys_;
   std::vector<HostRes> hosts_;
   std::vector<LinkRes> links_;
   /// Block recycler + action-name side table behind make_action: held by
@@ -251,18 +305,14 @@ private:
   std::vector<ActionPtr> running_;
   std::vector<size_t> free_run_slots_;
   size_t running_count_ = 0;
-  /// Far-future events: completion dates of flowing actions, sleeps. At
-  /// scale this heap is large (one entry per running action), so keeping
-  /// near-term traffic out of it matters: a near-term push would bubble to
-  /// the root and its pop re-sinks a far-future tail entry through the full
-  /// depth — three deep traversals of cold cache lines.
-  EventHeap completion_heap_;
-  size_t heap_stale_ = 0;  ///< stale entries currently in completion_heap_
-  /// Near-term events: latency-phase expiries (now + route latency). Entries
-  /// live for microseconds of simulated time, so this heap stays tiny and
-  /// cache-resident no matter how many actions run.
-  EventHeap latency_heap_;
-  size_t latency_stale_ = 0;
+  /// Per-shard event heaps, indexed by Action::shard_. The completion heap
+  /// holds far-future events (completion dates of flowing actions, sleeps);
+  /// the latency heap holds near-term latency-phase expiries (now + route
+  /// latency) so they never bubble through — or re-sink the tails of — the
+  /// big heap. Sharding bounds each completion heap by its zone's running
+  /// set, so an intra-zone push/pop walks a heap sized by the zone, not by
+  /// the platform.
+  std::vector<ShardEvents> shard_events_;
   std::vector<ActionEvent> pending_;  ///< events produced outside step()
   std::priority_queue<TraceEvent, std::vector<TraceEvent>, std::greater<>> trace_events_;
   ActionObserver observer_;
@@ -274,6 +324,7 @@ private:
   double bandwidth_factor_;
   double loopback_bw_;
   double loopback_lat_;
+  bool kill_transit_comms_ = false;  ///< engine/kill-transit-comms snapshot
 };
 
 /// Register the engine's model parameters in the global config with their

@@ -352,6 +352,107 @@ MaxMinSystem::MemoryStats MaxMinSystem::memory_stats() const {
 // Solving
 // ---------------------------------------------------------------------------
 
+void MaxMinSystem::closure_add_var(VarId v) {
+  unsigned char& flags = var_flags_[static_cast<size_t>(v)];
+  if (!(flags & kFlagInSet) && (flags & kFlagAlive)) {
+    flags |= kFlagInSet;
+    affected_vars_.push_back(v);
+  }
+}
+
+void MaxMinSystem::closure_add_cnst(CnstId c, bool traverse) {
+  unsigned char& flags = cnst_flags_[static_cast<size_t>(c)];
+  if (!(flags & kFlagAlive))
+    return;
+  if (!(flags & kFlagInSet)) {
+    flags |= kFlagInSet;
+    affected_cnsts_.push_back(c);
+  }
+  // During a closure epoch kFlagTraverse marks "users queued": a cap-only
+  // fatpipe inclusion can be upgraded later (e.g. a capacity-dirty seed in a
+  // second collect round) and its users are then reached exactly once.
+  if (traverse && !(flags & kFlagTraverse)) {
+    flags |= kFlagTraverse;
+    traverse_list_.push_back(c);
+  }
+}
+
+void MaxMinSystem::closure_collect() {
+  if (!closure_open_) {
+    affected_vars_.clear();
+    affected_cnsts_.clear();
+    traverse_list_.clear();
+    closure_vi_ = 0;
+    closure_ti_ = 0;
+    closure_was_full_ = false;
+    closure_open_ = true;
+  }
+  if (full_solve_pending_) {
+    // First solve of this (sub)system: everything is affected, and no
+    // traversal is needed since nothing can be missing.
+    for (size_t i = 0; i < var_flags_.size(); ++i)
+      if (var_flags_[i] & kFlagAlive)
+        closure_add_var(static_cast<VarId>(i));
+    for (size_t c = 0; c < cnst_flags_.size(); ++c)
+      closure_add_cnst(static_cast<CnstId>(c), /*traverse=*/false);
+    for (VarId v : dirty_vars_)
+      var_flags_[static_cast<size_t>(v)] &= static_cast<unsigned char>(~kFlagDirty);
+    dirty_vars_.clear();
+    for (CnstId c : dirty_cnsts_)
+      cnst_flags_[static_cast<size_t>(c)] &= static_cast<unsigned char>(~(kFlagDirty | kFlagTraverse));
+    dirty_cnsts_.clear();
+    full_solve_pending_ = false;
+    closure_was_full_ = true;
+    closure_vi_ = affected_vars_.size();
+    closure_ti_ = traverse_list_.size();
+    return;
+  }
+
+  // Transitive closure of the dirty seeds over the variable-constraint graph:
+  // the union of the connected components whose allocation can have changed.
+  // Fatpipe constraints cap each user individually and do not couple them, so
+  // they do not propagate the closure var -> fatpipe -> other vars: they are
+  // included cap-only (traversed only when capacity-dirty themselves). This
+  // keeps a shared backbone fatpipe from merging every flow into one
+  // component. A membership-dirty fatpipe stays cap-only — adding/removing
+  // one user does not move the others' caps.
+  for (CnstId c : dirty_cnsts_) {
+    unsigned char& flags = cnst_flags_[static_cast<size_t>(c)];
+    const bool traverse = (flags & kFlagTraverse) != 0;
+    flags &= static_cast<unsigned char>(~(kFlagDirty | kFlagTraverse));
+    closure_add_cnst(c, traverse);
+  }
+  dirty_cnsts_.clear();
+  for (VarId v : dirty_vars_) {
+    var_flags_[static_cast<size_t>(v)] &= static_cast<unsigned char>(~kFlagDirty);
+    closure_add_var(v);
+  }
+  dirty_vars_.clear();
+
+  // Worklist to exhaustion. The cursors persist across collect calls, so a
+  // later round (sharded group formation seeds sibling replicas) resumes
+  // where this one stopped instead of rescanning the whole closure.
+  while (closure_vi_ < affected_vars_.size() || closure_ti_ < traverse_list_.size()) {
+    if (closure_vi_ < affected_vars_.size()) {
+      const VarId v = affected_vars_[closure_vi_++];
+      for_each_constraint_of(v, [&](CnstId c, double) {
+        closure_add_cnst(c, (cnst_flags_[static_cast<size_t>(c)] & kFlagShared) != 0);
+      });
+    } else {
+      const CnstId c = traverse_list_[closure_ti_++];
+      for_each_variable_on(c, [&](VarId v, double) { closure_add_var(v); });
+    }
+  }
+}
+
+void MaxMinSystem::closure_commit() {
+  for (VarId v : affected_vars_)
+    var_flags_[static_cast<size_t>(v)] &= static_cast<unsigned char>(~kFlagInSet);
+  for (CnstId c : affected_cnsts_)
+    cnst_flags_[static_cast<size_t>(c)] &= static_cast<unsigned char>(~(kFlagInSet | kFlagTraverse));
+  closure_open_ = false;
+}
+
 void MaxMinSystem::solve() {
   if (full_solve_pending_) {
     solve_full();
@@ -362,64 +463,8 @@ void MaxMinSystem::solve() {
     return;
   }
 
-  // Transitive closure of the dirty seeds over the variable-constraint graph:
-  // the union of the connected components whose allocation can have changed.
-  // Fatpipe constraints cap each user individually and do not couple them, so
-  // they do not propagate the closure var -> fatpipe -> other vars: they are
-  // included cap-only (traversed only when themselves dirty). This keeps a
-  // shared backbone fatpipe from merging every flow into one component.
-  affected_vars_.clear();
-  affected_cnsts_.clear();
-  traverse_cnst_.clear();
-  auto add_var = [&](VarId v) {
-    unsigned char& flags = var_flags_[static_cast<size_t>(v)];
-    if (!(flags & kFlagInSet) && (flags & kFlagAlive)) {
-      flags |= kFlagInSet;
-      affected_vars_.push_back(v);
-    }
-  };
-  auto add_cnst = [&](CnstId c, bool traverse) {
-    unsigned char& flags = cnst_flags_[static_cast<size_t>(c)];
-    if (!(flags & kFlagInSet) && (flags & kFlagAlive)) {
-      flags |= kFlagInSet;
-      affected_cnsts_.push_back(c);
-      traverse_cnst_.push_back(traverse ? 1 : 0);
-    }
-  };
-  // Seeds first: a capacity-dirty fatpipe must reach all its users, so it is
-  // added traversable before any cap-only inclusion could shadow it. A
-  // membership-dirty fatpipe stays cap-only — adding/removing one user does
-  // not move the others' caps.
-  for (CnstId c : dirty_cnsts_)
-    add_cnst(c, (cnst_flags_[static_cast<size_t>(c)] & kFlagTraverse) != 0);
-  for (VarId v : dirty_vars_)
-    add_var(v);
-  size_t vi = 0, ci = 0;
-  while (vi < affected_vars_.size() || ci < affected_cnsts_.size()) {
-    if (vi < affected_vars_.size()) {
-      const VarId v = affected_vars_[vi++];
-      for_each_constraint_of(v, [&](CnstId c, double) {
-        add_cnst(c, (cnst_flags_[static_cast<size_t>(c)] & kFlagShared) != 0);
-      });
-    } else {
-      if (traverse_cnst_[ci]) {
-        for_each_variable_on(affected_cnsts_[ci], [&](VarId v, double) { add_var(v); });
-      }
-      ++ci;
-    }
-  }
-
-  for (VarId v : dirty_vars_)
-    var_flags_[static_cast<size_t>(v)] &= static_cast<unsigned char>(~kFlagDirty);
-  dirty_vars_.clear();
-  for (CnstId c : dirty_cnsts_)
-    cnst_flags_[static_cast<size_t>(c)] &= static_cast<unsigned char>(~(kFlagDirty | kFlagTraverse));
-  dirty_cnsts_.clear();
-
-  for (VarId v : affected_vars_)
-    var_flags_[static_cast<size_t>(v)] &= static_cast<unsigned char>(~kFlagInSet);
-  for (CnstId c : affected_cnsts_)
-    cnst_flags_[static_cast<size_t>(c)] &= static_cast<unsigned char>(~kFlagInSet);
+  closure_collect();
+  closure_commit();
 
   if (affected_vars_.size() * 2 > live_vars_) {
     solve_full();
@@ -610,6 +655,703 @@ void MaxMinSystem::solve_subset(const std::vector<VarId>& svars, const std::vect
   for (size_t k = 0; k < svars.size(); ++k)
     if (var_value_[static_cast<size_t>(svars[k])] != old_values_[k])
       changed_vars_.push_back(svars[k]);
+}
+
+// ---------------------------------------------------------------------------
+// ShardedMaxMin — id mapping and mutations
+// ---------------------------------------------------------------------------
+
+ShardedMaxMin::ShardedMaxMin(int shard_count) { init_shards(shard_count); }
+
+void ShardedMaxMin::init_shards(int shard_count) {
+  if (shard_count < 1)
+    throw xbt::InvalidArgument("init_shards: shard count must be >= 1");
+  if (live_vars_ > 0 || live_cnsts_ > 0)
+    throw xbt::InvalidArgument("init_shards: system is not empty");
+  shards_ = std::vector<MaxMinSystem>(static_cast<size_t>(shard_count));
+  var_global_.assign(static_cast<size_t>(shard_count), {});
+  cnst_global_.assign(static_cast<size_t>(shard_count), {});
+  shard_linked_.assign(static_cast<size_t>(shard_count), 0);
+  scan_pos_.assign(static_cast<size_t>(shard_count), 0);
+  shard_flags_.assign(static_cast<size_t>(shard_count), 0);
+}
+
+void ShardedMaxMin::check_var(VarId var, const char* what) const {
+  if (var < 0 || static_cast<size_t>(var) >= vars_.size())
+    throw xbt::InvalidArgument(std::string(what) + ": variable id " + std::to_string(var) +
+                               " out of range");
+}
+
+void ShardedMaxMin::check_cnst(CnstId cnst, const char* what) const {
+  if (cnst < 0 || static_cast<size_t>(cnst) >= cnsts_.size())
+    throw xbt::InvalidArgument(std::string(what) + ": constraint id " + std::to_string(cnst) +
+                               " out of range");
+}
+
+ShardedMaxMin::CnstId ShardedMaxMin::new_constraint_in(ShardId shard, double capacity, bool shared) {
+  if (shard < 0 || static_cast<size_t>(shard) >= shards_.size())
+    throw xbt::InvalidArgument("new_constraint_in: shard " + std::to_string(shard) + " out of range");
+  const MaxMinSystem::CnstId local = shards_[static_cast<size_t>(shard)].new_constraint(capacity, shared);
+  CnstId g;
+  if (!free_cnst_ids_.empty()) {
+    g = free_cnst_ids_.back();
+    free_cnst_ids_.pop_back();
+  } else {
+    g = static_cast<CnstId>(cnsts_.size());
+    cnsts_.push_back({});
+  }
+  cnsts_[static_cast<size_t>(g)] = CnstRec{shard, local};
+  auto& rev = cnst_global_[static_cast<size_t>(shard)];
+  if (rev.size() <= static_cast<size_t>(local))
+    rev.resize(static_cast<size_t>(local) + 1, -1);
+  rev[static_cast<size_t>(local)] = g;
+  ++live_cnsts_;
+  return g;
+}
+
+void ShardedMaxMin::release_constraint(CnstId cnst) {
+  check_cnst(cnst, "release_constraint");
+  CnstRec& c = cnsts_[static_cast<size_t>(cnst)];
+  if (c.shard < 0)
+    return;
+  shards_[static_cast<size_t>(c.shard)].release_constraint(c.local);
+  cnst_global_[static_cast<size_t>(c.shard)][static_cast<size_t>(c.local)] = -1;
+  c.shard = -1;
+  free_cnst_ids_.push_back(cnst);
+  --live_cnsts_;
+}
+
+ShardedMaxMin::ShardId ShardedMaxMin::shard_of_constraint(CnstId cnst) const {
+  check_cnst(cnst, "shard_of_constraint");
+  return cnsts_[static_cast<size_t>(cnst)].shard;
+}
+
+ShardedMaxMin::VarId ShardedMaxMin::new_variable(double weight, double bound) {
+  if (weight < 0)
+    throw xbt::InvalidArgument("variable weight must be non-negative");
+  VarId g;
+  if (!free_var_ids_.empty()) {
+    g = free_var_ids_.back();
+    free_var_ids_.pop_back();
+  } else {
+    g = static_cast<VarId>(vars_.size());
+    vars_.push_back({});
+  }
+  VarRec& r = vars_[static_cast<size_t>(g)];
+  r = VarRec{};
+  r.weight = weight;
+  r.bound = bound;
+  r.alive = true;
+  detached_dirty_.push_back(g);
+  ++live_vars_;
+  return g;
+}
+
+MaxMinSystem::VarId ShardedMaxMin::make_replica(VarId var, ShardId shard, bool linked) {
+  const VarRec& r = vars_[static_cast<size_t>(var)];
+  MaxMinSystem& m = shards_[static_cast<size_t>(shard)];
+  const MaxMinSystem::VarId lv = m.new_variable(r.weight, r.bound);
+  if (linked) {
+    m.var_flags_[static_cast<size_t>(lv)] |= MaxMinSystem::kFlagLinked;
+    ++shard_linked_[static_cast<size_t>(shard)];
+  }
+  auto& rev = var_global_[static_cast<size_t>(shard)];
+  if (rev.size() <= static_cast<size_t>(lv))
+    rev.resize(static_cast<size_t>(lv) + 1, -1);
+  rev[static_cast<size_t>(lv)] = var;
+  return lv;
+}
+
+MaxMinSystem::VarId ShardedMaxMin::replica_in(VarId var, ShardId shard) {
+  VarRec& r = vars_[static_cast<size_t>(var)];
+  if (r.shard == shard)
+    return r.local;
+  if (r.shard == kDetached) {
+    r.local = make_replica(var, shard, /*linked=*/false);
+    r.shard = shard;
+    return r.local;
+  }
+  if (r.shard >= 0) {
+    // Second shard: the variable becomes cross-shard. Flag the existing
+    // replica and move both into a replica list; from now on every solve
+    // whose closure reaches one of them must co-solve the others.
+    shards_[static_cast<size_t>(r.shard)].var_flags_[static_cast<size_t>(r.local)] |=
+        MaxMinSystem::kFlagLinked;
+    ++shard_linked_[static_cast<size_t>(r.shard)];
+    std::int32_t mi;
+    if (!free_multi_.empty()) {
+      mi = free_multi_.back();
+      free_multi_.pop_back();
+      multi_[static_cast<size_t>(mi)].clear();
+    } else {
+      mi = static_cast<std::int32_t>(multi_.size());
+      multi_.emplace_back();
+    }
+    auto& list = multi_[static_cast<size_t>(mi)];
+    list.push_back(Replica{r.shard, r.local});
+    const MaxMinSystem::VarId lv = make_replica(var, shard, /*linked=*/true);
+    list.push_back(Replica{shard, lv});
+    r.shard = kMulti;
+    r.multi = mi;
+    return lv;
+  }
+  auto& list = multi_[static_cast<size_t>(r.multi)];
+  for (const Replica& rp : list)
+    if (rp.shard == shard)
+      return rp.local;
+  const MaxMinSystem::VarId lv = make_replica(var, shard, /*linked=*/true);
+  list.push_back(Replica{shard, lv});
+  return lv;
+}
+
+void ShardedMaxMin::expand(CnstId cnst, VarId var, double coeff) {
+  check_cnst(cnst, "expand");
+  check_var(var, "expand");
+  const CnstRec& c = cnsts_[static_cast<size_t>(cnst)];
+  if (c.shard < 0)
+    throw xbt::InvalidArgument("expand: constraint id " + std::to_string(cnst) + " was released");
+  if (!vars_[static_cast<size_t>(var)].alive)
+    throw xbt::InvalidArgument("expand: variable id " + std::to_string(var) + " was released");
+  const MaxMinSystem::VarId lv = replica_in(var, c.shard);
+  shards_[static_cast<size_t>(c.shard)].expand(c.local, lv, coeff);
+}
+
+void ShardedMaxMin::release_variable(VarId var) {
+  check_var(var, "release_variable");
+  VarRec& r = vars_[static_cast<size_t>(var)];
+  if (!r.alive)
+    return;
+  for_each_replica(r, [&](Replica rp) {
+    shards_[static_cast<size_t>(rp.shard)].release_variable(rp.local);
+    var_global_[static_cast<size_t>(rp.shard)][static_cast<size_t>(rp.local)] = -1;
+    if (r.shard == kMulti)
+      --shard_linked_[static_cast<size_t>(rp.shard)];
+  });
+  if (r.shard == kMulti)
+    free_multi_.push_back(r.multi);
+  r.alive = false;
+  r.shard = kDetached;
+  r.local = -1;
+  r.multi = -1;
+  r.detached_value = 0;
+  free_var_ids_.push_back(var);
+  --live_vars_;
+}
+
+void ShardedMaxMin::set_capacity(CnstId cnst, double capacity) {
+  check_cnst(cnst, "set_capacity");
+  const CnstRec& c = cnsts_[static_cast<size_t>(cnst)];
+  if (c.shard < 0)
+    throw xbt::InvalidArgument("set_capacity: constraint id " + std::to_string(cnst) + " was released");
+  shards_[static_cast<size_t>(c.shard)].set_capacity(c.local, capacity);
+}
+
+double ShardedMaxMin::capacity(CnstId cnst) const {
+  check_cnst(cnst, "capacity");
+  const CnstRec& c = cnsts_[static_cast<size_t>(cnst)];
+  if (c.shard < 0)
+    throw xbt::InvalidArgument("capacity: constraint id " + std::to_string(cnst) + " was released");
+  return shards_[static_cast<size_t>(c.shard)].capacity(c.local);
+}
+
+void ShardedMaxMin::set_weight(VarId var, double weight) {
+  if (weight < 0)
+    throw xbt::InvalidArgument("variable weight must be non-negative");
+  check_var(var, "set_weight");
+  VarRec& r = vars_[static_cast<size_t>(var)];
+  if (r.weight == weight)
+    return;
+  r.weight = weight;
+  if (r.shard == kDetached) {
+    if (r.alive)
+      detached_dirty_.push_back(var);
+    return;
+  }
+  for_each_replica(r, [&](Replica rp) {
+    shards_[static_cast<size_t>(rp.shard)].set_weight(rp.local, weight);
+  });
+}
+
+double ShardedMaxMin::weight(VarId var) const {
+  check_var(var, "weight");
+  return vars_[static_cast<size_t>(var)].weight;
+}
+
+void ShardedMaxMin::set_bound(VarId var, double bound) {
+  check_var(var, "set_bound");
+  VarRec& r = vars_[static_cast<size_t>(var)];
+  if (r.bound == bound)
+    return;
+  r.bound = bound;
+  if (r.shard == kDetached) {
+    if (r.alive)
+      detached_dirty_.push_back(var);
+    return;
+  }
+  for_each_replica(r, [&](Replica rp) {
+    shards_[static_cast<size_t>(rp.shard)].set_bound(rp.local, bound);
+  });
+}
+
+double ShardedMaxMin::bound(VarId var) const {
+  check_var(var, "bound");
+  return vars_[static_cast<size_t>(var)].bound;
+}
+
+double ShardedMaxMin::value(VarId var) const {
+  check_var(var, "value");
+  const VarRec& r = vars_[static_cast<size_t>(var)];
+  if (r.shard >= 0)
+    return shards_[static_cast<size_t>(r.shard)].value(r.local);
+  if (r.shard == kMulti) {
+    const Replica& head = multi_[static_cast<size_t>(r.multi)][0];
+    return shards_[static_cast<size_t>(head.shard)].value(head.local);
+  }
+  return r.detached_value;
+}
+
+double ShardedMaxMin::usage(CnstId cnst) const {
+  check_cnst(cnst, "usage");
+  const CnstRec& c = cnsts_[static_cast<size_t>(cnst)];
+  if (c.shard < 0)
+    throw xbt::InvalidArgument("usage: constraint id " + std::to_string(cnst) + " was released");
+  return shards_[static_cast<size_t>(c.shard)].usage(c.local);
+}
+
+size_t ShardedMaxMin::constraint_degree(CnstId cnst) const {
+  check_cnst(cnst, "constraint_degree");
+  const CnstRec& c = cnsts_[static_cast<size_t>(cnst)];
+  if (c.shard < 0)
+    throw xbt::InvalidArgument("constraint_degree: constraint id " + std::to_string(cnst) +
+                               " was released");
+  return shards_[static_cast<size_t>(c.shard)].constraint_degree(c.local);
+}
+
+size_t ShardedMaxMin::variable_degree(VarId var) const {
+  check_var(var, "variable_degree");
+  size_t degree = 0;
+  for_each_replica(vars_[static_cast<size_t>(var)], [&](Replica rp) {
+    degree += shards_[static_cast<size_t>(rp.shard)].variable_degree(rp.local);
+  });
+  return degree;
+}
+
+int ShardedMaxMin::variable_shard_span(VarId var) const {
+  check_var(var, "variable_shard_span");
+  const VarRec& r = vars_[static_cast<size_t>(var)];
+  if (r.shard >= 0)
+    return 1;
+  if (r.shard == kMulti)
+    return static_cast<int>(multi_[static_cast<size_t>(r.multi)].size());
+  return 0;
+}
+
+bool ShardedMaxMin::needs_solve() const {
+  if (!detached_dirty_.empty())
+    return true;
+  for (const MaxMinSystem& m : shards_)
+    if (m.needs_solve())
+      return true;
+  return false;
+}
+
+MaxMinSystem::SolveStats ShardedMaxMin::solve_stats() const {
+  MaxMinSystem::SolveStats total;
+  for (const MaxMinSystem& m : shards_) {
+    total.solves += m.stats_.solves;
+    total.full_solves += m.stats_.full_solves;
+    total.vars_visited += m.stats_.vars_visited;
+  }
+  return total;
+}
+
+MaxMinSystem::MemoryStats ShardedMaxMin::memory_stats() const {
+  MaxMinSystem::MemoryStats total;
+  for (const MaxMinSystem& m : shards_) {
+    const MaxMinSystem::MemoryStats s = m.memory_stats();
+    total.arena_nodes_in_use += s.arena_nodes_in_use;
+    total.arena_nodes_allocated += s.arena_nodes_allocated;
+    total.arena_bytes += s.arena_bytes;
+    total.soa_bytes += s.soa_bytes;
+  }
+  total.live_variables = live_vars_;
+  total.live_constraints = live_cnsts_;
+  auto cap_bytes = [](const auto& v) { return v.capacity() * sizeof(v[0]); };
+  total.soa_bytes += cap_bytes(vars_) + cap_bytes(cnsts_) + cap_bytes(free_var_ids_) +
+                     cap_bytes(free_cnst_ids_) + cap_bytes(multi_) + cap_bytes(free_multi_);
+  for (const auto& rev : var_global_)
+    total.soa_bytes += cap_bytes(rev);
+  for (const auto& rev : cnst_global_)
+    total.soa_bytes += cap_bytes(rev);
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// ShardedMaxMin — solving
+// ---------------------------------------------------------------------------
+
+void ShardedMaxMin::solve() {
+  changed_vars_.clear();
+
+  // Detached variables: nothing constrains them, so their allocation is the
+  // unconstrained rate — no shard needs to know.
+  for (VarId g : detached_dirty_) {
+    VarRec& r = vars_[static_cast<size_t>(g)];
+    if (!r.alive || r.shard != kDetached)
+      continue;
+    const double nv = r.weight > 0 ? kUnlimited : 0.0;
+    if (nv != r.detached_value) {
+      r.detached_value = nv;
+      changed_vars_.push_back(g);
+    }
+  }
+  detached_dirty_.clear();
+
+  open_.clear();
+  group_shards_.clear();
+  const ShardId n = static_cast<ShardId>(shards_.size());
+  auto open_shard = [&](ShardId s) {
+    if (shard_flags_[static_cast<size_t>(s)] & kShardOpen)
+      return;
+    shard_flags_[static_cast<size_t>(s)] |= kShardOpen;
+    scan_pos_[static_cast<size_t>(s)] = 0;
+    open_.push_back(s);
+  };
+  for (ShardId s = 0; s < n; ++s) {
+    shard_flags_[static_cast<size_t>(s)] = 0;
+    if (shards_[static_cast<size_t>(s)].needs_solve())
+      open_shard(s);
+  }
+  if (open_.empty())
+    return;
+
+  // Collect the dirty closures to a cross-shard fixpoint: whenever a closure
+  // reaches a linked replica, its siblings are seeded dirty in their shards
+  // (joining them to the group) and those shards' closures are re-collected.
+  // Shards whose closure reaches no linked replica stay fully local.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (size_t oi = 0; oi < open_.size(); ++oi) {  // open_ may grow inside
+      const ShardId s = open_[oi];
+      MaxMinSystem& m = shards_[static_cast<size_t>(s)];
+      if (!m.closure_pending())
+        continue;
+      m.closure_collect();
+      progress = true;
+      size_t& pos = scan_pos_[static_cast<size_t>(s)];
+      for (; pos < m.affected_vars_.size(); ++pos) {
+        const MaxMinSystem::VarId lv = m.affected_vars_[pos];
+        if (!(m.var_flags_[static_cast<size_t>(lv)] & MaxMinSystem::kFlagLinked))
+          continue;
+        shard_flags_[static_cast<size_t>(s)] |= kShardCoupled;
+        const VarId g = var_global_[static_cast<size_t>(s)][static_cast<size_t>(lv)];
+        VarRec& r = vars_[static_cast<size_t>(g)];
+        if (!r.in_group) {
+          r.in_group = true;
+          group_linked_.push_back(g);
+        }
+        for_each_replica(r, [&](Replica rp) {
+          if (rp.shard == s)
+            return;
+          open_shard(rp.shard);
+          shard_flags_[static_cast<size_t>(rp.shard)] |= kShardCoupled;
+          MaxMinSystem& m2 = shards_[static_cast<size_t>(rp.shard)];
+          if (!(m2.var_flags_[static_cast<size_t>(rp.local)] &
+                (MaxMinSystem::kFlagInSet | MaxMinSystem::kFlagDirty)))
+            m2.mark_var_dirty(rp.local);
+        });
+      }
+    }
+  }
+  for (ShardId s : open_)
+    shards_[static_cast<size_t>(s)].closure_commit();
+
+  // Uncoupled shards: plain shard-local incremental solve — no other shard's
+  // state is read or written.
+  for (ShardId s : open_) {
+    MaxMinSystem& m = shards_[static_cast<size_t>(s)];
+    if (shard_flags_[static_cast<size_t>(s)] & kShardCoupled) {
+      group_shards_.push_back(s);
+      continue;
+    }
+    if (m.closure_was_full_) {
+      ++m.stats_.full_solves;
+      m.solve_subset(m.affected_vars_, m.affected_cnsts_);
+    } else if (shard_linked_[static_cast<size_t>(s)] == 0 &&
+               m.affected_vars_.size() * 2 > m.live_vars_) {
+      // Whole-shard escalation is only sound when the shard hosts no linked
+      // replica: solve_full() would otherwise recompute replicas outside the
+      // closure locally, splitting them from their siblings (see
+      // shard_linked_). Shards with linked replicas solve exactly the
+      // collected closure instead.
+      m.solve_full();
+    } else {
+      m.solve_subset(m.affected_vars_, m.affected_cnsts_);
+    }
+    for (MaxMinSystem::VarId lv : m.changed_vars_)
+      changed_vars_.push_back(var_global_[static_cast<size_t>(s)][static_cast<size_t>(lv)]);
+  }
+
+  if (!group_shards_.empty())
+    solve_group();
+  for (VarId g : group_linked_)
+    vars_[static_cast<size_t>(g)].in_group = false;
+  group_linked_.clear();
+}
+
+void ShardedMaxMin::solve_full() {
+  for (MaxMinSystem& m : shards_)
+    m.full_solve_pending_ = true;
+  for (size_t g = 0; g < vars_.size(); ++g)
+    if (vars_[g].alive && vars_[g].shard == kDetached)
+      detached_dirty_.push_back(static_cast<VarId>(g));
+  solve();
+}
+
+/// Joint progressive filling over the coupled shards' affected subsets.
+/// Mirrors MaxMinSystem::solve_subset exactly, with one twist: the replicas
+/// of a linked logical variable are one activity. They share the growth
+/// (identical delta * weight updates keep their values bitwise equal), their
+/// effective bound is the min over every shard's caps, and freezing any
+/// replica freezes all of them with the freezing replica's value.
+void ShardedMaxMin::solve_group() {
+  ++group_solves_;
+  size_t n_active = 0;
+
+  for (ShardId s : group_shards_) {
+    MaxMinSystem& m = shards_[static_cast<size_t>(s)];
+    ++m.stats_.solves;
+    if (m.closure_was_full_)
+      ++m.stats_.full_solves;
+    m.stats_.vars_visited += m.affected_vars_.size();
+    m.old_values_.resize(m.affected_vars_.size());
+    for (size_t k = 0; k < m.affected_vars_.size(); ++k) {
+      const size_t i = static_cast<size_t>(m.affected_vars_[k]);
+      m.old_values_[k] = m.var_value_[i];
+      m.var_value_[i] = 0;
+      m.effective_bound_[i] = kInf;
+      if (m.var_weight_[i] <= 0)
+        continue;
+      m.var_flags_[i] |= MaxMinSystem::kFlagActive;
+      // Linked logical variables are counted once, below.
+      if (!(m.var_flags_[i] & MaxMinSystem::kFlagLinked))
+        ++n_active;
+      if (m.var_bound_[i] >= 0)
+        m.effective_bound_[i] = m.var_bound_[i];
+    }
+    // Fatpipe constraints translate to per-variable caps: cap / coeff.
+    for (MaxMinSystem::CnstId cid : m.affected_cnsts_) {
+      const size_t c = static_cast<size_t>(cid);
+      m.remaining_[c] = m.cnst_core_[c].capacity;
+      if (m.cnst_flags_[c] & MaxMinSystem::kFlagShared)
+        continue;
+      for (std::int32_t nd = m.cnst_core_[c].head; nd != MaxMinSystem::kNoNode; nd = m.node(nd).next) {
+        const MaxMinSystem::ElemNode& en = m.node(nd);
+        for (std::int32_t k = 0; k < en.count; ++k) {
+          const size_t i = static_cast<size_t>(en.id[k]);
+          if (m.var_flags_[i] & MaxMinSystem::kFlagActive)
+            m.effective_bound_[i] =
+                std::min(m.effective_bound_[i], m.cnst_core_[c].capacity / en.coeff[k]);
+        }
+      }
+    }
+  }
+
+  // Linked logical variables: fold every shard's caps into one shared
+  // effective bound, and count each once. Every replica of every group
+  // variable is in its shard's affected set (the closure fixpoint seeded
+  // them), so the folds below see all of them.
+  for (VarId g : group_linked_) {
+    const VarRec& r = vars_[static_cast<size_t>(g)];
+    if (!r.alive)
+      continue;
+    double eb = kInf;
+    bool active = false;
+    for_each_replica(r, [&](Replica rp) {
+      MaxMinSystem& m = shards_[static_cast<size_t>(rp.shard)];
+      eb = std::min(eb, m.effective_bound_[static_cast<size_t>(rp.local)]);
+      active = (m.var_flags_[static_cast<size_t>(rp.local)] & MaxMinSystem::kFlagActive) != 0;
+    });
+    for_each_replica(r, [&](Replica rp) {
+      shards_[static_cast<size_t>(rp.shard)].effective_bound_[static_cast<size_t>(rp.local)] = eb;
+    });
+    if (active)
+      ++n_active;
+  }
+
+  size_t frozen = 0;
+  auto freeze_var = [&](ShardId s, size_t i) {
+    MaxMinSystem& m = shards_[static_cast<size_t>(s)];
+    if (!(m.var_flags_[i] & MaxMinSystem::kFlagActive))
+      return;
+    m.var_flags_[i] &= static_cast<unsigned char>(~MaxMinSystem::kFlagActive);
+    ++frozen;
+    if (m.var_flags_[i] & MaxMinSystem::kFlagLinked) {
+      const VarId g = var_global_[static_cast<size_t>(s)][i];
+      const double val = m.var_value_[i];
+      for_each_replica(vars_[static_cast<size_t>(g)], [&](Replica rp) {
+        if (rp.shard == s)
+          return;
+        MaxMinSystem& m2 = shards_[static_cast<size_t>(rp.shard)];
+        m2.var_flags_[static_cast<size_t>(rp.local)] &=
+            static_cast<unsigned char>(~MaxMinSystem::kFlagActive);
+        m2.var_value_[static_cast<size_t>(rp.local)] = val;  // no epsilon split
+      });
+    }
+  };
+
+  while (n_active > 0) {
+    // Growth room before the tightest shared constraint saturates or a
+    // variable bound is reached — the min is global across the group.
+    double delta = kInf;
+    for (ShardId s : group_shards_) {
+      MaxMinSystem& m = shards_[static_cast<size_t>(s)];
+      for (MaxMinSystem::CnstId cid : m.affected_cnsts_) {
+        const size_t c = static_cast<size_t>(cid);
+        if (!(m.cnst_flags_[c] & MaxMinSystem::kFlagShared))
+          continue;
+        double denom = 0;
+        for (std::int32_t nd = m.cnst_core_[c].head; nd != MaxMinSystem::kNoNode;
+             nd = m.node(nd).next) {
+          const MaxMinSystem::ElemNode& en = m.node(nd);
+          for (std::int32_t k = 0; k < en.count; ++k) {
+            const size_t i = static_cast<size_t>(en.id[k]);
+            if (m.var_flags_[i] & MaxMinSystem::kFlagActive)
+              denom += en.coeff[k] * m.var_weight_[i];
+          }
+        }
+        if (denom > 0)
+          delta = std::min(delta, std::max(0.0, m.remaining_[c]) / denom);
+      }
+      for (MaxMinSystem::VarId vid : m.affected_vars_) {
+        const size_t i = static_cast<size_t>(vid);
+        if ((m.var_flags_[i] & MaxMinSystem::kFlagActive) && m.effective_bound_[i] < kInf)
+          delta = std::min(delta,
+                           std::max(0.0, m.effective_bound_[i] - m.var_value_[i]) / m.var_weight_[i]);
+      }
+    }
+
+    if (delta == kInf) {
+      // Unconstrained variables: give them the "infinite" rate and stop.
+      for (ShardId s : group_shards_) {
+        MaxMinSystem& m = shards_[static_cast<size_t>(s)];
+        for (MaxMinSystem::VarId vid : m.affected_vars_) {
+          const size_t i = static_cast<size_t>(vid);
+          if (m.var_flags_[i] & MaxMinSystem::kFlagActive) {
+            m.var_value_[i] = kUnlimited;
+            m.var_flags_[i] &= static_cast<unsigned char>(~MaxMinSystem::kFlagActive);
+          }
+        }
+      }
+      break;
+    }
+
+    // Grow everyone, consume capacities. Replicas of a linked variable apply
+    // the identical update in each shard, so their values stay equal.
+    for (ShardId s : group_shards_) {
+      MaxMinSystem& m = shards_[static_cast<size_t>(s)];
+      for (MaxMinSystem::VarId vid : m.affected_vars_) {
+        const size_t i = static_cast<size_t>(vid);
+        if (m.var_flags_[i] & MaxMinSystem::kFlagActive)
+          m.var_value_[i] += delta * m.var_weight_[i];
+      }
+      for (MaxMinSystem::CnstId cid : m.affected_cnsts_) {
+        const size_t c = static_cast<size_t>(cid);
+        if (!(m.cnst_flags_[c] & MaxMinSystem::kFlagShared))
+          continue;
+        double used = 0;
+        for (std::int32_t nd = m.cnst_core_[c].head; nd != MaxMinSystem::kNoNode;
+             nd = m.node(nd).next) {
+          const MaxMinSystem::ElemNode& en = m.node(nd);
+          for (std::int32_t k = 0; k < en.count; ++k) {
+            const size_t i = static_cast<size_t>(en.id[k]);
+            if (m.var_flags_[i] & MaxMinSystem::kFlagActive)
+              used += en.coeff[k] * m.var_weight_[i];
+          }
+        }
+        m.remaining_[c] -= delta * used;
+      }
+    }
+
+    // Freeze variables on saturated shared constraints, then those that
+    // reached their bound. Freezing a linked replica freezes its siblings.
+    frozen = 0;
+    for (ShardId s : group_shards_) {
+      MaxMinSystem& m = shards_[static_cast<size_t>(s)];
+      for (MaxMinSystem::CnstId cid : m.affected_cnsts_) {
+        const size_t c = static_cast<size_t>(cid);
+        if (!(m.cnst_flags_[c] & MaxMinSystem::kFlagShared))
+          continue;
+        bool involved = false;
+        for (std::int32_t nd = m.cnst_core_[c].head; nd != MaxMinSystem::kNoNode && !involved;
+             nd = m.node(nd).next) {
+          const MaxMinSystem::ElemNode& en = m.node(nd);
+          for (std::int32_t k = 0; k < en.count; ++k)
+            if (m.var_flags_[static_cast<size_t>(en.id[k])] & MaxMinSystem::kFlagActive) {
+              involved = true;
+              break;
+            }
+        }
+        if (!involved)
+          continue;
+        if (m.remaining_[c] <= kEps * std::max(1.0, m.cnst_core_[c].capacity)) {
+          for (std::int32_t nd = m.cnst_core_[c].head; nd != MaxMinSystem::kNoNode;
+               nd = m.node(nd).next) {
+            const MaxMinSystem::ElemNode& en = m.node(nd);
+            for (std::int32_t k = 0; k < en.count; ++k)
+              freeze_var(s, static_cast<size_t>(en.id[k]));
+          }
+        }
+      }
+      for (MaxMinSystem::VarId vid : m.affected_vars_) {
+        const size_t i = static_cast<size_t>(vid);
+        if ((m.var_flags_[i] & MaxMinSystem::kFlagActive) && m.effective_bound_[i] < kInf &&
+            m.var_value_[i] >= m.effective_bound_[i] - kEps * std::max(1.0, m.effective_bound_[i])) {
+          m.var_value_[i] = m.effective_bound_[i];
+          freeze_var(s, i);
+        }
+      }
+    }
+
+    if (frozen == 0) {
+      // delta chosen as an exact saturation point must freeze someone; if
+      // numerical dust prevented it, force-freeze the tightest variable to
+      // guarantee termination.
+      for (ShardId s : group_shards_) {
+        MaxMinSystem& m = shards_[static_cast<size_t>(s)];
+        for (MaxMinSystem::VarId vid : m.affected_vars_) {
+          if (m.var_flags_[static_cast<size_t>(vid)] & MaxMinSystem::kFlagActive) {
+            freeze_var(s, static_cast<size_t>(vid));
+            break;
+          }
+        }
+        if (frozen > 0)
+          break;
+      }
+    }
+    n_active -= frozen;
+  }
+
+  // Changed detection. A linked variable's replicas all moved together; it
+  // is reported once, from its canonical (first) replica.
+  for (ShardId s : group_shards_) {
+    MaxMinSystem& m = shards_[static_cast<size_t>(s)];
+    m.changed_vars_.clear();
+    for (size_t k = 0; k < m.affected_vars_.size(); ++k) {
+      const size_t i = static_cast<size_t>(m.affected_vars_[k]);
+      if (m.var_value_[i] == m.old_values_[k])
+        continue;
+      const VarId g = var_global_[static_cast<size_t>(s)][i];
+      const VarRec& r = vars_[static_cast<size_t>(g)];
+      if (r.shard == kMulti) {
+        const Replica& head = multi_[static_cast<size_t>(r.multi)][0];
+        if (head.shard != s || head.local != m.affected_vars_[k])
+          continue;
+      }
+      changed_vars_.push_back(g);
+    }
+  }
 }
 
 }  // namespace sg::core

@@ -85,6 +85,53 @@
 ///  * the per-id degree counters track live entries, so degree introspection
 ///    is O(1) and the engine can reach "all actions on a failed resource"
 ///    in O(degree) via for_each_variable_on().
+///
+/// ## ShardedMaxMin: per-zone solver shards with a backbone coupling layer
+///
+/// A single MaxMinSystem keeps every zone's variables and constraints in the
+/// same id space, the same SoA arrays, and the same arena. The incremental
+/// closure already makes a churn event O(affected component), but at 100k+
+/// hosts the *memory* is shared: every zone's hot ids interleave in the same
+/// arrays, so an intra-zone event pulls cache lines sized by the whole
+/// platform. ShardedMaxMin splits the system into independent MaxMinSystem
+/// shards — one per sealed zone plus shard 0, the *backbone* shard, holding
+/// everything that is not zone-interior (WAN fat pipes, gateway links,
+/// unzoned resources) — behind a façade that speaks global ids.
+///
+/// Invariants (the sharded ≡ global property sweeps pin these down):
+///
+///  * **Constraint placement.** Every constraint lives in exactly one shard,
+///    chosen at creation (the engine takes it from the platform's shard map).
+///  * **Variable replicas.** A variable lives in every shard a constraint of
+///    its route lives in. Single-shard variables (the overwhelming majority:
+///    intra-zone flows, execs, zone-local ptasks) are one local variable in
+///    their shard. A cross-shard variable is a set of *replicas*, one local
+///    variable per touched shard, each flagged kFlagLinked and each carrying
+///    the shard-local incidences. Replicas always agree on weight and bound,
+///    and after every solve() they agree exactly on value.
+///  * **Local solves stay local.** A dirty closure that reaches no linked
+///    replica is solved entirely inside its shard: no other shard's arrays
+///    are read, written, or even looked at. This is what makes intra-zone
+///    per-event cost independent of the total platform size.
+///  * **Coupled groups solve jointly.** When a closure reaches a linked
+///    replica, its sibling replicas are seeded dirty in their shards and the
+///    closures are re-collected to a fixpoint; the union of the coupled
+///    shards' closures is then solved by one cross-shard progressive-filling
+///    pass (solve_group) that treats the replicas of a logical variable as a
+///    single activity: it grows once per round (replicas apply the identical
+///    delta * weight update, so their values stay bitwise equal), its
+///    effective bound folds every shard's fatpipe caps, and freezing any
+///    replica freezes all of them (copying the freezing replica's value so
+///    no epsilon dust can split them). Progressive filling has a unique
+///    fixed point, so the group pass computes exactly what one global system
+///    would — the equivalence suites assert rates, completion order, and
+///    clocks to 1e-9 against an unsharded engine.
+///  * **Backbone locality.** Zone-interior churn never links (its routes
+///    stay inside one shard), so only cross-zone flows — which all cross a
+///    backbone-shard constraint — can couple shards, and the coupling set is
+///    exactly the shards their routes touch.
+///  * **Detached variables** (created but not yet expanded) belong to no
+///    shard; solve() gives them the unconstrained allocation directly.
 #pragma once
 
 #include <cstddef>
@@ -211,6 +258,8 @@ public:
   MemoryStats memory_stats() const;
 
  private:
+  friend class ShardedMaxMin;
+
   // -- element arena ---------------------------------------------------------
   static constexpr std::int32_t kNoNode = -1;
   static constexpr std::int32_t kNodeEntries = 4;  ///< degree <= 4 fast path
@@ -246,6 +295,24 @@ public:
   /// need_traverse: the change affects users beyond the dirtied variable
   /// itself (capacity moved). Shared constraints always traverse.
   void mark_cnst_dirty(CnstId cnst, bool need_traverse);
+
+  // -- affected-closure collection -------------------------------------------
+  // solve() and the sharded group solve share this machinery. A closure
+  // "epoch" starts at the first closure_collect() after a commit; repeated
+  // collects *extend* the affected sets with the closure of whatever dirty
+  // seeds accumulated since (ShardedMaxMin seeds sibling replicas between
+  // rounds), and closure_commit() clears the in-set markers. kFlagInSet
+  // marks membership; kFlagTraverse doubles as the "users already queued"
+  // marker during the epoch (it is free then: the dirty seeds that use it
+  // are consumed at the start of each collect).
+  bool closure_pending() const {
+    return full_solve_pending_ || !dirty_vars_.empty() || !dirty_cnsts_.empty();
+  }
+  void closure_collect();
+  void closure_commit();
+  void closure_add_var(VarId v);
+  void closure_add_cnst(CnstId c, bool traverse);
+
   /// Progressive filling restricted to the given variables/constraints.
   /// Every live variable of a listed constraint must be listed too.
   void solve_subset(const std::vector<VarId>& svars, const std::vector<CnstId>& scnsts);
@@ -265,6 +332,7 @@ public:
   static constexpr unsigned char kFlagActive = 8;    ///< vars: still growing in solve
   static constexpr unsigned char kFlagTraverse = 8;  ///< cnsts: closure must reach users
   static constexpr unsigned char kFlagShared = 16;   ///< cnsts: capacity is divided
+  static constexpr unsigned char kFlagLinked = 32;   ///< vars: replica of a cross-shard variable
 
   // -- constraint storage (indexed by CnstId) --------------------------------
   /// Capacity + arena list head + degree, fused: the solver always reads
@@ -303,10 +371,189 @@ public:
   //    incremental solve never pays O(system size)) --------------------------
   std::vector<VarId> affected_vars_;
   std::vector<CnstId> affected_cnsts_;
-  std::vector<char> traverse_cnst_;  ///< parallel to affected_cnsts_ in solve()
+  std::vector<CnstId> traverse_list_;  ///< closure: cnsts whose users must be added
+  bool closure_open_ = false;
+  bool closure_was_full_ = false;  ///< this epoch covered everything (first solve)
+  size_t closure_vi_ = 0;  ///< worklist cursor into affected_vars_
+  size_t closure_ti_ = 0;  ///< worklist cursor into traverse_list_
   std::vector<double> effective_bound_;
   std::vector<double> remaining_;
   std::vector<double> old_values_;        ///< parallel to the subset list
+};
+
+/// Façade over per-shard MaxMinSystem instances (see the header comment for
+/// the invariants). Speaks global ids: the engine and tests use it exactly
+/// like a MaxMinSystem, plus a shard argument on new_constraint_in(). With
+/// one shard it degenerates to a single global system (the equivalence
+/// baseline and the behaviour of unzoned platforms).
+class ShardedMaxMin {
+public:
+  using VarId = MaxMinSystem::VarId;
+  using CnstId = MaxMinSystem::CnstId;
+  using ShardId = std::int32_t;
+  static constexpr double kNoBound = MaxMinSystem::kNoBound;
+  static constexpr double kUnlimited = MaxMinSystem::kUnlimited;
+  /// Shard 0 holds everything that is not zone-interior: WAN fat pipes,
+  /// gateway links, unzoned hosts. It is the only shard a cross-zone flow is
+  /// guaranteed to touch.
+  static constexpr ShardId kBackboneShard = 0;
+
+  explicit ShardedMaxMin(int shard_count = 1);
+
+  /// Re-shape the shard set; only legal while no constraint or variable
+  /// exists (the engine sizes shards from the platform map up front).
+  void init_shards(int shard_count);
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+
+  /// Create a constraint in the backbone shard (MaxMinSystem-compatible).
+  CnstId new_constraint(double capacity, bool shared = true) {
+    return new_constraint_in(kBackboneShard, capacity, shared);
+  }
+  /// Create a constraint in a specific shard.
+  CnstId new_constraint_in(ShardId shard, double capacity, bool shared = true);
+  void release_constraint(CnstId cnst);
+  ShardId shard_of_constraint(CnstId cnst) const;
+
+  VarId new_variable(double weight, double bound = kNoBound);
+  /// Registers the variable in the constraint's shard (creating a linked
+  /// replica when that is a new shard for the variable), then expands there.
+  void expand(CnstId cnst, VarId var, double coeff = 1.0);
+  void release_variable(VarId var);
+
+  void set_capacity(CnstId cnst, double capacity);
+  double capacity(CnstId cnst) const;
+  void set_weight(VarId var, double weight);
+  double weight(VarId var) const;
+  void set_bound(VarId var, double bound);
+  double bound(VarId var) const;
+  double value(VarId var) const;
+  double usage(CnstId cnst) const;
+
+  size_t variable_count() const { return live_vars_; }
+  size_t constraint_count() const { return live_cnsts_; }
+  size_t constraint_degree(CnstId cnst) const;
+  size_t variable_degree(VarId var) const;
+  /// Number of shards the variable currently has replicas in (0 = detached).
+  int variable_shard_span(VarId var) const;
+
+  /// Visit every (variable, coeff) incidence on a live constraint, with
+  /// global variable ids (the engine's failure-propagation index).
+  template <typename Fn>
+  void for_each_variable_on(CnstId cnst, Fn&& fn) const {
+    const CnstRec& c = cnsts_[static_cast<size_t>(cnst)];
+    shards_[static_cast<size_t>(c.shard)].for_each_variable_on(
+        c.local, [&](MaxMinSystem::VarId lv, double coeff) {
+          fn(var_global_[static_cast<size_t>(c.shard)][static_cast<size_t>(lv)], coeff);
+        });
+  }
+
+  /// Visit every (constraint, coeff) incidence of a live variable, with
+  /// global constraint ids, across all of its replicas.
+  template <typename Fn>
+  void for_each_constraint_of(VarId var, Fn&& fn) const {
+    for_each_replica(vars_[static_cast<size_t>(var)], [&](Replica rp) {
+      shards_[static_cast<size_t>(rp.shard)].for_each_constraint_of(
+          rp.local, [&](MaxMinSystem::CnstId lc, double coeff) {
+            fn(cnst_global_[static_cast<size_t>(rp.shard)][static_cast<size_t>(lc)], coeff);
+          });
+    });
+  }
+
+  /// Solve only the dirty shards: shard-local incremental solves for
+  /// uncoupled closures, one joint progressive-filling pass for the shards
+  /// coupled through linked replicas.
+  void solve();
+  /// Recompute everything from scratch (equivalence testing).
+  void solve_full();
+  bool needs_solve() const;
+  /// Global ids of the variables whose allocation changed in the last
+  /// solve(); each cross-shard variable is reported once.
+  const std::vector<VarId>& changed_variables() const { return changed_vars_; }
+
+  /// Aggregated over shards (plus detached handling); per-shard stats are
+  /// reachable through shard().
+  MaxMinSystem::SolveStats solve_stats() const;
+  /// Cross-shard joint solves run so far (0 as long as no closure ever
+  /// reached a linked replica — the intra-zone locality check).
+  size_t group_solve_count() const { return group_solves_; }
+  MaxMinSystem::MemoryStats memory_stats() const;
+  /// Read-only view of one shard (per-shard stats and footprint).
+  const MaxMinSystem& shard(ShardId s) const { return shards_[static_cast<size_t>(s)]; }
+
+private:
+  static constexpr ShardId kDetached = -1;  ///< no replica yet
+  static constexpr ShardId kMulti = -2;     ///< replicas listed in multi_
+
+  struct Replica {
+    ShardId shard;
+    MaxMinSystem::VarId local;
+  };
+  struct VarRec {
+    double weight = 0;
+    double bound = kNoBound;
+    double detached_value = 0;       ///< allocation while no replica exists
+    ShardId shard = kDetached;       ///< owning shard, kMulti, or kDetached
+    MaxMinSystem::VarId local = -1;  ///< local id when shard >= 0
+    std::int32_t multi = -1;         ///< index into multi_ when shard == kMulti
+    bool alive = false;
+    bool in_group = false;  ///< scratch: already listed in group_linked_
+  };
+  struct CnstRec {
+    ShardId shard = -1;  ///< < 0: id is free
+    MaxMinSystem::CnstId local = -1;
+  };
+
+  template <typename Fn>
+  void for_each_replica(const VarRec& r, Fn&& fn) const {
+    if (r.shard >= 0) {
+      fn(Replica{r.shard, r.local});
+    } else if (r.shard == kMulti) {
+      for (const Replica& rp : multi_[static_cast<size_t>(r.multi)])
+        fn(rp);
+    }
+  }
+
+  void check_var(VarId var, const char* what) const;
+  void check_cnst(CnstId cnst, const char* what) const;
+  /// Create the variable's replica in `shard` (local var with the shared
+  /// weight/bound; kFlagLinked when the variable spans several shards).
+  MaxMinSystem::VarId make_replica(VarId var, ShardId shard, bool linked);
+  /// Replica of `var` in `shard`, created (and cross-linked) if absent.
+  MaxMinSystem::VarId replica_in(VarId var, ShardId shard);
+  /// Joint progressive filling over group_shards_ (closures already
+  /// collected and committed; linked logical vars listed in group_linked_).
+  void solve_group();
+
+  std::vector<MaxMinSystem> shards_;
+  std::vector<std::vector<VarId>> var_global_;    ///< [shard][local var] -> global id
+  std::vector<std::vector<CnstId>> cnst_global_;  ///< [shard][local cnst] -> global id
+  /// Live linked replicas per shard. A shard hosting any may only solve the
+  /// collected closure, never escalate to a whole-shard solve_full(): the
+  /// escalation would recompute linked replicas the closure never reached —
+  /// locally, without their sibling shards — and their values would diverge.
+  std::vector<size_t> shard_linked_;
+
+  std::vector<VarRec> vars_;
+  std::vector<VarId> free_var_ids_;
+  std::vector<CnstRec> cnsts_;
+  std::vector<CnstId> free_cnst_ids_;
+  std::vector<std::vector<Replica>> multi_;  ///< replica lists of cross-shard vars
+  std::vector<std::int32_t> free_multi_;
+  size_t live_vars_ = 0;
+  size_t live_cnsts_ = 0;
+
+  std::vector<VarId> detached_dirty_;  ///< detached vars touched since last solve
+  std::vector<VarId> changed_vars_;
+  size_t group_solves_ = 0;
+
+  // -- per-solve scratch (sized shard_count once) ----------------------------
+  static constexpr unsigned char kShardOpen = 1;     ///< closure being collected
+  static constexpr unsigned char kShardCoupled = 2;  ///< closure reached a linked replica
+  std::vector<ShardId> open_;
+  std::vector<ShardId> group_shards_;
+  std::vector<size_t> scan_pos_;            ///< per shard: linked-scan cursor
+  std::vector<unsigned char> shard_flags_;  ///< per shard: kShardOpen | kShardCoupled
+  std::vector<VarId> group_linked_;         ///< logical linked vars in this group
 };
 
 }  // namespace sg::core
