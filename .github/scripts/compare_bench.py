@@ -43,7 +43,7 @@ PRIMARY_KEYS = ("bytes", "wall_time_s", "real_time", "time_unit", "name")
 
 # Informational metrics where larger is better; their display ratio is
 # inverted so the table reads uniformly (above 1.00 = worse).
-HIGHER_IS_BETTER = {"events_per_sec"}
+HIGHER_IS_BETTER = {"events_per_sec", "spawn_per_sec", "wakeups_per_sec"}
 
 
 def load_metrics(path):

@@ -1,79 +1,67 @@
 /// Master/worker on a commodity cluster — "a parallel linear system solver
 /// on a commodity cluster" is the first target application the paper lists;
-/// this is the canonical MSG scheduling skeleton for it: a master scatters
+/// this is the canonical scheduling skeleton for it: a master scatters
 /// compute tasks of uneven size to workers and collects results.
+///
+/// Written directly against the kernel actor API: each worker owns one
+/// interned mailbox for incoming tasks, results flow back through a shared
+/// "results" mailbox. Mailbox names are interned once at startup; the
+/// per-task loop is entirely id-keyed.
 #include <cstdio>
-#include <queue>
+#include <string>
 #include <vector>
 
-#include "msg/msg.hpp"
+#include "kernel/kernel.hpp"
 #include "platform/builders.hpp"
 #include "xbt/random.hpp"
 
-using namespace sg::msg;
+using sg::kernel::Kernel;
+using sg::kernel::MailboxId;
 
 namespace {
 
-constexpr int kTaskChannel = 0;
-constexpr int kResultChannel = 1;
-
 struct Work {
   int id;
+  int worker;  ///< which worker processed it (stamped by the worker)
+  double flops;
   bool poison = false;
 };
 
-void worker(int id) {
-  (void)id;
-  m_host_t master = MSG_get_host_by_name("node0");
+void worker(Kernel& k, int my_index, MailboxId my_tasks, MailboxId results) {
   while (true) {
-    m_task_t task = nullptr;
-    MSG_task_get(&task, kTaskChannel);
-    auto* work = static_cast<Work*>(task->data);
-    const bool poison = work->poison;
-    if (!poison)
-      MSG_task_execute(task);
-    MSG_task_destroy(task);
-    if (poison) {
+    auto* work = static_cast<Work*>(k.recv(my_tasks));
+    if (work->poison) {
       delete work;
       return;
     }
-    m_task_t result = MSG_task_create("result", 0, 1e4, work);
-    MSG_task_put(result, master, kResultChannel);
+    k.execute(work->flops);
+    work->worker = my_index;
+    k.send(results, work, 1e4);
   }
 }
 
-void master(int n_tasks, int n_workers) {
+void master(Kernel& k, int n_tasks, int n_workers, const std::vector<MailboxId>& task_mbox,
+            MailboxId results) {
   sg::xbt::Rng rng(7);
   // Dispatch: send each task to the next idle worker (greedy self-scheduling
-  // via result channel).
+  // via the results mailbox).
   int sent = 0, received = 0;
   // Prime one task per worker.
-  for (int w = 1; w <= n_workers && sent < n_tasks; ++w, ++sent) {
-    auto* work = new Work{sent, false};
-    m_task_t t = MSG_task_create("chunk", rng.uniform(5e8, 2e9), 1e6, work);
-    MSG_task_put(t, MSG_get_host_by_name("node" + std::to_string(w)), kTaskChannel);
-  }
+  for (int w = 1; w <= n_workers && sent < n_tasks; ++w, ++sent)
+    k.send(task_mbox[static_cast<size_t>(w)], new Work{sent, 0, rng.uniform(5e8, 2e9)}, 1e6);
   while (received < n_tasks) {
-    m_task_t result = nullptr;
-    MSG_task_get(&result, kResultChannel);
-    auto* work = static_cast<Work*>(result->data);
-    const int worker_host = result->source.index;
+    auto* work = static_cast<Work*>(k.recv(results));
+    const int idle = work->worker;
     ++received;
-    std::printf("[%8.3f] master: task %d done by %s (%d/%d)\n", MSG_get_clock(), work->id,
-                MSG_host_get_name(result->source).c_str(), received, n_tasks);
+    std::printf("[%8.3f] master: task %d done by node%d (%d/%d)\n", k.now(), work->id, idle,
+                received, n_tasks);
     delete work;
-    MSG_task_destroy(result);
-    if (sent < n_tasks) {
-      auto* next = new Work{sent++, false};
-      m_task_t t = MSG_task_create("chunk", rng.uniform(5e8, 2e9), 1e6, next);
-      MSG_task_put(t, m_host_t{worker_host}, kTaskChannel);
-    }
+    if (sent < n_tasks)
+      k.send(task_mbox[static_cast<size_t>(idle)], new Work{sent++, 0, rng.uniform(5e8, 2e9)}, 1e6);
   }
   // Poison pills.
-  for (int w = 1; w <= n_workers; ++w) {
-    m_task_t t = MSG_task_create("stop", 0, 1e3, new Work{-1, true});
-    MSG_task_put(t, MSG_get_host_by_name("node" + std::to_string(w)), kTaskChannel);
-  }
+  for (int w = 1; w <= n_workers; ++w)
+    k.send(task_mbox[static_cast<size_t>(w)], new Work{-1, 0, 0.0, true}, 1e3);
 }
 
 }  // namespace
@@ -85,16 +73,23 @@ int main(int argc, char** argv) {
   sg::platform::ClusterSpec spec;
   spec.count = n_workers + 1;  // node0 is the master
   spec.host_speed = 1e9;
-  MSG_init(sg::platform::make_cluster(spec));
+  Kernel kernel(sg::platform::make_cluster(spec));
 
-  MSG_process_create("master", [=] { master(n_tasks, n_workers); }, MSG_get_host_by_name("node0"));
+  // Intern every mailbox once, before the actors start.
+  const MailboxId results = kernel.mailbox_by_name("results");
+  std::vector<MailboxId> task_mbox(static_cast<size_t>(n_workers) + 1, sg::kernel::kNoMailbox);
   for (int w = 1; w <= n_workers; ++w)
-    MSG_process_create("worker" + std::to_string(w), [w] { worker(w); },
-                       MSG_get_host_by_name("node" + std::to_string(w)));
+    task_mbox[static_cast<size_t>(w)] = kernel.mailbox_by_name("tasks:" + std::to_string(w));
 
-  const double end = MSG_main();
+  kernel.spawn("master", 0, [&] { master(kernel, n_tasks, n_workers, task_mbox, results); });
+  for (int w = 1; w <= n_workers; ++w)
+    kernel.spawn("worker" + std::to_string(w), w,
+                 [&kernel, w, &task_mbox, results] {
+                   worker(kernel, w, task_mbox[static_cast<size_t>(w)], results);
+                 });
+
+  const double end = kernel.run();
   std::printf("All %d tasks processed by %d workers in %.3f simulated seconds\n", n_tasks,
               n_workers, end);
-  MSG_clean();
   return 0;
 }

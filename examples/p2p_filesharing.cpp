@@ -3,55 +3,66 @@
 /// availability follows failure traces: they exchange chunk announcements
 /// and download chunks from each other, surviving churn via timeouts and
 /// kernel auto-restart.
+///
+/// Written directly against the kernel actor API: each peer owns an interned
+/// request mailbox plus one data mailbox per chunk; every id is interned once
+/// in main() before the churn starts.
 #include <cstdio>
+#include <memory>
 #include <set>
+#include <string>
 #include <vector>
 
-#include "msg/msg.hpp"
+#include "kernel/kernel.hpp"
 #include "platform/platform.hpp"
 #include "trace/trace.hpp"
 #include "xbt/exception.hpp"
 #include "xbt/random.hpp"
 
-using namespace sg::msg;
+using sg::kernel::Kernel;
+using sg::kernel::MailboxId;
 
 namespace {
 
-constexpr int kChunkChannel = 0;
 constexpr int kChunks = 8;
 constexpr double kChunkBytes = 2e6;
 
 struct ChunkRequest {
   int chunk;
-  m_host_t requester;
+  int requester;  ///< peer index to ship the chunk back to
+};
+
+struct Mailboxes {
+  std::vector<MailboxId> request;            ///< per peer: incoming chunk requests
+  std::vector<std::vector<MailboxId>> data;  ///< per peer, per chunk: downloads
 };
 
 std::vector<std::set<int>> g_have;  // per-peer chunk ownership (shared address space!)
 
 /// Serve chunk requests forever (daemon, restarted with its host).
-void seeder(int my_id) {
+void seeder(Kernel& k, const Mailboxes& mb, int my_id) {
   while (true) {
-    m_task_t req = nullptr;
-    MSG_task_get(&req, kChunkChannel);
-    auto* r = static_cast<ChunkRequest*>(req->data);
+    auto* r = static_cast<ChunkRequest*>(k.recv(mb.request[static_cast<size_t>(my_id)]));
     const int chunk = r->chunk;
-    const m_host_t dest = r->requester;
+    const int dest = r->requester;
     delete r;
-    MSG_task_destroy(req);
     if (!g_have[static_cast<size_t>(my_id)].count(chunk))
       continue;  // lost it (restart) — requester will time out and retry
-    m_task_t data = MSG_task_create("chunk" + std::to_string(chunk), 1e6, kChunkBytes,
-                                    new int(chunk));
+    // unique_ptr until delivery: frees the payload if the send times out OR
+    // this seeder is killed mid-transfer by its own host flapping.
+    auto payload = std::make_unique<int>(chunk);
     try {
-      MSG_task_put_with_timeout(data, dest, 10 + chunk, 30.0);
+      k.send(mb.data[static_cast<size_t>(dest)][static_cast<size_t>(chunk)], payload.get(),
+             kChunkBytes, 30.0);
+      payload.release();  // delivered: the leecher owns it now
     } catch (const sg::xbt::Exception&) {
-      MSG_task_destroy(data);  // requester died; drop
+      // requester died before the transfer finished; drop
     }
   }
 }
 
 /// Fetch all chunks from whoever has them, retrying across failures.
-void leecher(int my_id, int n_peers) {
+void leecher(Kernel& k, const Mailboxes& mb, int my_id, int n_peers) {
   sg::xbt::Rng rng(static_cast<unsigned>(my_id) * 77 + 1);
   auto& mine = g_have[static_cast<size_t>(my_id)];
   int attempts = 0;
@@ -69,23 +80,21 @@ void leecher(int my_id, int n_peers) {
     int peer = static_cast<int>(rng.uniform_int(0, static_cast<std::uint64_t>(n_peers - 1)));
     if (peer == my_id)
       continue;
-    const m_host_t peer_host = MSG_get_host_by_name("peer" + std::to_string(peer));
-    if (!MSG_host_is_on(peer_host))
+    if (!k.engine().host_is_on(peer))
       continue;  // peer is down right now
+    auto req = std::make_unique<ChunkRequest>(ChunkRequest{want, my_id});
     try {
-      m_task_t req = MSG_task_create("req", 0, 1e3, new ChunkRequest{want, MSG_host_self()});
-      MSG_task_put_with_timeout(req, peer_host, kChunkChannel, 5.0);
-      m_task_t data = nullptr;
-      MSG_task_get_with_timeout(&data, 10 + want, 30.0);
-      mine.insert(*static_cast<int*>(data->data));
-      delete static_cast<int*>(data->data);
-      MSG_task_destroy(data);
+      k.send(mb.request[static_cast<size_t>(peer)], req.get(), 1e3, 5.0);
+      req.release();  // delivered: the seeder owns it now
+      void* raw = k.recv(mb.data[static_cast<size_t>(my_id)][static_cast<size_t>(want)], 30.0);
+      std::unique_ptr<int> chunk(static_cast<int*>(raw));
+      mine.insert(*chunk);
     } catch (const sg::xbt::Exception&) {
-      MSG_process_sleep(1.0);  // peer churned away; back off and retry
+      k.sleep_for(1.0);  // peer churned away; back off and retry
     }
   }
-  std::printf("[%8.3f] peer%d: %zu/%d chunks after %d attempts\n", MSG_get_clock(), my_id,
-              mine.size(), kChunks, attempts);
+  std::printf("[%8.3f] peer%d: %zu/%d chunks after %d attempts\n", k.now(), my_id, mine.size(),
+              kChunks, attempts);
 }
 
 }  // namespace
@@ -111,27 +120,36 @@ int main(int argc, char** argv) {
     p.add_edge(h, hub, p.add_link("up" + std::to_string(i), 5e6, 2e-2));
   }
   p.seal();
-  MSG_init(std::move(p), /*channels=*/kChunks + 10);
+  Kernel kernel(std::move(p));
+
+  Mailboxes mb;
+  mb.request.resize(static_cast<size_t>(n_peers));
+  mb.data.resize(static_cast<size_t>(n_peers));
+  for (int i = 0; i < n_peers; ++i) {
+    mb.request[static_cast<size_t>(i)] = kernel.mailbox_by_name("req:" + std::to_string(i));
+    mb.data[static_cast<size_t>(i)].resize(kChunks);
+    for (int c = 0; c < kChunks; ++c)
+      mb.data[static_cast<size_t>(i)][static_cast<size_t>(c)] =
+          kernel.mailbox_by_name("data:" + std::to_string(i) + ":" + std::to_string(c));
+  }
 
   g_have.assign(static_cast<size_t>(n_peers), {});
   for (int c = 0; c < kChunks; ++c)
     g_have[0].insert(c);  // peer0 seeds everything
 
   for (int i = 0; i < n_peers; ++i) {
-    MSG_process_create("seeder" + std::to_string(i), [i] { seeder(i); },
-                       MSG_get_host_by_name("peer" + std::to_string(i)),
-                       /*daemon=*/true, /*auto_restart=*/true);
+    kernel.spawn("seeder" + std::to_string(i), i, [&kernel, &mb, i] { seeder(kernel, mb, i); },
+                 /*daemon=*/true, /*auto_restart=*/true);
     if (i != 0)
-      MSG_process_create("leecher" + std::to_string(i), [i, n_peers] { leecher(i, n_peers); },
-                         MSG_get_host_by_name("peer" + std::to_string(i)),
-                         /*daemon=*/false, /*auto_restart=*/true);
+      kernel.spawn("leecher" + std::to_string(i), i,
+                   [&kernel, &mb, i, n_peers] { leecher(kernel, mb, i, n_peers); },
+                   /*daemon=*/false, /*auto_restart=*/true);
   }
 
-  const double end = MSG_main();
+  const double end = kernel.run();
   int complete = 0;
   for (int i = 0; i < n_peers; ++i)
     complete += static_cast<int>(g_have[static_cast<size_t>(i)].size()) == kChunks;
   std::printf("t=%.3f s: %d/%d peers hold the full file despite churn\n", end, complete, n_peers);
-  MSG_clean();
   return 0;
 }

@@ -3,8 +3,10 @@
 /// machinery.
 #include <chrono>
 #include <mutex>
+#include <unordered_map>
 
 #include "gras/runtime.hpp"
+#include "kernel/kernel.hpp"
 #include "xbt/exception.hpp"
 #include "xbt/log.hpp"
 
@@ -14,16 +16,49 @@ namespace sg::gras {
 
 namespace detail {
 
+namespace {
+// Simulated GRAS processes, keyed by kernel actor id. Access is serialized
+// by the kernel's switch protocol; real-life processes never touch this map.
+std::unordered_map<long, Runtime*>& actor_runtimes() {
+  static std::unordered_map<long, Runtime*> map;
+  return map;
+}
+}  // namespace
+
 Runtime*& tl_runtime() {
   static thread_local Runtime* rt = nullptr;
   return rt;
 }
 
 Runtime& current_runtime() {
-  Runtime* rt = tl_runtime();
-  if (rt == nullptr)
-    throw xbt::InvalidArgument("this GRAS call must be made from a GRAS process");
-  return *rt;
+  // The thread-local wins: it is only ever set on real-life process threads,
+  // which may run concurrently with a simulation in the main thread.
+  if (Runtime* rt = tl_runtime())
+    return *rt;
+  if (const kernel::Actor* a = kernel::Kernel::self()) {
+    auto& map = actor_runtimes();
+    auto it = map.find(a->id());
+    if (it != map.end())
+      return *it->second;
+  }
+  throw xbt::InvalidArgument("this GRAS call must be made from a GRAS process");
+}
+
+CurrentScope::CurrentScope(Runtime* rt) {
+  if (const kernel::Actor* a = kernel::Kernel::self()) {
+    actor_id_ = a->id();
+    actor_runtimes()[actor_id_] = rt;
+  } else {
+    actor_id_ = -1;
+    tl_runtime() = rt;
+  }
+}
+
+CurrentScope::~CurrentScope() {
+  if (actor_id_ >= 0)
+    actor_runtimes().erase(actor_id_);
+  else
+    tl_runtime() = nullptr;
 }
 
 }  // namespace detail

@@ -356,13 +356,14 @@ void RealWorld::spawn(const std::string& name, const std::string& host, std::fun
   auto state = state_;
   state_->process_threads.emplace_back([name, host, state, body = std::move(body)] {
     RealRuntime runtime(name, host, state.get());
-    detail::tl_runtime() = &runtime;
-    try {
-      body();
-    } catch (const std::exception& e) {
-      SG_ERROR(gras_rl, "GRAS process '%s' died: %s", name.c_str(), e.what());
+    {
+      detail::CurrentScope scope(&runtime);
+      try {
+        body();
+      } catch (const std::exception& e) {
+        SG_ERROR(gras_rl, "GRAS process '%s' died: %s", name.c_str(), e.what());
+      }
     }
-    detail::tl_runtime() = nullptr;
     runtime.teardown();
   });
 }

@@ -1,7 +1,10 @@
 /// \file runtime.hpp
 /// Internal: the virtualization layer that lets the same GRAS code run on
-/// the simulator or on real sockets. Each GRAS process is bound (through a
-/// thread-local) to one Runtime implementing the transport and the clock.
+/// the simulator or on real sockets. Each GRAS process is bound to one
+/// Runtime implementing the transport and the clock — keyed by the current
+/// kernel actor in simulation mode (fibers share one OS thread, so a
+/// thread-local cannot tell simulated processes apart) and by a thread-local
+/// in real-life mode (one OS thread per process).
 #pragma once
 
 #include <deque>
@@ -40,11 +43,25 @@ protected:
   std::string name_;
 };
 
-/// The runtime of the calling GRAS process (null outside any process).
+/// The runtime of the calling real-life GRAS process (null outside any).
 Runtime*& tl_runtime();
 
 /// Fetch + check: throws InvalidArgument outside a GRAS process.
 Runtime& current_runtime();
+
+/// RAII binding of a Runtime to the calling process for its lifetime:
+/// registers against the current kernel actor when inside a simulation,
+/// against the current thread otherwise.
+class CurrentScope {
+public:
+  explicit CurrentScope(Runtime* rt);
+  ~CurrentScope();
+  CurrentScope(const CurrentScope&) = delete;
+  CurrentScope& operator=(const CurrentScope&) = delete;
+
+private:
+  long actor_id_;  ///< -1 when bound through the thread-local
+};
 
 /// Encoded-message framing overhead added to the simulated/real wire size.
 constexpr size_t kHeaderOverhead = 16;

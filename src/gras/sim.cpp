@@ -28,16 +28,21 @@ struct SimEnvelope {
 
 class SimSocket final : public Socket {
 public:
-  SimSocket(kernel::ActorId dst, std::string label) : dst_(dst), label_(std::move(label)) {}
+  SimSocket(kernel::ActorId dst, kernel::MailboxId mbox, std::string label)
+      : dst_(dst), mbox_(mbox), label_(std::move(label)) {}
   std::string peer() const override { return label_; }
   kernel::ActorId dst() const { return dst_; }
+  kernel::MailboxId mbox() const { return mbox_; }
 
 private:
   kernel::ActorId dst_;
+  kernel::MailboxId mbox_;  ///< interned once at connect; sends are id-keyed
   std::string label_;
 };
 
-std::string actor_mailbox(kernel::ActorId id) { return "gras:" + std::to_string(id); }
+kernel::MailboxId actor_mailbox(kernel::Kernel* k, kernel::ActorId id) {
+  return k->mailbox_by_name("gras:" + std::to_string(id));
+}
 
 class SimRuntime final : public detail::Runtime {
 public:
@@ -59,7 +64,8 @@ public:
     for (int attempt = 0; attempt < 100; ++attempt) {
       auto it = world_->port_table.find({*host_idx, port});
       if (it != world_->port_table.end() && kernel_->is_alive(it->second))
-        return std::make_shared<SimSocket>(it->second, host + ":" + std::to_string(port));
+        return std::make_shared<SimSocket>(it->second, actor_mailbox(kernel_, it->second),
+                                           host + ":" + std::to_string(port));
       kernel_->sleep_for(0.1);
     }
     throw xbt::NetworkFailureException("socket_client: connection refused by " + host + ":" +
@@ -77,7 +83,7 @@ public:
     env->sender = kernel::Kernel::self()->id();
     const double bytes = static_cast<double>(env->wire.size() + detail::kHeaderOverhead);
     // TCP write semantics: buffered, the sender does not wait for delivery.
-    kernel_->send_detached(actor_mailbox(sock->dst()), env, bytes);
+    kernel_->send_detached(sock->mbox(), env, bytes);
   }
 
   Message msg_wait(double timeout, const std::string& want) override {
@@ -95,7 +101,7 @@ public:
       if (timeout >= 0 && remaining <= 0)
         throw xbt::TimeoutException("msg_wait: no '" + (want.empty() ? "any" : want) +
                                     "' message within timeout");
-      void* raw = kernel_->recv(actor_mailbox(kernel::Kernel::self()->id()), remaining);
+      void* raw = kernel_->recv(self_mbox(), remaining);
       std::unique_ptr<SimEnvelope> env(static_cast<SimEnvelope*>(raw));
       Message m;
       m.type = env->type;
@@ -104,7 +110,7 @@ public:
       std::string label = "actor:" + std::to_string(env->sender);
       if (const auto* actor = kernel_->actor(env->sender))
         label = actor->name();
-      m.source = std::make_shared<SimSocket>(env->sender, label);
+      m.source = std::make_shared<SimSocket>(env->sender, actor_mailbox(kernel_, env->sender), label);
       if (want.empty() || m.type == want)
         return m;
       pending_.push_back(std::move(m));
@@ -124,8 +130,15 @@ public:
   }
 
 private:
+  kernel::MailboxId self_mbox() {
+    if (self_mbox_ == kernel::kNoMailbox)
+      self_mbox_ = actor_mailbox(kernel_, kernel::Kernel::self()->id());
+    return self_mbox_;
+  }
+
   kernel::Kernel* kernel_;
   SimWorld::SimState* world_;
+  kernel::MailboxId self_mbox_ = kernel::kNoMailbox;
   std::deque<Message> pending_;
 };
 
@@ -145,14 +158,8 @@ void SimWorld::spawn(const std::string& name, const std::string& host, std::func
   auto state = state_;
   kernel_->spawn(name, *host_idx, [name, k, state, body = std::move(body)] {
     SimRuntime runtime(name, k, state.get());
-    detail::tl_runtime() = &runtime;
-    try {
-      body();
-    } catch (...) {
-      detail::tl_runtime() = nullptr;
-      throw;
-    }
-    detail::tl_runtime() = nullptr;
+    detail::CurrentScope scope(&runtime);  // unbinds on any exit, kills included
+    body();
   });
 }
 

@@ -2,8 +2,17 @@
 /// Simulated processes ("processes can be created, suspended, resumed and
 /// terminated dynamically" — the paper's MSG process model, shared by GRAS
 /// and SMPI in simulation mode).
+///
+/// Actors live in the kernel's chunked slot arena (kernel.hpp): creation and
+/// death are O(1) slot pushes, dead actors' slots (and their fiber stacks)
+/// are recycled, and the hot per-actor state below is packed so a parked
+/// actor costs well under 200 bytes on top of its (lazily committed) stack
+/// pages. Cross-actor bookkeeping — which actors live on a host, which are
+/// ready per shard — is index-linked through the slot ids rather than held
+/// in per-actor containers, like the PR 3 solver arena.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -15,6 +24,12 @@
 namespace sg::kernel {
 
 using ActorId = long;
+
+/// Interned mailbox name: a dense index into the kernel's mailbox table.
+/// Kernel::mailbox_by_name() converts a name exactly once at the API
+/// boundary; every queue/match/send afterwards is an array index.
+using MailboxId = std::int32_t;
+constexpr MailboxId kNoMailbox = -1;
 
 /// Why a blocked actor was woken up.
 enum class WakeStatus {
@@ -42,7 +57,7 @@ public:
   bool daemon() const { return daemon_; }
   bool auto_restart() const { return auto_restart_; }
 
-  enum class State {
+  enum class State : std::uint8_t {
     kReady,    ///< scheduled (or suspended-but-runnable)
     kBlocked,  ///< waiting in a simcall
     kDead,
@@ -61,23 +76,31 @@ private:
   friend class Kernel;
 
   ActorId id_;
-  std::string name_;
-  int host_;
-  std::function<void()> body_;  ///< kept for auto-restart
+  std::int32_t host_;
+  std::int32_t shard_ = 0;  ///< run-queue shard (from Platform::shard_map())
+
+  // Intrusive membership in the per-host live list (slot indices, -1 = end):
+  // host failure kills residents in O(residents), not O(all actors ever).
+  std::int32_t host_prev_ = -1;
+  std::int32_t host_next_ = -1;
+  std::uint32_t slot_ = 0;  ///< own index in the kernel's actor arena
+
+  State state_ = State::kReady;
   bool daemon_;
   bool auto_restart_;
-
-  std::unique_ptr<Context> context_;
-  State state_ = State::kReady;
   bool suspended_ = false;
   bool in_ready_queue_ = false;
   bool killed_by_failure_ = false;
+  WakeStatus wake_status_ = WakeStatus::kOk;
+  std::uint32_t timer_gen_ = 0;  ///< invalidates in-flight timeout timers
+
+  std::string name_;
+  std::function<void()> body_;  ///< kept for auto-restart
+  std::unique_ptr<Context> context_;
 
   // What the actor is blocked on (at most one at a time).
   core::ActionPtr blocked_action_;
   CommPtr blocked_comm_;
-  WakeStatus wake_status_ = WakeStatus::kOk;
-  std::uint64_t timer_gen_ = 0;  ///< invalidates in-flight timeout timers
 
   std::vector<std::function<void(bool)>> exit_callbacks_;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
+#include <new>
 
 #include "xbt/exception.hpp"
 #include "xbt/log.hpp"
@@ -14,12 +15,18 @@ namespace sg::kernel {
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-thread_local Actor* tl_current_actor = nullptr;
-thread_local Kernel* tl_current_kernel = nullptr;
+// The actor currently executing and its kernel. Plain globals, not
+// thread_local: under the fiber backend every actor shares the maestro's OS
+// thread, and under the thread backend the semaphore handoff in the context
+// makes the maestro's write visible to the actor's thread (publish before
+// release, the actor only reads). Strict serialization (context.hpp
+// invariant 1) rules out concurrent access.
+Actor* g_current_actor = nullptr;
+Kernel* g_current_kernel = nullptr;
 Kernel* g_active_kernel = nullptr;
 
 double clock_provider() { return g_active_kernel ? g_active_kernel->now() : -1.0; }
-const char* actor_provider() { return tl_current_actor ? tl_current_actor->name().c_str() : nullptr; }
+const char* actor_provider() { return g_current_actor ? g_current_actor->name().c_str() : nullptr; }
 
 /// Translate a wake status into the exception the simcall should raise.
 void check_status(WakeStatus st) {
@@ -40,28 +47,190 @@ void check_status(WakeStatus st) {
 
 Actor::Actor(ActorId id, std::string name, int host, std::function<void()> body, bool daemon,
              bool auto_restart)
-    : id_(id), name_(std::move(name)), host_(host), body_(std::move(body)), daemon_(daemon),
-      auto_restart_(auto_restart) {}
+    : id_(id), host_(host), daemon_(daemon), auto_restart_(auto_restart), name_(std::move(name)),
+      body_(std::move(body)) {}
 
-Kernel::Kernel(platform::Platform platform) : engine_(std::move(platform)) {
+// -- comm control-block pool ---------------------------------------------------
+// Same shape as the engine's ActionBlockPool: allocate_shared fuses the Comm
+// and its shared_ptr control block into one allocation of a single size,
+// which a LIFO free list then recycles — at millions of rendezvous per run
+// the allocator drops off the profile and recycled blocks come back
+// cache-warm.
+
+struct CommBlockPool {
+  static constexpr size_t kMaxFreeBlocks = 64 * 1024;
+  std::vector<void*> free_blocks;
+  size_t block_bytes = 0;  ///< learned from the first allocation
+
+  ~CommBlockPool() {
+    for (void* p : free_blocks)
+      ::operator delete(p);
+  }
+
+  void* allocate(size_t bytes) {
+    if (block_bytes == 0)
+      block_bytes = bytes;
+    if (bytes == block_bytes && !free_blocks.empty()) {
+      void* p = free_blocks.back();
+      free_blocks.pop_back();
+      return p;
+    }
+    return ::operator new(bytes);
+  }
+
+  void deallocate(void* p, size_t bytes) {
+    if (bytes == block_bytes && free_blocks.size() < kMaxFreeBlocks) {
+      free_blocks.push_back(p);
+      return;
+    }
+    ::operator delete(p);
+  }
+};
+
+namespace {
+template <typename T>
+struct CommPoolAllocator {
+  using value_type = T;
+
+  explicit CommPoolAllocator(std::shared_ptr<CommBlockPool> pool) : pool_(std::move(pool)) {}
+  template <typename U>
+  CommPoolAllocator(const CommPoolAllocator<U>& other) : pool_(other.pool_) {}
+
+  T* allocate(size_t n) { return static_cast<T*>(pool_->allocate(n * sizeof(T))); }
+  void deallocate(T* p, size_t n) { pool_->deallocate(p, n * sizeof(T)); }
+
+  template <typename U>
+  bool operator==(const CommPoolAllocator<U>& other) const {
+    return pool_ == other.pool_;
+  }
+
+  std::shared_ptr<CommBlockPool> pool_;
+};
+}  // namespace
+
+CommPtr Kernel::make_comm() { return std::allocate_shared<Comm>(CommPoolAllocator<Comm>(comm_pool_)); }
+
+// -- actor slot arena ----------------------------------------------------------
+
+struct Kernel::ActorChunk {
+  alignas(Actor) unsigned char raw[sizeof(Actor) * kChunkSize];
+};
+
+Actor* Kernel::slot(std::uint32_t s) const {
+  auto* chunk = const_cast<ActorChunk*>(chunks_[s >> kChunkShift].get());
+  return std::launder(reinterpret_cast<Actor*>(chunk->raw + sizeof(Actor) * (s & (kChunkSize - 1))));
+}
+
+Actor* Kernel::allocate_actor(ActorId id, const std::string& name, int host, std::function<void()> body,
+                              bool daemon, bool auto_restart) {
+  std::uint32_t s;
+  if (!free_slots_.empty()) {
+    s = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    s = slot_high_++;
+    if ((s >> kChunkShift) >= chunks_.size())
+      chunks_.push_back(std::make_unique<ActorChunk>());
+  }
+  void* raw = chunks_[s >> kChunkShift]->raw + sizeof(Actor) * (s & (kChunkSize - 1));
+  Actor* a = new (raw) Actor(id, name, host, std::move(body), daemon, auto_restart);
+  a->slot_ = s;
+  return a;
+}
+
+void Kernel::reap_actor(Actor* a) {
+  assert(!a->in_ready_queue_ && "cannot reap an actor still queued");
+  id_to_slot_.erase(a->id_);
+  const std::uint32_t s = a->slot_;
+  a->~Actor();  // the Context dtor returns the fiber stack to the pool
+  free_slots_.push_back(s);
+}
+
+void Kernel::host_list_insert(Actor* a) {
+  auto& head = host_live_head_[static_cast<size_t>(a->host_)];
+  a->host_prev_ = -1;
+  a->host_next_ = head;
+  if (head != -1)
+    slot(static_cast<std::uint32_t>(head))->host_prev_ = static_cast<std::int32_t>(a->slot_);
+  head = static_cast<std::int32_t>(a->slot_);
+}
+
+void Kernel::host_list_remove(Actor* a) {
+  if (a->host_prev_ != -1)
+    slot(static_cast<std::uint32_t>(a->host_prev_))->host_next_ = a->host_next_;
+  else
+    host_live_head_[static_cast<size_t>(a->host_)] = a->host_next_;
+  if (a->host_next_ != -1)
+    slot(static_cast<std::uint32_t>(a->host_next_))->host_prev_ = a->host_prev_;
+  a->host_prev_ = a->host_next_ = -1;
+}
+
+std::int32_t Kernel::shard_for_host(int host) const {
+  if (ready_.size() <= 1)
+    return 0;
+  const auto& sm = engine_.platform().shard_map();
+  if (static_cast<size_t>(host) < sm.host_shard.size()) {
+    const std::int32_t s = sm.host_shard[static_cast<size_t>(host)];
+    if (s >= 0 && static_cast<size_t>(s) < ready_.size())
+      return s;
+  }
+  return 0;
+}
+
+// -- kernel lifecycle ----------------------------------------------------------
+
+Kernel::Kernel(platform::Platform platform)
+    : context_factory_(ContextFactory::from_config()), engine_(std::move(platform)),
+      comm_pool_(std::make_shared<CommBlockPool>()) {
   engine_.set_resource_observer([this](bool is_host, int index, bool on) {
     if (is_host)
       host_changes_.push_back({index, on});
   });
+  const auto& pf = engine_.platform();
+  host_live_head_.assign(pf.host_count(), -1);
+  const auto& sm = pf.shard_map();
+  const bool sharded = sm.shard_count > 0 && sm.host_shard.size() == pf.host_count();
+  ready_.resize(sharded ? static_cast<size_t>(sm.shard_count) : 1);
   g_active_kernel = this;
   xbt::log_set_clock_provider(&clock_provider);
   xbt::log_set_actor_provider(&actor_provider);
+  SG_DEBUG(kernel, "kernel up: %s contexts, %zu run-queue shard(s)",
+           context_factory_->backend_name(), ready_.size());
 }
 
 Kernel::~Kernel() {
-  // Unwind any live context so its thread exits (Context dtor handles it).
-  actors_.clear();
+  teardown_all_actors();
   if (g_active_kernel == this)
     g_active_kernel = nullptr;
 }
 
-Actor* Kernel::self() { return tl_current_actor; }
-Kernel* Kernel::current() { return tl_current_kernel ? tl_current_kernel : g_active_kernel; }
+void Kernel::teardown_all_actors() {
+  // Kill survivors in id order (deterministic exit-callback order). Work
+  // from ids, not pointers: killing one actor can transitively end others
+  // (exit callbacks), and ended actors are reaped eagerly.
+  for (ActorId id : live_actors()) {
+    auto it = id_to_slot_.find(id);
+    if (it == id_to_slot_.end())
+      continue;
+    Actor* a = slot(it->second);
+    if (a->alive())
+      kill_internal(a, false);
+  }
+  // Reap the zombies those deaths left in the run queues.
+  for (auto& q : ready_) {
+    while (!q.empty()) {
+      Actor* a = q.front();
+      q.pop_front();
+      --ready_count_;
+      a->in_ready_queue_ = false;
+      if (!a->alive())
+        reap_actor(a);
+    }
+  }
+}
+
+Actor* Kernel::self() { return g_current_actor; }
+Kernel* Kernel::current() { return g_current_kernel != nullptr ? g_current_kernel : g_active_kernel; }
 
 ActorId Kernel::spawn(const std::string& name, int host, std::function<void()> body, bool daemon,
                       bool auto_restart) {
@@ -70,14 +239,15 @@ ActorId Kernel::spawn(const std::string& name, int host, std::function<void()> b
   if (!engine_.host_is_on(host))
     throw xbt::HostFailureException("spawn: host " + engine_.platform().host(host).name + " is down");
   const ActorId id = next_actor_id_++;
-  auto actor = std::make_unique<Actor>(id, name, host, body, daemon, auto_restart);
-  Actor* a = actor.get();
-  a->context_ = std::make_unique<Context>([this, a] {
-    tl_current_actor = a;
-    tl_current_kernel = this;
-    a->body_();
-  });
-  actors_.emplace(id, std::move(actor));
+  Actor* a = allocate_actor(id, name, host, std::move(body), daemon, auto_restart);
+  a->shard_ = shard_for_host(host);
+  a->context_ = context_factory_->create([a] { a->body_(); });
+  id_to_slot_.emplace(id, a->slot_);
+  host_list_insert(a);
+  ++live_count_;
+  if (!a->daemon_)
+    ++live_nondaemon_;
+  ++stats_.actors_spawned;
   schedule(a);
   SG_DEBUG(kernel, "spawned actor %ld '%s' on %s", id, name.c_str(),
            engine_.platform().host(host).name.c_str());
@@ -86,7 +256,8 @@ ActorId Kernel::spawn(const std::string& name, int host, std::function<void()> b
 
 void Kernel::schedule(Actor* a) {
   if (a->state_ == Actor::State::kReady && !a->suspended_ && !a->in_ready_queue_) {
-    ready_.push_back(a);
+    ready_[static_cast<size_t>(a->shard_)].push_back(a);
+    ++ready_count_;
     a->in_ready_queue_ = true;
   }
 }
@@ -97,8 +268,14 @@ void Kernel::wake(Actor* a, WakeStatus status) {
   a->wake_status_ = status;
   a->state_ = Actor::State::kReady;
   ++a->timer_gen_;
-  a->blocked_action_.reset();
+  if (a->blocked_action_) {
+    // Unhook before any straggler event for this action can observe a slot
+    // that was meanwhile reaped and reused.
+    a->blocked_action_->user_data = nullptr;
+    a->blocked_action_.reset();
+  }
   a->blocked_comm_.reset();
+  ++stats_.wakeups;
   schedule(a);
 }
 
@@ -110,10 +287,19 @@ WakeStatus Kernel::block_self(Actor* a, double timeout) {
   return a->wake_status_;
 }
 
-void Kernel::run_actor(Actor* a) {
+void Kernel::resume_context(Actor* a) {
+  // Re-entrant: an actor killing another resumes the victim from inside its
+  // own quantum, so save/restore rather than set/clear.
+  Actor* const prev_actor = g_current_actor;
+  Kernel* const prev_kernel = g_current_kernel;
+  g_current_actor = a;
+  g_current_kernel = this;
+  ++stats_.context_switches;
   const bool finished = a->context_->resume_and_wait();
+  g_current_actor = prev_actor;
+  g_current_kernel = prev_kernel;
   if (finished)
-    handle_actor_end(a);
+    handle_actor_end(a);  // may reap `a` — do not touch it afterwards
 }
 
 void Kernel::handle_actor_end(Actor* a) {
@@ -121,8 +307,15 @@ void Kernel::handle_actor_end(Actor* a) {
     return;
   a->state_ = Actor::State::kDead;
   ++a->timer_gen_;
-  a->blocked_action_.reset();
+  if (a->blocked_action_) {
+    a->blocked_action_->user_data = nullptr;
+    a->blocked_action_.reset();
+  }
   a->blocked_comm_.reset();
+  host_list_remove(a);
+  --live_count_;
+  if (!a->daemon_)
+    --live_nondaemon_;
   if (a->context_->failure()) {
     try {
       std::rethrow_exception(a->context_->failure());
@@ -137,6 +330,10 @@ void Kernel::handle_actor_end(Actor* a) {
   if (a->auto_restart_ && a->killed_by_failure_)
     pending_restarts_.push_back({a->name_, a->host_, a->body_, a->daemon_});
   SG_DEBUG(kernel, "actor %ld '%s' terminated", a->id_, a->name_.c_str());
+  // Recycle the slot right away unless the actor still sits in a run queue
+  // (killed while ready); the scheduler sweep reaps it when popped.
+  if (!a->in_ready_queue_)
+    reap_actor(a);
 }
 
 double Kernel::run() {
@@ -144,22 +341,33 @@ double Kernel::run() {
   long idle_rounds = 0;
   while (true) {
     bool any_ran = false;
-    while (!ready_.empty()) {
-      Actor* a = ready_.front();
-      ready_.pop_front();
-      a->in_ready_queue_ = false;
-      if (a->state_ != Actor::State::kReady || a->suspended_)
-        continue;
-      any_ran = true;
-      run_actor(a);
-      process_resource_changes();
+    while (ready_count_ > 0) {
+      // One sweep over the shard queues. Each shard runs the batch of actors
+      // that were ready when the sweep reached it — a zone's wakeups execute
+      // back to back against that zone's solver shard, and the fixed shard
+      // rotation keeps the global order deterministic. Actors readied during
+      // a batch run in the next sweep. With a single shard (flat platforms)
+      // this degenerates to the plain FIFO order.
+      for (auto& q : ready_) {
+        for (size_t batch = q.size(); batch > 0; --batch) {
+          Actor* a = q.front();
+          q.pop_front();
+          --ready_count_;
+          a->in_ready_queue_ = false;
+          if (!a->alive()) {
+            reap_actor(a);  // killed while queued
+            continue;
+          }
+          if (a->state_ != Actor::State::kReady || a->suspended_)
+            continue;
+          any_ran = true;
+          resume_context(a);
+          process_resource_changes();
+        }
+      }
     }
 
-    size_t nondaemon = 0;
-    for (const auto& [id, a] : actors_)
-      if (a->alive() && !a->daemon())
-        ++nondaemon;
-    if (nondaemon == 0)
+    if (live_nondaemon_ == 0)
       break;
 
     const double timer_bound = timers_.empty() ? kInf : timers_.top().time;
@@ -169,19 +377,20 @@ double Kernel::run() {
     fire_due_timers();
     process_resource_changes();
 
-    if (!events.empty() || any_ran || !ready_.empty()) {
+    if (!events.empty() || any_ran || ready_count_ > 0) {
       idle_rounds = 0;
       continue;
     }
     const double next = engine_.next_event_time();
-    if (next == kInf && timers_.empty() && ready_.empty()) {
+    if (next == kInf && timers_.empty() && ready_count_ == 0) {
       deadlocked_ = true;
       SG_WARN(kernel, "deadlock: %zu actor(s) blocked forever at t=%g; stopping the simulation",
               alive_actor_count(), engine_.now());
-      for (const auto& [id, a] : actors_)
-        if (a->alive())
-          SG_WARN(kernel, "  blocked actor: '%s' on %s", a->name_.c_str(),
-                  engine_.platform().host(a->host_).name.c_str());
+      for (ActorId id : live_actors()) {
+        const Actor* a = slot(id_to_slot_.at(id));
+        SG_WARN(kernel, "  blocked actor: '%s' on %s", a->name_.c_str(),
+                engine_.platform().host(a->host_).name.c_str());
+      }
       break;
     }
     if (++idle_rounds > 1000000) {
@@ -192,9 +401,7 @@ double Kernel::run() {
   }
 
   // Tear down survivors (daemons, deadlocked actors).
-  for (auto& [id, a] : actors_)
-    if (a->alive())
-      kill_internal(a.get(), false);
+  teardown_all_actors();
   running_ = false;
   return engine_.now();
 }
@@ -246,24 +453,40 @@ void Kernel::exit_self() {
   throw ForcedExit{};
 }
 
-CommPtr Kernel::send_async(const std::string& mb, void* payload, double bytes, double rate) {
+// -- mailboxes & communications -------------------------------------------------
+
+MailboxId Kernel::mailbox_by_name(const std::string& name) {
+  auto [it, inserted] = mailbox_ids_.try_emplace(name, MailboxId{0});
+  if (inserted) {
+    it->second = static_cast<MailboxId>(mailboxes_.size());
+    mailboxes_.emplace_back();
+    mailbox_names_.push_back(name);
+  }
+  return it->second;
+}
+
+CommPtr Kernel::send_async(MailboxId mb, void* payload, double bytes, double rate) {
   Actor* a = self();
   assert(a != nullptr && "send must be called from an actor");
-  Mailbox& box = mailbox(mb);
+  Mailbox& box = mailbox_ref(mb);
   if (!box.queued_recvs.empty()) {
     CommPtr comm = box.queued_recvs.front();
     box.queued_recvs.pop_front();
     comm->sender = a;
+    comm->sender_id = a->id_;
+    comm->src_host = a->host_;
     comm->payload = payload;
     comm->bytes = bytes;
     comm->rate = rate;
     start_comm(comm);
     return comm;
   }
-  auto comm = std::make_shared<Comm>();
+  CommPtr comm = make_comm();
   comm->mailbox = mb;
   comm->state = Comm::State::kQueuedSend;
   comm->sender = a;
+  comm->sender_id = a->id_;
+  comm->src_host = a->host_;
   comm->payload = payload;
   comm->bytes = bytes;
   comm->rate = rate;
@@ -271,29 +494,34 @@ CommPtr Kernel::send_async(const std::string& mb, void* payload, double bytes, d
   return comm;
 }
 
-CommPtr Kernel::recv_async(const std::string& mb) {
+CommPtr Kernel::recv_async(MailboxId mb) {
   Actor* a = self();
   assert(a != nullptr && "recv must be called from an actor");
-  Mailbox& box = mailbox(mb);
+  Mailbox& box = mailbox_ref(mb);
   if (!box.queued_sends.empty()) {
     CommPtr comm = box.queued_sends.front();
     box.queued_sends.pop_front();
     comm->receiver = a;
+    comm->receiver_id = a->id_;
+    comm->dst_host = a->host_;
     start_comm(comm);
     return comm;
   }
-  auto comm = std::make_shared<Comm>();
+  CommPtr comm = make_comm();
   comm->mailbox = mb;
   comm->state = Comm::State::kQueuedRecv;
   comm->receiver = a;
+  comm->receiver_id = a->id_;
+  comm->dst_host = a->host_;
   box.queued_recvs.push_back(comm);
   return comm;
 }
 
 void Kernel::start_comm(const CommPtr& comm) {
   comm->state = Comm::State::kStarted;
-  comm->action = engine_.comm_start(comm->sender->host_, comm->receiver->host_, comm->bytes, comm->rate,
-                                    "comm:" + comm->mailbox);
+  // By-value host ids: a detached sender may be long dead by the time its
+  // queued comm finds a receiver.
+  comm->action = engine_.comm_start(comm->src_host, comm->dst_host, comm->bytes, comm->rate);
   inflight_.emplace(comm->action.get(), comm);
 }
 
@@ -302,7 +530,8 @@ void Kernel::finish_comm(const CommPtr& comm, WakeStatus result) {
   comm->result = result;
   // Identity guards: wake each party only while it is still blocked on this
   // very communication (a straggler event must never wake an actor that has
-  // meanwhile blocked on something else).
+  // meanwhile blocked on something else). A waiting party is, by the
+  // endpoint lifetime invariant (comm.hpp), necessarily alive.
   if (comm->receiver != nullptr && comm->receiver_waiting && comm->receiver->blocked_comm_ == comm)
     wake(comm->receiver, result);
   if (comm->sender != nullptr && comm->sender_waiting && comm->sender->blocked_comm_ == comm)
@@ -316,13 +545,14 @@ void* Kernel::comm_wait(const CommPtr& comm, double timeout) {
   if (comm->state == Comm::State::kFinished) {
     st = comm->result;
   } else {
-    if (a == comm->sender)
+    const bool is_sender = comm->sender_id == a->id_;
+    if (is_sender)
       comm->sender_waiting = true;
     else
       comm->receiver_waiting = true;
     a->blocked_comm_ = comm;
     st = block_self(a, timeout);
-    if (a == comm->sender)
+    if (is_sender)
       comm->sender_waiting = false;
     else
       comm->receiver_waiting = false;
@@ -331,26 +561,31 @@ void* Kernel::comm_wait(const CommPtr& comm, double timeout) {
   return comm->payload;
 }
 
-void Kernel::send(const std::string& mb, void* payload, double bytes, double timeout, double rate) {
+void Kernel::send(MailboxId mb, void* payload, double bytes, double timeout, double rate) {
   comm_wait(send_async(mb, payload, bytes, rate), timeout);
 }
 
-void Kernel::send_detached(const std::string& mb, void* payload, double bytes, double rate) {
+void Kernel::send_detached(MailboxId mb, void* payload, double bytes, double rate) {
   CommPtr comm = send_async(mb, payload, bytes, rate);
   comm->detached = true;
 }
 
-void* Kernel::recv(const std::string& mb, double timeout, ActorId* source) {
+void* Kernel::recv(MailboxId mb, double timeout, ActorId* source) {
   CommPtr comm = recv_async(mb);
   void* payload = comm_wait(comm, timeout);
   if (source != nullptr)
-    *source = comm->sender != nullptr ? comm->sender->id() : -1;
+    *source = comm->sender_id;
   return payload;
 }
 
+bool Kernel::comm_waiting(MailboxId mb) const {
+  return !mailboxes_[static_cast<size_t>(mb)].queued_sends.empty();
+}
+
 bool Kernel::comm_waiting(const std::string& mb) const {
-  auto it = mailboxes_.find(mb);
-  return it != mailboxes_.end() && !it->second.queued_sends.empty();
+  // Probe without interning: an unknown name trivially has nothing queued.
+  auto it = mailbox_ids_.find(mb);
+  return it != mailbox_ids_.end() && comm_waiting(it->second);
 }
 
 // -- event handling -----------------------------------------------------------
@@ -364,6 +599,8 @@ void Kernel::handle_action_event(const core::ActionEvent& ev) {
       Actor* a = static_cast<Actor*>(act->user_data);
       // Identity guard: only wake the actor while it still waits on this
       // exact action (stale cancel events must not leak a spurious kOk).
+      // user_data is nulled whenever an actor detaches from an action, so a
+      // straggler event can never reach a reaped (and possibly reused) slot.
       if (a != nullptr && a->blocked_action_.get() == act)
         wake(a, ev.failed ? WakeStatus::kHostFailure : WakeStatus::kOk);
       break;
@@ -386,10 +623,10 @@ void Kernel::fire_due_timers() {
   while (!timers_.empty() && timers_.top().time <= engine_.now() + 1e-12) {
     const Timer t = timers_.top();
     timers_.pop();
-    auto it = actors_.find(t.actor);
-    if (it == actors_.end())
-      continue;
-    Actor* a = it->second.get();
+    auto it = id_to_slot_.find(t.actor);
+    if (it == id_to_slot_.end())
+      continue;  // actor reaped
+    Actor* a = slot(it->second);
     if (a->state_ != Actor::State::kBlocked || t.gen != a->timer_gen_)
       continue;  // stale timer
     if (a->blocked_comm_ != nullptr) {
@@ -402,10 +639,10 @@ void Kernel::fire_due_timers() {
       } else if (comm->state == Comm::State::kStarted) {
         comm->state = Comm::State::kFinished;
         comm->result = WakeStatus::kCanceled;
-        Actor* peer = (a == comm->sender) ? comm->receiver : comm->sender;
+        const bool a_is_sender = comm->sender_id == a->id_;
+        Actor* peer = a_is_sender ? comm->receiver : comm->sender;
         wake(a, WakeStatus::kTimeout);
-        if (peer != nullptr && ((peer == comm->sender && comm->sender_waiting) ||
-                                (peer == comm->receiver && comm->receiver_waiting)))
+        if (peer != nullptr && (a_is_sender ? comm->receiver_waiting : comm->sender_waiting))
           wake(peer, WakeStatus::kNetworkFailure);
         if (comm->action)
           comm->action->cancel();
@@ -423,14 +660,14 @@ void Kernel::fire_due_timers() {
 }
 
 void Kernel::remove_from_mailbox(const CommPtr& comm) {
-  auto it = mailboxes_.find(comm->mailbox);
-  if (it == mailboxes_.end())
+  if (comm->mailbox == kNoMailbox)
     return;
+  Mailbox& box = mailbox_ref(comm->mailbox);
   auto scrub = [&](std::deque<CommPtr>& q) {
     q.erase(std::remove(q.begin(), q.end(), comm), q.end());
   };
-  scrub(it->second.queued_sends);
-  scrub(it->second.queued_recvs);
+  scrub(box.queued_sends);
+  scrub(box.queued_recvs);
 }
 
 void Kernel::detach_from_comm(Actor* a) {
@@ -444,9 +681,9 @@ void Kernel::detach_from_comm(Actor* a) {
   } else if (comm->state == Comm::State::kStarted) {
     comm->state = Comm::State::kFinished;
     comm->result = WakeStatus::kCanceled;
-    Actor* peer = (a == comm->sender) ? comm->receiver : comm->sender;
-    if (peer != nullptr && ((peer == comm->sender && comm->sender_waiting) ||
-                            (peer == comm->receiver && comm->receiver_waiting)))
+    const bool a_is_sender = comm->sender_id == a->id_;
+    Actor* peer = a_is_sender ? comm->receiver : comm->sender;
+    if (peer != nullptr && (a_is_sender ? comm->receiver_waiting : comm->sender_waiting))
       wake(peer, WakeStatus::kNetworkFailure);
     if (comm->action)
       comm->action->cancel();
@@ -499,38 +736,43 @@ void Kernel::kill_internal(Actor* a, bool by_failure) {
   detach_from_comm(a);
   if (a->blocked_action_) {
     auto action = a->blocked_action_;
+    action->user_data = nullptr;
     a->blocked_action_.reset();
     action->cancel();
   }
   a->context_->request_kill();
-  while (!a->context_->finished())
-    a->context_->resume_and_wait();
-  handle_actor_end(a);
+  // Resume until the body has unwound (RAII during the unwind may yield).
+  // Track by id, not pointer: the final resume runs handle_actor_end, which
+  // may reap the slot.
+  const ActorId id = a->id_;
+  while (true) {
+    auto it = id_to_slot_.find(id);
+    if (it == id_to_slot_.end())
+      return;  // reaped
+    Actor* cur = slot(it->second);
+    if (!cur->alive())
+      return;  // zombie awaiting its run-queue reap
+    resume_context(cur);
+  }
 }
 
 bool Kernel::is_alive(ActorId id) const {
-  auto it = actors_.find(id);
-  return it != actors_.end() && it->second->alive();
+  auto it = id_to_slot_.find(id);
+  return it != id_to_slot_.end() && slot(it->second)->alive();
 }
 
 Actor* Kernel::actor(ActorId id) {
-  auto it = actors_.find(id);
-  return it == actors_.end() ? nullptr : it->second.get();
-}
-
-size_t Kernel::alive_actor_count() const {
-  size_t n = 0;
-  for (const auto& [id, a] : actors_)
-    if (a->alive())
-      ++n;
-  return n;
+  auto it = id_to_slot_.find(id);
+  return it == id_to_slot_.end() ? nullptr : slot(it->second);
 }
 
 std::vector<ActorId> Kernel::live_actors() const {
   std::vector<ActorId> out;
-  for (const auto& [id, a] : actors_)
-    if (a->alive())
+  out.reserve(live_count_);
+  for (const auto& [id, s] : id_to_slot_)
+    if (slot(s)->alive())
       out.push_back(id);
+  std::sort(out.begin(), out.end());
   return out;
 }
 
@@ -544,12 +786,19 @@ void Kernel::process_resource_changes() {
     auto [host, on] = host_changes_.front();
     host_changes_.erase(host_changes_.begin());
     if (!on) {
-      // Kill every actor living on the failed host.
-      std::vector<Actor*> victims;
-      for (auto& [id, a] : actors_)
-        if (a->alive() && a->host_ == host)
-          victims.push_back(a.get());
-      for (Actor* a : victims) {
+      // Kill every actor living on the failed host. The per-host live list
+      // makes this O(residents); collected as ids (a victim's exit callback
+      // may kill — and reap — another victim) and sorted for a deterministic
+      // kill order.
+      std::vector<ActorId> victims;
+      for (std::int32_t s = host_live_head_[static_cast<size_t>(host)]; s != -1;
+           s = slot(static_cast<std::uint32_t>(s))->host_next_)
+        victims.push_back(slot(static_cast<std::uint32_t>(s))->id_);
+      std::sort(victims.begin(), victims.end());
+      for (ActorId id : victims) {
+        Actor* a = actor(id);
+        if (a == nullptr || !a->alive())
+          continue;
         SG_VERB(kernel, "host %s failed: killing actor '%s'",
                 engine_.platform().host(host).name.c_str(), a->name_.c_str());
         kill_internal(a, true);
@@ -560,7 +809,7 @@ void Kernel::process_resource_changes() {
       auto it = pending_restarts_.begin();
       while (it != pending_restarts_.end()) {
         if (it->host == host) {
-          todo.push_back(*it);
+          todo.push_back(std::move(*it));
           it = pending_restarts_.erase(it);
         } else {
           ++it;

@@ -5,14 +5,27 @@
 ///
 /// Threading model: strictly serialized. The maestro runs actors one at a
 /// time; an actor executing a simcall may safely touch kernel state directly
-/// because nothing else runs concurrently.
+/// because nothing else runs concurrently. Whether actors are OS threads or
+/// pooled fibers is a Context backend choice (context.hpp) — the kernel is
+/// backend-agnostic and schedules identically under both.
+///
+/// Scale shape (the "millions of users" path): actors live in a chunked slot
+/// arena with O(1) spawn/death and slot+stack recycling, mailbox names are
+/// interned to dense ids once at the API boundary, comm control blocks are
+/// pooled, and the ready set is split into per-shard run queues keyed off
+/// Platform::shard_map() — a sweep drains one zone's wakeups as a batch, so
+/// the solver and heap shard that zone's simcalls touch stay cache-resident,
+/// while a fixed shard rotation keeps the schedule deterministic and
+/// reproducible across context backends.
 #pragma once
 
+#include <cstdint>
 #include <deque>
-#include <map>
+#include <functional>
 #include <memory>
 #include <queue>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/engine.hpp"
@@ -20,6 +33,8 @@
 #include "kernel/comm.hpp"
 
 namespace sg::kernel {
+
+struct CommBlockPool;  // LIFO recycler for comm control blocks (kernel.cpp)
 
 class Kernel {
 public:
@@ -64,26 +79,52 @@ public:
   /// Terminate the calling actor.
   [[noreturn]] void exit_self();
 
-  /// Blocking send: rendezvous on `mailbox`, then transfer `bytes` from the
+  // -- mailboxes ---------------------------------------------------------------
+  /// Intern a mailbox name to its dense id (creating the mailbox on first
+  /// use). Call once at the API boundary; the id-keyed simcalls below are
+  /// the hot path — no hashing, no string construction per communication.
+  MailboxId mailbox_by_name(const std::string& name);
+  /// The name a mailbox id was interned from (logging / debugging).
+  const std::string& mailbox_name(MailboxId id) const { return mailbox_names_[static_cast<size_t>(id)]; }
+
+  /// Blocking send: rendezvous on the mailbox, then transfer `bytes` from the
   /// caller's host to the receiver's host. timeout < 0 = wait forever.
-  void send(const std::string& mailbox, void* payload, double bytes, double timeout = -1.0,
-            double rate = -1.0);
+  void send(MailboxId mailbox, void* payload, double bytes, double timeout = -1.0, double rate = -1.0);
   /// Fire-and-forget send (the comm lives on after the caller moves on).
-  void send_detached(const std::string& mailbox, void* payload, double bytes, double rate = -1.0);
+  void send_detached(MailboxId mailbox, void* payload, double bytes, double rate = -1.0);
   /// Blocking receive. Returns the payload; source (if non-null) receives the
   /// sending actor's id.
-  void* recv(const std::string& mailbox, double timeout = -1.0, ActorId* source = nullptr);
+  void* recv(MailboxId mailbox, double timeout = -1.0, ActorId* source = nullptr);
 
   /// Asynchronous variants (used by SMPI's Isend/Irecv).
-  CommPtr send_async(const std::string& mailbox, void* payload, double bytes, double rate = -1.0);
-  CommPtr recv_async(const std::string& mailbox);
+  CommPtr send_async(MailboxId mailbox, void* payload, double bytes, double rate = -1.0);
+  CommPtr recv_async(MailboxId mailbox);
+
+  /// Is a send already queued on this mailbox? (message probe)
+  bool comm_waiting(MailboxId mailbox) const;
+
+  // String-keyed convenience wrappers (one interning each; fine for cold
+  // paths and tests, wasteful in per-message loops).
+  void send(const std::string& mailbox, void* payload, double bytes, double timeout = -1.0,
+            double rate = -1.0) {
+    send(mailbox_by_name(mailbox), payload, bytes, timeout, rate);
+  }
+  void send_detached(const std::string& mailbox, void* payload, double bytes, double rate = -1.0) {
+    send_detached(mailbox_by_name(mailbox), payload, bytes, rate);
+  }
+  void* recv(const std::string& mailbox, double timeout = -1.0, ActorId* source = nullptr) {
+    return recv(mailbox_by_name(mailbox), timeout, source);
+  }
+  CommPtr send_async(const std::string& mailbox, void* payload, double bytes, double rate = -1.0) {
+    return send_async(mailbox_by_name(mailbox), payload, bytes, rate);
+  }
+  CommPtr recv_async(const std::string& mailbox) { return recv_async(mailbox_by_name(mailbox)); }
+  bool comm_waiting(const std::string& mailbox) const;
+
   /// Wait for an async comm; throws like send/recv. Returns the payload.
   void* comm_wait(const CommPtr& comm, double timeout = -1.0);
   /// Non-blocking completion test.
   bool comm_test(const CommPtr& comm) const { return comm->state == Comm::State::kFinished; }
-
-  /// Is a send already queued on this mailbox? (message probe)
-  bool comm_waiting(const std::string& mailbox) const;
 
   // -- actor management ---------------------------------------------------------
   void suspend(ActorId id);
@@ -92,31 +133,68 @@ public:
 
   bool is_alive(ActorId id) const;
   Actor* actor(ActorId id);
-  size_t alive_actor_count() const;
-  /// Ids of all live actors (snapshot).
+  size_t alive_actor_count() const { return live_count_; }
+  /// Ids of all live actors (snapshot, ascending).
   std::vector<ActorId> live_actors() const;
 
   // -- platform control (fault injection) ---------------------------------------
   void host_off(int host);
   void host_on(int host);
 
+  // -- introspection -------------------------------------------------------------
+  /// Scheduler counters (monotonic over the kernel's lifetime).
+  struct Stats {
+    std::uint64_t actors_spawned = 0;
+    std::uint64_t wakeups = 0;           ///< blocked -> ready transitions
+    std::uint64_t context_switches = 0;  ///< maestro -> actor resumes
+  };
+  const Stats& stats() const { return stats_; }
+  /// The context backend in use (pool stats, backend name).
+  const ContextFactory& context_factory() const { return *context_factory_; }
+
 private:
   struct Timer {
     double time;
     ActorId actor;
-    std::uint64_t gen;
+    std::uint32_t gen;
     bool operator>(const Timer& o) const { return time > o.time; }
   };
 
-  Mailbox& mailbox(const std::string& name) { return mailboxes_[name]; }
+  struct RestartSpec {
+    std::string name;
+    int host;
+    std::function<void()> body;
+    bool daemon;
+  };
 
-  void run_actor(Actor* a);
+  // -- actor slot arena ---------------------------------------------------------
+  // Chunked so Actor addresses are stable while slots of dead actors (and
+  // their fiber stacks) are recycled. 256 actors per chunk.
+  static constexpr unsigned kChunkShift = 8;
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
+  struct ActorChunk;
+
+  Actor* slot(std::uint32_t s) const;
+  Actor* allocate_actor(ActorId id, const std::string& name, int host, std::function<void()> body,
+                        bool daemon, bool auto_restart);
+  /// Destroy a dead actor and recycle its slot. Only legal once the actor is
+  /// no longer in a ready queue (scheduler sweeps reap deferred zombies).
+  void reap_actor(Actor* a);
+  void host_list_insert(Actor* a);
+  void host_list_remove(Actor* a);
+  std::int32_t shard_for_host(int host) const;
+
+  /// Run one actor: publish it as current, resume its context, and handle
+  /// its termination. Safe to call re-entrantly (an actor killing another).
+  void resume_context(Actor* a);
   void handle_actor_end(Actor* a);
   void schedule(Actor* a);
   void wake(Actor* a, WakeStatus status);
   /// Park the calling actor until woken; returns the wake status.
   WakeStatus block_self(Actor* a, double timeout);
 
+  CommPtr make_comm();
+  Mailbox& mailbox_ref(MailboxId id) { return mailboxes_[static_cast<size_t>(id)]; }
   void start_comm(const CommPtr& comm);
   void finish_comm(const CommPtr& comm, WakeStatus result);
   void handle_action_event(const core::ActionEvent& ev);
@@ -125,25 +203,41 @@ private:
   void kill_internal(Actor* a, bool by_failure);
   void process_resource_changes();
   void remove_from_mailbox(const CommPtr& comm);
+  /// Kill every live actor (id order) and reap zombies left in run queues.
+  void teardown_all_actors();
 
+  // Declared first so it is destroyed last: Actor teardown returns fiber
+  // stacks to the factory's pool.
+  std::unique_ptr<ContextFactory> context_factory_;
   core::Engine engine_;
-  std::map<ActorId, std::unique_ptr<Actor>> actors_;  // retained after death (stable pointers)
+
+  // Actor arena + indexes.
+  std::vector<std::unique_ptr<ActorChunk>> chunks_;
+  std::vector<std::uint32_t> free_slots_;
+  std::uint32_t slot_high_ = 0;  ///< slots carved so far
+  std::unordered_map<ActorId, std::uint32_t> id_to_slot_;  ///< live + zombie actors
   ActorId next_actor_id_ = 1;
-  std::deque<Actor*> ready_;
-  std::map<std::string, Mailbox> mailboxes_;
-  std::map<const core::Action*, CommPtr> inflight_;  ///< running transfers
+  std::vector<std::int32_t> host_live_head_;  ///< per host: first live resident slot
+  size_t live_count_ = 0;
+  size_t live_nondaemon_ = 0;
+
+  // Per-shard run queues (see the file comment).
+  std::vector<std::deque<Actor*>> ready_;
+  size_t ready_count_ = 0;
+
+  // Interned mailboxes.
+  std::deque<Mailbox> mailboxes_;  ///< by id; deque keeps references stable
+  std::vector<std::string> mailbox_names_;
+  std::unordered_map<std::string, MailboxId> mailbox_ids_;
+
+  std::shared_ptr<CommBlockPool> comm_pool_;
+  std::unordered_map<const core::Action*, CommPtr> inflight_;  ///< running transfers
   std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timers_;
   std::vector<std::pair<int, bool>> host_changes_;  ///< deferred (host, now_on)
+  std::vector<RestartSpec> pending_restarts_;  ///< respawn when host returns
+  Stats stats_;
   bool deadlocked_ = false;
   bool running_ = false;
-
-  struct RestartSpec {
-    std::string name;
-    int host;
-    std::function<void()> body;
-    bool daemon;
-  };
-  std::vector<RestartSpec> pending_restarts_;  ///< respawn when host returns
 };
 
 }  // namespace sg::kernel

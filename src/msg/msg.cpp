@@ -14,6 +14,9 @@ namespace {
 struct MsgGlobals {
   std::unique_ptr<kernel::Kernel> kernel;
   int channels = 16;
+  /// Interned mailbox of (host, channel), host-major, filled lazily. MSG's
+  /// per-message hot path never builds a mailbox-name string.
+  std::vector<kernel::MailboxId> channel_mbox;
 };
 
 MsgGlobals& globals() {
@@ -28,11 +31,19 @@ kernel::Kernel& the_kernel() {
   return *g.kernel;
 }
 
-std::string channel_mailbox(int host, int channel) {
+kernel::MailboxId channel_mailbox(int host, int channel) {
   auto& g = globals();
   if (channel < 0 || channel >= g.channels)
     throw xbt::InvalidArgument(xbt::format("channel %d out of range [0, %d)", channel, g.channels));
-  return xbt::format("msg:%d:%d", host, channel);
+  if (g.channel_mbox.empty())
+    g.channel_mbox.assign(the_kernel().engine().platform().host_count() *
+                              static_cast<size_t>(g.channels),
+                          kernel::kNoMailbox);
+  auto& mbox = g.channel_mbox[static_cast<size_t>(host) * static_cast<size_t>(g.channels) +
+                              static_cast<size_t>(channel)];
+  if (mbox == kernel::kNoMailbox)
+    mbox = the_kernel().mailbox_by_name(xbt::format("msg:%d:%d", host, channel));
+  return mbox;
 }
 
 int self_host_index() {
@@ -48,9 +59,14 @@ void MSG_init(platform::Platform platform, int channels) {
   auto& g = globals();
   g.kernel = std::make_unique<kernel::Kernel>(std::move(platform));
   g.channels = channels;
+  g.channel_mbox.clear();  // ids belong to the previous kernel
 }
 
-void MSG_clean() { globals().kernel.reset(); }
+void MSG_clean() {
+  auto& g = globals();
+  g.kernel.reset();
+  g.channel_mbox.clear();
+}
 
 double MSG_main() { return the_kernel().run(); }
 

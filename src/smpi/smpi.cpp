@@ -5,6 +5,7 @@
 #include <deque>
 #include <map>
 #include <mutex>
+#include <unordered_map>
 
 #include "kernel/kernel.hpp"
 #include "xbt/config.hpp"
@@ -43,18 +44,38 @@ struct World {
 struct RankState {
   World* world = nullptr;
   int rank = -1;
+  kernel::MailboxId mbox = kernel::kNoMailbox;  ///< interned once at world setup
   std::deque<std::unique_ptr<Envelope>> unexpected;
 };
 
-thread_local RankState* tl_rank = nullptr;
-
-RankState& self() {
-  if (tl_rank == nullptr)
-    throw xbt::InvalidArgument("MPI call outside of an SMPI rank");
-  return *tl_rank;
+// Rank state keyed by kernel actor id, not by thread: under the fiber
+// context backend every rank shares the maestro's OS thread, so a
+// thread_local cannot tell ranks apart. Access is serialized by the kernel.
+std::unordered_map<long, RankState*>& actor_ranks() {
+  static std::unordered_map<long, RankState*> map;
+  return map;
 }
 
-std::string rank_mailbox(int rank) { return "smpi:" + std::to_string(rank); }
+/// RAII binding of a rank to its actor (unbinds on any exit, kills included).
+struct RankScope {
+  long actor_id;
+  explicit RankScope(RankState* st) : actor_id(kernel::Kernel::self()->id()) {
+    actor_ranks()[actor_id] = st;
+  }
+  ~RankScope() { actor_ranks().erase(actor_id); }
+  RankScope(const RankScope&) = delete;
+  RankScope& operator=(const RankScope&) = delete;
+};
+
+RankState& self() {
+  if (const kernel::Actor* a = kernel::Kernel::self()) {
+    auto& map = actor_ranks();
+    auto it = map.find(a->id());
+    if (it != map.end())
+      return *it->second;
+  }
+  throw xbt::InvalidArgument("MPI call outside of an SMPI rank");
+}
 
 bool matches(const Envelope& env, int source, int tag) {
   return (source == MPI_ANY_SOURCE || env.src == source) && (tag == MPI_ANY_TAG || env.tag == tag);
@@ -103,7 +124,7 @@ void progress_recv(RankState& st, RequestRec& req) {
   }
   // 2. pull from the wire
   while (true) {
-    void* raw = st.world->kernel->recv(rank_mailbox(st.rank), -1.0);
+    void* raw = st.world->kernel->recv(st.mbox, -1.0);
     std::unique_ptr<Envelope> env(static_cast<Envelope*>(raw));
     if (matches(*env, req.source, req.tag)) {
       deliver(req, std::move(env));
@@ -153,6 +174,7 @@ double smpi_run(platform::Platform platform, int nranks, std::function<void(int)
     auto st = std::make_unique<RankState>();
     st->world = &world;
     st->rank = r;
+    st->mbox = kernel.mailbox_by_name("smpi:" + std::to_string(r));
     world.ranks[static_cast<size_t>(r)] = st.get();
     states.push_back(std::move(st));
   }
@@ -160,9 +182,8 @@ double smpi_run(platform::Platform platform, int nranks, std::function<void(int)
   for (int r = 0; r < nranks; ++r) {
     RankState* st = states[static_cast<size_t>(r)].get();
     kernel.spawn("rank" + std::to_string(r), hosts[static_cast<size_t>(r)], [st, rank_main] {
-      tl_rank = st;
+      RankScope scope(st);
       rank_main(st->rank);
-      tl_rank = nullptr;
     });
   }
   return kernel.run();
@@ -193,11 +214,11 @@ Request isend_impl(const void* buf, int count, const Datatype& type, int dest, i
   const double wire_bytes = static_cast<double>(bytes) + 32.0;
   if (static_cast<double>(bytes) <= st.world->eager_threshold) {
     // Eager: buffered send, sender is immediately free.
-    st.world->kernel->send_detached(rank_mailbox(dest), env, wire_bytes);
+    st.world->kernel->send_detached(st.world->ranks[static_cast<size_t>(dest)]->mbox, env, wire_bytes);
     req->done = true;
   } else {
     // Rendezvous: completes when the receiver has it.
-    req->comm = st.world->kernel->send_async(rank_mailbox(dest), env, wire_bytes);
+    req->comm = st.world->kernel->send_async(st.world->ranks[static_cast<size_t>(dest)]->mbox, env, wire_bytes);
     req->sent = env;
   }
   return req;
