@@ -11,6 +11,10 @@ Supports three input shapes:
   * memory metrics ("benchmarks" entries with "bytes") — the bytes-per-
     action, bytes-per-flow, routing_bytes_per_host and (per-zone solver
     shard) solver_bytes_per_shard records in BENCH_engine.json
+  * throughput rates ("benchmarks" entries whose primary metric is
+    "events_per_sec", with no wall_time_s/bytes) — the thread_scaling/*
+    rows in BENCH_engine.json. These gate HIGHER-is-better: the job fails
+    when current < baseline * (1 - threshold).
 
 Entries may also carry secondary metrics (events_per_sec, us_per_event,
 ns_per_route, sim_time_s, ...). Those are informational: they are printed
@@ -19,8 +23,9 @@ the primary wall time / bytes value is what gates. Ratios of metrics named
 in HIGHER_IS_BETTER are inverted on display so every printed ratio reads
 "above 1.00 = worse".
 
-All tracked metrics are lower-is-better. A benchmark regresses when
-current > baseline * (1 + threshold). Benchmarks present on only one side
+Tracked time/bytes metrics are lower-is-better: a benchmark regresses
+when current > baseline * (1 + threshold). Tracked rate metrics are
+higher-is-better: they regress when current < baseline * (1 - threshold). Benchmarks present on only one side
 are reported but never fail the job, and a missing baseline file skips the
 comparison entirely (first run on a branch, expired artifact, ...).
 
@@ -43,12 +48,14 @@ PRIMARY_KEYS = ("bytes", "wall_time_s", "real_time", "time_unit", "name")
 
 # Informational metrics where larger is better; their display ratio is
 # inverted so the table reads uniformly (above 1.00 = worse).
-HIGHER_IS_BETTER = {"events_per_sec", "spawn_per_sec", "wakeups_per_sec"}
+HIGHER_IS_BETTER = {"events_per_sec", "spawn_per_sec", "wakeups_per_sec",
+                    "speedup_vs_1_thread"}
 
 
 def load_metrics(path):
-    """name -> (value, kind): kind 'time' (seconds) or 'bytes' gates;
-    'info' rows are printed but never fail."""
+    """name -> (value, kind): kind 'time' (seconds), 'bytes' or 'rate'
+    (events/s, higher is better) gates; 'info' rows are printed but
+    never fail."""
     with open(path) as fh:
         data = json.load(fh)
     metrics = {}
@@ -59,6 +66,8 @@ def load_metrics(path):
             continue
         if "bytes" in entry:
             metrics[name] = (float(entry["bytes"]), "bytes")
+        elif "wall_time_s" not in entry and "events_per_sec" in entry:
+            metrics[name] = (float(entry["events_per_sec"]), "rate")
         elif "wall_time_s" in entry:
             metrics[name] = (float(entry["wall_time_s"]), "time")
         elif "real_time" in entry:
@@ -67,11 +76,14 @@ def load_metrics(path):
         # Secondary metrics only exist in the engine-bench shape; google-
         # benchmark entries carry bookkeeping numbers (family_index,
         # iterations, cpu_time, ...) that would drown the table.
-        if "wall_time_s" not in entry and "bytes" not in entry:
+        if "wall_time_s" not in entry and "bytes" not in entry \
+                and metrics.get(name, (0, ""))[1] != "rate":
             continue
         for key, value in entry.items():
             if key in PRIMARY_KEYS or not isinstance(value, (int, float)):
                 continue
+            if metrics.get(name, (0, ""))[1] == "rate" and key == "events_per_sec":
+                continue  # already the primary metric of this entry
             metrics[f"{name}#{key}"] = (float(value), "info")
     return metrics
 
@@ -104,11 +116,16 @@ def main():
             continue
         base, _ = baseline[name]
         ratio = cur / base if base > 0 else float("inf")
-        if kind == "info" and name.rsplit("#", 1)[-1] in HIGHER_IS_BETTER and cur > 0:
-            ratio = base / cur
+        if kind == "rate" or (kind == "info"
+                              and name.rsplit("#", 1)[-1] in HIGHER_IS_BETTER and cur > 0):
+            # Invert so every printed ratio reads "above 1.00 = worse".
+            ratio = base / cur if cur > 0 else float("inf")
         noise_floor = ABS_FLOOR_S if kind == "time" else 0.0
         flag = ""
-        if kind != "info" and cur > base * (1.0 + args.threshold) and cur > noise_floor:
+        if kind in ("time", "bytes") and cur > base * (1.0 + args.threshold) and cur > noise_floor:
+            flag = "  REGRESSED"
+            regressions.append((name, base, cur, ratio))
+        elif kind == "rate" and cur < base * (1.0 - args.threshold):
             flag = "  REGRESSED"
             regressions.append((name, base, cur, ratio))
         print(f"{name:50s} {base:14.6f} {cur:14.6f} {ratio:8.2f}{flag}")

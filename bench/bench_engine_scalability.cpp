@@ -93,8 +93,8 @@ double run_engine_churn(int n_pairs, int n_events, double* events_per_sec,
   // flow per event.
   int events = 0;
   while (events < n_pairs) {
-    auto fired = engine.step();
-    for (auto& ev : fired) {
+    const auto fired = engine.run_until();
+    for (const auto& ev : fired) {
       ++events;
       const int client = ev.action->host();
       engine.comm_start(client, ev.action->peer_host(), 1e6 * (1.0 + events % 7));
@@ -104,8 +104,8 @@ double run_engine_churn(int n_pairs, int n_events, double* events_per_sec,
   const auto t0 = Clock::now();
   events = 0;
   while (events < n_events) {
-    auto fired = engine.step();
-    for (auto& ev : fired) {
+    const auto fired = engine.run_until();
+    for (const auto& ev : fired) {
       ++events;
       const int client = ev.action->host();
       engine.comm_start(client, ev.action->peer_host(), 1e6 * (1.0 + events % 7));
@@ -166,8 +166,8 @@ double run_sharded_churn(int n_zones, int pairs_per_zone, int n_events, double* 
   const int total_pairs = hot_zone_only ? pairs_per_zone : n_zones * pairs_per_zone;
   int events = 0;
   while (events < total_pairs) {
-    auto fired = engine.step();
-    for (auto& ev : fired) {
+    const auto fired = engine.run_until();
+    for (const auto& ev : fired) {
       ++events;
       engine.comm_start(ev.action->host(), ev.action->peer_host(), 1e6 * (1.0 + events % 7));
     }
@@ -176,8 +176,8 @@ double run_sharded_churn(int n_zones, int pairs_per_zone, int n_events, double* 
   const auto t0 = Clock::now();
   events = 0;
   while (events < n_events) {
-    auto fired = engine.step();
-    for (auto& ev : fired) {
+    const auto fired = engine.run_until();
+    for (const auto& ev : fired) {
       ++events;
       engine.comm_start(ev.action->host(), ev.action->peer_host(), 1e6 * (1.0 + events % 7));
     }
@@ -453,6 +453,41 @@ int main(int argc, char** argv) {
   std::printf("completion heap; other zones' solver and heap state is never read (their\n");
   std::printf("only per-event trace is a cached head date), so a 16x bigger platform\n");
   std::printf("leaves the hot zone's per-event cost unchanged.\n\n");
+
+  std::printf("E9f: parallel per-shard stepping — engine/threads over the all-zones-hot\n");
+  std::printf("workload (16 zones x 2000 churning pairs, every shard advancing every\n");
+  std::printf("step; the shard phases of run_until() fan out across worker lanes):\n");
+  std::printf("%8s %12s %12s %18s %12s %10s\n", "threads", "total pairs", "events", "events/s",
+              "us/event", "vs 1 thr");
+  {
+    sg::core::declare_engine_config();
+    const int zones = 16, pairs_per_zone = 2000, n_events = 10000;
+    double one_thread_eps = 0;
+    for (int threads : {1, 2, 4, 8}) {
+      sg::config::set(sg::core::kCfgThreads, threads);
+      double wall = 1e30, eps = 0;
+      for (int rep = 0; rep < 3; ++rep) {
+        double rep_eps = 0, rep_bps = 0;
+        const double rep_wall =
+            run_sharded_churn(zones, pairs_per_zone, n_events, &rep_eps, &rep_bps);
+        if (rep_wall < wall) {
+          wall = rep_wall;
+          eps = rep_eps;
+        }
+      }
+      if (threads == 1)
+        one_thread_eps = eps;
+      std::printf("%8d %12d %12d %18.0f %12.3f %10.2f\n", threads, zones * pairs_per_zone,
+                  n_events, eps, 1e6 / eps, eps / one_thread_eps);
+      g_json.record_rate(sg::xbt::format("thread_scaling/all_zones_hot/threads:%d", threads), eps,
+                         {{"speedup_vs_1_thread", eps / one_thread_eps}});
+    }
+    sg::config::set(sg::core::kCfgThreads, 1);  // later sections measure the serial engine
+  }
+  std::printf("\nshape: the shard advance/solve phases are embarrassingly parallel; the\n");
+  std::printf("serial residue is the target reduction and the deterministic gather, so\n");
+  std::printf("events/s grows near-linearly until the backbone-coupling joins and the\n");
+  std::printf("gather dominate. (On a 1-core runner all rows collapse to the serial rate.)\n\n");
 
   std::printf("E9: kernel scalability — master/worker, 8 tasks per worker\n\n");
   std::printf("%10s %12s %15s %18s\n", "processes", "sim time(s)", "wall time (s)",

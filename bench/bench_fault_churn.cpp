@@ -94,7 +94,7 @@ double run_isolated_flaps(int n_pairs, int n_flaps, double* per_flap_us) {
   // delivered event is a failure.
   for (int i = 0; i < n_pairs; ++i)
     engine.comm_start(2 * i, 2 * i + 1, 1e18);
-  while (engine.running_action_count() > 0 && engine.step(1.0).empty() && engine.now() < 1.0) {
+  while (engine.running_action_count() > 0 && engine.run_until(1.0).empty() && engine.now() < 1.0) {
   }
 
   const auto t0 = Clock::now();
@@ -103,7 +103,7 @@ double run_isolated_flaps(int n_pairs, int n_flaps, double* per_flap_us) {
     const int pair = f % n_pairs;
     const int client_link = 1 + 2 * pair;  // link 0 is the backbone
     engine.set_link_state(client_link, false);
-    for (const auto& ev : engine.step())
+    for (const auto& ev : engine.run_until())
       failures += ev.failed ? 1 : 0;
     engine.set_link_state(client_link, true);
     engine.comm_start(2 * pair, 2 * pair + 1, 1e18);
@@ -140,7 +140,7 @@ double run_fault_churn(int n_pairs, int n_events, double* events_per_sec, int* f
   int events = 0, failures = 0;
   auto pump = [&](int until_events) {
     while (events < until_events) {
-      auto fired = engine.step();
+      const auto fired = engine.run_until();
       for (const auto& ev : fired) {
         ++events;
         const int pair = ev.action->host() / 2;

@@ -27,7 +27,7 @@ double mean_abs_error(const bench::ValidationScenario& sc, double bytes, double*
   for (const auto& f : sc.flows)
     comms.push_back(engine.comm_start(f.src, f.dst, bytes));
   while (engine.running_action_count() > 0)
-    engine.step();
+    engine.run_until();
 
   double sum = 0;
   *worst = 0;

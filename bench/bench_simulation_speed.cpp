@@ -21,7 +21,7 @@ double time_fluid(const bench::ValidationScenario& sc, double bytes) {
   for (const auto& f : sc.flows)
     comms.push_back(engine.comm_start(f.src, f.dst, bytes));
   while (engine.running_action_count() > 0)
-    engine.step();
+    engine.run_until();
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 

@@ -22,7 +22,7 @@ std::vector<double> fluid_rates(const bench::ValidationScenario& sc, double byte
   for (const auto& f : sc.flows)
     comms.push_back(engine.comm_start(f.src, f.dst, bytes));
   while (engine.running_action_count() > 0)
-    engine.step();
+    engine.run_until();
   std::vector<double> rates;
   rates.reserve(comms.size());
   for (const auto& c : comms)

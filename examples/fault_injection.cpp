@@ -118,9 +118,10 @@ int main() {
   }
 
   while (engine.now() < 10.0) {
-    auto events = engine.step(10.0);
-    if (events.empty() && engine.next_event_time() > 10.0)
-      break;
+    const double before = engine.now();
+    const auto events = engine.run_until(10.0);
+    if (events.empty() && engine.now() == before)
+      break;  // nothing left to happen before the horizon
     for (const auto& ev : events) {
       const Action& a = *ev.action;
       if (ev.failed) {

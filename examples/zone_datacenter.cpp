@@ -79,8 +79,8 @@ int main(int argc, char** argv) {
     dispatch(new Task);
 
   while (done < n_tasks) {
-    auto fired = engine.step();
-    for (auto& ev : fired) {
+    const auto fired = engine.run_until();
+    for (const auto& ev : fired) {
       ++events;
       Task* t = static_cast<Task*>(ev.action->user_data);
       if (t == nullptr)

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/workers.hpp"
 #include "xbt/config.hpp"
 #include "xbt/exception.hpp"
 #include "xbt/log.hpp"
@@ -27,25 +28,32 @@ const std::string kDefaultNames[] = {"exec", "comm", "ptask", "sleep"};
 }  // namespace
 
 void declare_engine_config() {
-  auto& cfg = xbt::Config::instance();
-  cfg.declare("network/tcp-gamma", 65536.0,
-              "TCP window size (bytes); flow rate is capped at gamma / (2 * route latency)");
-  cfg.declare("network/bandwidth-factor", 1460.0 / 1500.0,
-              "fraction of nominal link bandwidth usable as goodput (TCP/IP header overhead)");
-  cfg.declare("network/loopback-bw", 1e10, "intra-host communication bandwidth, B/s");
-  cfg.declare("network/loopback-lat", 1e-7, "intra-host communication latency, s");
-  cfg.declare("engine/sharding", 1.0,
-              "partition the solver and event heaps by platform zone (0: one global shard); "
-              "results are identical either way");
-  cfg.declare("engine/kill-transit-comms", 0.0,
-              "a host's death also fails every comm it is an endpoint of (L07-style); "
-              "default 0 keeps CM02 semantics where transit comms outlive their endpoints");
+  config::declare(kCfgTcpGamma, 65536.0,
+                  "TCP window size (bytes); flow rate is capped at gamma / (2 * route latency)");
+  config::declare(kCfgBandwidthFactor, 1460.0 / 1500.0,
+                  "fraction of nominal link bandwidth usable as goodput (TCP/IP header overhead)");
+  config::declare(kCfgLoopbackBw, 1e10, "intra-host communication bandwidth, B/s");
+  config::declare(kCfgLoopbackLat, 1e-7, "intra-host communication latency, s");
+  config::declare(kCfgSharding,
+                  true,
+                  "partition the solver and event heaps by platform zone (off: one global shard); "
+                  "results are identical either way");
+  config::declare(kCfgKillTransitComms,
+                  false,
+                  "a host's death also fails every comm it is an endpoint of (L07-style); "
+                  "off keeps CM02 semantics where transit comms outlive their endpoints");
+  config::declare(kCfgThreads, 1, 1, 256,
+                  "worker threads for per-shard stepping, clamped to the shard count "
+                  "(1 = serial; results are identical at any value)",
+                  "SG_THREADS");
 }
 
-/// Shared state co-owned by the engine and (via the allocator copy in every
-/// control block) by each action: the LIFO block recycler and the lazily-
-/// populated name side table. Living here rather than in the Engine keeps
-/// both safe for ActionPtrs that outlive their engine.
+/// Per-shard state co-owned by the engine and (via the allocator copy in
+/// every control block) by each of that shard's actions: the LIFO block
+/// recycler and the lazily-populated name side table. Living here rather
+/// than in the Engine keeps both safe for ActionPtrs that outlive their
+/// engine; having one per shard lets every worker lane allocate and free
+/// only through its own shards' pools, lock-free.
 ///
 /// The recycler serves the single block size allocate_shared<ConcreteAction>
 /// requests (action + control block fused). Steady-state churn re-uses the
@@ -139,14 +147,16 @@ void Action::resume() {
     rate_ = 1.0;
   // rate_ still holds the pre-suspension allocation; if the solver zeroed it
   // meanwhile, the post-resume solve will report the change and reschedule.
-  engine_->schedule_completion(engine_->running_[run_idx_]);
+  engine_->schedule_completion(
+      engine_->shards_[static_cast<size_t>(shard_)].running[run_idx_]);
   engine_->notify(*this, ActionState::kSuspended, ActionState::kRunning);
 }
 
 void Action::cancel() {
   if (state_ != ActionState::kRunning && state_ != ActionState::kSuspended)
     return;
-  engine_->finish_action(engine_->running_[run_idx_], ActionState::kCanceled, nullptr);
+  engine_->finish_action(engine_->shards_[static_cast<size_t>(shard_)].running[run_idx_],
+                         ActionState::kCanceled, nullptr);
 }
 
 double Action::remaining() const {
@@ -180,7 +190,7 @@ struct ConcreteAction : Action {
       : Action(engine, kind, total, priority) {}
 };
 
-/// Routes allocate_shared through the engine's block pool. Holds the pool by
+/// Routes allocate_shared through a shard's block pool. Holds the pool by
 /// shared_ptr: the copy stored in each control block keeps the pool alive
 /// until the last action is gone.
 template <typename T>
@@ -210,31 +220,40 @@ ActionPtr make_action(const std::shared_ptr<ActionBlockPool>& pool, Engine* engi
 void Engine::set_action_name(Action* action, const std::string& name) {
   if (name == kDefaultNames[static_cast<size_t>(action->kind_)])
     return;
-  action_pool_->names[action] = name;
-  action->pool_ = action_pool_.get();
+  // The name lives in the action's shard's pool (shard_ must be set first).
+  ActionBlockPool& pool = *shards_[static_cast<size_t>(action->shard_)].pool;
+  pool.names[action] = name;
+  action->pool_ = &pool;
   action->has_name_ = true;
 }
 
-Engine::Engine(platform::Platform platform)
-    : platform_(std::move(platform)), action_pool_(std::make_shared<ActionBlockPool>()) {
+Engine::Engine(platform::Platform platform) : platform_(std::move(platform)) {
   if (!platform_.sealed())
     platform_.seal();
   declare_engine_config();
-  auto& cfg = xbt::Config::instance();
-  tcp_gamma_ = cfg.get("network/tcp-gamma");
-  bandwidth_factor_ = cfg.get("network/bandwidth-factor");
-  loopback_bw_ = cfg.get("network/loopback-bw");
-  loopback_lat_ = cfg.get("network/loopback-lat");
-  kill_transit_comms_ = cfg.get("engine/kill-transit-comms") != 0.0;
+  tcp_gamma_ = config::get(kCfgTcpGamma);
+  bandwidth_factor_ = config::get(kCfgBandwidthFactor);
+  loopback_bw_ = config::get(kCfgLoopbackBw);
+  loopback_lat_ = config::get(kCfgLoopbackLat);
+  kill_transit_comms_ = config::get(kCfgKillTransitComms);
 
   // Size the solver shards and event heaps from the platform's shard map
   // (zones + backbone); engine/sharding=0 collapses everything into one
   // global shard — bit-for-bit the pre-sharding behaviour.
   const platform::ShardMap& smap = platform_.shard_map();
-  const bool sharding = cfg.get("engine/sharding") != 0.0;
+  const bool sharding = config::get(kCfgSharding);
   const int n_shards = sharding ? smap.shard_count : 1;
   sys_.init_shards(n_shards);
-  shard_events_.resize(static_cast<size_t>(n_shards));
+  shards_.resize(static_cast<size_t>(n_shards));
+  for (ShardState& ss : shards_)
+    ss.pool = std::make_shared<ActionBlockPool>();
+
+  // Worker lanes: more threads than shards would idle, so clamp. The pool is
+  // only spun up when it can actually be used.
+  const long threads = config::get(kCfgThreads);
+  lanes_ = static_cast<int>(std::clamp<long>(threads, 1, n_shards));
+  if (lanes_ > 1)
+    workers_ = std::make_unique<ShardWorkers>(lanes_);
 
   hosts_.resize(platform_.host_count());
   for (size_t h = 0; h < platform_.host_count(); ++h) {
@@ -256,7 +275,8 @@ Engine::Engine(platform::Platform platform)
       res.scale = spec.availability.value_at(0.0);
     if (!spec.state.empty())
       res.on = spec.state.value_at(0.0) > 0.5;
-    res.cnst = sys_.new_constraint_in(sharding ? smap.link_shard[l] : 0,
+    res.shard = sharding ? smap.link_shard[l] : 0;
+    res.cnst = sys_.new_constraint_in(res.shard,
                                       res.on ? spec.bandwidth_Bps * res.scale * bandwidth_factor_ : 0.0,
                                       spec.policy == platform::SharingPolicy::kShared);
   }
@@ -264,6 +284,12 @@ Engine::Engine(platform::Platform platform)
 }
 
 Engine::~Engine() = default;
+
+std::int32_t Engine::trace_shard(TraceEvent::Kind kind, int index) const {
+  if (kind == TraceEvent::Kind::kHostAvail || kind == TraceEvent::Kind::kHostState)
+    return hosts_[static_cast<size_t>(index)].shard;
+  return links_[static_cast<size_t>(index)].shard;
+}
 
 void Engine::schedule_trace_events() {
   for (size_t h = 0; h < platform_.host_count(); ++h) {
@@ -285,7 +311,16 @@ void Engine::schedule_trace_events() {
 void Engine::schedule_next(const trace::Trace& trace, TraceEvent::Kind kind, int index, double after) {
   auto next = trace.next_event_after(after);
   if (next)
-    trace_events_.push(TraceEvent{next->time, kind, index, next->value});
+    shards_[static_cast<size_t>(trace_shard(kind, index))].traces.push(
+        TraceEvent{next->time, kind, index, next->value});
+}
+
+double Engine::next_trace_time() const {
+  double best = kInf;
+  for (const ShardState& ss : shards_)
+    if (!ss.traces.empty())
+      best = std::min(best, std::max(ss.traces.top().time, now_));
+  return best;
 }
 
 ActionPtr Engine::exec_start(int host, double flops, double priority) {
@@ -300,11 +335,12 @@ ActionPtr Engine::exec_start_impl(int host, double flops, double priority, const
   HostRes& res = hosts_.at(static_cast<size_t>(host));
   if (!res.on)
     throw xbt::HostFailureException("exec_start: host " + platform_.host(host).name + " is down");
-  auto action = make_action(action_pool_, this, ActionKind::kExec, flops, priority);
-  if (name != nullptr)
-    set_action_name(action.get(), *name);  // before notify: observers read name()
+  auto action = make_action(shards_[static_cast<size_t>(res.shard)].pool, this, ActionKind::kExec,
+                            flops, priority);
   action->host_ = host;
   action->shard_ = res.shard;
+  if (name != nullptr)
+    set_action_name(action.get(), *name);  // before notify: observers read name()
   bind_var(action.get(), sys_.new_variable(priority));
   sys_.expand(res.cnst, action->var_, 1.0);
   add_running(action);
@@ -333,11 +369,13 @@ ActionPtr Engine::comm_start(int src_host, int dst_host, double bytes, double ra
 
 ActionPtr Engine::comm_start_impl(int src_host, int dst_host, double bytes, double rate_limit,
                                   const std::string* name) {
-  auto action = make_action(action_pool_, this, ActionKind::kComm, bytes, 1.0);
-  if (name != nullptr)
-    set_action_name(action.get(), *name);  // before notify: observers read name()
-  action->host_ = src_host;
-  action->peer_host_ = dst_host;
+  // Resolve the route (and the shard affinity that follows from it) before
+  // allocating, so the action comes from its own shard's block pool.
+  // Heap/solver affinity: intra-zone transfers stay in their zone's shard;
+  // anything crossing a zone boundary lives with the backbone.
+  const std::int32_t src_shard = hosts_.at(static_cast<size_t>(src_host)).shard;
+  const std::int32_t dst_shard = hosts_.at(static_cast<size_t>(dst_host)).shard;
+  const std::int32_t shard = src_shard == dst_shard ? src_shard : 0;
 
   double latency = 0.0;
   bool dead_route = false;
@@ -345,7 +383,7 @@ ActionPtr Engine::comm_start_impl(int src_host, int dst_host, double bytes, doub
   if (src_host == dst_host) {
     latency = loopback_lat_;
     // The loopback is part of the host: it dies (and fails its comms) with it.
-    if (!hosts_.at(static_cast<size_t>(src_host)).on)
+    if (!hosts_[static_cast<size_t>(src_host)].on)
       dead_route = true;
   } else {
     route = platform_.route(src_host, dst_host);
@@ -357,19 +395,22 @@ ActionPtr Engine::comm_start_impl(int src_host, int dst_host, double bytes, doub
       }
   }
 
+  auto action = make_action(shards_[static_cast<size_t>(shard)].pool, this, ActionKind::kComm,
+                            bytes, 1.0);
+  action->host_ = src_host;
+  action->peer_host_ = dst_host;
+  action->shard_ = shard;
+  if (name != nullptr)
+    set_action_name(action.get(), *name);  // before notify: observers read name()
+
   if (dead_route) {
-    // The communication fails immediately; report it through the next step()
+    // The communication fails immediately; report it through the next step
     // so the kernel sees a normal failure event.
     action->state_ = ActionState::kFailed;
     action->finish_time_ = now_;
     pending_.push_back(ActionEvent{action, true});
     return action;
   }
-
-  // Heap/solver affinity: intra-zone transfers stay in their zone's shard;
-  // anything crossing a zone boundary lives with the backbone.
-  const std::int32_t src_shard = hosts_[static_cast<size_t>(src_host)].shard;
-  action->shard_ = src_shard == hosts_[static_cast<size_t>(dst_host)].shard ? src_shard : 0;
 
   double bound = ShardedMaxMin::kNoBound;
   if (rate_limit > 0)
@@ -421,17 +462,20 @@ ActionPtr Engine::ptask_start(const std::vector<int>& hosts, const std::vector<d
     if (!hosts_.at(static_cast<size_t>(h)).on)
       throw xbt::HostFailureException("ptask_start: host is down");
 
+  std::int32_t shard = hosts_[static_cast<size_t>(hosts[0])].shard;
+  for (int h : hosts)
+    if (hosts_[static_cast<size_t>(h)].shard != shard) {
+      shard = 0;  // spans zones: backbone affinity
+      break;
+    }
+
   // The action's "amount" is the normalized fraction of the whole task;
   // coefficient k on a resource means "rate v consumes k*v of the resource",
   // so at completion (integral of v = 1) exactly flops[i] / bytes[i][j] have
   // been consumed. This is SimGrid's L07 parallel-task model.
-  auto action = make_action(action_pool_, this, ActionKind::kPtask, 1.0, 1.0);
-  action->shard_ = hosts_[static_cast<size_t>(hosts[0])].shard;
-  for (int h : hosts)
-    if (hosts_[static_cast<size_t>(h)].shard != action->shard_) {
-      action->shard_ = 0;  // spans zones: backbone affinity
-      break;
-    }
+  auto action = make_action(shards_[static_cast<size_t>(shard)].pool, this, ActionKind::kPtask,
+                            1.0, 1.0);
+  action->shard_ = shard;
   bind_var(action.get(), sys_.new_variable(0.0));
 
   double latency = 0.0;
@@ -474,7 +518,8 @@ ActionPtr Engine::sleep_start(int host, double duration) {
   HostRes& res = hosts_.at(static_cast<size_t>(host));
   if (!res.on)
     throw xbt::HostFailureException("sleep_start: host is down");
-  auto action = make_action(action_pool_, this, ActionKind::kSleep, duration, 1.0);
+  auto action = make_action(shards_[static_cast<size_t>(res.shard)].pool, this, ActionKind::kSleep,
+                            duration, 1.0);
   action->host_ = host;
   action->shard_ = res.shard;
   action->rate_ = 1.0;  // time passes at rate 1
@@ -496,16 +541,24 @@ void Engine::bind_var(Action* action, ShardedMaxMin::VarId var) {
 
 void Engine::add_running(const ActionPtr& action) {
   action->last_update_ = now_;
-  if (!free_run_slots_.empty()) {
-    const size_t idx = free_run_slots_.back();
-    free_run_slots_.pop_back();
+  ShardState& ss = shards_[static_cast<size_t>(action->shard_)];
+  if (!ss.free_slots.empty()) {
+    const size_t idx = ss.free_slots.back();
+    ss.free_slots.pop_back();
     action->run_idx_ = idx;
-    running_[idx] = action;
+    ss.running[idx] = action;
   } else {
-    action->run_idx_ = running_.size();
-    running_.push_back(action);
+    action->run_idx_ = ss.running.size();
+    ss.running.push_back(action);
   }
-  ++running_count_;
+  ++ss.running_count;
+}
+
+size_t Engine::running_action_count() const {
+  size_t n = 0;
+  for (const ShardState& ss : shards_)
+    n += ss.running_count;
+  return n;
 }
 
 void Engine::sync_progress(Action& a) {
@@ -604,7 +657,7 @@ void Engine::orphan_heap_entry(Action& a) {
   if (a.in_heap_) {
     // A live entry sits in the latency heap exactly while the action is in
     // its latency phase (the expiry pop clears in_heap_ first).
-    ShardEvents& se = shard_events_[static_cast<size_t>(a.shard_)];
+    ShardEvents& se = shards_[static_cast<size_t>(a.shard_)].events;
     ++(a.in_latency_phase_ ? se.latency_stale : se.completion_stale);
     a.in_heap_ = false;
   }
@@ -616,7 +669,7 @@ void Engine::schedule_completion(const ActionPtr& a) {
   if (date == kInf)
     return;
   a->in_heap_ = true;
-  ShardEvents& se = shard_events_[static_cast<size_t>(a->shard_)];
+  ShardEvents& se = shards_[static_cast<size_t>(a->shard_)].events;
   if (a->in_latency_phase_) {
     // Near-term event: keep it out of the big heap (see the member docs).
     se.latency.push(date, a->heap_stamp_, a);
@@ -638,7 +691,8 @@ double Engine::next_event_source(EventHeap** out_heap, size_t** out_stale) {
     size_t* best_stale = nullptr;
     double lb = kInf;
     double second = kInf;
-    for (ShardEvents& se : shard_events_) {
+    for (ShardState& ss : shards_) {
+      ShardEvents& se = ss.events;
       // Within a shard the latency heap wins date ties (strict < on the
       // completion check), matching the unsharded engine's order.
       if (se.latency.head_lb < lb) {
@@ -674,6 +728,25 @@ double Engine::next_event_source(EventHeap** out_heap, size_t** out_stale) {
   }
 }
 
+double Engine::shard_event_source(ShardEvents& se, EventHeap** out_heap, size_t** out_stale) {
+  const double lat = reap_heap_top(se.latency, se.latency_stale);
+  const double comp = reap_heap_top(se.completion, se.completion_stale);
+  // The latency heap wins date ties, matching next_event_source's scan order.
+  if (lat <= comp && lat != kInf) {
+    *out_heap = &se.latency;
+    *out_stale = &se.latency_stale;
+    return lat;
+  }
+  if (comp != kInf) {
+    *out_heap = &se.completion;
+    *out_stale = &se.completion_stale;
+    return comp;
+  }
+  *out_heap = nullptr;
+  *out_stale = nullptr;
+  return kInf;
+}
+
 double Engine::next_completion_date() {
   EventHeap* heap;
   size_t* stale;
@@ -687,15 +760,28 @@ void Engine::share_resources() {
   // completion date: an unchanged rate leaves the heap entry valid.
   if (!sys_.needs_solve())
     return;
-  sys_.solve();
-  for (ShardedMaxMin::VarId v : sys_.changed_variables()) {
-    Action* a = action_of_var_[static_cast<size_t>(v)];
-    if (a == nullptr)
-      continue;
-    sync_progress(*a);  // fold in progress made at the old rate
-    a->rate_ = sys_.value(v);
-    schedule_completion(running_[a->run_idx_]);
-  }
+  sys_.solve(workers_.get());
+  const auto& changed = sys_.changed_variables();
+  if (changed.empty())
+    return;
+  // Rate refresh fans out by lane: each lane scans the full changed list and
+  // refreshes the actions whose shard maps to it, so every heap receives the
+  // same push subsequence (hence the same final state) as a serial scan —
+  // at any lane count.
+  auto refresh_lane = [&](int lane, int lanes) {
+    for (ShardedMaxMin::VarId v : changed) {
+      Action* a = action_of_var_[static_cast<size_t>(v)];
+      if (a == nullptr || ShardWorkers::lane_of(a->shard_, lanes) != lane)
+        continue;
+      sync_progress(*a);  // fold in progress made at the old rate
+      a->rate_ = sys_.value(v);
+      schedule_completion(shards_[static_cast<size_t>(a->shard_)].running[a->run_idx_]);
+    }
+  };
+  if (workers_)
+    workers_->run_lanes(refresh_lane);
+  else
+    refresh_lane(0, 1);
 }
 
 double Engine::action_finish_date(const Action& a) const {
@@ -714,20 +800,23 @@ double Engine::next_event_time() {
   share_resources();
   if (!pending_.empty())
     return now_;
-  double best = next_completion_date();
-  if (!trace_events_.empty())
-    best = std::min(best, std::max(trace_events_.top().time, now_));
-  return best;
+  return std::min(next_completion_date(), next_trace_time());
 }
 
 std::vector<ActionEvent> Engine::step(double bound) {
-  std::vector<ActionEvent> out;
+  run_until(bound);
+  // Moving the storage out (rather than copying the span) also drops the
+  // engine's strong references to the fired actions immediately.
+  return std::move(events_);
+}
 
-  // Deliver immediately-failed activities first.
+std::span<const ActionEvent> Engine::run_until(double deadline) {
+  events_.clear();
+
+  // Deliver immediately-failed / externally-finished activities first.
   if (!pending_.empty()) {
-    out = std::move(pending_);
-    pending_.clear();
-    return out;
+    std::swap(events_, pending_);
+    return {events_.data(), events_.size()};
   }
 
   share_resources();
@@ -736,26 +825,57 @@ std::vector<ActionEvent> Engine::step(double bound) {
   // dates were computed when the rates were assigned, in absolute time, so
   // no floating-point advance can strand an action with an un-completable
   // remainder.
-  double next = next_completion_date();
-  if (!trace_events_.empty())
-    next = std::min(next, std::max(trace_events_.top().time, now_));
-
-  const double target = std::min(next, bound);
+  const double next_completion = next_completion_date();
+  const double next_trace = next_trace_time();
+  const double target = std::min({next_completion, next_trace, deadline});
   if (target == kInf)
-    return out;  // nothing will ever happen
+    return {};  // nothing will ever happen
   const double eps = time_eps_at(target);
   now_ = target;
+  if (next_completion > target + eps && next_trace > target + kTimeEps)
+    return {events_.data(), events_.size()};  // pure jump to the deadline
+
+  // Advance every shard (in parallel when lanes were configured): trace
+  // events first, then due heap entries. Cost: O(fired + stale + log(shard
+  // heap)) per shard, independent of the number of running actions.
+  run_phase([this, target, eps](int s) { advance_shard(s, target, eps); });
+  process_deferred();
+  gather_step_results(events_);
+  return {events_.data(), events_.size()};
+}
+
+void Engine::run_phase(const std::function<void(int)>& fn) {
+  const int n = static_cast<int>(shards_.size());
+  if (workers_) {
+    workers_->run(n, fn);
+  } else {
+    for (int s = 0; s < n; ++s)
+      fn(s);
+  }
+}
+
+void Engine::advance_shard(int shard, double target, double eps) {
+  static_assert(kTraceEventsBeforeCompletions);
+  ShardState& ss = shards_[static_cast<size_t>(shard)];
+
+  // Trace events due now — applied BEFORE the heap events at the same date
+  // (see kTraceEventsBeforeCompletions): a resource dying exactly when an
+  // action would complete fails the action.
+  while (!ss.traces.empty() && ss.traces.top().time <= now_ + kTimeEps) {
+    const TraceEvent ev = ss.traces.top();
+    ss.traces.pop();
+    apply_trace_event(shard, ev);
+  }
 
   // Pop every due event-heap entry (latency expiries from the small near-
-  // term heaps, completions from the big ones), k-way-merging the shard
-  // heads. Stale entries (stamp mismatch) are skipped; latency expiries
-  // switch the action to its data phase; the rest are real completions.
-  // Cost: O(fired * shards + stale + log(shard heap)), independent of the
-  // number of running actions (and, per shard, of the platform size).
+  // term heap, completions from the big one). Stale entries (stamp mismatch)
+  // are skipped; latency expiries switch the action to its data phase; the
+  // rest are real completions. Anything touching state outside this shard is
+  // deferred to the serial epilogue.
   while (true) {
     EventHeap* src = nullptr;
     size_t* stale = nullptr;
-    const double date = next_event_source(&src, &stale);
+    const double date = shard_event_source(ss.events, &src, &stale);
     if (src == nullptr || date > target + eps)
       break;
     ActionPtr a = std::move(src->top().action);
@@ -763,33 +883,39 @@ std::vector<ActionEvent> Engine::step(double bound) {
     a->in_heap_ = false;
     if (a->state_ != ActionState::kRunning)
       continue;
+    const ShardedMaxMin::ShardId home =
+        a->var_ >= 0 ? sys_.home_shard(a->var_) : ShardedMaxMin::kDetachedShard;
+    // The endpoint comm indexes live on the hosts: only touch them from this
+    // lane when both endpoints' hosts belong to this shard.
+    const bool lists_local =
+        !a->in_endpoint_lists_ ||
+        (hosts_[static_cast<size_t>(a->host_)].shard == shard &&
+         hosts_[static_cast<size_t>(a->peer_host_)].shard == shard);
     if (a->in_latency_phase_) {
-      // Latency just expired: start consuming bandwidth. The data phase gets
-      // its rate (and completion date) from the next sharing recomputation —
-      // unless there is no data to transfer at all.
-      sync_progress(*a);
-      a->in_latency_phase_ = false;
-      a->latency_remaining_ = 0;
-      if (a->var_ >= 0)
+      if (home == shard && lists_local) {
+        // Latency just expired: start consuming bandwidth. The data phase
+        // gets its rate (and completion date) from the next sharing
+        // recomputation — unless there is no data to transfer at all.
+        sync_progress(*a);
+        a->in_latency_phase_ = false;
+        a->latency_remaining_ = 0;
         sys_.set_weight(a->var_, a->priority_);
-      if (a->remaining_ <= 0)
-        finish_action(std::move(a), ActionState::kDone, &out);
+        if (a->remaining_ <= 0)
+          finish_action_local(shard, std::move(a), ActionState::kDone);
+      } else {
+        // The weight flip touches other shards' dirty sets (linked replicas)
+        // or the shared detached list: epilogue work.
+        ss.deferred.push_back(DeferredOp{DeferredOp::Kind::kLatencyExpiry, std::move(a)});
+      }
+    } else if ((home == ShardedMaxMin::kDetachedShard || home == shard) && lists_local) {
+      finish_action_local(shard, std::move(a), ActionState::kDone);
     } else {
-      finish_action(std::move(a), ActionState::kDone, &out);
+      ss.deferred.push_back(DeferredOp{DeferredOp::Kind::kCompletion, std::move(a)});
     }
   }
-
-  // Trace events due now.
-  while (!trace_events_.empty() && trace_events_.top().time <= now_ + kTimeEps) {
-    TraceEvent ev = trace_events_.top();
-    trace_events_.pop();
-    apply_trace_event(ev, out);
-  }
-
-  return out;
 }
 
-void Engine::apply_trace_event(const TraceEvent& ev, std::vector<ActionEvent>& out) {
+void Engine::apply_trace_event(int shard, const TraceEvent& ev) {
   switch (ev.kind) {
     case TraceEvent::Kind::kHostAvail: {
       hosts_[static_cast<size_t>(ev.index)].scale = ev.value;
@@ -798,7 +924,7 @@ void Engine::apply_trace_event(const TraceEvent& ev, std::vector<ActionEvent>& o
       break;
     }
     case TraceEvent::Kind::kHostState: {
-      apply_host_state(ev.index, ev.value > 0.5, out);
+      apply_host_state_sharded(shard, ev.index, ev.value > 0.5);
       schedule_next(platform_.host(ev.index).state, ev.kind, ev.index, ev.time);
       break;
     }
@@ -810,7 +936,7 @@ void Engine::apply_trace_event(const TraceEvent& ev, std::vector<ActionEvent>& o
       break;
     }
     case TraceEvent::Kind::kLinkState: {
-      apply_link_state(static_cast<platform::LinkId>(ev.index), ev.value > 0.5, out);
+      apply_link_state_sharded(shard, static_cast<platform::LinkId>(ev.index), ev.value > 0.5);
       schedule_next(platform_.link(static_cast<platform::LinkId>(ev.index)).state, ev.kind, ev.index, ev.time);
       break;
     }
@@ -830,31 +956,200 @@ void Engine::refresh_link_capacity(platform::LinkId link) {
                     res.on ? platform_.link(link).bandwidth_Bps * res.scale * bandwidth_factor_ : 0.0);
 }
 
-void Engine::fail_actions_on_constraint(ShardedMaxMin::CnstId cnst, std::vector<ActionEvent>& out) {
+void Engine::fail_constraint_sharded(int shard, ShardedMaxMin::CnstId cnst) {
   // The solver's element arena IS the cnst -> actions index: walk the
   // constraint's user list and map variables back to actions. Collect
-  // before finishing — finish_action releases the victim's variable, which
+  // before finishing — finishing releases the victim's variable, which
   // mutates the very list being walked. Duplicate entries (a variable
   // expanded twice on the constraint) and actions spanning several failed
-  // constraints are deduplicated by finish_action's idempotence: each action
-  // emits exactly one failure event.
+  // constraints are deduplicated by the finish idempotence guard: each
+  // action emits exactly one failure event.
+  //
+  // Reading a cross-shard victim's slot from here is race-free: an action
+  // whose variable spans shards is never finished inside a parallel phase
+  // (every lane defers it), so its slot entry is stable for the whole phase.
   std::vector<ActionPtr> victims;
   sys_.for_each_variable_on(cnst, [&](ShardedMaxMin::VarId v, double) {
     Action* a = action_of_var_[static_cast<size_t>(v)];
     if (a != nullptr && (victims.empty() || victims.back().get() != a))
-      victims.push_back(running_[a->run_idx_]);
+      victims.push_back(shards_[static_cast<size_t>(a->shard_)].running[a->run_idx_]);
   });
-  for (const ActionPtr& a : victims)
-    finish_action(a, ActionState::kFailed, &out);
+  for (ActionPtr& a : victims)
+    fail_one_sharded(shard, std::move(a));
 }
 
-void Engine::fail_sleeps_on_host(int host, std::vector<ActionEvent>& out) {
-  // Copy out of the index first: finish_action swap-removes from it.
-  std::vector<ActionPtr> victims;
-  for (Action* a : hosts_[static_cast<size_t>(host)].sleeps)
-    victims.push_back(running_[a->run_idx_]);
-  for (const ActionPtr& a : victims)
-    finish_action(a, ActionState::kFailed, &out);
+void Engine::fail_one_sharded(int shard, ActionPtr action) {
+  const ShardedMaxMin::ShardId home =
+      action->var_ >= 0 ? sys_.home_shard(action->var_) : ShardedMaxMin::kDetachedShard;
+  const bool lists_local =
+      !action->in_endpoint_lists_ ||
+      (hosts_[static_cast<size_t>(action->host_)].shard == shard &&
+       hosts_[static_cast<size_t>(action->peer_host_)].shard == shard);
+  if (action->shard_ == shard && (home == ShardedMaxMin::kDetachedShard || home == shard) &&
+      lists_local)
+    finish_action_local(shard, std::move(action), ActionState::kFailed);
+  else
+    shards_[static_cast<size_t>(shard)].deferred.push_back(
+        DeferredOp{DeferredOp::Kind::kFailure, std::move(action)});
+}
+
+void Engine::apply_host_state_sharded(int shard, int host, bool on) {
+  HostRes& res = hosts_[static_cast<size_t>(host)];
+  if (res.on == on)
+    return;
+  res.on = on;
+  refresh_host_capacity(host);
+  if (!on) {
+    fail_constraint_sharded(shard, res.cnst);
+    if (res.loopback >= 0)
+      fail_constraint_sharded(shard, res.loopback);
+    // Sleeps are always local: a sleep's action lives in its host's shard.
+    std::vector<ActionPtr> victims;
+    for (Action* a : res.sleeps)
+      victims.push_back(shards_[static_cast<size_t>(shard)].running[a->run_idx_]);
+    for (ActionPtr& a : victims)
+      finish_action_local(shard, std::move(a), ActionState::kFailed);
+    if (kill_transit_comms_) {
+      // Comms already killed through a dead constraint (loopback) are
+      // skipped by the finish idempotence guard.
+      victims.clear();
+      for (Action* a : res.comms)
+        victims.push_back(shards_[static_cast<size_t>(a->shard_)].running[a->run_idx_]);
+      for (ActionPtr& a : victims)
+        fail_one_sharded(shard, std::move(a));
+    }
+  }
+  if (resource_observer_)
+    shards_[static_cast<size_t>(shard)].notices.push_back(
+        Notice{nullptr, ActionState::kRunning, ActionState::kRunning, true, host, on});
+}
+
+void Engine::apply_link_state_sharded(int shard, platform::LinkId link, bool on) {
+  LinkRes& res = links_[static_cast<size_t>(link)];
+  if (res.on == on)
+    return;
+  res.on = on;
+  refresh_link_capacity(link);
+  if (!on)
+    fail_constraint_sharded(shard, res.cnst);
+  if (resource_observer_)
+    shards_[static_cast<size_t>(shard)].notices.push_back(
+        Notice{nullptr, ActionState::kRunning, ActionState::kRunning, false, link, on});
+}
+
+void Engine::finish_action_local(int shard, ActionPtr action, ActionState final_state) {
+  // Idempotence guard, as in finish_action: a failure may reach the same
+  // action through several constraints of this shard.
+  if (action->state_ != ActionState::kRunning && action->state_ != ActionState::kSuspended)
+    return;
+  ShardState& ss = shards_[static_cast<size_t>(shard)];
+  sync_progress(*action);  // credit progress made since the last rate change
+  const ActionState old_state = action->state_;
+  action->state_ = final_state;
+  action->finish_time_ = now_;
+  if (final_state == ActionState::kDone)
+    action->remaining_ = 0;
+  orphan_heap_entry(*action);  // orphan any entry still in the completion heap
+  if (action->var_ >= 0) {
+    action_of_var_[static_cast<size_t>(action->var_)] = nullptr;
+    // Release into this shard's arena only; the global id is recycled
+    // serially (commit_released, fixed shard order) so id reuse — and with
+    // it every downstream ordering — stays identical at any lane count.
+    sys_.release_variable_local(action->var_);
+    ss.released.push_back(action->var_);
+    action->var_ = -1;
+  }
+  if (action->kind_ == ActionKind::kSleep && action->host_ >= 0) {
+    // O(1) removal from the host's sleep index.
+    auto& sleeps = hosts_[static_cast<size_t>(action->host_)].sleeps;
+    const std::uint32_t si = action->host_list_idx_;
+    sleeps[si] = sleeps.back();
+    sleeps[si]->host_list_idx_ = si;
+    sleeps.pop_back();
+  } else if (action->in_endpoint_lists_) {
+    endpoint_list_remove(action->host_, action->host_list_idx_);
+    if (action->peer_host_ != action->host_)
+      endpoint_list_remove(action->peer_host_, action->peer_list_idx_);
+    action->in_endpoint_lists_ = false;
+  }
+  // O(1) removal: clear the slot and recycle it (LIFO keeps it cache-hot).
+  const size_t idx = action->run_idx_;
+  ss.running[idx].reset();
+  ss.free_slots.push_back(idx);
+  --ss.running_count;
+  if (observer_)
+    ss.notices.push_back(Notice{action, old_state, final_state, false, -1, false});
+  ss.fired.push_back(ActionEvent{std::move(action), final_state == ActionState::kFailed});
+}
+
+void Engine::process_deferred() {
+  // Failures first — they stem from trace events, which the tie-break says
+  // precede completions at the same date (a cross-shard action discovered
+  // both completing and failing must fail) — then latency expiries and
+  // completions; within each pass, fixed shard order then discovery order.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (ShardState& ss : shards_) {
+      for (DeferredOp& op : ss.deferred) {
+        const bool failure = op.kind == DeferredOp::Kind::kFailure;
+        if (failure != (pass == 0) || !op.action)
+          continue;
+        if (op.kind == DeferredOp::Kind::kLatencyExpiry) {
+          ActionPtr a = std::move(op.action);
+          if (a->state_ != ActionState::kRunning)
+            continue;  // failed meanwhile (pass 0)
+          sync_progress(*a);
+          a->in_latency_phase_ = false;
+          a->latency_remaining_ = 0;
+          if (a->var_ >= 0)
+            sys_.set_weight(a->var_, a->priority_);
+          if (a->remaining_ <= 0)
+            finish_action(std::move(a), ActionState::kDone, &deferred_events_, &deferred_notices_);
+        } else {
+          finish_action(std::move(op.action), failure ? ActionState::kFailed : ActionState::kDone,
+                        &deferred_events_, &deferred_notices_);
+        }
+      }
+    }
+  }
+  for (ShardState& ss : shards_)
+    ss.deferred.clear();
+}
+
+void Engine::gather_step_results(std::vector<ActionEvent>& sink) {
+  // Commit the ids released inside the parallel phase, in fixed shard order:
+  // the free-list order (hence id reuse) is the same at any lane count.
+  for (ShardState& ss : shards_) {
+    if (!ss.released.empty()) {
+      sys_.commit_released(ss.released.data(), ss.released.size());
+      ss.released.clear();
+    }
+  }
+  // Merge the per-shard event logs shard-major, the epilogue's last.
+  for (ShardState& ss : shards_) {
+    sink.insert(sink.end(), std::make_move_iterator(ss.fired.begin()),
+                std::make_move_iterator(ss.fired.end()));
+    ss.fired.clear();
+  }
+  sink.insert(sink.end(), std::make_move_iterator(deferred_events_.begin()),
+              std::make_move_iterator(deferred_events_.end()));
+  deferred_events_.clear();
+  // Observers fire last, in the same canonical order, after every mutation
+  // is committed — they may re-enter the engine (cancel, new activities).
+  for (ShardState& ss : shards_) {
+    for (const Notice& n : ss.notices)
+      fire_notice(n);
+    ss.notices.clear();
+  }
+  for (const Notice& n : deferred_notices_)
+    fire_notice(n);
+  deferred_notices_.clear();
+}
+
+void Engine::fire_notice(const Notice& n) {
+  if (n.action != nullptr)
+    notify(*n.action, n.old_state, n.new_state);
+  else if (resource_observer_)
+    resource_observer_(n.res_is_host, n.res_index, n.res_on);
 }
 
 void Engine::endpoint_lists_add(const ActionPtr& action) {
@@ -885,24 +1180,14 @@ void Engine::endpoint_list_remove(int host, std::uint32_t idx) {
   }
 }
 
-void Engine::fail_endpoint_comms(int host, std::vector<ActionEvent>& out) {
-  // Copy out of the index first: finish_action swap-removes from it. Comms
-  // already killed through a dead constraint (loopback) are skipped by
-  // finish_action's idempotence.
-  std::vector<ActionPtr> victims;
-  for (Action* a : hosts_[static_cast<size_t>(host)].comms)
-    victims.push_back(running_[a->run_idx_]);
-  for (const ActionPtr& a : victims)
-    finish_action(a, ActionState::kFailed, &out);
-}
-
-// Takes the ActionPtr by value: callers may pass a reference into running_,
-// which the swap-removal below would otherwise invalidate mid-function.
-void Engine::finish_action(ActionPtr action, ActionState final_state, std::vector<ActionEvent>* out) {
+// Takes the ActionPtr by value: callers may pass a reference into a slot
+// table, which the slot reset below would otherwise invalidate mid-function.
+void Engine::finish_action(ActionPtr action, ActionState final_state, std::vector<ActionEvent>* out,
+                           std::vector<Notice>* out_notices) {
   // Idempotence guard: an observer notified below may re-enter and finish
   // (e.g. cancel) an action that a caller already collected as a victim —
   // and a failure may reach the same action through several constraints.
-  // Finishing twice would reuse the stale run_idx_ and corrupt running_.
+  // Finishing twice would reuse the stale run_idx_ and corrupt the slots.
   if (action->state_ != ActionState::kRunning && action->state_ != ActionState::kSuspended)
     return;
   sync_progress(*action);  // credit progress made since the last rate change
@@ -931,11 +1216,15 @@ void Engine::finish_action(ActionPtr action, ActionState final_state, std::vecto
     action->in_endpoint_lists_ = false;
   }
   // O(1) removal: clear the slot and recycle it (LIFO keeps it cache-hot).
+  ShardState& ss = shards_[static_cast<size_t>(action->shard_)];
   const size_t idx = action->run_idx_;
-  running_[idx].reset();
-  free_run_slots_.push_back(idx);
-  --running_count_;
-  notify(*action, old_state, final_state);
+  ss.running[idx].reset();
+  ss.free_slots.push_back(idx);
+  --ss.running_count;
+  if (out_notices != nullptr)
+    out_notices->push_back(Notice{action, old_state, final_state, false, -1, false});
+  else
+    notify(*action, old_state, final_state);
   if (out != nullptr)
     out->push_back(ActionEvent{action, final_state == ActionState::kFailed});
   else
@@ -965,6 +1254,40 @@ double Engine::host_load(int host) {
 double Engine::link_load(platform::LinkId link) {
   share_resources();
   return sys_.usage(links_.at(static_cast<size_t>(link)).cnst);
+}
+
+void Engine::fail_actions_on_constraint(ShardedMaxMin::CnstId cnst, std::vector<ActionEvent>& out) {
+  // Same collect-then-finish shape as fail_constraint_sharded, but each
+  // victim goes through finish_action with an inline notify — observers see
+  // every failure as it happens and may cancel pending victims (deduplicated
+  // by the idempotence guard).
+  std::vector<ActionPtr> victims;
+  sys_.for_each_variable_on(cnst, [&](ShardedMaxMin::VarId v, double) {
+    Action* a = action_of_var_[static_cast<size_t>(v)];
+    if (a != nullptr && (victims.empty() || victims.back().get() != a))
+      victims.push_back(shards_[static_cast<size_t>(a->shard_)].running[a->run_idx_]);
+  });
+  for (const ActionPtr& a : victims)
+    finish_action(a, ActionState::kFailed, &out);
+}
+
+void Engine::fail_sleeps_on_host(int host, std::vector<ActionEvent>& out) {
+  // Copy out of the index first: finish_action swap-removes from it.
+  std::vector<ActionPtr> victims;
+  for (Action* a : hosts_[static_cast<size_t>(host)].sleeps)
+    victims.push_back(shards_[static_cast<size_t>(a->shard_)].running[a->run_idx_]);
+  for (const ActionPtr& a : victims)
+    finish_action(a, ActionState::kFailed, &out);
+}
+
+void Engine::fail_endpoint_comms(int host, std::vector<ActionEvent>& out) {
+  // Comms already killed through a dead constraint (loopback) are skipped by
+  // finish_action's idempotence.
+  std::vector<ActionPtr> victims;
+  for (Action* a : hosts_[static_cast<size_t>(host)].comms)
+    victims.push_back(shards_[static_cast<size_t>(a->shard_)].running[a->run_idx_]);
+  for (const ActionPtr& a : victims)
+    finish_action(a, ActionState::kFailed, &out);
 }
 
 void Engine::apply_host_state(int host, bool on, std::vector<ActionEvent>& out) {

@@ -10,11 +10,29 @@
 /// own completion/latency heaps, sized from the platform's shard map; the
 /// backbone shard (0) holds WAN/gateway constraints and unzoned resources.
 /// Actions carry a shard tag assigned at creation (the zone shard for
-/// intra-zone activities, backbone otherwise), step() takes a k-way min
-/// over the shard heap heads, and a re-solve touches only the dirty shards
-/// — so intra-zone per-event cost is independent of total platform size.
-/// Cross-zone flows couple shards only through the solver's linked-replica
-/// layer (see maxmin.hpp); results are identical to the unsharded engine.
+/// intra-zone activities, backbone otherwise), and a re-solve touches only
+/// the dirty shards — so intra-zone per-event cost is independent of total
+/// platform size. Cross-zone flows couple shards only through the solver's
+/// linked-replica layer (see maxmin.hpp); results are identical to the
+/// unsharded engine.
+///
+/// ## Threading model (engine/threads)
+///
+/// run_until() is phase-structured so the per-shard phases can fan out over
+/// a ShardWorkers pool (engine/threads lanes, default 1; shard s always on
+/// lane s % lanes). The serial spine — dirty-closure fixpoint, changed-id
+/// aggregation, target-date selection, cross-shard finishes, event-log
+/// merge — brackets two parallel phases:
+///   * solve + rate refresh: uncoupled shard solves fan out (the coupled
+///     group co-solves on the caller), then each lane refreshes the rates
+///     and heap entries of its own shards' changed actions;
+///   * advance: each lane applies its shards' due trace events and pops its
+///     shards' due heap entries, finishing single-shard actions in place.
+/// Anything whose solver variable spans shards is deferred to the serial
+/// epilogue, which also commits released ids and merges the per-shard event
+/// logs in fixed shard order. Every lane writes only its own shards' state,
+/// and every cross-lane ordering decision is made serially — so the event
+/// log is bitwise identical (and clocks exact) at every thread count.
 ///
 /// Failure propagation is O(affected): when a resource dies, its victims are
 /// found through the solver's element arena (constraint -> variables ->
@@ -27,17 +45,31 @@
 
 #include <functional>
 #include <limits>
+#include <memory>
 #include <queue>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "core/action.hpp"
 #include "core/maxmin.hpp"
 #include "platform/platform.hpp"
+#include "xbt/settings.hpp"
 
 namespace sg::core {
 
 struct ActionBlockPool;  // LIFO recycler for action allocations (engine.cpp)
+class ShardWorkers;      // per-shard worker pool (workers.hpp)
+
+/// Typed config keys owned by the engine; declare_engine_config() registers
+/// them (defaults in parentheses). engine/threads is seeded by SG_THREADS.
+inline constexpr config::NumberKey kCfgTcpGamma{"network/tcp-gamma"};
+inline constexpr config::NumberKey kCfgBandwidthFactor{"network/bandwidth-factor"};
+inline constexpr config::NumberKey kCfgLoopbackBw{"network/loopback-bw"};
+inline constexpr config::NumberKey kCfgLoopbackLat{"network/loopback-lat"};
+inline constexpr config::FlagKey kCfgSharding{"engine/sharding"};
+inline constexpr config::FlagKey kCfgKillTransitComms{"engine/kill-transit-comms"};
+inline constexpr config::IntKey kCfgThreads{"engine/threads"};
 
 /// What the engine reports after each step.
 struct ActionEvent {
@@ -91,15 +123,26 @@ public:
   ActionPtr sleep_start(int host, double duration, const std::string& name);
 
   // -- time advance -----------------------------------------------------------
-  /// Date of the next engine event (action completion / trace event), or
-  /// +inf when nothing is pending. Recomputes sharing first.
-  double next_event_time();
+  /// Advance simulated time to the next event date, but no further than
+  /// `deadline`, and return the completion/failure events that fired — in
+  /// deterministic order (fixed shard order, stable intra-shard order; see
+  /// the threading-model notes above). The span stays valid until the next
+  /// run_until()/step() call. If nothing happens before `deadline`, time
+  /// jumps there and the span is empty; if deadline is +inf and nothing is
+  /// pending, time does not move. This is THE run-loop entry point; step()
+  /// and next_event_time() below are compatibility wrappers around it.
+  std::span<const ActionEvent> run_until(
+      double deadline = std::numeric_limits<double>::infinity());
 
-  /// Advance simulated time up to `bound` (default: to the next event).
-  /// Returns the events (completions/failures) that fired; `now()` is updated.
-  /// If nothing happens before `bound`, time jumps to `bound` and the vector
-  /// is empty. If bound is +inf and nothing is pending, time does not move.
+  /// Deprecated wrapper: run_until() copied into a fresh vector. Prefer
+  /// run_until(), which does not allocate per call.
   std::vector<ActionEvent> step(double bound = std::numeric_limits<double>::infinity());
+
+  /// Date of the next engine event (action completion / trace event), or
+  /// +inf when nothing is pending; recomputes sharing first. Deprecated as a
+  /// polling loop (run_until() subsumes it); still the introspection probe
+  /// for "will anything ever happen" (the kernel's deadlock detector).
+  double next_event_time();
 
   // -- resource state ----------------------------------------------------------
   bool host_is_on(int host) const { return hosts_[static_cast<size_t>(host)].on; }
@@ -120,7 +163,7 @@ public:
   void set_link_scale(platform::LinkId link, double scale);
 
   /// Number of actions still running.
-  size_t running_action_count() const { return running_count_; }
+  size_t running_action_count() const;
 
   /// Read-only view of the sharing system (tests and the memory-footprint
   /// bench metrics; the solver's arena doubles as the failure index).
@@ -128,11 +171,15 @@ public:
 
   /// Number of simulation shards (zones + backbone; 1 when engine/sharding
   /// is off or the platform has no zones).
-  int shard_count() const { return static_cast<int>(shard_events_.size()); }
+  int shard_count() const { return static_cast<int>(shards_.size()); }
   /// Shard a host's resources (and its local activities) belong to.
   std::int32_t shard_of_host(int host) const { return hosts_[static_cast<size_t>(host)].shard; }
+  /// Worker lanes actually used (engine/threads clamped to the shard count).
+  int thread_count() const { return lanes_; }
 
   /// Observer invoked on every action state transition (viz/tracing hook).
+  /// During run_until() the notifications are gathered per shard and fired
+  /// from the serial epilogue, in event-log order.
   using ActionObserver = std::function<void(const Action&, ActionState /*old*/, ActionState /*new*/)>;
   void set_action_observer(ActionObserver obs) { observer_ = std::move(obs); }
 
@@ -143,6 +190,15 @@ public:
 
 private:
   friend class Action;
+
+  /// Event ordering at equal dates, codified here and consumed only by
+  /// advance_shard() (the regression suite pins it): within a step, trace
+  /// events (availability/state flips) apply BEFORE heap events (latency
+  /// expiries, completions) due at the same date — a resource dying exactly
+  /// when an action would complete FAILS the action. Among trace events,
+  /// (time, kind, index) is a total order; within the heaps, the latency
+  /// heap wins date ties against the completion heap.
+  static constexpr bool kTraceEventsBeforeCompletions = true;
 
   struct HostRes {
     ShardedMaxMin::CnstId cnst = -1;
@@ -162,6 +218,7 @@ private:
   };
   struct LinkRes {
     ShardedMaxMin::CnstId cnst = -1;
+    std::int32_t shard = 0;  ///< zone shard (0: unzoned / sharding off)
     double scale = 1.0;
     bool on = true;
   };
@@ -170,7 +227,14 @@ private:
     enum class Kind { kHostAvail, kHostState, kLinkAvail, kLinkState } kind;
     int index;
     double value;
-    bool operator>(const TraceEvent& other) const { return time > other.time; }
+    /// Total order (time, kind, index) — see kTraceEventsBeforeCompletions.
+    bool operator>(const TraceEvent& other) const {
+      if (time != other.time)
+        return time > other.time;
+      if (kind != other.kind)
+        return kind > other.kind;
+      return index > other.index;
+    }
   };
 
   /// Event min-heap in SoA layout: the 4-ary heap order lives in a dense
@@ -210,12 +274,57 @@ private:
   /// Per-shard event state: one far-future completion heap and one tiny
   /// near-term latency heap per shard, plus their stale-entry counts. An
   /// intra-zone event pushes/pops only in its own shard's (per-zone-sized,
-  /// cache-resident) heaps; step() takes a k-way min over the shard heads.
+  /// cache-resident) heaps.
   struct ShardEvents {
     EventHeap completion;
     size_t completion_stale = 0;
     EventHeap latency;
     size_t latency_stale = 0;
+  };
+
+  /// Cross-shard work a lane discovered during the parallel advance but must
+  /// not perform itself (the action's solver variable spans shards, or the
+  /// action belongs to another lane's shard). Processed serially, in (shard,
+  /// discovery) order — failures first, honouring the tie-break above.
+  struct DeferredOp {
+    enum class Kind : std::uint8_t { kLatencyExpiry, kCompletion, kFailure };
+    Kind kind;
+    ActionPtr action;
+  };
+
+  /// One observer notification recorded during a parallel phase and fired
+  /// from the serial epilogue (observers are user code: they must never run
+  /// on a worker lane, nor concurrently with engine mutation).
+  struct Notice {
+    ActionPtr action;  ///< action transition when set; resource notice otherwise
+    ActionState old_state = ActionState::kRunning;
+    ActionState new_state = ActionState::kRunning;
+    bool res_is_host = false;
+    int res_index = -1;
+    bool res_on = false;
+  };
+
+  /// Everything the engine keeps per shard. One lane owns a shard's state
+  /// for the duration of a parallel phase; the alignment keeps two shards'
+  /// hot heads off the same cache line.
+  struct alignas(64) ShardState {
+    ShardEvents events;
+    /// Slot table of this shard's running actions (nullptr = free slot,
+    /// recycled LIFO). Slots are never swapped, so finishing an action
+    /// touches no other action's cache lines.
+    std::vector<ActionPtr> running;
+    std::vector<size_t> free_slots;
+    size_t running_count = 0;
+    /// Block recycler + name side table for this shard's actions: each lane
+    /// allocates and frees only through its own shards' pools.
+    std::shared_ptr<ActionBlockPool> pool;
+    /// This shard's resources' availability/state trace events.
+    std::priority_queue<TraceEvent, std::vector<TraceEvent>, std::greater<>> traces;
+    // -- per-step scratch, written only by this shard's lane ---------------
+    std::vector<ActionEvent> fired;      ///< events finished in this shard
+    std::vector<DeferredOp> deferred;    ///< cross-shard ops for the epilogue
+    std::vector<Notice> notices;         ///< observer calls to fire serially
+    std::vector<ShardedMaxMin::VarId> released;  ///< ids for commit_released
   };
 
   /// Pop stale entries off a heap's top; returns its next valid date (kInf
@@ -226,41 +335,77 @@ private:
   /// stale head. Returns the date (kInf when all empty); *out names the
   /// winning heap (nullptr when none).
   double next_event_source(EventHeap** out_heap, size_t** out_stale);
+  /// Earliest valid entry within ONE shard's heaps (latency wins ties).
+  static double shard_event_source(ShardEvents& se, EventHeap** out_heap, size_t** out_stale);
   /// Erase every stale completion-heap entry and restore the heap order.
   void compact_completion_heap(ShardEvents& se);
 
+  /// Shard whose lane applies this trace event (the resource's shard).
+  std::int32_t trace_shard(TraceEvent::Kind kind, int index) const;
   void schedule_trace_events();
   void schedule_next(const trace::Trace& trace, TraceEvent::Kind kind, int index, double after);
-  void apply_trace_event(const TraceEvent& ev, std::vector<ActionEvent>& out);
-  /// Shared up/down transition logic (trace events and set_*_state): adjust
-  /// capacity and, on death, deliver failures through the index. O(affected).
-  void apply_host_state(int host, bool on, std::vector<ActionEvent>& out);
-  void apply_link_state(platform::LinkId link, bool on, std::vector<ActionEvent>& out);
+  /// Earliest pending trace date across shards, clamped to >= now().
+  double next_trace_time() const;
+
+  /// Run fn(shard) for every shard — on the worker pool when engine/threads
+  /// gave us lanes, serially (same order) otherwise.
+  void run_phase(const std::function<void(int)>& fn);
+  /// Phase body for one shard: apply due trace events (FIRST — the
+  /// tie-break), then pop due heap entries; finish what is shard-local,
+  /// defer the rest.
+  void advance_shard(int shard, double target, double eps);
+  /// Apply a trace event inside its shard's lane.
+  void apply_trace_event(int shard, const TraceEvent& ev);
+  /// Up/down transition, running in the resource's shard's lane: adjust
+  /// capacity and, on death, deliver failures through the index. Victims
+  /// whose state is shard-local are finished in place; others are deferred.
+  void apply_host_state_sharded(int shard, int host, bool on);
+  void apply_link_state_sharded(int shard, platform::LinkId link, bool on);
+  /// Fail every action with a live solver variable on `cnst` (which lives in
+  /// `shard`). O(degree): victims come from the solver's element arena.
+  void fail_constraint_sharded(int shard, ShardedMaxMin::CnstId cnst);
+  /// Finish one failure victim: in place when shard-local, deferred else.
+  void fail_one_sharded(int shard, ActionPtr action);
+  /// Finish an action whose entire state (slot, heaps, var, lists) lives in
+  /// `shard` — safe inside that shard's lane. Events/notices/released ids go
+  /// to the shard's gather buffers; the global id is committed serially.
+  void finish_action_local(int shard, ActionPtr action, ActionState final_state);
+  /// Serial: process the deferred cross-shard ops in fixed order.
+  void process_deferred();
+  /// Serial: commit released ids, merge the per-shard event logs into
+  /// `sink` (fixed shard order, then the deferred ones), fire notices.
+  void gather_step_results(std::vector<ActionEvent>& sink);
+
   void refresh_host_capacity(int host);
   void refresh_link_capacity(platform::LinkId link);
-  void finish_action(ActionPtr action, ActionState final_state, std::vector<ActionEvent>* out);
-  /// Fail every action with a live solver variable on `cnst`. O(degree of
-  /// cnst): victims come from the solver's element arena, not from a scan of
-  /// the running set. Safe against duplicate elements and against the same
-  /// action spanning several failed constraints (each action emits exactly
-  /// one failure event).
+  /// Serial-context (set_host_state / set_link_state) twins of the sharded
+  /// appliers above: same failure delivery, but observers fire inline as
+  /// each victim finishes — an observer may react to one failure by
+  /// cancelling a not-yet-finished sibling (the reentrancy contract the
+  /// explicit setters have always had).
+  void apply_host_state(int host, bool on, std::vector<ActionEvent>& out);
+  void apply_link_state(platform::LinkId link, bool on, std::vector<ActionEvent>& out);
   void fail_actions_on_constraint(ShardedMaxMin::CnstId cnst, std::vector<ActionEvent>& out);
-  /// Fail the sleeps of a dying host via its sleep index. O(affected).
   void fail_sleeps_on_host(int host, std::vector<ActionEvent>& out);
-  /// Fail the comms a dying host is an endpoint of (engine/kill-transit-
-  /// comms only), via the per-host endpoint index. O(affected).
   void fail_endpoint_comms(int host, std::vector<ActionEvent>& out);
+  /// Serial-context finish (cancel, deferred ops): handles cross-shard
+  /// variables. With `out_notices` the state-transition notification is
+  /// recorded there instead of firing inline.
+  void finish_action(ActionPtr action, ActionState final_state, std::vector<ActionEvent>* out,
+                     std::vector<Notice>* out_notices = nullptr);
   /// Register / swap-remove a comm in its endpoints' comm indexes.
   void endpoint_lists_add(const ActionPtr& action);
   void endpoint_list_remove(int host, std::uint32_t idx);
   ShardedMaxMin::CnstId loopback_constraint(int host);
   void notify(const Action& action, ActionState old_state, ActionState new_state);
+  void fire_notice(const Notice& n);
   /// Bind a solver variable to its action so rate refreshes can find it.
   void bind_var(Action* action, ShardedMaxMin::VarId var);
-  /// Register a freshly created action as running (sets its running_ index).
+  /// Register a freshly created action as running in its shard's slot table
+  /// (the action's shard_ must already be set).
   void add_running(const ActionPtr& action);
-  /// Store a custom display name in the side table (no-op when `name` is the
-  /// kind's default — the common case pays nothing).
+  /// Store a custom display name in the action's shard's side table (no-op
+  /// when `name` is the kind's default — the common case pays nothing).
   void set_action_name(Action* action, const std::string& name);
   /// Shared bodies of the creator overloads; a non-null name is applied
   /// before the creation notify() so observers already see it.
@@ -268,9 +413,10 @@ private:
   ActionPtr comm_start_impl(int src_host, int dst_host, double bytes, double rate_limit,
                             const std::string* name);
   /// Re-solve sharing (incrementally — only components touched by a mutation
-  /// are recomputed), refresh the rates of the actions whose allocation
-  /// changed, and reschedule exactly those in the completion heap. Cheap
-  /// no-op when nothing is dirty.
+  /// are recomputed; uncoupled shards fan out over the worker lanes),
+  /// refresh the rates of the actions whose allocation changed, and
+  /// reschedule exactly those in the completion heaps. Cheap no-op when
+  /// nothing is dirty.
   void share_resources();
   /// Fold elapsed time into remaining_/latency_remaining_ using the rate
   /// that was in effect since the last sync. Must run before a rate change.
@@ -293,33 +439,30 @@ private:
   ShardedMaxMin sys_;
   std::vector<HostRes> hosts_;
   std::vector<LinkRes> links_;
-  /// Block recycler + action-name side table behind make_action: held by
-  /// shared_ptr because every action's control block co-owns it, so block
-  /// deallocation and name lookup/erase stay safe even for an ActionPtr
-  /// that outlives the engine.
-  std::shared_ptr<ActionBlockPool> action_pool_;
-  std::vector<Action*> action_of_var_;  ///< indexed by VarId; nullptr when free
-  /// Slot table of running actions (nullptr = free slot, recycled LIFO).
-  /// Slots are never swapped, so finishing an action touches no other
-  /// action's cache lines; nothing iterates this table on the hot path.
-  std::vector<ActionPtr> running_;
-  std::vector<size_t> free_run_slots_;
-  size_t running_count_ = 0;
-  /// Per-shard event heaps, indexed by Action::shard_. The completion heap
-  /// holds far-future events (completion dates of flowing actions, sleeps);
-  /// the latency heap holds near-term latency-phase expiries (now + route
-  /// latency) so they never bubble through — or re-sink the tails of — the
-  /// big heap. Sharding bounds each completion heap by its zone's running
-  /// set, so an intra-zone push/pop walks a heap sized by the zone, not by
-  /// the platform.
-  std::vector<ShardEvents> shard_events_;
-  std::vector<ActionEvent> pending_;  ///< events produced outside step()
-  std::priority_queue<TraceEvent, std::vector<TraceEvent>, std::greater<>> trace_events_;
+  /// Per-shard engine state (slots, heaps, pools, traces, gather buffers),
+  /// indexed by Action::shard_ / the platform shard map.
+  std::vector<ShardState> shards_;
+  /// Action lookup by solver variable id, indexed by VarId (global across
+  /// shards; nullptr when free). Shared between lanes, but every lane only
+  /// reads/writes entries of variables homed in its own shards — cross-shard
+  /// variables are never finished inside a parallel phase.
+  std::vector<Action*> action_of_var_;
+  /// Events produced outside run_until() (creation-time failures, explicit
+  /// set_*_state, cancel): delivered by the next run_until() before time
+  /// moves. Deliberately ONE global queue — it is only ever written from
+  /// serialized contexts, and splitting it per shard would change the
+  /// delivery order the unsharded engine established.
+  std::vector<ActionEvent> pending_;
+  std::vector<ActionEvent> events_;           ///< run_until()'s returned storage
+  std::vector<ActionEvent> deferred_events_;  ///< epilogue finishes, merged last
+  std::vector<Notice> deferred_notices_;
+  std::unique_ptr<ShardWorkers> workers_;  ///< null when lanes_ == 1
+  int lanes_ = 1;
   ActionObserver observer_;
   ResourceObserver resource_observer_;
   double now_ = 0;
 
-  // model parameters (snapshotted from xbt::Config at construction)
+  // model parameters (snapshotted from the config registry at construction)
   double tcp_gamma_;
   double bandwidth_factor_;
   double loopback_bw_;
@@ -327,7 +470,7 @@ private:
   bool kill_transit_comms_ = false;  ///< engine/kill-transit-comms snapshot
 };
 
-/// Register the engine's model parameters in the global config with their
+/// Register the engine's model parameters in the config registry with their
 /// defaults (idempotent; engine construction calls it too).
 void declare_engine_config();
 

@@ -5,6 +5,7 @@
 #include <limits>
 #include <string>
 
+#include "core/workers.hpp"
 #include "xbt/exception.hpp"
 
 namespace sg::core {
@@ -838,6 +839,33 @@ void ShardedMaxMin::release_variable(VarId var) {
   --live_vars_;
 }
 
+void ShardedMaxMin::release_variable_local(VarId var) {
+  check_var(var, "release_variable_local");
+  VarRec& r = vars_[static_cast<size_t>(var)];
+  if (!r.alive)
+    return;
+  if (r.shard == kMulti)
+    throw xbt::InvalidArgument("release_variable_local: variable id " + std::to_string(var) +
+                               " spans several shards");
+  if (r.shard >= 0) {
+    shards_[static_cast<size_t>(r.shard)].release_variable(r.local);
+    var_global_[static_cast<size_t>(r.shard)][static_cast<size_t>(r.local)] = -1;
+  }
+  r.alive = false;
+  r.shard = kDetached;
+  r.local = -1;
+  r.multi = -1;
+  r.detached_value = 0;
+  // The global id is NOT recycled here: concurrent lanes would race on
+  // free_var_ids_, and the reuse order would depend on lane timing. The
+  // engine hands the ids to commit_released() in fixed shard order instead.
+}
+
+void ShardedMaxMin::commit_released(const VarId* ids, size_t count) {
+  free_var_ids_.insert(free_var_ids_.end(), ids, ids + count);
+  live_vars_ -= count;
+}
+
 void ShardedMaxMin::set_capacity(CnstId cnst, double capacity) {
   check_cnst(cnst, "set_capacity");
   const CnstRec& c = cnsts_[static_cast<size_t>(cnst)];
@@ -990,7 +1018,7 @@ MaxMinSystem::MemoryStats ShardedMaxMin::memory_stats() const {
 // ShardedMaxMin — solving
 // ---------------------------------------------------------------------------
 
-void ShardedMaxMin::solve() {
+void ShardedMaxMin::solve(ShardWorkers* workers) {
   changed_vars_.clear();
 
   // Detached variables: nothing constrains them, so their allocation is the
@@ -1067,14 +1095,19 @@ void ShardedMaxMin::solve() {
   for (ShardId s : open_)
     shards_[static_cast<size_t>(s)].closure_commit();
 
-  // Uncoupled shards: plain shard-local incremental solve — no other shard's
-  // state is read or written.
+  uncoupled_.clear();
   for (ShardId s : open_) {
-    MaxMinSystem& m = shards_[static_cast<size_t>(s)];
-    if (shard_flags_[static_cast<size_t>(s)] & kShardCoupled) {
+    if (shard_flags_[static_cast<size_t>(s)] & kShardCoupled)
       group_shards_.push_back(s);
-      continue;
-    }
+    else
+      uncoupled_.push_back(s);
+  }
+
+  // Uncoupled shards: plain shard-local incremental solve — no other shard's
+  // state is read or written, which is what makes them safe to fan out
+  // across worker lanes while the coupled group co-solves on the caller.
+  auto solve_local = [this](ShardId s) {
+    MaxMinSystem& m = shards_[static_cast<size_t>(s)];
     if (m.closure_was_full_) {
       ++m.stats_.full_solves;
       m.solve_subset(m.affected_vars_, m.affected_cnsts_);
@@ -1089,12 +1122,34 @@ void ShardedMaxMin::solve() {
     } else {
       m.solve_subset(m.affected_vars_, m.affected_cnsts_);
     }
+  };
+
+  group_changed_.clear();
+  if (workers != nullptr && workers->lanes() > 1) {
+    workers->run(
+        static_cast<int>(uncoupled_.size()),
+        [&](int i) { solve_local(uncoupled_[static_cast<size_t>(i)]); },
+        [&] {
+          if (!group_shards_.empty())
+            solve_group();
+        });
+  } else {
+    for (ShardId s : uncoupled_)
+      solve_local(s);
+    if (!group_shards_.empty())
+      solve_group();
+  }
+
+  // Serial aggregation in a fixed order — uncoupled shards in discovery
+  // order, then the group — keeps changed_variables() (and with it the
+  // engine's rate refresh) identical at every lane count.
+  for (ShardId s : uncoupled_) {
+    const MaxMinSystem& m = shards_[static_cast<size_t>(s)];
     for (MaxMinSystem::VarId lv : m.changed_vars_)
       changed_vars_.push_back(var_global_[static_cast<size_t>(s)][static_cast<size_t>(lv)]);
   }
+  changed_vars_.insert(changed_vars_.end(), group_changed_.begin(), group_changed_.end());
 
-  if (!group_shards_.empty())
-    solve_group();
   for (VarId g : group_linked_)
     vars_[static_cast<size_t>(g)].in_group = false;
   group_linked_.clear();
@@ -1334,7 +1389,9 @@ void ShardedMaxMin::solve_group() {
   }
 
   // Changed detection. A linked variable's replicas all moved together; it
-  // is reported once, from its canonical (first) replica.
+  // is reported once, from its canonical (first) replica. The ids go to
+  // group_changed_ — solve() merges them after the barrier, so this can run
+  // concurrently with the uncoupled lanes without touching changed_vars_.
   for (ShardId s : group_shards_) {
     MaxMinSystem& m = shards_[static_cast<size_t>(s)];
     m.changed_vars_.clear();
@@ -1349,7 +1406,7 @@ void ShardedMaxMin::solve_group() {
         if (head.shard != s || head.local != m.affected_vars_[k])
           continue;
       }
-      changed_vars_.push_back(g);
+      group_changed_.push_back(g);
     }
   }
 }

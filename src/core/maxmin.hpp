@@ -141,6 +141,8 @@
 
 namespace sg::core {
 
+class ShardWorkers;
+
 class MaxMinSystem {
 public:
   using VarId = int;
@@ -397,6 +399,9 @@ public:
   /// gateway links, unzoned hosts. It is the only shard a cross-zone flow is
   /// guaranteed to touch.
   static constexpr ShardId kBackboneShard = 0;
+  /// home_shard() results for variables that live in no single shard.
+  static constexpr ShardId kDetachedShard = -1;  ///< no replica yet
+  static constexpr ShardId kMultiShard = -2;     ///< replicas in several shards
 
   explicit ShardedMaxMin(int shard_count = 1);
 
@@ -419,6 +424,22 @@ public:
   /// replica when that is a new shard for the variable), then expands there.
   void expand(CnstId cnst, VarId var, double coeff = 1.0);
   void release_variable(VarId var);
+
+  /// Owning shard of a live variable: a shard id, kDetachedShard, or
+  /// kMultiShard. O(1). The engine's parallel stepping routes on this:
+  /// single-shard variables are finished inside their shard's lane,
+  /// cross-shard ones are deferred to the serial epilogue.
+  ShardId home_shard(VarId var) const { return vars_[static_cast<size_t>(var)].shard; }
+
+  /// The shard-local half of release_variable(), for a variable whose
+  /// replicas live in ONE shard (or nowhere): detaches it from its shard and
+  /// kills the record, but does NOT recycle the global id. Safe to call
+  /// concurrently for variables homed in different shards. Each released id
+  /// must be handed to commit_released() (serially, in a deterministic
+  /// order) before the id may be reused; throws on a kMultiShard variable.
+  void release_variable_local(VarId var);
+  /// Serial epilogue of release_variable_local(): recycle the ids.
+  void commit_released(const VarId* ids, size_t count);
 
   void set_capacity(CnstId cnst, double capacity);
   double capacity(CnstId cnst) const;
@@ -461,8 +482,12 @@ public:
 
   /// Solve only the dirty shards: shard-local incremental solves for
   /// uncoupled closures, one joint progressive-filling pass for the shards
-  /// coupled through linked replicas.
-  void solve();
+  /// coupled through linked replicas. With `workers`, the uncoupled shard
+  /// solves fan out across the worker lanes while the coupled group is
+  /// co-solved on the calling thread; the dirty-closure fixpoint and the
+  /// changed-id aggregation stay serial, so the result (including the order
+  /// of changed_variables()) is identical at every lane count.
+  void solve(ShardWorkers* workers = nullptr);
   /// Recompute everything from scratch (equivalence testing).
   void solve_full();
   bool needs_solve() const;
@@ -481,8 +506,8 @@ public:
   const MaxMinSystem& shard(ShardId s) const { return shards_[static_cast<size_t>(s)]; }
 
 private:
-  static constexpr ShardId kDetached = -1;  ///< no replica yet
-  static constexpr ShardId kMulti = -2;     ///< replicas listed in multi_
+  static constexpr ShardId kDetached = kDetachedShard;  ///< no replica yet
+  static constexpr ShardId kMulti = kMultiShard;        ///< replicas listed in multi_
 
   struct Replica {
     ShardId shard;
@@ -551,9 +576,11 @@ private:
   static constexpr unsigned char kShardCoupled = 2;  ///< closure reached a linked replica
   std::vector<ShardId> open_;
   std::vector<ShardId> group_shards_;
+  std::vector<ShardId> uncoupled_;          ///< open shards not in the group
   std::vector<size_t> scan_pos_;            ///< per shard: linked-scan cursor
   std::vector<unsigned char> shard_flags_;  ///< per shard: kShardOpen | kShardCoupled
   std::vector<VarId> group_linked_;         ///< logical linked vars in this group
+  std::vector<VarId> group_changed_;        ///< solve_group output, merged serially
 };
 
 }  // namespace sg::core

@@ -1,0 +1,162 @@
+#include "core/workers.hpp"
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sg::core {
+
+struct ShardWorkers::Impl {
+  std::mutex mutex;
+  std::condition_variable work_cv;   ///< wakes the lanes for a new phase
+  std::condition_variable done_cv;   ///< wakes the caller at the barrier
+  std::uint64_t generation = 0;      ///< bumped once per phase
+  int pending = 0;                   ///< worker lanes still running the phase
+  bool stop = false;
+
+  // Phase descriptor, valid while generation is current. Exactly one of
+  // item_fn / lane_fn is set.
+  const std::function<void(int)>* item_fn = nullptr;
+  const std::function<void(int, int)>* lane_fn = nullptr;
+  int n_items = 0;
+  int lanes = 0;
+
+  std::exception_ptr first_error;
+  std::vector<std::thread> threads;
+
+  void record_error() {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (!first_error)
+      first_error = std::current_exception();
+  }
+
+  void run_slice(int lane, const std::function<void(int)>* items,
+                 const std::function<void(int, int)>* per_lane, int n) {
+    try {
+      if (items != nullptr) {
+        for (int i = lane; i < n; i += lanes)
+          (*items)(i);
+      } else {
+        (*per_lane)(lane, lanes);
+      }
+    } catch (...) {
+      record_error();
+    }
+  }
+
+  void worker_main(int lane) {
+    std::uint64_t seen = 0;
+    while (true) {
+      const std::function<void(int)>* items = nullptr;
+      const std::function<void(int, int)>* per_lane = nullptr;
+      int n = 0;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        work_cv.wait(lock, [&] { return stop || generation != seen; });
+        if (stop)
+          return;
+        seen = generation;
+        items = item_fn;
+        per_lane = lane_fn;
+        n = n_items;
+      }
+      run_slice(lane, items, per_lane, n);
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (--pending == 0)
+          done_cv.notify_one();
+      }
+    }
+  }
+};
+
+ShardWorkers::ShardWorkers(int lanes) : lanes_(lanes < 1 ? 1 : lanes) {
+  if (lanes_ == 1)
+    return;
+  impl_ = std::make_unique<Impl>();
+  impl_->lanes = lanes_;
+  impl_->threads.reserve(lanes_ - 1);
+  for (int lane = 1; lane < lanes_; ++lane)
+    impl_->threads.emplace_back([this, lane] { impl_->worker_main(lane); });
+}
+
+ShardWorkers::~ShardWorkers() {
+  if (!impl_)
+    return;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stop = true;
+  }
+  impl_->work_cv.notify_all();
+  for (std::thread& t : impl_->threads)
+    t.join();
+}
+
+void ShardWorkers::run(int n_items, const std::function<void(int)>& fn,
+                       const std::function<void()>& on_main) {
+  if (!impl_) {
+    for (int i = 0; i < n_items; ++i)
+      fn(i);
+    if (on_main)
+      on_main();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->item_fn = &fn;
+    impl_->lane_fn = nullptr;
+    impl_->n_items = n_items;
+    impl_->pending = lanes_ - 1;
+    ++impl_->generation;
+  }
+  impl_->work_cv.notify_all();
+  impl_->run_slice(0, &fn, nullptr, n_items);
+  try {
+    if (on_main)
+      on_main();
+  } catch (...) {
+    impl_->record_error();
+  }
+  {
+    std::unique_lock<std::mutex> lock(impl_->mutex);
+    impl_->done_cv.wait(lock, [&] { return impl_->pending == 0; });
+    if (impl_->first_error) {
+      std::exception_ptr err = impl_->first_error;
+      impl_->first_error = nullptr;
+      lock.unlock();
+      std::rethrow_exception(err);
+    }
+  }
+}
+
+void ShardWorkers::run_lanes(const std::function<void(int, int)>& fn) {
+  if (!impl_) {
+    fn(0, 1);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->item_fn = nullptr;
+    impl_->lane_fn = &fn;
+    impl_->n_items = 0;
+    impl_->pending = lanes_ - 1;
+    ++impl_->generation;
+  }
+  impl_->work_cv.notify_all();
+  impl_->run_slice(0, nullptr, &fn, 0);
+  {
+    std::unique_lock<std::mutex> lock(impl_->mutex);
+    impl_->done_cv.wait(lock, [&] { return impl_->pending == 0; });
+    if (impl_->first_error) {
+      std::exception_ptr err = impl_->first_error;
+      impl_->first_error = nullptr;
+      lock.unlock();
+      std::rethrow_exception(err);
+    }
+  }
+}
+
+}  // namespace sg::core

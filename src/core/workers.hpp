@@ -1,0 +1,55 @@
+/// \file workers.hpp
+/// ShardWorkers — the engine's persistent worker pool for per-shard phases.
+///
+/// One lane per configured thread; lane 0 is always the calling (maestro)
+/// thread, lanes 1..n-1 are OS threads parked on a condition variable
+/// between phases. A phase is a barrier-style fan-out: every lane runs its
+/// statically assigned slice of the work (shard s on lane s % lanes), the
+/// caller blocks until all lanes are done, and the first exception thrown
+/// by any lane is rethrown on the caller. Static assignment keeps the
+/// shard -> lane mapping a pure function of the shard id, so any state a
+/// lane writes "for its shards" is written by exactly one thread per phase
+/// no matter how the OS schedules the lanes — the foundation of the
+/// engine's parallel == serial determinism guarantee.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+namespace sg::core {
+
+class ShardWorkers {
+public:
+  /// Spawns `lanes - 1` worker threads (lane 0 is the caller).
+  explicit ShardWorkers(int lanes);
+  ~ShardWorkers();
+  ShardWorkers(const ShardWorkers&) = delete;
+  ShardWorkers& operator=(const ShardWorkers&) = delete;
+
+  int lanes() const { return lanes_; }
+
+  /// The static shard -> lane assignment, shared by every phase.
+  static int lane_of(int shard, int lanes) { return shard % lanes; }
+
+  /// Run fn(item) for every item in [0, n_items): item i executes on lane
+  /// i % lanes, each lane walking its items in ascending order. `on_main`,
+  /// when given, runs on the calling thread after lane 0's items — the
+  /// engine uses it to co-solve the cross-shard coupled groups concurrently
+  /// with the other lanes' independent work. Returns once every lane has
+  /// finished. Not reentrant.
+  void run(int n_items, const std::function<void(int)>& fn,
+           const std::function<void()>& on_main = {});
+
+  /// Run fn(lane, lanes) once per lane (lane 0 on the calling thread):
+  /// the sharded-by-filter variant for phases whose work list is not
+  /// indexed by shard (each lane scans the list and keeps the entries
+  /// whose shard maps to it).
+  void run_lanes(const std::function<void(int, int)>& fn);
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;  ///< null when lanes_ == 1
+  int lanes_;
+};
+
+}  // namespace sg::core

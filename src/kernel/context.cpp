@@ -46,19 +46,18 @@ SG_LOG_NEW_CATEGORY(context, "actor execution contexts");
 namespace sg::kernel {
 
 void declare_context_config() {
-  auto& cfg = xbt::Config::instance();
-  const char* env = std::getenv("SG_CONTEXTS");
-  cfg.declare_string("contexts/backend", env != nullptr ? env : "fiber",
-                     "execution backend for simulated processes: 'fiber' (pooled user-space "
-                     "stacks, scales to millions of actors) or 'thread' (one OS thread per "
-                     "actor, debugger-friendly); SG_CONTEXTS seeds the default");
-  cfg.declare("contexts/stack-size", 128.0 * 1024,
-              "usable stack bytes per fiber (rounded up to whole pages); pages are "
-              "committed lazily, so small per-actor footprints come from touching "
-              "few pages, not from tiny virtual sizes");
-  cfg.declare("contexts/guard-pages", 1.0,
-              "inaccessible guard pages below each fiber stack; set 0 for 1M+ actor "
-              "runs — every guard splits a kernel VMA and vm.max_map_count caps those");
+  config::declare(kCfgContextBackend, "fiber",
+                  "execution backend for simulated processes: 'fiber' (pooled user-space "
+                  "stacks, scales to millions of actors) or 'thread' (one OS thread per "
+                  "actor, debugger-friendly)",
+                  "SG_CONTEXTS");
+  config::declare(kCfgContextStackSize, 128.0 * 1024,
+                  "usable stack bytes per fiber (rounded up to whole pages); pages are "
+                  "committed lazily, so small per-actor footprints come from touching "
+                  "few pages, not from tiny virtual sizes");
+  config::declare(kCfgContextGuardPages, 1, 0, 64,
+                  "inaccessible guard pages below each fiber stack; set 0 for 1M+ actor "
+                  "runs — every guard splits a kernel VMA and vm.max_map_count caps those");
 }
 
 namespace {
@@ -411,13 +410,12 @@ private:
 
 std::unique_ptr<ContextFactory> ContextFactory::from_config() {
   declare_context_config();
-  auto& cfg = xbt::Config::instance();
-  const std::string& backend = cfg.get_string("contexts/backend");
+  const std::string backend = config::get(kCfgContextBackend);
   if (backend == "thread")
     return std::make_unique<ThreadContextFactory>();
   if (backend == "fiber") {
-    const auto stack = static_cast<size_t>(cfg.get("contexts/stack-size"));
-    const auto guard_pages = static_cast<size_t>(cfg.get("contexts/guard-pages"));
+    const auto stack = static_cast<size_t>(config::get(kCfgContextStackSize));
+    const auto guard_pages = static_cast<size_t>(config::get(kCfgContextGuardPages));
     const auto page = static_cast<size_t>(sysconf(_SC_PAGESIZE));
     return std::make_unique<FiberContextFactory>(stack, guard_pages * page);
   }

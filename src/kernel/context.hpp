@@ -53,12 +53,20 @@
 #include <memory>
 #include <string>
 
+#include "xbt/settings.hpp"
+
 namespace sg::kernel {
 
 /// Thrown inside an actor context to unwind its stack when it gets killed.
 /// User code must let it propagate (catching it cancels the kill... just as
 /// in real SimGrid).
 struct ForcedExit {};
+
+/// Typed config keys owned by the context layer; declare_context_config()
+/// registers them. contexts/backend is seeded by SG_CONTEXTS.
+inline constexpr config::StringKey kCfgContextBackend{"contexts/backend"};
+inline constexpr config::NumberKey kCfgContextStackSize{"contexts/stack-size"};
+inline constexpr config::IntKey kCfgContextGuardPages{"contexts/guard-pages"};
 
 /// Register the `contexts/*` config keys (idempotent).
 void declare_context_config();

@@ -370,8 +370,10 @@ double Kernel::run() {
     if (live_nondaemon_ == 0)
       break;
 
+    // Actors are maestro-serialized (mailboxes and comm pools are shared
+    // state); engine/threads parallelism lives entirely below this call.
     const double timer_bound = timers_.empty() ? kInf : timers_.top().time;
-    auto events = engine_.step(timer_bound);
+    const auto events = engine_.run_until(timer_bound);
     for (const auto& ev : events)
       handle_action_event(ev);
     fire_due_timers();

@@ -4,7 +4,6 @@
 #include <limits>
 #include <queue>
 
-#include "xbt/config.hpp"
 #include "xbt/exception.hpp"
 #include "xbt/str.hpp"
 
@@ -408,11 +407,10 @@ void Platform::seal() {
   // SSSP-tree LRU capacity: configured floor, raised adaptively with the
   // platform size so that > 64 concurrently active sources (each tree is
   // O(nodes)) do not evict each other in a thrash loop.
-  auto& cfg = xbt::Config::instance();
-  cfg.declare("routing/sssp-cache", 64.0,
-              "max memoized single-source shortest-path trees (LRU); "
-              "seal() raises it to hosts/16 when that is larger");
-  const double configured = std::max(1.0, cfg.get("routing/sssp-cache"));
+  config::declare(kCfgSsspCache, 64, 1, 1 << 20,
+                  "max memoized single-source shortest-path trees (LRU); "
+                  "seal() raises it to hosts/16 when that is larger");
+  const long configured = config::get(kCfgSsspCache);
   sssp_cache_cap_ = std::max(static_cast<size_t>(configured), hosts_.size() / 16);
   build_shard_map();
   sealed_ = true;

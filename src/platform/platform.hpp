@@ -56,8 +56,13 @@
 #include <vector>
 
 #include "trace/trace.hpp"
+#include "xbt/settings.hpp"
 
 namespace sg::platform {
+
+/// Max memoized single-source shortest-path trees (LRU); Platform::seal()
+/// raises the effective capacity to hosts/16 when that is larger.
+inline constexpr config::IntKey kCfgSsspCache{"routing/sssp-cache"};
 
 using NodeId = int;  ///< index of a netpoint (host or router)
 using LinkId = int;  ///< index of a link

@@ -31,32 +31,56 @@ void Config::declare_string(const std::string& key, const std::string& default_v
 void Config::set(const std::string& key, double value) {
   auto it = entries_.find(key);
   if (it == entries_.end())
-    throw InvalidArgument("unknown config key: " + key);
+    throw_unknown(key);
   it->second.num = value;
 }
 
 void Config::set_string(const std::string& key, const std::string& value) {
   auto it = entries_.find(key);
   if (it == entries_.end())
-    throw InvalidArgument("unknown config key: " + key);
+    throw_unknown(key);
   it->second.str = value;
 }
 
 double Config::get(const std::string& key) const {
   auto it = entries_.find(key);
   if (it == entries_.end())
-    throw InvalidArgument("unknown config key: " + key);
+    throw_unknown(key);
   return it->second.num;
 }
 
 const std::string& Config::get_string(const std::string& key) const {
   auto it = entries_.find(key);
   if (it == entries_.end())
-    throw InvalidArgument("unknown config key: " + key);
+    throw_unknown(key);
   return it->second.str;
 }
 
 bool Config::known(const std::string& key) const { return entries_.count(key) != 0; }
+
+std::vector<std::string> Config::known_keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_)
+    keys.push_back(key);
+  return keys;  // entries_ is an ordered map, so this is already sorted
+}
+
+void Config::throw_unknown(const std::string& key) const {
+  std::string msg = "unknown config key: " + key + " (valid keys:";
+  if (entries_.empty()) {
+    msg += " none declared yet";
+  } else {
+    bool first = true;
+    for (const auto& [name, entry] : entries_) {
+      msg += first ? " " : ", ";
+      msg += name;
+      first = false;
+    }
+  }
+  msg += ")";
+  throw InvalidArgument(msg);
+}
 
 void Config::apply(const std::string& spec) {
   for (const std::string& item : split(spec, ',', /*skip_empty=*/true)) {
@@ -67,7 +91,7 @@ void Config::apply(const std::string& spec) {
     const std::string value = trim(item.substr(colon + 1));
     auto it = entries_.find(key);
     if (it == entries_.end())
-      throw InvalidArgument("unknown config key: " + key);
+      throw_unknown(key);
     if (it->second.is_string)
       it->second.str = value;
     else

@@ -6,6 +6,7 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 namespace sg::xbt {
 
@@ -23,6 +24,10 @@ public:
 
   bool known(const std::string& key) const;
 
+  /// All declared key names, sorted (backs the unknown-key diagnostics and
+  /// the sg::config registry listing).
+  std::vector<std::string> known_keys() const;
+
   /// Apply "key:value,key:value" (used for argv --cfg=... passthrough).
   void apply(const std::string& spec);
 
@@ -36,6 +41,8 @@ private:
     bool is_string = false;
     std::string description;
   };
+  [[noreturn]] void throw_unknown(const std::string& key) const;
+
   std::map<std::string, Entry> entries_;
 };
 

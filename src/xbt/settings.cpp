@@ -1,0 +1,201 @@
+#include "xbt/settings.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <map>
+
+#include "xbt/config.hpp"
+#include "xbt/exception.hpp"
+#include "xbt/str.hpp"
+
+namespace sg::config {
+namespace {
+
+struct Meta {
+  Type type = Type::kNumber;
+  long min = 0, max = 0;  ///< IntKey range
+  std::string description;
+  std::string env;
+};
+
+std::map<std::string, Meta>& registry() {
+  static std::map<std::string, Meta> r;
+  return r;
+}
+
+xbt::Config& store() { return xbt::Config::instance(); }
+
+const char* type_name(Type t) {
+  switch (t) {
+    case Type::kFlag: return "flag";
+    case Type::kInt: return "int";
+    case Type::kNumber: return "number";
+    case Type::kString: return "string";
+  }
+  return "?";
+}
+
+[[noreturn]] void throw_unknown(const char* key) {
+  std::string msg = std::string("unknown config key: ") + key + " (valid keys:";
+  bool first = true;
+  for (const auto& [name, meta] : registry()) {
+    msg += first ? " " : ", ";
+    msg += name;
+    first = false;
+  }
+  if (first)
+    msg += " none declared yet";
+  msg += ")";
+  throw xbt::InvalidArgument(msg);
+}
+
+const Meta& require(const char* key, Type want) {
+  auto it = registry().find(key);
+  if (it == registry().end())
+    throw_unknown(key);
+  if (it->second.type != want)
+    throw xbt::InvalidArgument(std::string("config key ") + key + " is a " +
+                               type_name(it->second.type) + ", accessed as a " + type_name(want));
+  return it->second;
+}
+
+/// Parse an env override for a numeric/flag key; flags accept 0/1 and
+/// true/false/on/off/yes/no (case matters: these are config literals).
+bool parse_env_number(const char* text, Type type, double* out) {
+  const std::string v = xbt::trim(text);
+  if (v.empty())
+    return false;
+  if (type == Type::kFlag) {
+    if (v == "1" || v == "true" || v == "on" || v == "yes") { *out = 1.0; return true; }
+    if (v == "0" || v == "false" || v == "off" || v == "no") { *out = 0.0; return true; }
+  }
+  char* end = nullptr;
+  const double num = std::strtod(v.c_str(), &end);
+  if (end == v.c_str() || *end != '\0')
+    return false;
+  *out = num;
+  return true;
+}
+
+void register_meta(const char* key, Type type, long min, long max, const std::string& description,
+                   const char* env) {
+  Meta& meta = registry()[key];
+  meta.type = type;
+  meta.min = min;
+  meta.max = max;
+  if (meta.description.empty())
+    meta.description = description;
+  if (env != nullptr)
+    meta.env = env;
+}
+
+}  // namespace
+
+void declare(FlagKey key, bool default_value, const std::string& description, const char* env) {
+  double def = default_value ? 1.0 : 0.0;
+  if (env != nullptr)
+    if (const char* text = std::getenv(env))
+      parse_env_number(text, Type::kFlag, &def);
+  register_meta(key.name, Type::kFlag, 0, 0, description, env);
+  store().declare(key.name, def, description);
+}
+
+void declare(IntKey key, long default_value, long min, long max, const std::string& description,
+             const char* env) {
+  double def = static_cast<double>(default_value);
+  if (env != nullptr)
+    if (const char* text = std::getenv(env))
+      parse_env_number(text, Type::kInt, &def);
+  register_meta(key.name, Type::kInt, min, max, description, env);
+  store().declare(key.name, def, description);
+}
+
+void declare(NumberKey key, double default_value, const std::string& description, const char* env) {
+  double def = default_value;
+  if (env != nullptr)
+    if (const char* text = std::getenv(env))
+      parse_env_number(text, Type::kNumber, &def);
+  register_meta(key.name, Type::kNumber, 0, 0, description, env);
+  store().declare(key.name, def, description);
+}
+
+void declare(StringKey key, const std::string& default_value, const std::string& description,
+             const char* env) {
+  std::string def = default_value;
+  if (env != nullptr)
+    if (const char* text = std::getenv(env)) {
+      const std::string v = xbt::trim(text);
+      if (!v.empty())
+        def = v;
+    }
+  register_meta(key.name, Type::kString, 0, 0, description, env);
+  store().declare_string(key.name, def, description);
+}
+
+bool get(FlagKey key) {
+  require(key.name, Type::kFlag);
+  return store().get(key.name) != 0.0;
+}
+
+long get(IntKey key) {
+  const Meta& meta = require(key.name, Type::kInt);
+  const double raw = store().get(key.name);
+  long value = std::lround(raw);
+  // The raw store (and --cfg passthrough) can hold any double; clamp to the
+  // declared range rather than propagating a nonsense thread/cache count.
+  if (value < meta.min)
+    value = meta.min;
+  if (value > meta.max)
+    value = meta.max;
+  return value;
+}
+
+double get(NumberKey key) {
+  require(key.name, Type::kNumber);
+  return store().get(key.name);
+}
+
+std::string get(StringKey key) {
+  require(key.name, Type::kString);
+  return store().get_string(key.name);
+}
+
+void set(FlagKey key, bool value) {
+  require(key.name, Type::kFlag);
+  store().set(key.name, value ? 1.0 : 0.0);
+}
+
+void set(IntKey key, long value) {
+  const Meta& meta = require(key.name, Type::kInt);
+  if (value < meta.min || value > meta.max)
+    throw xbt::InvalidArgument(std::string("config key ") + key.name + ": value " +
+                               std::to_string(value) + " outside [" + std::to_string(meta.min) +
+                               ", " + std::to_string(meta.max) + "]");
+  store().set(key.name, static_cast<double>(value));
+}
+
+void set(NumberKey key, double value) {
+  require(key.name, Type::kNumber);
+  store().set(key.name, value);
+}
+
+void set(StringKey key, const std::string& value) {
+  require(key.name, Type::kString);
+  store().set_string(key.name, value);
+}
+
+std::vector<KeyInfo> keys() {
+  std::vector<KeyInfo> out;
+  out.reserve(registry().size());
+  for (const auto& [name, meta] : registry()) {
+    KeyInfo info;
+    info.name = name;
+    info.type = meta.type;
+    info.description = meta.description;
+    info.env = meta.env;
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+}  // namespace sg::config
