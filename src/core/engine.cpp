@@ -46,6 +46,11 @@ void declare_engine_config() {
                   "worker threads for per-shard stepping, clamped to the shard count "
                   "(1 = serial; results are identical at any value)",
                   "SG_THREADS");
+  config::declare(kCfgParallelActors, false,
+                  "resume actor contexts on the engine/threads worker lanes (one lane "
+                  "drains the run-queue shards it owns); off = serial scheduling on the "
+                  "maestro; the observable schedule is identical either way",
+                  "SG_PARALLEL_ACTORS");
 }
 
 /// Per-shard state co-owned by the engine and (via the allocator copy in

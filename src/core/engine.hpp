@@ -70,6 +70,7 @@ inline constexpr config::NumberKey kCfgLoopbackLat{"network/loopback-lat"};
 inline constexpr config::FlagKey kCfgSharding{"engine/sharding"};
 inline constexpr config::FlagKey kCfgKillTransitComms{"engine/kill-transit-comms"};
 inline constexpr config::IntKey kCfgThreads{"engine/threads"};
+inline constexpr config::FlagKey kCfgParallelActors{"engine/parallel-actors"};
 
 /// What the engine reports after each step.
 struct ActionEvent {
@@ -176,6 +177,11 @@ public:
   std::int32_t shard_of_host(int host) const { return hosts_[static_cast<size_t>(host)].shard; }
   /// Worker lanes actually used (engine/threads clamped to the shard count).
   int thread_count() const { return lanes_; }
+  /// The engine's worker-lane pool, or null when thread_count() == 1. The
+  /// kernel's parallel scheduling phase (engine/parallel-actors) fans actor
+  /// resumes out over these same lanes — one pool, one generation barrier —
+  /// rather than spinning up a second thread pool.
+  ShardWorkers* workers() { return workers_.get(); }
 
   /// Observer invoked on every action state transition (viz/tracing hook).
   /// During run_until() the notifications are gathered per shard and fired

@@ -20,17 +20,24 @@
 ///
 /// ## Switch protocol invariants (all backends)
 ///
-/// 1. **Strict serialization.** At any instant exactly one of {maestro, one
-///    actor} executes. resume_and_wait() transfers control maestro->actor
+/// 1. **Per-lane serialization.** Each context is driven by at most one OS
+///    thread at a time: resume_and_wait() transfers control resumer->actor
 ///    and returns only when the actor has yielded or terminated; yield()
-///    transfers actor->maestro and returns only at the next resume. This is
-///    what makes simulations deterministic and lets simcalls touch kernel
-///    state without locks.
-/// 2. **Maestro-side calls vs actor-side calls.** resume_and_wait() and
-///    request_kill() may only be called by the maestro; yield() may only be
-///    called from inside the context's body. Backends are free to assume
-///    this (the fiber backend keeps the maestro's saved stack pointer in
-///    the context being resumed).
+///    transfers actor->resumer and returns only at the next resume. With
+///    `engine/parallel-actors` off the resumer is always the maestro and the
+///    whole simulation is strictly serialized; with it on, the kernel's
+///    scheduling phase resumes disjoint shards' contexts on different worker
+///    lanes concurrently — but any one context still sees a strictly serial
+///    resume/yield history, and successive resumes of the same context (even
+///    from different lanes) are ordered through the lane barrier. Both
+///    backends support cross-thread resumes: the fiber backend saves the
+///    resumer's stack per resume, the thread backend hands off through
+///    semaphores.
+/// 2. **Resumer-side calls vs actor-side calls.** resume_and_wait() and
+///    request_kill() may only be called by the current resumer (maestro or
+///    owning lane); yield() may only be called from inside the context's
+///    body. Backends are free to assume this (the fiber backend keeps the
+///    resumer's saved stack pointer in the context being resumed).
 /// 3. **Kill protocol.** request_kill() arms the kill; the *next* wakeup of
 ///    the body (via resume_and_wait()) throws ForcedExit inside yield(), so
 ///    the body unwinds with normal C++ semantics (RAII runs). A context
@@ -70,6 +77,17 @@ inline constexpr config::IntKey kCfgContextGuardPages{"contexts/guard-pages"};
 
 /// Register the `contexts/*` config keys (idempotent).
 void declare_context_config();
+
+/// Worker-lane id of the calling OS thread, used to pick per-lane context
+/// resources (the fiber backend's stack free lists). Thread-local; defaults
+/// to 0 (the maestro). The kernel tags each worker lane before resuming
+/// actors on it and resets the maestro to 0 for the serial phases.
+void set_context_lane(int lane);
+int context_lane();
+
+/// Number of per-lane resource slots backends keep. engine/threads is capped
+/// at 256, so lane ids are always < kMaxContextLanes.
+inline constexpr int kMaxContextLanes = 256;
 
 class Context {
 public:
@@ -129,6 +147,8 @@ public:
   virtual const char* backend_name() const = 0;
 
   /// Stack-pool accounting (all zero for backends without pooled stacks).
+  /// Totals are aggregated over the per-lane free lists; call from a serial
+  /// section (no lane concurrently acquiring) for an exact snapshot.
   struct PoolStats {
     size_t stacks_allocated = 0;  ///< stacks carved out of slabs so far
     size_t stacks_free = 0;       ///< currently parked in the free list

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
+#include <mutex>
 #include <new>
 
+#include "core/workers.hpp"
 #include "xbt/exception.hpp"
 #include "xbt/log.hpp"
 
@@ -15,14 +17,17 @@ namespace sg::kernel {
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-// The actor currently executing and its kernel. Plain globals, not
-// thread_local: under the fiber backend every actor shares the maestro's OS
-// thread, and under the thread backend the semaphore handoff in the context
-// makes the maestro's write visible to the actor's thread (publish before
-// release, the actor only reads). Strict serialization (context.hpp
-// invariant 1) rules out concurrent access.
-Actor* g_current_actor = nullptr;
-Kernel* g_current_kernel = nullptr;
+// The actor currently executing and its kernel, per OS thread: during a
+// parallel scheduling phase every lane has its own current actor. Under the
+// thread context backend the semaphore handoff publishes the resumer's write
+// to the actor's thread (release before acquire), so the actor-side reads in
+// self()/current() go through the *resuming lane's* slot — resume_context
+// and run_shard_batch set these on the resuming thread, and ThreadContext
+// bodies read them via the kernel passing through the resume (see
+// resume_context). g_active_kernel stays a plain global: it is only written
+// from kernel construction/destruction (serial by definition).
+thread_local Actor* g_current_actor = nullptr;
+thread_local Kernel* g_current_kernel = nullptr;
 Kernel* g_active_kernel = nullptr;
 
 double clock_provider() { return g_active_kernel ? g_active_kernel->now() : -1.0; }
@@ -55,10 +60,13 @@ Actor::Actor(ActorId id, std::string name, int host, std::function<void()> body,
 // and its shared_ptr control block into one allocation of a single size,
 // which a LIFO free list then recycles — at millions of rendezvous per run
 // the allocator drops off the profile and recycled blocks come back
-// cache-warm.
+// cache-warm. One pool per run-queue shard: allocation happens on the home
+// lane (or the maestro), but the last CommPtr reference to a block can drop
+// on any thread, so both sides of the free list take the pool's mutex.
 
 struct CommBlockPool {
   static constexpr size_t kMaxFreeBlocks = 64 * 1024;
+  std::mutex mutex;
   std::vector<void*> free_blocks;
   size_t block_bytes = 0;  ///< learned from the first allocation
 
@@ -68,6 +76,7 @@ struct CommBlockPool {
   }
 
   void* allocate(size_t bytes) {
+    std::lock_guard<std::mutex> lock(mutex);
     if (block_bytes == 0)
       block_bytes = bytes;
     if (bytes == block_bytes && !free_blocks.empty()) {
@@ -79,9 +88,12 @@ struct CommBlockPool {
   }
 
   void deallocate(void* p, size_t bytes) {
-    if (bytes == block_bytes && free_blocks.size() < kMaxFreeBlocks) {
-      free_blocks.push_back(p);
-      return;
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (bytes == block_bytes && free_blocks.size() < kMaxFreeBlocks) {
+        free_blocks.push_back(p);
+        return;
+      }
     }
     ::operator delete(p);
   }
@@ -108,7 +120,10 @@ struct CommPoolAllocator {
 };
 }  // namespace
 
-CommPtr Kernel::make_comm() { return std::allocate_shared<Comm>(CommPoolAllocator<Comm>(comm_pool_)); }
+CommPtr Kernel::make_comm(Actor* for_actor) {
+  const size_t shard = for_actor != nullptr ? static_cast<size_t>(for_actor->shard_) : 0;
+  return std::allocate_shared<Comm>(CommPoolAllocator<Comm>(comm_pools_[shard]));
+}
 
 // -- actor slot arena ----------------------------------------------------------
 
@@ -180,8 +195,7 @@ std::int32_t Kernel::shard_for_host(int host) const {
 // -- kernel lifecycle ----------------------------------------------------------
 
 Kernel::Kernel(platform::Platform platform)
-    : context_factory_(ContextFactory::from_config()), engine_(std::move(platform)),
-      comm_pool_(std::make_shared<CommBlockPool>()) {
+    : context_factory_(ContextFactory::from_config()), engine_(std::move(platform)) {
   engine_.set_resource_observer([this](bool is_host, int index, bool on) {
     if (is_host)
       host_changes_.push_back({index, on});
@@ -191,11 +205,20 @@ Kernel::Kernel(platform::Platform platform)
   const auto& sm = pf.shard_map();
   const bool sharded = sm.shard_count > 0 && sm.host_shard.size() == pf.host_count();
   ready_.resize(sharded ? static_cast<size_t>(sm.shard_count) : 1);
+  batch_.resize(ready_.size());
+  ran_.resize(ready_.size());
+  comm_pools_.resize(ready_.size());
+  for (auto& pool : comm_pools_)
+    pool = std::make_shared<CommBlockPool>();
+  lane_counters_.resize(static_cast<size_t>(std::max(1, engine_.thread_count())));
+  parallel_actors_ =
+      config::get(core::kCfgParallelActors) && engine_.thread_count() > 1 && ready_.size() > 1;
   g_active_kernel = this;
   xbt::log_set_clock_provider(&clock_provider);
   xbt::log_set_actor_provider(&actor_provider);
-  SG_DEBUG(kernel, "kernel up: %s contexts, %zu run-queue shard(s)",
-           context_factory_->backend_name(), ready_.size());
+  SG_DEBUG(kernel, "kernel up: %s contexts, %zu run-queue shard(s), %s scheduling",
+           context_factory_->backend_name(), ready_.size(),
+           parallel_actors_ ? "parallel" : "serial");
 }
 
 Kernel::~Kernel() {
@@ -221,7 +244,6 @@ void Kernel::teardown_all_actors() {
     while (!q.empty()) {
       Actor* a = q.front();
       q.pop_front();
-      --ready_count_;
       a->in_ready_queue_ = false;
       if (!a->alive())
         reap_actor(a);
@@ -234,6 +256,21 @@ Kernel* Kernel::current() { return g_current_kernel != nullptr ? g_current_kerne
 
 ActorId Kernel::spawn(const std::string& name, int host, std::function<void()> body, bool daemon,
                       bool auto_restart) {
+  if (Actor* a = self(); a != nullptr && a->phase_quantum_) {
+    // Spawning touches the slot arena, the id map and (via schedule) a ready
+    // queue that may belong to another lane — serial work, all of it.
+    PendingSimcall rec;
+    rec.kind = PendingSimcall::Kind::kSpawn;
+    rec.name = &name;
+    rec.host = host;
+    rec.spawn_body = &body;
+    rec.spawn_daemon = daemon;
+    rec.spawn_auto_restart = auto_restart;
+    record_and_park(a, rec);
+    if (rec.error)
+      std::rethrow_exception(rec.error);
+    return rec.spawned;
+  }
   if (host < 0 || static_cast<size_t>(host) >= engine_.platform().host_count())
     throw xbt::InvalidArgument("spawn: no such host");
   if (!engine_.host_is_on(host))
@@ -241,7 +278,15 @@ ActorId Kernel::spawn(const std::string& name, int host, std::function<void()> b
   const ActorId id = next_actor_id_++;
   Actor* a = allocate_actor(id, name, host, std::move(body), daemon, auto_restart);
   a->shard_ = shard_for_host(host);
-  a->context_ = context_factory_->create([a] { a->body_(); });
+  a->context_ = context_factory_->create([this, a] {
+    // Publish identity in the *body's* thread-local slots: thread-backend
+    // actors run on their own OS thread, which resume_context (running on
+    // the resuming lane) cannot reach. Fibers run on the resuming thread,
+    // where resume_context already published the same values.
+    g_current_actor = a;
+    g_current_kernel = this;
+    a->body_();
+  });
   id_to_slot_.emplace(id, a->slot_);
   host_list_insert(a);
   ++live_count_;
@@ -257,9 +302,19 @@ ActorId Kernel::spawn(const std::string& name, int host, std::function<void()> b
 void Kernel::schedule(Actor* a) {
   if (a->state_ == Actor::State::kReady && !a->suspended_ && !a->in_ready_queue_) {
     ready_[static_cast<size_t>(a->shard_)].push_back(a);
-    ++ready_count_;
     a->in_ready_queue_ = true;
   }
+}
+
+size_t Kernel::total_ready() const {
+  size_t n = 0;
+  for (const auto& q : ready_)
+    n += q.size();
+  return n;
+}
+
+bool Kernel::in_scheduling_phase() {
+  return g_current_actor != nullptr && g_current_actor->phase_quantum_;
 }
 
 void Kernel::wake(Actor* a, WakeStatus status) {
@@ -275,8 +330,17 @@ void Kernel::wake(Actor* a, WakeStatus status) {
     a->blocked_action_.reset();
   }
   a->blocked_comm_.reset();
-  ++stats_.wakeups;
+  ++lane_counters_[static_cast<size_t>(context_lane())].wakeups;
   schedule(a);
+}
+
+Kernel::Stats Kernel::stats() const {
+  Stats out = stats_;
+  for (const auto& lane : lane_counters_) {
+    out.wakeups += lane.wakeups;
+    out.context_switches += lane.context_switches;
+  }
+  return out;
 }
 
 WakeStatus Kernel::block_self(Actor* a, double timeout) {
@@ -294,7 +358,7 @@ void Kernel::resume_context(Actor* a) {
   Kernel* const prev_kernel = g_current_kernel;
   g_current_actor = a;
   g_current_kernel = this;
-  ++stats_.context_switches;
+  ++lane_counters_[static_cast<size_t>(context_lane())].context_switches;
   const bool finished = a->context_->resume_and_wait();
   g_current_actor = prev_actor;
   g_current_kernel = prev_kernel;
@@ -306,6 +370,7 @@ void Kernel::handle_actor_end(Actor* a) {
   if (a->state_ == Actor::State::kDead)
     return;
   a->state_ = Actor::State::kDead;
+  a->pending_ = nullptr;
   ++a->timer_gen_;
   if (a->blocked_action_) {
     a->blocked_action_->user_data = nullptr;
@@ -339,39 +404,20 @@ void Kernel::handle_actor_end(Actor* a) {
 double Kernel::run() {
   running_ = true;
   long idle_rounds = 0;
+  // The scheduling phase fans out only when the flag is on AND there is
+  // something to fan out over (multiple lanes, multiple shards).
+  core::ShardWorkers* const workers =
+      (parallel_actors_ && ready_.size() > 1) ? engine_.workers() : nullptr;
   while (true) {
     bool any_ran = false;
-    while (ready_count_ > 0) {
-      // One sweep over the shard queues. Each shard runs the batch of actors
-      // that were ready when the sweep reached it — a zone's wakeups execute
-      // back to back against that zone's solver shard, and the fixed shard
-      // rotation keeps the global order deterministic. Actors readied during
-      // a batch run in the next sweep. With a single shard (flat platforms)
-      // this degenerates to the plain FIFO order.
-      for (auto& q : ready_) {
-        for (size_t batch = q.size(); batch > 0; --batch) {
-          Actor* a = q.front();
-          q.pop_front();
-          --ready_count_;
-          a->in_ready_queue_ = false;
-          if (!a->alive()) {
-            reap_actor(a);  // killed while queued
-            continue;
-          }
-          if (a->state_ != Actor::State::kReady || a->suspended_)
-            continue;
-          any_ran = true;
-          resume_context(a);
-          process_resource_changes();
-        }
-      }
-    }
+    while (total_ready() > 0)
+      any_ran = run_scheduling_round(workers) || any_ran;
 
     if (live_nondaemon_ == 0)
       break;
 
-    // Actors are maestro-serialized (mailboxes and comm pools are shared
-    // state); engine/threads parallelism lives entirely below this call.
+    // Engine time advance: engine/threads parallelism lives entirely below
+    // this call, and all actor-visible effects are committed serially above.
     const double timer_bound = timers_.empty() ? kInf : timers_.top().time;
     const auto events = engine_.run_until(timer_bound);
     for (const auto& ev : events)
@@ -379,12 +425,12 @@ double Kernel::run() {
     fire_due_timers();
     process_resource_changes();
 
-    if (!events.empty() || any_ran || ready_count_ > 0) {
+    if (!events.empty() || any_ran || total_ready() > 0) {
       idle_rounds = 0;
       continue;
     }
     const double next = engine_.next_event_time();
-    if (next == kInf && timers_.empty() && ready_count_ == 0) {
+    if (next == kInf && timers_.empty() && total_ready() == 0) {
       deadlocked_ = true;
       SG_WARN(kernel, "deadlock: %zu actor(s) blocked forever at t=%g; stopping the simulation",
               alive_actor_count(), engine_.now());
@@ -408,11 +454,298 @@ double Kernel::run() {
   return engine_.now();
 }
 
+// -- round-based scheduling -----------------------------------------------------
+
+bool Kernel::run_scheduling_round(core::ShardWorkers* workers) {
+  const int shards = static_cast<int>(ready_.size());
+  // Snapshot every shard's batch up front: a round runs exactly the actors
+  // that were ready when it began, in both modes, so mid-round wakes always
+  // land in the next round regardless of which shard they touch.
+  for (int s = 0; s < shards; ++s) {
+    batch_[static_cast<size_t>(s)] = ready_[static_cast<size_t>(s)].size();
+    ran_[static_cast<size_t>(s)].clear();
+  }
+
+  // Scheduling phase: user code runs up to its next simcall (see the
+  // execution-model notes in kernel.hpp). Lane i drains shards ≡ i (mod
+  // lanes) — the same ShardWorkers mapping, pool, and generation barrier as
+  // the engine's solve/advance phases.
+  if (workers != nullptr) {
+    const int lanes = engine_.thread_count();
+    workers->run(shards, [this, lanes](int s) { run_shard_batch(s, lanes); });
+    set_context_lane(0);  // back to the maestro's lane for the serial phases
+  } else {
+    for (int s = 0; s < shards; ++s)
+      run_shard_batch(s, 1);
+  }
+
+  // Serial epilogue: commit every quantum in fixed shard order, batch order
+  // within a shard. All engine actions, timers, wakes, spawns, kills, and
+  // reaps happen here, so their order — and thus the event log — does not
+  // depend on lane interleaving.
+  bool any_ran = false;
+  for (int s = 0; s < shards; ++s) {
+    for (RanActor& r : ran_[static_cast<size_t>(s)]) {
+      if (!r.zombie)
+        any_ran = true;
+      commit_ran(r);
+      process_resource_changes();
+    }
+    ran_[static_cast<size_t>(s)].clear();  // drop CommPtr references promptly
+  }
+  return any_ran;
+}
+
+void Kernel::run_shard_batch(int shard, int lanes) {
+  set_context_lane(lanes > 1 ? shard % lanes : 0);
+  auto& q = ready_[static_cast<size_t>(shard)];
+  auto& ran = ran_[static_cast<size_t>(shard)];
+  for (size_t n = batch_[static_cast<size_t>(shard)]; n > 0; --n) {
+    Actor* a = q.front();
+    q.pop_front();
+    a->in_ready_queue_ = false;
+    if (!a->alive()) {
+      // Killed while queued: reaping touches the shared arena, so defer it
+      // to the epilogue (deterministic zombie reaping).
+      RanActor r;
+      r.actor = a;
+      r.id = a->id_;
+      r.zombie = true;
+      ran.push_back(std::move(r));
+      continue;
+    }
+    if (a->state_ != Actor::State::kReady || a->suspended_)
+      continue;
+    RanActor r;
+    r.actor = a;
+    r.id = a->id_;
+    a->pending_ = nullptr;
+    a->phase_quantum_ = true;
+    a->phase_starts_ = &r.started;
+    // Resume on this lane. Not resume_context(): a body that finishes here
+    // must have its end handled by the epilogue, not the lane.
+    Actor* const prev_actor = g_current_actor;
+    Kernel* const prev_kernel = g_current_kernel;
+    g_current_actor = a;
+    g_current_kernel = this;
+    ++lane_counters_[static_cast<size_t>(context_lane())].context_switches;
+    r.finished = a->context_->resume_and_wait();
+    g_current_actor = prev_actor;
+    g_current_kernel = prev_kernel;
+    a->phase_quantum_ = false;
+    a->phase_starts_ = nullptr;  // r.started moves below; never read parked
+    r.rec = r.finished ? nullptr : a->pending_;
+    assert((r.finished || r.rec != nullptr) && "a quantum must end in a simcall or termination");
+    ran.push_back(std::move(r));
+  }
+}
+
+void Kernel::record_and_park(Actor* a, PendingSimcall& rec) {
+  a->pending_ = &rec;
+  a->state_ = Actor::State::kBlocked;
+  a->context_->yield();
+  // Woken by the epilogue: the record was committed (results valid), or the
+  // actor was resumed with a wake status after blocking.
+}
+
+void Kernel::serial_resume(Actor* a) {
+  a->state_ = Actor::State::kReady;
+  resume_context(a);
+}
+
+void Kernel::arm_timeout(Actor* a, double timeout) {
+  if (timeout >= 0)
+    timers_.push(Timer{engine_.now() + timeout, a->id_, a->timer_gen_});
+}
+
+void Kernel::commit_comm_wait(Actor* a, PendingSimcall& rec, const CommPtr& comm) {
+  if (comm->state == Comm::State::kFinished) {
+    // Already resolved: requeue the actor with the comm's outcome. (Both
+    // modes take this same path, so the schedules agree by construction.)
+    wake(a, comm->result);
+    return;
+  }
+  if (comm->sender_id == a->id_)
+    comm->sender_waiting = true;
+  else
+    comm->receiver_waiting = true;
+  a->blocked_comm_ = comm;
+  arm_timeout(a, rec.timeout);
+}
+
+void Kernel::commit_ran(RanActor& r) {
+  if (r.zombie) {
+    reap_actor(r.actor);
+    return;
+  }
+  Actor* a = r.actor;
+  // Replay the quantum's inline-matched comm starts first: in program order
+  // they happened before whatever the actor last recorded — and they must
+  // replay even if the actor was killed meanwhile, or the matched peer would
+  // be stranded on a comm that never starts. A comm detached (finished) by
+  // such a kill is skipped via the state guard.
+  for (CommPtr& c : r.started)
+    if (c->state == Comm::State::kMatched)
+      start_comm(c);
+  r.started.clear();
+
+  // Identity guard: an earlier commit in this same epilogue may have killed
+  // the actor — and its slot may already host a respawned successor.
+  auto it = id_to_slot_.find(r.id);
+  if (it == id_to_slot_.end() || slot(it->second) != a)
+    return;
+
+  if (r.finished) {
+    if (a->alive())
+      handle_actor_end(a);
+    return;
+  }
+  if (!a->alive() || a->pending_ != r.rec)
+    return;  // killed while parked earlier in this epilogue; already unwound
+  PendingSimcall* rec = r.rec;
+  a->pending_ = nullptr;
+
+  switch (rec->kind) {
+    case PendingSimcall::Kind::kYield:
+      a->state_ = Actor::State::kReady;
+      schedule(a);
+      break;
+
+    case PendingSimcall::Kind::kExec:
+    case PendingSimcall::Kind::kPtask:
+    case PendingSimcall::Kind::kSleep:
+      try {
+        core::ActionPtr action;
+        if (rec->kind == PendingSimcall::Kind::kExec)
+          action = engine_.exec_start(a->host_, rec->flops, rec->priority, a->name_ + ":exec");
+        else if (rec->kind == PendingSimcall::Kind::kPtask)
+          action = engine_.ptask_start(*rec->ptask_hosts, *rec->ptask_flops, *rec->ptask_bytes,
+                                       a->name_ + ":ptask");
+        else
+          action = engine_.sleep_start(a->host_, rec->duration, a->name_ + ":sleep");
+        action->user_data = a;
+        if (a->suspended_)
+          action->suspend();  // suspended while parked: start the work paused
+        a->blocked_action_ = std::move(action);
+      } catch (...) {
+        // Surface creation failures (host down, bad arguments) inside the
+        // actor, as the inline path would have.
+        rec->error = std::current_exception();
+        wake(a, WakeStatus::kOk);
+      }
+      break;
+
+    case PendingSimcall::Kind::kSendWait: {
+      CommPtr comm = send_async_impl(a, rec->mailbox, rec->payload, rec->bytes, rec->rate);
+      rec->comm = comm;
+      commit_comm_wait(a, *rec, comm);
+      break;
+    }
+    case PendingSimcall::Kind::kRecvWait: {
+      CommPtr comm = recv_async_impl(a, rec->mailbox);
+      rec->comm = comm;
+      commit_comm_wait(a, *rec, comm);
+      break;
+    }
+    case PendingSimcall::Kind::kCommWait:
+      commit_comm_wait(a, *rec, rec->comm);
+      break;
+
+    case PendingSimcall::Kind::kSendAsync: {
+      CommPtr comm = send_async_impl(a, rec->mailbox, rec->payload, rec->bytes, rec->rate);
+      comm->detached = rec->detached;
+      rec->comm = comm;
+      serial_resume(a);
+      break;
+    }
+    case PendingSimcall::Kind::kRecvAsync:
+      rec->comm = recv_async_impl(a, rec->mailbox);
+      serial_resume(a);
+      break;
+
+    case PendingSimcall::Kind::kCommTest:
+      rec->flag_result = rec->comm->state == Comm::State::kFinished;
+      serial_resume(a);
+      break;
+    case PendingSimcall::Kind::kCommProbe:
+      rec->flag_result =
+          rec->mailbox != kNoMailbox && !mailbox_ref(rec->mailbox).queued_sends.empty();
+      serial_resume(a);
+      break;
+
+    case PendingSimcall::Kind::kInternMailbox:
+      rec->interned = intern_mailbox(*rec->name, a->shard_);
+      serial_resume(a);
+      break;
+
+    case PendingSimcall::Kind::kSpawn:
+      try {
+        rec->spawned = spawn(*rec->name, rec->host, std::move(*rec->spawn_body),
+                             rec->spawn_daemon, rec->spawn_auto_restart);
+      } catch (...) {
+        rec->error = std::current_exception();
+      }
+      serial_resume(a);
+      break;
+
+    case PendingSimcall::Kind::kKill: {
+      Actor* victim = actor(rec->target);
+      if (victim != nullptr && victim->alive())
+        kill_internal(victim, false);
+      // The victim's exit callbacks may have killed the caller in turn.
+      if (a->alive())
+        serial_resume(a);
+      break;
+    }
+
+    case PendingSimcall::Kind::kSuspendSelf:
+      // Like the inline self-suspend: runnable again the moment someone
+      // resume()s it; stays parked until then.
+      a->suspended_ = true;
+      a->state_ = Actor::State::kReady;
+      break;
+    case PendingSimcall::Kind::kSuspendOther:
+      suspend(rec->target);
+      serial_resume(a);
+      break;
+    case PendingSimcall::Kind::kResume:
+      resume(rec->target);
+      serial_resume(a);
+      break;
+
+    case PendingSimcall::Kind::kHostState:
+      try {
+        engine_.set_host_state(rec->host, rec->host_on);
+      } catch (...) {
+        rec->error = std::current_exception();
+      }
+      // Resource changes are processed when this quantum fully ends (after
+      // the serial continuation blocks), matching the inline ordering.
+      serial_resume(a);
+      break;
+
+    case PendingSimcall::Kind::kNone:
+      assert(false && "parked without a record");
+      break;
+  }
+}
+
 // -- simcalls ---------------------------------------------------------------
 
 void Kernel::execute(double flops, double priority) {
   Actor* a = self();
   assert(a != nullptr && "execute() must be called from an actor");
+  if (a->phase_quantum_) {
+    PendingSimcall rec;
+    rec.kind = PendingSimcall::Kind::kExec;
+    rec.flops = flops;
+    rec.priority = priority;
+    record_and_park(a, rec);
+    if (rec.error)
+      std::rethrow_exception(rec.error);
+    check_status(a->wake_status_);
+    return;
+  }
   auto action = engine_.exec_start(a->host_, flops, priority, a->name_ + ":exec");
   action->user_data = a;
   a->blocked_action_ = action;
@@ -423,6 +756,18 @@ void Kernel::execute_parallel(const std::vector<int>& hosts, const std::vector<d
                               const std::vector<std::vector<double>>& bytes) {
   Actor* a = self();
   assert(a != nullptr && "execute_parallel() must be called from an actor");
+  if (a->phase_quantum_) {
+    PendingSimcall rec;
+    rec.kind = PendingSimcall::Kind::kPtask;
+    rec.ptask_hosts = &hosts;
+    rec.ptask_flops = &flops;
+    rec.ptask_bytes = &bytes;
+    record_and_park(a, rec);
+    if (rec.error)
+      std::rethrow_exception(rec.error);
+    check_status(a->wake_status_);
+    return;
+  }
   auto action = engine_.ptask_start(hosts, flops, bytes, a->name_ + ":ptask");
   action->user_data = a;
   a->blocked_action_ = action;
@@ -436,6 +781,16 @@ void Kernel::sleep_for(double duration) {
     yield_now();
     return;
   }
+  if (a->phase_quantum_) {
+    PendingSimcall rec;
+    rec.kind = PendingSimcall::Kind::kSleep;
+    rec.duration = duration;
+    record_and_park(a, rec);
+    if (rec.error)
+      std::rethrow_exception(rec.error);
+    check_status(a->wake_status_);
+    return;
+  }
   auto action = engine_.sleep_start(a->host_, duration, a->name_ + ":sleep");
   action->user_data = a;
   a->blocked_action_ = action;
@@ -445,6 +800,14 @@ void Kernel::sleep_for(double duration) {
 void Kernel::yield_now() {
   Actor* a = self();
   assert(a != nullptr);
+  if (a->phase_quantum_) {
+    // The requeue touches the shard's own deque, but the epilogue does it
+    // instead so the ready order interleaves identically in both modes.
+    PendingSimcall rec;
+    rec.kind = PendingSimcall::Kind::kYield;
+    record_and_park(a, rec);
+    return;
+  }
   a->state_ = Actor::State::kReady;
   schedule(a);
   a->context_->yield();
@@ -458,10 +821,28 @@ void Kernel::exit_self() {
 // -- mailboxes & communications -------------------------------------------------
 
 MailboxId Kernel::mailbox_by_name(const std::string& name) {
+  Actor* a = self();
+  if (a != nullptr && a->phase_quantum_) {
+    // The id map is only mutated serially, so phase-time lookups are
+    // race-free; a miss defers the insertion to the epilogue.
+    auto it = mailbox_ids_.find(name);
+    if (it != mailbox_ids_.end())
+      return it->second;
+    PendingSimcall rec;
+    rec.kind = PendingSimcall::Kind::kInternMailbox;
+    rec.name = &name;
+    record_and_park(a, rec);
+    return rec.interned;
+  }
+  return intern_mailbox(name, a != nullptr ? a->shard_ : 0);
+}
+
+MailboxId Kernel::intern_mailbox(const std::string& name, std::int32_t home) {
   auto [it, inserted] = mailbox_ids_.try_emplace(name, MailboxId{0});
   if (inserted) {
     it->second = static_cast<MailboxId>(mailboxes_.size());
     mailboxes_.emplace_back();
+    mailboxes_.back().home = home;
     mailbox_names_.push_back(name);
   }
   return it->second;
@@ -470,6 +851,20 @@ MailboxId Kernel::mailbox_by_name(const std::string& name) {
 CommPtr Kernel::send_async(MailboxId mb, void* payload, double bytes, double rate) {
   Actor* a = self();
   assert(a != nullptr && "send must be called from an actor");
+  if (a->phase_quantum_ && mailbox_ref(mb).home != a->shard_) {
+    PendingSimcall rec;
+    rec.kind = PendingSimcall::Kind::kSendAsync;
+    rec.mailbox = mb;
+    rec.payload = payload;
+    rec.bytes = bytes;
+    rec.rate = rate;
+    record_and_park(a, rec);
+    return rec.comm;
+  }
+  return send_async_impl(a, mb, payload, bytes, rate);
+}
+
+CommPtr Kernel::send_async_impl(Actor* a, MailboxId mb, void* payload, double bytes, double rate) {
   Mailbox& box = mailbox_ref(mb);
   if (!box.queued_recvs.empty()) {
     CommPtr comm = box.queued_recvs.front();
@@ -480,10 +875,17 @@ CommPtr Kernel::send_async(MailboxId mb, void* payload, double bytes, double rat
     comm->payload = payload;
     comm->bytes = bytes;
     comm->rate = rate;
-    start_comm(comm);
+    if (a->phase_quantum_) {
+      // Lanes never touch the engine: park the match until the maestro
+      // replays this shard's pending starts (lists-local rule, kernel.hpp).
+      comm->state = Comm::State::kMatched;
+      a->phase_starts_->push_back(comm);
+    } else {
+      start_comm(comm);
+    }
     return comm;
   }
-  CommPtr comm = make_comm();
+  CommPtr comm = make_comm(a);
   comm->mailbox = mb;
   comm->state = Comm::State::kQueuedSend;
   comm->sender = a;
@@ -499,6 +901,17 @@ CommPtr Kernel::send_async(MailboxId mb, void* payload, double bytes, double rat
 CommPtr Kernel::recv_async(MailboxId mb) {
   Actor* a = self();
   assert(a != nullptr && "recv must be called from an actor");
+  if (a->phase_quantum_ && mailbox_ref(mb).home != a->shard_) {
+    PendingSimcall rec;
+    rec.kind = PendingSimcall::Kind::kRecvAsync;
+    rec.mailbox = mb;
+    record_and_park(a, rec);
+    return rec.comm;
+  }
+  return recv_async_impl(a, mb);
+}
+
+CommPtr Kernel::recv_async_impl(Actor* a, MailboxId mb) {
   Mailbox& box = mailbox_ref(mb);
   if (!box.queued_sends.empty()) {
     CommPtr comm = box.queued_sends.front();
@@ -506,10 +919,15 @@ CommPtr Kernel::recv_async(MailboxId mb) {
     comm->receiver = a;
     comm->receiver_id = a->id_;
     comm->dst_host = a->host_;
-    start_comm(comm);
+    if (a->phase_quantum_) {
+      comm->state = Comm::State::kMatched;
+      a->phase_starts_->push_back(comm);
+    } else {
+      start_comm(comm);
+    }
     return comm;
   }
-  CommPtr comm = make_comm();
+  CommPtr comm = make_comm(a);
   comm->mailbox = mb;
   comm->state = Comm::State::kQueuedRecv;
   comm->receiver = a;
@@ -543,6 +961,21 @@ void Kernel::finish_comm(const CommPtr& comm, WakeStatus result) {
 void* Kernel::comm_wait(const CommPtr& comm, double timeout) {
   Actor* a = self();
   assert(a != nullptr);
+  if (a->phase_quantum_) {
+    // Even a home-shard comm defers the wait: its state can be flipped by the
+    // serial epilogue only, and both modes must park at the same point.
+    PendingSimcall rec;
+    rec.kind = PendingSimcall::Kind::kCommWait;
+    rec.comm = comm;
+    rec.timeout = timeout;
+    record_and_park(a, rec);
+    if (comm->sender_id == a->id_)
+      comm->sender_waiting = false;
+    else
+      comm->receiver_waiting = false;
+    check_status(a->wake_status_);
+    return comm->payload;
+  }
   WakeStatus st;
   if (comm->state == Comm::State::kFinished) {
     st = comm->result;
@@ -564,15 +997,61 @@ void* Kernel::comm_wait(const CommPtr& comm, double timeout) {
 }
 
 void Kernel::send(MailboxId mb, void* payload, double bytes, double timeout, double rate) {
+  Actor* a = self();
+  assert(a != nullptr && "send must be called from an actor");
+  if (a->phase_quantum_ && mailbox_ref(mb).home != a->shard_) {
+    // Fused enqueue+wait: one park instead of an async record followed by a
+    // second park in comm_wait.
+    PendingSimcall rec;
+    rec.kind = PendingSimcall::Kind::kSendWait;
+    rec.mailbox = mb;
+    rec.payload = payload;
+    rec.bytes = bytes;
+    rec.rate = rate;
+    rec.timeout = timeout;
+    record_and_park(a, rec);
+    if (rec.comm)
+      rec.comm->sender_waiting = false;
+    check_status(a->wake_status_);
+    return;
+  }
   comm_wait(send_async(mb, payload, bytes, rate), timeout);
 }
 
 void Kernel::send_detached(MailboxId mb, void* payload, double bytes, double rate) {
-  CommPtr comm = send_async(mb, payload, bytes, rate);
+  Actor* a = self();
+  assert(a != nullptr && "send_detached must be called from an actor");
+  if (a->phase_quantum_ && mailbox_ref(mb).home != a->shard_) {
+    PendingSimcall rec;
+    rec.kind = PendingSimcall::Kind::kSendAsync;
+    rec.mailbox = mb;
+    rec.payload = payload;
+    rec.bytes = bytes;
+    rec.rate = rate;
+    rec.detached = true;
+    record_and_park(a, rec);
+    return;
+  }
+  CommPtr comm = send_async_impl(a, mb, payload, bytes, rate);
   comm->detached = true;
 }
 
 void* Kernel::recv(MailboxId mb, double timeout, ActorId* source) {
+  Actor* a = self();
+  assert(a != nullptr && "recv must be called from an actor");
+  if (a->phase_quantum_ && mailbox_ref(mb).home != a->shard_) {
+    PendingSimcall rec;
+    rec.kind = PendingSimcall::Kind::kRecvWait;
+    rec.mailbox = mb;
+    rec.timeout = timeout;
+    record_and_park(a, rec);
+    if (rec.comm)
+      rec.comm->receiver_waiting = false;
+    check_status(a->wake_status_);
+    if (source != nullptr)
+      *source = rec.comm->sender_id;
+    return rec.comm->payload;
+  }
   CommPtr comm = recv_async(mb);
   void* payload = comm_wait(comm, timeout);
   if (source != nullptr)
@@ -580,14 +1059,38 @@ void* Kernel::recv(MailboxId mb, double timeout, ActorId* source) {
   return payload;
 }
 
-bool Kernel::comm_waiting(MailboxId mb) const {
+bool Kernel::comm_waiting(MailboxId mb) {
+  Actor* a = self();
+  if (a != nullptr && a->phase_quantum_ && mailbox_ref(mb).home != a->shard_) {
+    PendingSimcall rec;
+    rec.kind = PendingSimcall::Kind::kCommProbe;
+    rec.mailbox = mb;
+    record_and_park(a, rec);
+    return rec.flag_result;
+  }
   return !mailboxes_[static_cast<size_t>(mb)].queued_sends.empty();
 }
 
-bool Kernel::comm_waiting(const std::string& mb) const {
+bool Kernel::comm_waiting(const std::string& mb) {
   // Probe without interning: an unknown name trivially has nothing queued.
+  // The id map only mutates serially, so the phase-time find is race-free.
   auto it = mailbox_ids_.find(mb);
   return it != mailbox_ids_.end() && comm_waiting(it->second);
+}
+
+bool Kernel::comm_test(const CommPtr& comm) {
+  Actor* a = self();
+  if (a != nullptr && a->phase_quantum_ &&
+      (comm->mailbox == kNoMailbox || mailbox_ref(comm->mailbox).home != a->shard_)) {
+    // A foreign-shard comm may be getting matched by its home lane right
+    // now; only the serial epilogue can read its state safely.
+    PendingSimcall rec;
+    rec.kind = PendingSimcall::Kind::kCommTest;
+    rec.comm = comm;
+    record_and_park(a, rec);
+    return rec.flag_result;
+  }
+  return comm->state == Comm::State::kFinished;
 }
 
 // -- event handling -----------------------------------------------------------
@@ -680,6 +1183,16 @@ void Kernel::detach_from_comm(Actor* a) {
     remove_from_mailbox(comm);
     comm->state = Comm::State::kFinished;
     comm->result = WakeStatus::kCanceled;
+  } else if (comm->state == Comm::State::kMatched) {
+    // Matched during the scheduling phase but its engine transfer was never
+    // started (the party died before the pending start replayed). There is
+    // no action to cancel; just fail the peer if it is already waiting.
+    comm->state = Comm::State::kFinished;
+    comm->result = WakeStatus::kCanceled;
+    const bool a_is_sender = comm->sender_id == a->id_;
+    Actor* peer = a_is_sender ? comm->receiver : comm->sender;
+    if (peer != nullptr && (a_is_sender ? comm->receiver_waiting : comm->sender_waiting))
+      wake(peer, WakeStatus::kNetworkFailure);
   } else if (comm->state == Comm::State::kStarted) {
     comm->state = Comm::State::kFinished;
     comm->result = WakeStatus::kCanceled;
@@ -696,6 +1209,22 @@ void Kernel::detach_from_comm(Actor* a) {
 // -- actor management -----------------------------------------------------------
 
 void Kernel::suspend(ActorId id) {
+  if (Actor* caller = self(); caller != nullptr && caller->phase_quantum_) {
+    PendingSimcall rec;
+    if (id == caller->id_) {
+      // Self-suspend parks right here; the commit flips the flag and leaves
+      // the actor out of the queues until someone calls resume().
+      rec.kind = PendingSimcall::Kind::kSuspendSelf;
+      record_and_park(caller, rec);
+    } else {
+      // Reading the target's state from a lane would race with the lane that
+      // owns it — the commit does the lookup and the flag work serially.
+      rec.kind = PendingSimcall::Kind::kSuspendOther;
+      rec.target = id;
+      record_and_park(caller, rec);
+    }
+    return;
+  }
   Actor* a = actor(id);
   if (a == nullptr || !a->alive() || a->suspended_)
     return;
@@ -711,6 +1240,13 @@ void Kernel::suspend(ActorId id) {
 }
 
 void Kernel::resume(ActorId id) {
+  if (Actor* caller = self(); caller != nullptr && caller->phase_quantum_) {
+    PendingSimcall rec;
+    rec.kind = PendingSimcall::Kind::kResume;
+    rec.target = id;
+    record_and_park(caller, rec);
+    return;
+  }
   Actor* a = actor(id);
   if (a == nullptr || !a->alive() || !a->suspended_)
     return;
@@ -723,6 +1259,17 @@ void Kernel::resume(ActorId id) {
 }
 
 void Kernel::kill(ActorId id) {
+  if (Actor* caller = self(); caller != nullptr && caller->phase_quantum_) {
+    if (id == caller->id_) {
+      caller->killed_by_failure_ = false;
+      throw ForcedExit{};
+    }
+    PendingSimcall rec;
+    rec.kind = PendingSimcall::Kind::kKill;
+    rec.target = id;
+    record_and_park(caller, rec);
+    return;
+  }
   Actor* a = actor(id);
   if (a == nullptr || !a->alive())
     return;
@@ -741,6 +1288,14 @@ void Kernel::kill_internal(Actor* a, bool by_failure) {
     action->user_data = nullptr;
     a->blocked_action_.reset();
     action->cancel();
+  }
+  a->pending_ = nullptr;
+  if (a->context_->finished()) {
+    // The body already ran to completion during a scheduling phase and its
+    // end handling is waiting for the epilogue commit; resuming a finished
+    // context would never come back. Finish it here instead.
+    handle_actor_end(a);
+    return;
   }
   a->context_->request_kill();
   // Resume until the body has unwound (RAII during the unwind may yield).
@@ -780,8 +1335,33 @@ std::vector<ActorId> Kernel::live_actors() const {
 
 // -- platform control -------------------------------------------------------------
 
-void Kernel::host_off(int host) { engine_.set_host_state(host, false); }
-void Kernel::host_on(int host) { engine_.set_host_state(host, true); }
+void Kernel::host_off(int host) {
+  if (Actor* a = self(); a != nullptr && a->phase_quantum_) {
+    PendingSimcall rec;
+    rec.kind = PendingSimcall::Kind::kHostState;
+    rec.host = host;
+    rec.host_on = false;
+    record_and_park(a, rec);
+    if (rec.error)
+      std::rethrow_exception(rec.error);
+    return;
+  }
+  engine_.set_host_state(host, false);
+}
+
+void Kernel::host_on(int host) {
+  if (Actor* a = self(); a != nullptr && a->phase_quantum_) {
+    PendingSimcall rec;
+    rec.kind = PendingSimcall::Kind::kHostState;
+    rec.host = host;
+    rec.host_on = true;
+    record_and_park(a, rec);
+    if (rec.error)
+      std::rethrow_exception(rec.error);
+    return;
+  }
+  engine_.set_host_state(host, true);
+}
 
 void Kernel::process_resource_changes() {
   while (!host_changes_.empty()) {

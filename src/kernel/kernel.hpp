@@ -3,20 +3,41 @@
 /// contexts, matches communications on mailboxes, arms timeout timers, and
 /// propagates resource failures to the actors they strand.
 ///
-/// Threading model: strictly serialized. The maestro runs actors one at a
-/// time; an actor executing a simcall may safely touch kernel state directly
-/// because nothing else runs concurrently. Whether actors are OS threads or
-/// pooled fibers is a Context backend choice (context.hpp) — the kernel is
-/// backend-agnostic and schedules identically under both.
+/// ## Execution model
+///
+/// Scheduling proceeds in rounds. Each round snapshots every shard's ready
+/// batch, then runs two phases:
+///
+///  * **Scheduling phase** — each batched actor is resumed and runs user
+///    code up to its next simcall. The simcall follows the lists-local rule:
+///    side effects confined to the actor's home shard (matching on a
+///    home-shard mailbox, allocating from the shard's comm pool) commit
+///    inline; everything else — engine action creation, timers, wakes,
+///    spawns, kills, cross-shard mailboxes — is *recorded* into a
+///    PendingSimcall and the actor parks.
+///  * **Serial epilogue** — the maestro replays the records in fixed shard
+///    order (batch order within a shard, quantum order within an actor):
+///    starts the matched comms, creates engine actions, arms timers, reaps
+///    zombies, runs exit callbacks. Non-blocking simcalls resume their actor
+///    inline here, so the rest of that quantum runs under classic serial
+///    semantics.
+///
+/// With `engine/parallel-actors` off (default) the scheduling phase runs on
+/// the maestro; with it on, it fans out over the engine's ShardWorkers lanes
+/// (lane_of = shard % lanes, the same mapping as the engine's solve/advance
+/// phases). Because everything order-sensitive is committed by the serial
+/// epilogue either way, the observable schedule — event logs, clocks,
+/// counters — is identical at every lane count, and identical to serial.
 ///
 /// Scale shape (the "millions of users" path): actors live in a chunked slot
 /// arena with O(1) spawn/death and slot+stack recycling, mailbox names are
-/// interned to dense ids once at the API boundary, comm control blocks are
-/// pooled, and the ready set is split into per-shard run queues keyed off
-/// Platform::shard_map() — a sweep drains one zone's wakeups as a batch, so
+/// interned to dense ids once at the API boundary (each mailbox homed on the
+/// interning actor's shard), comm control blocks are pooled per shard, and
+/// the ready set is split into per-shard run queues keyed off
+/// Platform::shard_map() — a round drains one zone's wakeups as a batch, so
 /// the solver and heap shard that zone's simcalls touch stay cache-resident,
-/// while a fixed shard rotation keeps the schedule deterministic and
-/// reproducible across context backends.
+/// while the fixed shard rotation keeps the schedule deterministic and
+/// reproducible across context backends and lane counts.
 #pragma once
 
 #include <cstdint>
@@ -101,7 +122,7 @@ public:
   CommPtr recv_async(MailboxId mailbox);
 
   /// Is a send already queued on this mailbox? (message probe)
-  bool comm_waiting(MailboxId mailbox) const;
+  bool comm_waiting(MailboxId mailbox);
 
   // String-keyed convenience wrappers (one interning each; fine for cold
   // paths and tests, wasteful in per-message loops).
@@ -119,12 +140,12 @@ public:
     return send_async(mailbox_by_name(mailbox), payload, bytes, rate);
   }
   CommPtr recv_async(const std::string& mailbox) { return recv_async(mailbox_by_name(mailbox)); }
-  bool comm_waiting(const std::string& mailbox) const;
+  bool comm_waiting(const std::string& mailbox);
 
   /// Wait for an async comm; throws like send/recv. Returns the payload.
   void* comm_wait(const CommPtr& comm, double timeout = -1.0);
   /// Non-blocking completion test.
-  bool comm_test(const CommPtr& comm) const { return comm->state == Comm::State::kFinished; }
+  bool comm_test(const CommPtr& comm);
 
   // -- actor management ---------------------------------------------------------
   void suspend(ActorId id);
@@ -142,13 +163,16 @@ public:
   void host_on(int host);
 
   // -- introspection -------------------------------------------------------------
-  /// Scheduler counters (monotonic over the kernel's lifetime).
+  /// Scheduler counters (monotonic over the kernel's lifetime). Wakeups and
+  /// context switches accumulate in per-lane counters (a plain shared
+  /// increment from concurrent lanes would be a data race) and are summed
+  /// here on read; call from a serial section for an exact snapshot.
   struct Stats {
     std::uint64_t actors_spawned = 0;
     std::uint64_t wakeups = 0;           ///< blocked -> ready transitions
-    std::uint64_t context_switches = 0;  ///< maestro -> actor resumes
+    std::uint64_t context_switches = 0;  ///< scheduler -> actor resumes
   };
-  const Stats& stats() const { return stats_; }
+  Stats stats() const;
   /// The context backend in use (pool stats, backend name).
   const ContextFactory& context_factory() const { return *context_factory_; }
 
@@ -193,8 +217,41 @@ private:
   /// Park the calling actor until woken; returns the wake status.
   WakeStatus block_self(Actor* a, double timeout);
 
-  CommPtr make_comm();
+  // -- round-based scheduling (see the execution-model notes above) -------------
+  /// One actor's quantum as observed by the scheduling phase: what it
+  /// recorded, the comms its inline simcalls matched, whether its body ended.
+  struct RanActor {
+    Actor* actor = nullptr;
+    ActorId id = -1;  ///< guards against the slot being reaped + reused mid-epilogue
+    PendingSimcall* rec = nullptr;
+    std::vector<CommPtr> started;  ///< home-shard matches, in quantum order
+    bool finished = false;
+    bool zombie = false;  ///< popped dead: reap in the epilogue
+  };
+  /// Snapshot batches, run the scheduling phase (serial or on `workers`),
+  /// then commit the epilogue. Returns true when any actor ran.
+  bool run_scheduling_round(core::ShardWorkers* workers);
+  /// Drain one shard's batch; runs on the shard's lane during the phase.
+  void run_shard_batch(int shard, int lanes);
+  /// Serial commit of one quantum's record.
+  void commit_ran(RanActor& r);
+  /// Commit helper: park-for-wait bookkeeping for a (possibly fresh) comm.
+  void commit_comm_wait(Actor* a, PendingSimcall& rec, const CommPtr& comm);
+  /// Actor side: publish `rec` and park until the epilogue commits it.
+  void record_and_park(Actor* a, PendingSimcall& rec);
+  /// Epilogue side: resume a parked actor inline (non-blocking simcalls).
+  void serial_resume(Actor* a);
+  void arm_timeout(Actor* a, double timeout);
+  size_t total_ready() const;
+  /// True while the calling thread executes a scheduling phase (i.e. self()
+  /// must defer or stay lists-local rather than mutate shared kernel state).
+  static bool in_scheduling_phase();
+
+  CommPtr make_comm(Actor* for_actor);
   Mailbox& mailbox_ref(MailboxId id) { return mailboxes_[static_cast<size_t>(id)]; }
+  MailboxId intern_mailbox(const std::string& name, std::int32_t home);
+  CommPtr send_async_impl(Actor* a, MailboxId mb, void* payload, double bytes, double rate);
+  CommPtr recv_async_impl(Actor* a, MailboxId mb);
   void start_comm(const CommPtr& comm);
   void finish_comm(const CommPtr& comm, WakeStatus result);
   void handle_action_event(const core::ActionEvent& ev);
@@ -223,19 +280,33 @@ private:
 
   // Per-shard run queues (see the file comment).
   std::vector<std::deque<Actor*>> ready_;
-  size_t ready_count_ = 0;
+  // Round scratch: per-shard batch sizes and quantum records; each lane
+  // writes only its own shards' entries during the scheduling phase.
+  std::vector<size_t> batch_;
+  std::vector<std::vector<RanActor>> ran_;
 
-  // Interned mailboxes.
+  // Interned mailboxes. The tables are only mutated serially; scheduling-
+  // phase reads (name lookups, home checks) are therefore race-free.
   std::deque<Mailbox> mailboxes_;  ///< by id; deque keeps references stable
   std::vector<std::string> mailbox_names_;
   std::unordered_map<std::string, MailboxId> mailbox_ids_;
 
-  std::shared_ptr<CommBlockPool> comm_pool_;
+  /// Per-shard comm-block pools: a home lane allocates from its own shard's
+  /// pool lock-free of the others; deallocation (a CommPtr can drop on any
+  /// thread) is mutex-guarded inside the pool.
+  std::vector<std::shared_ptr<CommBlockPool>> comm_pools_;
   std::unordered_map<const core::Action*, CommPtr> inflight_;  ///< running transfers
   std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timers_;
   std::vector<std::pair<int, bool>> host_changes_;  ///< deferred (host, now_on)
   std::vector<RestartSpec> pending_restarts_;  ///< respawn when host returns
-  Stats stats_;
+  Stats stats_;  ///< serial-only counters (actors_spawned)
+  /// Per-lane wakeup/switch counters, padded so lanes never share a line.
+  struct alignas(64) LaneCounters {
+    std::uint64_t wakeups = 0;
+    std::uint64_t context_switches = 0;
+  };
+  std::vector<LaneCounters> lane_counters_;
+  bool parallel_actors_ = false;  ///< engine/parallel-actors, snapshotted at build
   bool deadlocked_ = false;
   bool running_ = false;
 };
