@@ -7,6 +7,7 @@
 #include "xbt/config.hpp"
 #include "xbt/exception.hpp"
 #include "xbt/log.hpp"
+#include "xbt/str.hpp"
 
 SG_LOG_NEW_CATEGORY(surf, "SURF simulation engine");
 
@@ -25,6 +26,14 @@ inline double time_eps_at(double t) { return 1e-9 * std::max(1.0, std::abs(t)); 
 /// Default display names, indexed by ActionKind. Actions created with these
 /// names (the overwhelming majority) occupy no slot in the name side table.
 const std::string kDefaultNames[] = {"exec", "comm", "ptask", "sleep"};
+
+/// "host X departed at t=…" for activity starts on a host that left the
+/// platform — distinct from the transient "is down" of a state flap.
+[[noreturn]] void throw_host_departed(const char* what, const platform::Platform& pf, int host) {
+  throw xbt::HostFailureException(std::string(what) + ": host " + pf.host(host).name +
+                                  " departed at t=" + xbt::format("%g", pf.host_departed_at(host)) +
+                                  " (rejoin_host() restores it)");
+}
 }  // namespace
 
 void declare_engine_config() {
@@ -338,8 +347,11 @@ ActionPtr Engine::exec_start(int host, double flops, double priority, const std:
 
 ActionPtr Engine::exec_start_impl(int host, double flops, double priority, const std::string* name) {
   HostRes& res = hosts_.at(static_cast<size_t>(host));
-  if (!res.on)
+  if (!res.on) {
+    if (!platform_.host_present(host))
+      throw_host_departed("exec_start", platform_, host);
     throw xbt::HostFailureException("exec_start: host " + platform_.host(host).name + " is down");
+  }
   auto action = make_action(shards_[static_cast<size_t>(res.shard)].pool, this, ActionKind::kExec,
                             flops, priority);
   action->host_ = host;
@@ -390,6 +402,10 @@ ActionPtr Engine::comm_start_impl(int src_host, int dst_host, double bytes, doub
     // The loopback is part of the host: it dies (and fails its comms) with it.
     if (!hosts_[static_cast<size_t>(src_host)].on)
       dead_route = true;
+  } else if (!platform_.host_present(src_host) || !platform_.host_present(dst_host)) {
+    // A departed endpoint has no route (route() would throw "departed at
+    // t=…"): fail the comm gracefully so the sender can retry or give up.
+    dead_route = true;
   } else {
     route = platform_.route(src_host, dst_host);
     latency = route.latency();
@@ -464,8 +480,11 @@ ActionPtr Engine::ptask_start(const std::vector<int>& hosts, const std::vector<d
   if (!bytes.empty() && bytes.size() != hosts.size())
     throw xbt::InvalidArgument("ptask_start: bytes matrix must be n x n");
   for (int h : hosts)
-    if (!hosts_.at(static_cast<size_t>(h)).on)
+    if (!hosts_.at(static_cast<size_t>(h)).on) {
+      if (!platform_.host_present(h))
+        throw_host_departed("ptask_start", platform_, h);
       throw xbt::HostFailureException("ptask_start: host is down");
+    }
 
   std::int32_t shard = hosts_[static_cast<size_t>(hosts[0])].shard;
   for (int h : hosts)
@@ -521,8 +540,11 @@ ActionPtr Engine::sleep_start(int host, double duration, const std::string& name
 
 ActionPtr Engine::sleep_start(int host, double duration) {
   HostRes& res = hosts_.at(static_cast<size_t>(host));
-  if (!res.on)
+  if (!res.on) {
+    if (!platform_.host_present(host))
+      throw_host_departed("sleep_start", platform_, host);
     throw xbt::HostFailureException("sleep_start: host is down");
+  }
   auto action = make_action(shards_[static_cast<size_t>(res.shard)].pool, this, ActionKind::kSleep,
                             duration, 1.0);
   action->host_ = host;
@@ -950,6 +972,8 @@ void Engine::apply_trace_event(int shard, const TraceEvent& ev) {
 
 void Engine::refresh_host_capacity(int host) {
   const HostRes& res = hosts_[static_cast<size_t>(host)];
+  if (res.cnst < 0)
+    return;  // departed: constraint released; scale/state were still recorded
   sys_.set_capacity(res.cnst, res.on ? platform_.host(host).speed_flops * res.scale : 0.0);
   if (res.loopback >= 0)
     sys_.set_capacity(res.loopback, res.on ? loopback_bw_ : 0.0);
@@ -957,6 +981,8 @@ void Engine::refresh_host_capacity(int host) {
 
 void Engine::refresh_link_capacity(platform::LinkId link) {
   const LinkRes& res = links_[static_cast<size_t>(link)];
+  if (res.cnst < 0)
+    return;  // private link of a departed host
   sys_.set_capacity(res.cnst,
                     res.on ? platform_.link(link).bandwidth_Bps * res.scale * bandwidth_factor_ : 0.0);
 }
@@ -1000,6 +1026,12 @@ void Engine::fail_one_sharded(int shard, ActionPtr action) {
 
 void Engine::apply_host_state_sharded(int shard, int host, bool on) {
   HostRes& res = hosts_[static_cast<size_t>(host)];
+  if (res.cnst < 0) {
+    // Departed host: its trace chain keeps ticking (so a rejoin resumes in
+    // phase) but flaps neither fail anything nor reach the observer.
+    res.on = on;
+    return;
+  }
   if (res.on == on)
     return;
   res.on = on;
@@ -1031,6 +1063,10 @@ void Engine::apply_host_state_sharded(int shard, int host, bool on) {
 
 void Engine::apply_link_state_sharded(int shard, platform::LinkId link, bool on) {
   LinkRes& res = links_[static_cast<size_t>(link)];
+  if (res.cnst < 0) {  // private link of a departed host: silent (see above)
+    res.on = on;
+    return;
+  }
   if (res.on == on)
     return;
   res.on = on;
@@ -1297,6 +1333,10 @@ void Engine::fail_endpoint_comms(int host, std::vector<ActionEvent>& out) {
 
 void Engine::apply_host_state(int host, bool on, std::vector<ActionEvent>& out) {
   HostRes& res = hosts_[static_cast<size_t>(host)];
+  if (res.cnst < 0) {  // departed: flaps are recorded but inert (see sharded twin)
+    res.on = on;
+    return;
+  }
   if (res.on == on)
     return;
   res.on = on;
@@ -1315,6 +1355,10 @@ void Engine::apply_host_state(int host, bool on, std::vector<ActionEvent>& out) 
 
 void Engine::apply_link_state(platform::LinkId link, bool on, std::vector<ActionEvent>& out) {
   LinkRes& res = links_[static_cast<size_t>(link)];
+  if (res.cnst < 0) {  // private link of a departed host: inert
+    res.on = on;
+    return;
+  }
   if (res.on == on)
     return;
   res.on = on;
@@ -1327,6 +1371,7 @@ void Engine::apply_link_state(platform::LinkId link, bool on, std::vector<Action
 
 void Engine::set_host_state(int host, bool on) {
   hosts_.at(static_cast<size_t>(host));  // range check with the usual exception
+  platform_.check_host_present(host, "set_host_state");  // "departed at t=…"
   std::vector<ActionEvent> out;
   apply_host_state(host, on, out);
   for (auto& ev : out)
@@ -1349,6 +1394,132 @@ void Engine::set_host_scale(int host, double scale) {
 void Engine::set_link_scale(platform::LinkId link, double scale) {
   links_.at(static_cast<size_t>(link)).scale = scale;
   refresh_link_capacity(link);
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic membership
+// ---------------------------------------------------------------------------
+
+int Engine::join_host(platform::ZoneId zone, const std::string& name, double speed_flops) {
+  const int h = platform_.join_host(zone, name, speed_flops);
+  adopt_new_resources();
+  return h;
+}
+
+int Engine::join_host(const platform::HostSpec& spec, platform::NodeId attach,
+                      const platform::LinkSpec& uplink) {
+  const int h = platform_.join_host(spec, attach, uplink);
+  adopt_new_resources();
+  return h;
+}
+
+void Engine::adopt_new_resources() {
+  const platform::ShardMap& smap = platform_.shard_map();
+  for (size_t h = hosts_.size(); h < platform_.host_count(); ++h) {
+    const auto& spec = platform_.host(static_cast<int>(h));
+    HostRes res;
+    if (!spec.availability.empty())
+      res.scale = spec.availability.value_at(now_);
+    if (!spec.state.empty())
+      res.on = spec.state.value_at(now_) > 0.5;
+    // With engine/sharding off the shard map still names zone shards the
+    // engine never built; everything collapses to the single shard 0.
+    const std::int32_t ps = smap.host_shard[h];
+    res.shard = static_cast<size_t>(ps) < shards_.size() ? ps : 0;
+    res.cnst = sys_.new_constraint_in(res.shard, res.on ? spec.speed_flops * res.scale : 0.0,
+                                      /*shared=*/true);
+    hosts_.push_back(std::move(res));
+    if (!spec.availability.empty())
+      schedule_next(spec.availability, TraceEvent::Kind::kHostAvail, static_cast<int>(h), now_);
+    if (!spec.state.empty())
+      schedule_next(spec.state, TraceEvent::Kind::kHostState, static_cast<int>(h), now_);
+  }
+  for (size_t l = links_.size(); l < platform_.link_count(); ++l) {
+    const auto& spec = platform_.link(static_cast<platform::LinkId>(l));
+    LinkRes res;
+    if (!spec.availability.empty())
+      res.scale = spec.availability.value_at(now_);
+    if (!spec.state.empty())
+      res.on = spec.state.value_at(now_) > 0.5;
+    const std::int32_t ps = smap.link_shard[l];
+    res.shard = static_cast<size_t>(ps) < shards_.size() ? ps : 0;
+    res.cnst = sys_.new_constraint_in(res.shard,
+                                      res.on ? spec.bandwidth_Bps * res.scale * bandwidth_factor_ : 0.0,
+                                      spec.policy == platform::SharingPolicy::kShared);
+    links_.push_back(std::move(res));
+    if (!spec.availability.empty())
+      schedule_next(spec.availability, TraceEvent::Kind::kLinkAvail, static_cast<int>(l), now_);
+    if (!spec.state.empty())
+      schedule_next(spec.state, TraceEvent::Kind::kLinkState, static_cast<int>(l), now_);
+  }
+}
+
+void Engine::leave_host(int host) {
+  hosts_.at(static_cast<size_t>(host));  // range check with the usual exception
+  const std::vector<platform::LinkId> private_links = platform_.host_private_links(host);
+  platform_.leave_host(host, now_);  // validates presence; routes now refuse the host
+
+  // Structured teardown: everything on the host, its loopback, and its
+  // private links fails — exactly once each (the finish idempotence guard
+  // dedups victims reached through several dead constraints), observers
+  // firing inline as ever for explicit state changes.
+  std::vector<ActionEvent> out;
+  apply_host_state(host, false, out);
+  for (platform::LinkId l : private_links)
+    apply_link_state(l, false, out);
+
+  // Release the constraints through the solver's id-recycling paths: the
+  // fail sweeps above emptied them, and a released id is reused by the next
+  // constraint creation (a later join or rejoin).
+  HostRes& res = hosts_[static_cast<size_t>(host)];
+  if (res.cnst >= 0) {
+    sys_.release_constraint(res.cnst);
+    res.cnst = -1;
+  }
+  if (res.loopback >= 0) {
+    sys_.release_constraint(res.loopback);
+    res.loopback = -1;
+  }
+  for (platform::LinkId l : private_links) {
+    LinkRes& lres = links_[static_cast<size_t>(l)];
+    if (lres.cnst >= 0) {
+      sys_.release_constraint(lres.cnst);
+      lres.cnst = -1;
+    }
+  }
+  for (auto& ev : out)
+    pending_.push_back(std::move(ev));
+}
+
+void Engine::rejoin_host(int host) {
+  hosts_.at(static_cast<size_t>(host));  // range check with the usual exception
+  platform_.rejoin_host(host);           // validates "is already present"
+
+  // Bring-up mirrors construction, evaluated at now(): the trace chains kept
+  // ticking while the host was away (the departed guards recorded their
+  // values), so capacity and up/down state resume exactly in phase.
+  HostRes& res = hosts_[static_cast<size_t>(host)];
+  const auto& spec = platform_.host(host);
+  res.scale = spec.availability.empty() ? res.scale : spec.availability.value_at(now_);
+  res.on = spec.state.empty() ? true : spec.state.value_at(now_) > 0.5;
+  res.cnst = sys_.new_constraint_in(res.shard, res.on ? spec.speed_flops * res.scale : 0.0,
+                                    /*shared=*/true);
+  // res.loopback stays -1: recreated lazily by the first self-comm.
+  for (platform::LinkId l : platform_.host_private_links(host)) {
+    LinkRes& lres = links_[static_cast<size_t>(l)];
+    if (lres.cnst >= 0)
+      continue;  // shared with another present host (not actually private)
+    const auto& lspec = platform_.link(l);
+    lres.scale = lspec.availability.empty() ? lres.scale : lspec.availability.value_at(now_);
+    lres.on = lspec.state.empty() ? true : lspec.state.value_at(now_) > 0.5;
+    lres.cnst = sys_.new_constraint_in(lres.shard,
+                                       lres.on ? lspec.bandwidth_Bps * lres.scale * bandwidth_factor_ : 0.0,
+                                       lspec.policy == platform::SharingPolicy::kShared);
+  }
+  // The return is a resource bring-up: the kernel's observer respawns the
+  // host's restart-on-rejoin daemons on this notification.
+  if (resource_observer_ && res.on)
+    resource_observer_(true, host, true);
 }
 
 }  // namespace sg::core

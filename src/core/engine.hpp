@@ -163,6 +163,30 @@ public:
   void set_host_scale(int host, double scale);
   void set_link_scale(platform::LinkId link, double scale);
 
+  // -- dynamic membership ------------------------------------------------------
+  /// Join a new member host to a sealed cluster zone (see Platform::join_host)
+  /// and bring its runtime resources up: constraints are created through the
+  /// solver's id-recycling paths in the zone's existing shard, and the host's
+  /// availability/state traces start ticking at now(). Returns the host index.
+  int join_host(platform::ZoneId zone, const std::string& name = "", double speed_flops = -1.0);
+  /// Graph-attach flavour (see the Platform overload); resources land on the
+  /// backbone shard.
+  int join_host(const platform::HostSpec& spec, platform::NodeId attach,
+                const platform::LinkSpec& uplink);
+  /// Structured teardown of a departing host: every activity on the host, its
+  /// loopback, and its private links fails (delivered exactly once through
+  /// the next run_until(); transit comms additionally die under
+  /// engine/kill-transit-comms), the constraints are released for id reuse,
+  /// and the platform marks the host "departed at t=now()". The host's trace
+  /// chains keep ticking silently so a later rejoin resumes them in phase.
+  void leave_host(int host);
+  /// Structured bring-up of a returning host: presence flips back, fresh
+  /// constraints are created (recycled ids) at the trace-correct capacity,
+  /// and the resource observer fires (true, host, true) so the kernel can
+  /// respawn restart-on-rejoin daemons.
+  void rejoin_host(int host);
+  bool host_present(int host) const { return platform_.host_present(host); }
+
   /// Number of actions still running.
   size_t running_action_count() const;
 
@@ -382,6 +406,10 @@ private:
   /// `sink` (fixed shard order, then the deferred ones), fire notices.
   void gather_step_results(std::vector<ActionEvent>& sink);
 
+  /// Create runtime resource records (constraints, trace schedules) for every
+  /// platform host/link the engine does not know yet — the shared bring-up
+  /// tail of both join_host overloads. O(new resources).
+  void adopt_new_resources();
   void refresh_host_capacity(int host);
   void refresh_link_capacity(platform::LinkId link);
   /// Serial-context (set_host_state / set_link_state) twins of the sharded

@@ -467,11 +467,22 @@ void MaxMinSystem::solve() {
   closure_collect();
   closure_commit();
 
-  if (affected_vars_.size() * 2 > live_vars_) {
+  if (affected_vars_.size() * 2 > live_vars_ && full_solve_profitable()) {
     solve_full();
     return;
   }
   solve_subset(affected_vars_, affected_cnsts_);
+}
+
+bool MaxMinSystem::full_solve_profitable() const {
+  // solve_full() rebuilds the affected sets by sweeping the whole id arena,
+  // alive or recycled. When most slots are recycled — a churned or drained
+  // system holding a handful of live variables in a once-large arena — that
+  // sweep is O(capacity), and escalating would turn an O(affected) event
+  // into an O(platform) one. Escalate only when the sweep is comparable to
+  // the closure already collected.
+  return var_flags_.size() + cnst_flags_.size() <=
+         8 * (affected_vars_.size() + affected_cnsts_.size());
 }
 
 void MaxMinSystem::solve_full() {
@@ -1112,7 +1123,7 @@ void ShardedMaxMin::solve(ShardWorkers* workers) {
       ++m.stats_.full_solves;
       m.solve_subset(m.affected_vars_, m.affected_cnsts_);
     } else if (shard_linked_[static_cast<size_t>(s)] == 0 &&
-               m.affected_vars_.size() * 2 > m.live_vars_) {
+               m.affected_vars_.size() * 2 > m.live_vars_ && m.full_solve_profitable()) {
       // Whole-shard escalation is only sound when the shard hosts no linked
       // replica: solve_full() would otherwise recompute replicas outside the
       // closure locally, splitting them from their siblings (see

@@ -230,6 +230,11 @@ public:
   /// incremental ≡ full).
   void solve_full();
 
+  /// Whether escalating the collected closure to solve_full() is a win:
+  /// false when the arena sweep it implies dwarfs the closure (sparse arena
+  /// after churn or mass completions).
+  bool full_solve_profitable() const;
+
   /// True when a mutation since the last solve may have changed allocations.
   bool needs_solve() const {
     return full_solve_pending_ || !dirty_vars_.empty() || !dirty_cnsts_.empty();

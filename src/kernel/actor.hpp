@@ -74,6 +74,8 @@ struct PendingSimcall {
     kSuspendOther,   ///< suspend(other); resumes after
     kResume,         ///< resume(other); resumes after
     kHostState,      ///< host_off / host_on; resumes after
+    kLeaveHost,      ///< leave_host(host); resumes after
+    kRejoinHost,     ///< rejoin_host(host); resumes after
   };
 
   Kind kind = Kind::kNone;

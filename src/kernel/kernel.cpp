@@ -9,6 +9,7 @@
 #include "core/workers.hpp"
 #include "xbt/exception.hpp"
 #include "xbt/log.hpp"
+#include "xbt/str.hpp"
 
 SG_LOG_NEW_CATEGORY(kernel, "simulation kernel (maestro)");
 
@@ -273,6 +274,11 @@ ActorId Kernel::spawn(const std::string& name, int host, std::function<void()> b
   }
   if (host < 0 || static_cast<size_t>(host) >= engine_.platform().host_count())
     throw xbt::InvalidArgument("spawn: no such host");
+  if (!engine_.host_present(host))
+    throw xbt::HostFailureException(
+        "spawn: host " + engine_.platform().host(host).name + " departed at t=" +
+        xbt::format("%g", engine_.platform().host_departed_at(host)) +
+        " (rejoin_host() restores it)");
   if (!engine_.host_is_on(host))
     throw xbt::HostFailureException("spawn: host " + engine_.platform().host(host).name + " is down");
   const ActorId id = next_actor_id_++;
@@ -721,6 +727,23 @@ void Kernel::commit_ran(RanActor& r) {
       }
       // Resource changes are processed when this quantum fully ends (after
       // the serial continuation blocks), matching the inline ordering.
+      serial_resume(a);
+      break;
+
+    case PendingSimcall::Kind::kLeaveHost:
+      try {
+        engine_.leave_host(rec->host);
+      } catch (...) {
+        rec->error = std::current_exception();
+      }
+      serial_resume(a);
+      break;
+    case PendingSimcall::Kind::kRejoinHost:
+      try {
+        engine_.rejoin_host(rec->host);
+      } catch (...) {
+        rec->error = std::current_exception();
+      }
       serial_resume(a);
       break;
 
@@ -1361,6 +1384,49 @@ void Kernel::host_on(int host) {
     return;
   }
   engine_.set_host_state(host, true);
+}
+
+// -- platform control (dynamic membership) --------------------------------------
+
+int Kernel::join_host(platform::ZoneId zone, const std::string& name, double speed_flops) {
+  const int h = engine_.join_host(zone, name, speed_flops);
+  while (host_live_head_.size() < engine_.platform().host_count())
+    host_live_head_.push_back(-1);
+  return h;
+}
+
+int Kernel::join_host(const platform::HostSpec& spec, platform::NodeId attach,
+                      const platform::LinkSpec& uplink) {
+  const int h = engine_.join_host(spec, attach, uplink);
+  while (host_live_head_.size() < engine_.platform().host_count())
+    host_live_head_.push_back(-1);
+  return h;
+}
+
+void Kernel::leave_host(int host) {
+  if (Actor* a = self(); a != nullptr && a->phase_quantum_) {
+    PendingSimcall rec;
+    rec.kind = PendingSimcall::Kind::kLeaveHost;
+    rec.host = host;
+    record_and_park(a, rec);
+    if (rec.error)
+      std::rethrow_exception(rec.error);
+    return;
+  }
+  engine_.leave_host(host);
+}
+
+void Kernel::rejoin_host(int host) {
+  if (Actor* a = self(); a != nullptr && a->phase_quantum_) {
+    PendingSimcall rec;
+    rec.kind = PendingSimcall::Kind::kRejoinHost;
+    rec.host = host;
+    record_and_park(a, rec);
+    if (rec.error)
+      std::rethrow_exception(rec.error);
+    return;
+  }
+  engine_.rejoin_host(host);
 }
 
 void Kernel::process_resource_changes() {

@@ -162,6 +162,21 @@ public:
   void host_off(int host);
   void host_on(int host);
 
+  // -- platform control (dynamic membership) ------------------------------------
+  /// Join a new host to a sealed platform (cluster zone auto-wiring). Returns
+  /// the new host index. Serial-section only (maestro / between runs).
+  int join_host(platform::ZoneId zone, const std::string& name = "", double speed_flops = -1.0);
+  /// Join with an explicit spec, attachment node and uplink (graph zones).
+  int join_host(const platform::HostSpec& spec, platform::NodeId attach,
+                const platform::LinkSpec& uplink);
+  /// Remove a host from the membership: residents are killed, transit comms
+  /// fail under `engine/kill-transit-comms`, constraints are released. Legal
+  /// from an actor (a simcall) or from maestro.
+  void leave_host(int host);
+  /// Bring a departed host back: constraints are recreated through the
+  /// id-recycling paths and auto-restart residents respawn.
+  void rejoin_host(int host);
+
   // -- introspection -------------------------------------------------------------
   /// Scheduler counters (monotonic over the kernel's lifetime). Wakeups and
   /// context switches accumulate in per-lane counters (a plain shared

@@ -104,6 +104,8 @@ Platform parse_platform(const std::string& text) {
           spec.availability = parse_trace_ref(spec.name + ".avail", attrs["avail"]);
         if (attrs.count("state"))
           spec.state = parse_trace_ref(spec.name + ".state", attrs["state"]);
+        if (attrs.count("churn"))
+          spec.churn = parse_trace_ref(spec.name + ".churn", attrs["churn"]);
         p.add_host(spec);
       } else if (kind == "router") {
         if (tokens.size() < 2)

@@ -126,19 +126,49 @@ RouteView Platform::make_view(const RouteRef& ref) const {
 // Construction
 // ---------------------------------------------------------------------------
 
-NodeId Platform::add_host(const HostSpec& spec) {
-  if (sealed_)
-    throw xbt::InvalidArgument("platform is sealed");
-  if (node_index_.count(spec.name))
-    throw xbt::InvalidArgument("duplicate node name: " + spec.name);
+void Platform::drain_node_index() const {
+  if (node_index_synced_.v.load(std::memory_order_acquire) == node_names_.size())
+    return;
+  std::lock_guard<std::mutex> lock(index_mutex_.m);
+  for (size_t i = node_index_synced_.v.load(std::memory_order_relaxed); i < node_names_.size(); ++i)
+    node_index_.emplace(node_names_[i], static_cast<NodeId>(i));
+  node_index_synced_.v.store(node_names_.size(), std::memory_order_release);
+}
+
+void Platform::drain_link_index() const {
+  if (link_index_synced_.v.load(std::memory_order_acquire) == links_.size())
+    return;
+  std::lock_guard<std::mutex> lock(index_mutex_.m);
+  for (size_t i = link_index_synced_.v.load(std::memory_order_relaxed); i < links_.size(); ++i)
+    link_index_.emplace(links_[i].name, static_cast<LinkId>(i));
+  link_index_synced_.v.store(links_.size(), std::memory_order_release);
+}
+
+NodeId Platform::host_node_internal(const HostSpec& spec, bool defer_index) {
   const NodeId id = static_cast<NodeId>(node_names_.size());
+  if (!defer_index) {
+    // Single-probe insert: the emplace result doubles as the duplicate check
+    // (join_host churn makes this a hot path on large platforms).
+    drain_node_index();
+    if (!node_index_.emplace(spec.name, id).second)
+      throw xbt::InvalidArgument("duplicate node name: " + spec.name);
+  }
   node_names_.push_back(spec.name);
-  node_index_.emplace(spec.name, id);
+  if (!defer_index)
+    node_index_synced_.v.store(node_names_.size(), std::memory_order_release);
   nodes_.push_back({true, static_cast<int>(hosts_.size())});
   hosts_.push_back(spec);
   host_nodes_.push_back(id);
   host_zone_.push_back(-1);
+  host_present_.push_back(1);
+  host_departed_at_.push_back(0.0);
   return id;
+}
+
+NodeId Platform::add_host(const HostSpec& spec) {
+  if (sealed_)
+    throw xbt::InvalidArgument("platform is sealed");
+  return host_node_internal(spec);
 }
 
 NodeId Platform::add_host(const std::string& name, double speed_flops) {
@@ -151,28 +181,37 @@ NodeId Platform::add_host(const std::string& name, double speed_flops) {
 NodeId Platform::add_router(const std::string& name) {
   if (sealed_)
     throw xbt::InvalidArgument("platform is sealed");
-  if (node_index_.count(name))
-    throw xbt::InvalidArgument("duplicate node name: " + name);
   const NodeId id = static_cast<NodeId>(node_names_.size());
+  drain_node_index();
+  if (!node_index_.emplace(name, id).second)
+    throw xbt::InvalidArgument("duplicate node name: " + name);
   node_names_.push_back(name);
-  node_index_.emplace(name, id);
+  node_index_synced_.v.store(node_names_.size(), std::memory_order_release);
   nodes_.push_back({false, -1});
+  return id;
+}
+
+LinkId Platform::link_internal(const LinkSpec& spec, bool defer_index) {
+  if (spec.bandwidth_Bps <= 0)
+    throw xbt::InvalidArgument("link " + spec.name + ": bandwidth must be positive");
+  if (spec.latency_s < 0)
+    throw xbt::InvalidArgument("link " + spec.name + ": latency must be non-negative");
+  const LinkId id = static_cast<LinkId>(links_.size());
+  if (!defer_index) {
+    drain_link_index();
+    if (!link_index_.emplace(spec.name, id).second)
+      throw xbt::InvalidArgument("duplicate link name: " + spec.name);
+  }
+  links_.push_back(spec);
+  if (!defer_index)
+    link_index_synced_.v.store(links_.size(), std::memory_order_release);
   return id;
 }
 
 LinkId Platform::add_link(const LinkSpec& spec) {
   if (sealed_)
     throw xbt::InvalidArgument("platform is sealed");
-  if (link_index_.count(spec.name))
-    throw xbt::InvalidArgument("duplicate link name: " + spec.name);
-  if (spec.bandwidth_Bps <= 0)
-    throw xbt::InvalidArgument("link " + spec.name + ": bandwidth must be positive");
-  if (spec.latency_s < 0)
-    throw xbt::InvalidArgument("link " + spec.name + ": latency must be non-negative");
-  links_.push_back(spec);
-  const LinkId id = static_cast<LinkId>(links_.size() - 1);
-  link_index_.emplace(spec.name, id);
-  return id;
+  return link_internal(spec);
 }
 
 LinkId Platform::add_link(const std::string& name, double bandwidth_Bps, double latency_s, SharingPolicy policy) {
@@ -224,10 +263,12 @@ void Platform::add_route(NodeId src, NodeId dst, std::vector<LinkId> links, bool
   const SegId seg = links.empty() ? kNoSeg : intern_segment(links.data(), links.size());
   const double lat = seg == kNoSeg ? 0.0 : segs_[static_cast<size_t>(seg)].latency;
   route_slot(pair_key(s, d)) = RouteRef{kNoSeg, seg, kNoSeg, lat};
+  explicit_routes_.push_back({s, d, RouteRef{kNoSeg, seg, kNoSeg, lat}});
   if (symmetric) {
     std::vector<LinkId> rev(links.rbegin(), links.rend());
     const SegId rseg = rev.empty() ? kNoSeg : intern_segment(rev.data(), rev.size());
     route_slot(pair_key(d, s)) = RouteRef{kNoSeg, rseg, kNoSeg, lat};
+    explicit_routes_.push_back({d, s, RouteRef{kNoSeg, rseg, kNoSeg, lat}});
   }
 }
 
@@ -376,6 +417,7 @@ NodeId Platform::host_node(int host_index) const {
 }
 
 std::optional<NodeId> Platform::node_by_name(const std::string& name) const {
+  drain_node_index();
   auto it = node_index_.find(name);
   if (it == node_index_.end())
     return std::nullopt;
@@ -390,6 +432,7 @@ std::optional<int> Platform::host_by_name(const std::string& name) const {
 }
 
 std::optional<LinkId> Platform::link_by_name(const std::string& name) const {
+  drain_link_index();
   auto it = link_index_.find(name);
   if (it == link_index_.end())
     return std::nullopt;
@@ -400,9 +443,11 @@ void Platform::seal() {
   if (sealed_)
     return;
   adj_.assign(nodes_.size(), {});
+  link_degree_.assign(links_.size(), 0);
   for (const Edge& e : edges_) {
     adj_[static_cast<size_t>(e.a)].push_back({e.b, e.link});
     adj_[static_cast<size_t>(e.b)].push_back({e.a, e.link});
+    ++link_degree_[static_cast<size_t>(e.link)];
   }
   // SSSP-tree LRU capacity: configured floor, raised adaptively with the
   // platform size so that > 64 concurrently active sources (each tree is
@@ -489,10 +534,212 @@ const ShardMap& Platform::shard_map() const {
   return shard_map_;
 }
 
+// ---------------------------------------------------------------------------
+// Dynamic membership
+// ---------------------------------------------------------------------------
+
+int Platform::join_host(ZoneId zone, const std::string& name, double speed_flops) {
+  if (!sealed_)
+    throw xbt::InvalidArgument("join_host: platform must be sealed (use add_* before seal())");
+  if (zone < 0 || static_cast<size_t>(zone) >= zones_.size())
+    throw xbt::InvalidArgument("join_host: bad zone id " + std::to_string(zone));
+  ZoneRec& z = zones_[static_cast<size_t>(zone)];
+  if (z.kind != ZoneKind::kCluster)
+    throw xbt::InvalidArgument("join_host: zone " + z.name +
+                               " is not a cluster zone (graph hosts use the attach overload)");
+
+  const std::string& prefix = z.spec.host_prefix.empty() ? z.spec.name : z.spec.host_prefix;
+  // Number by members-ever-created: base members and earlier extras keep
+  // their names forever (departure does not free a name), so this is unique
+  // — which lets the generated-name path skip the name maps entirely (they
+  // are drained lazily by the next by-name lookup, keeping a join
+  // O(affected) rather than O(hash table)).
+  const bool generated = name.empty();
+  const std::string host_name =
+      generated ? xbt::format("%s%d", prefix.c_str(), z.spec.count + static_cast<int>(z.extra.size()))
+                : name;
+  HostSpec hs;
+  hs.name = host_name;
+  hs.speed_flops = speed_flops > 0 ? speed_flops : z.spec.host_speed;
+  const NodeId hnode = host_node_internal(hs, /*defer_index=*/generated);
+  const int h = nodes_[static_cast<size_t>(hnode)].host_index;
+
+  LinkSpec ls;
+  ls.name = host_name + "-link";
+  ls.bandwidth_Bps = z.spec.link_bandwidth;
+  ls.latency_s = z.spec.link_latency;
+  const LinkId l = link_internal(ls, /*defer_index=*/generated);
+
+  // Splice into every seal-time structure in place — O(affected), no re-seal.
+  edges_.push_back({hnode, z.hub, l});
+  adj_.resize(nodes_.size());
+  adj_[static_cast<size_t>(hnode)].push_back({z.hub, l});
+  adj_[static_cast<size_t>(z.hub)].push_back({hnode, l});
+  link_degree_.push_back(1);
+  host_zone_[static_cast<size_t>(h)] = zone;
+  ++z.count;
+
+  ZoneRec::ExtraMember em;
+  em.host = h;
+  em.uplink = l;
+  em.seg_intra = append_segment(&l, 1);
+  if (z.backbone >= 0) {
+    const LinkId out[2] = {l, z.backbone};
+    em.seg_out = append_segment(out, 2);
+    const LinkId in[2] = {z.backbone, l};
+    em.seg_in = append_segment(in, 2);
+  } else {
+    em.seg_out = em.seg_intra;
+    em.seg_in = em.seg_intra;
+  }
+  z.extra_index.emplace(h, z.extra.size());
+  z.extra.push_back(em);
+
+  shard_map_.host_shard.push_back(shard_map_.zone_shard[static_cast<size_t>(zone)]);
+  shard_map_.link_shard.push_back(shard_map_.zone_shard[static_cast<size_t>(zone)]);
+  extend_sssp_trees(z.hub, l);
+  return h;
+}
+
+int Platform::join_host(const HostSpec& spec, NodeId attach, const LinkSpec& uplink) {
+  if (!sealed_)
+    throw xbt::InvalidArgument("join_host: platform must be sealed (use add_* before seal())");
+  if (attach < 0 || static_cast<size_t>(attach) >= nodes_.size())
+    throw xbt::InvalidArgument("join_host: bad attach node id");
+  // Same invariant as add_edge: a cluster's interior is only reachable
+  // through its gateway, so new hosts may not splice into it.
+  if (nodes_[static_cast<size_t>(attach)].host) {
+    const ZoneId az = host_zone_[static_cast<size_t>(nodes_[static_cast<size_t>(attach)].host_index)];
+    if (az >= 0 && zones_[static_cast<size_t>(az)].kind == ZoneKind::kCluster)
+      throw xbt::InvalidArgument("join_host: " + node_names_[static_cast<size_t>(attach)] +
+                                 " is a member of cluster zone " + zones_[static_cast<size_t>(az)].name +
+                                 "; attach through the zone gateway instead");
+  } else {
+    for (const ZoneRec& z : zones_)
+      if (z.hub == attach && z.gateway != attach)
+        throw xbt::InvalidArgument("join_host: " + node_names_[static_cast<size_t>(attach)] +
+                                   " is the hub of cluster zone " + z.name +
+                                   "; attach through the zone gateway instead");
+  }
+
+  const NodeId hnode = host_node_internal(spec);
+  const int h = nodes_[static_cast<size_t>(hnode)].host_index;
+  const LinkId l = link_internal(uplink);
+
+  edges_.push_back({hnode, attach, l});
+  adj_.resize(nodes_.size());
+  adj_[static_cast<size_t>(hnode)].push_back({attach, l});
+  adj_[static_cast<size_t>(attach)].push_back({hnode, l});
+  link_degree_.push_back(1);
+
+  // Unzoned hosts and their uplinks live on the backbone shard, exactly
+  // where a fresh seal() would place them.
+  shard_map_.host_shard.push_back(0);
+  shard_map_.link_shard.push_back(0);
+  extend_sssp_trees(attach, l);
+  return h;
+}
+
+void Platform::leave_host(int host_index, double at) {
+  check_host_index(host_index, "leave_host");
+  if (!sealed_)
+    throw xbt::InvalidArgument("leave_host: platform must be sealed");
+  if (!host_present_[static_cast<size_t>(host_index)])
+    throw xbt::InvalidArgument("leave_host: host " + hosts_[static_cast<size_t>(host_index)].name +
+                               " already departed at t=" +
+                               xbt::format("%g", host_departed_at_[static_cast<size_t>(host_index)]));
+  const bool transit =
+      adj_[static_cast<size_t>(host_nodes_[static_cast<size_t>(host_index)])].size() > 1;
+  host_present_[static_cast<size_t>(host_index)] = 0;
+  host_departed_at_[static_cast<size_t>(host_index)] = at;
+  ++departed_count_;
+  // Leaf hosts (cluster members, joined hosts) transit nothing: presence
+  // gating alone keeps every cache truthful, so departure is O(1). Only a
+  // transit-capable node invalidates paths that ran through it.
+  if (transit)
+    flush_transit_caches();
+}
+
+void Platform::rejoin_host(int host_index) {
+  check_host_index(host_index, "rejoin_host");
+  if (!sealed_)
+    throw xbt::InvalidArgument("rejoin_host: platform must be sealed");
+  if (host_present_[static_cast<size_t>(host_index)])
+    throw xbt::InvalidArgument("rejoin_host: host " + hosts_[static_cast<size_t>(host_index)].name +
+                               " is already present");
+  host_present_[static_cast<size_t>(host_index)] = 1;
+  --departed_count_;
+  // A returning transit node may offer better paths than the detour the
+  // caches learned while it was away; leaf returns change no path.
+  if (adj_[static_cast<size_t>(host_nodes_[static_cast<size_t>(host_index)])].size() > 1)
+    flush_transit_caches();
+}
+
+std::vector<LinkId> Platform::host_private_links(int host_index) const {
+  check_host_index(host_index, "host_private_links");
+  std::vector<LinkId> out;
+  if (!sealed_)
+    return out;
+  for (auto [peer, l] : adj_[static_cast<size_t>(host_nodes_[static_cast<size_t>(host_index)])]) {
+    (void)peer;
+    if (link_degree_[static_cast<size_t>(l)] == 1)
+      out.push_back(l);
+  }
+  return out;
+}
+
+void Platform::member_segs(const ZoneRec& zone, int host_index, SegId* intra, SegId* out,
+                           SegId* in) const {
+  const int m = host_index - zone.first_host;
+  if (m >= 0 && m < zone.spec.count) {
+    *intra = zone.seg_intra0 + m;
+    *out = zone.seg_out0 + m;
+    *in = zone.seg_in0 + m;
+    return;
+  }
+  const ZoneRec::ExtraMember& em = zone.extra[zone.extra_index.at(host_index)];
+  *intra = em.seg_intra;
+  *out = em.seg_out;
+  *in = em.seg_in;
+}
+
+void Platform::extend_sssp_trees(NodeId attach, LinkId uplink) const {
+  // The joined host is a leaf: the only way in is through `attach`, so the
+  // exact distance is dist(attach) + w — no re-run, O(cached trees) total.
+  const double w = links_[static_cast<size_t>(uplink)].latency_s + 1e-9;
+  for (auto& [src, tree] : sssp_cache_) {
+    (void)src;
+    const double da = tree.dist[static_cast<size_t>(attach)];
+    const bool through = da != kInf && node_transitable(attach);
+    tree.dist.push_back(through ? da + w : kInf);
+    tree.prev_node.push_back(through ? attach : -1);
+    tree.prev_link.push_back(through ? uplink : -1);
+  }
+}
+
+void Platform::flush_transit_caches() const {
+  sssp_cache_.clear();
+  node_pair_segs_.clear();
+  route_keys_.clear();
+  route_refs_.clear();
+  route_count_ = 0;
+  for (const ExplicitRoute& r : explicit_routes_)
+    route_slot(pair_key(r.src, r.dst)) = r.ref;
+}
+
 void Platform::check_host_index(int host_index, const char* what) const {
   if (host_index < 0 || static_cast<size_t>(host_index) >= hosts_.size())
     throw xbt::InvalidArgument(std::string(what) + ": host index " + std::to_string(host_index) +
                                " out of range (platform has " + std::to_string(hosts_.size()) + " hosts)");
+}
+
+void Platform::check_host_present(int host_index, const char* what) const {
+  if (host_present_[static_cast<size_t>(host_index)])
+    return;
+  throw xbt::InvalidArgument(std::string(what) + ": host " +
+                             hosts_[static_cast<size_t>(host_index)].name + " departed at t=" +
+                             xbt::format("%g", host_departed_at_[static_cast<size_t>(host_index)]) +
+                             " (rejoin_host() restores it)");
 }
 
 void Platform::throw_no_route(int src_host, int dst_host) const {
@@ -535,6 +782,11 @@ const Platform::SsspTree& Platform::sssp_from(NodeId src) const {
     auto [d, u] = queue.top();
     queue.pop();
     if (d > tree.dist[static_cast<size_t>(u)])
+      continue;
+    // Departed hosts can still be reached (as endpoints) but never relayed
+    // through; the source itself is exempt so presence stays the caller's
+    // check, not a routing property.
+    if (u != src && !node_transitable(u))
       continue;
     for (auto [v, l] : adj_[static_cast<size_t>(u)]) {
       // Metric: latency, with a tiny per-hop epsilon so zero-latency LANs
@@ -591,11 +843,12 @@ bool Platform::compose_zone_route(int src_host, int dst_host, RouteRef* out) con
   if (src_zone != nullptr && src_zone == dst_zone) {
     // Intra-cluster: up(i) through the hub to up(j). O(1), no Dijkstra, no
     // per-pair state — this is the 99% path of a cluster workload.
-    const int mi = src_host - src_zone->first_host;
-    const int mj = dst_host - src_zone->first_host;
-    out->up = src_zone->seg_intra0 + mi;
+    SegId i_intra, i_out, i_in, j_intra, j_out, j_in;
+    member_segs(*src_zone, src_host, &i_intra, &i_out, &i_in);
+    member_segs(*src_zone, dst_host, &j_intra, &j_out, &j_in);
+    out->up = i_intra;
     out->mid = kNoSeg;
-    out->down = src_zone->seg_intra0 + mj;
+    out->down = j_intra;
     out->latency = 2 * src_zone->up_latency;
     return true;
   }
@@ -608,14 +861,18 @@ bool Platform::compose_zone_route(int src_host, int dst_host, RouteRef* out) con
   NodeId mid_from;
   NodeId mid_to;
   if (src_zone != nullptr) {
-    ref.up = src_zone->seg_out0 + (src_host - src_zone->first_host);
+    SegId s_intra, s_out, s_in;
+    member_segs(*src_zone, src_host, &s_intra, &s_out, &s_in);
+    ref.up = s_out;
     ref.latency += src_zone->up_latency + src_zone->backbone_latency;
     mid_from = src_zone->gateway;
   } else {
     mid_from = host_nodes_[static_cast<size_t>(src_host)];
   }
   if (dst_zone != nullptr) {
-    ref.down = dst_zone->seg_in0 + (dst_host - dst_zone->first_host);
+    SegId d_intra, d_out, d_in;
+    member_segs(*dst_zone, dst_host, &d_intra, &d_out, &d_in);
+    ref.down = d_in;
     ref.latency += dst_zone->up_latency + dst_zone->backbone_latency;
     mid_to = dst_zone->gateway;
   } else {
@@ -636,6 +893,8 @@ RouteView Platform::route(int src_host, int dst_host) const {
     throw xbt::InvalidArgument("platform must be sealed before routing between " +
                                hosts_[static_cast<size_t>(src_host)].name + " and " +
                                hosts_[static_cast<size_t>(dst_host)].name + " (call Platform::seal())");
+  check_host_present(src_host, "route");
+  check_host_present(dst_host, "route");
 
   // Explicit routes (and memoized graph resolutions) win over everything.
   if (const RouteRef* cached = route_find(pair_key(src_host, dst_host)))
@@ -670,6 +929,8 @@ bool Platform::reachable(int src_host, int dst_host) const {
     throw xbt::InvalidArgument("platform must be sealed before routing between " +
                                hosts_[static_cast<size_t>(src_host)].name + " and " +
                                hosts_[static_cast<size_t>(dst_host)].name + " (call Platform::seal())");
+  if (!host_present_[static_cast<size_t>(src_host)] || !host_present_[static_cast<size_t>(dst_host)])
+    return false;
   if (route_find(pair_key(src_host, dst_host)) != nullptr)
     return true;
   if (src_host == dst_host)

@@ -49,7 +49,9 @@
 /// sources do not thrash the cache. Cluster-zone traffic never touches it.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -88,6 +90,11 @@ struct HostSpec {
   double speed_flops = 1e9;               ///< peak speed, flop/s
   sg::trace::Trace availability;          ///< scales speed over time (empty = 1.0)
   sg::trace::Trace state;                 ///< 1 = up, 0 = down (empty = always up)
+  /// Membership trace: 1 = member, 0 = departed. Unlike `state` (a flap the
+  /// engine applies as capacity 0), churn promotes to whole-host departure /
+  /// return via the kernel membership driver (kernel/membership.hpp); the
+  /// engine itself never schedules it.
+  sg::trace::Trace churn;
 };
 
 struct LinkSpec {
@@ -267,6 +274,48 @@ public:
   void seal();
   bool sealed() const { return sealed_; }
 
+  // -- dynamic membership (post-seal) ----------------------------------------
+  /// Join a new member host to a sealed cluster zone: host + private uplink +
+  /// hub edge, named after the zone spec (`<prefix><N>` where N counts
+  /// members ever created; pass `name` to override, `speed_flops` > 0 to
+  /// override the spec's host speed). Every seal-time structure is updated in
+  /// place in O(affected): the shard map gains the member and its uplink, the
+  /// member's route segments are appended to the arena, and each cached SSSP
+  /// tree is extended with the one new leaf — no re-seal, no flush. Returns
+  /// the new host index.
+  int join_host(ZoneId zone, const std::string& name = "", double speed_flops = -1.0);
+  /// Join a new host to the flat graph of a sealed platform, attached to
+  /// `attach` (any non-cluster-interior node) through a fresh private
+  /// `uplink`. Same O(affected) incremental update. Returns the host index.
+  int join_host(const HostSpec& spec, NodeId attach, const LinkSpec& uplink);
+  /// Depart a host at (simulated) time `at`: the host stays in every index —
+  /// ids remain valid, names stay taken — but route()/reachable() refuse it
+  /// ("departed at t=…") and shortest paths stop transiting it. Leaf hosts
+  /// (the churn case: cluster members, joined hosts) cost O(1); a departure
+  /// that removes a *transit* node flushes only the path caches, which
+  /// rebuild lazily. Use rejoin_host() to bring the host back.
+  void leave_host(int host_index, double at = 0.0);
+  /// Return a departed host to the platform: presence flips back, routes
+  /// resolve again; cached state invalidated on departure rebuilds lazily.
+  void rejoin_host(int host_index);
+  /// Is the host currently a member (true for all hosts until leave_host)?
+  bool host_present(int host_index) const {
+    return host_present_[static_cast<size_t>(host_index)] != 0;
+  }
+  /// Time of the host's (latest) departure; meaningful while !host_present().
+  double host_departed_at(int host_index) const {
+    return host_departed_at_[static_cast<size_t>(host_index)];
+  }
+  size_t departed_host_count() const { return departed_count_; }
+  /// Throws InvalidArgument naming the host and its departure time when the
+  /// host has left the platform (the "departed at t=…" contract); no-op for
+  /// present hosts. `what` prefixes the message ("route", "set_host_state"…).
+  void check_host_present(int host_index, const char* what) const;
+  /// The host's private links: links whose only graph edge touches the host
+  /// (cluster uplinks, joined-host uplinks). These die and return with the
+  /// host; shared buses do not qualify.
+  std::vector<LinkId> host_private_links(int host_index) const;
+
   // -- lookup ---------------------------------------------------------------
   size_t host_count() const { return hosts_.size(); }
   size_t link_count() const { return links_.size(); }
@@ -368,6 +417,19 @@ private:
     double up_latency = 0.0;
     double backbone_latency = 0.0;
     ClusterZoneSpec spec;     ///< as created (dump/round-trip)
+
+    /// Members joined after seal(). Their host indices are not contiguous
+    /// with the base range [first_host, first_host + spec.count), so each
+    /// carries its own uplink + segment triple; `count` includes them.
+    struct ExtraMember {
+      int host = -1;
+      LinkId uplink = -1;
+      SegId seg_intra = kNoSeg;
+      SegId seg_out = kNoSeg;
+      SegId seg_in = kNoSeg;
+    };
+    std::vector<ExtraMember> extra;
+    std::unordered_map<int, size_t> extra_index;  ///< host index -> extra slot
   };
 
   /// Single-source shortest-path tree, indexed by NodeId.
@@ -385,6 +447,29 @@ private:
 
   void check_host_index(int host_index, const char* what) const;
   void throw_no_route(int src_host, int dst_host) const;
+  /// Sealed-state-bypassing guts of add_host/add_link, shared with the
+  /// post-seal join paths (which update the seal-time structures themselves).
+  /// `defer_index` skips the name-map insert (dynamic joins with generated
+  /// names, unique by construction); the next by-name lookup drains it.
+  NodeId host_node_internal(const HostSpec& spec, bool defer_index = false);
+  LinkId link_internal(const LinkSpec& spec, bool defer_index = false);
+  /// The member's segment triple (intra / leave / enter), whether it is a
+  /// base member (contiguous id math) or a post-seal extra (own records).
+  void member_segs(const ZoneRec& zone, int host_index, SegId* intra, SegId* out, SegId* in) const;
+  /// May shortest paths run *through* this node? False only for departed
+  /// hosts; a departed host can still be a path endpoint (presence is the
+  /// caller's check).
+  bool node_transitable(NodeId node) const {
+    const NodeRec& rec = nodes_[static_cast<size_t>(node)];
+    return !rec.host || host_present_[static_cast<size_t>(rec.host_index)] != 0;
+  }
+  /// Extend every cached SSSP tree with the just-joined leaf node (exact:
+  /// the only path to a leaf is through its attach point). O(cached trees).
+  void extend_sssp_trees(NodeId attach, LinkId uplink) const;
+  /// Departure/return of a transit-capable node: drop the path caches
+  /// (SSSP trees, node-pair segments, memoized graph routes) and re-seed
+  /// the route table from the explicit routes, which always survive.
+  void flush_transit_caches() const;
   /// Memoized Dijkstra from `src` (latency metric, tiny per-hop epsilon so
   /// zero-latency LANs still prefer fewer hops). LRU-bounded: at most
   /// kSsspCacheCap trees are kept, each O(nodes) — resolved RouteRefs are
@@ -415,11 +500,55 @@ private:
   std::vector<NodeId> host_nodes_;
   std::vector<LinkSpec> links_;
   std::vector<Edge> edges_;
-  std::unordered_map<std::string, NodeId> node_index_;  ///< name -> node id
-  std::unordered_map<std::string, LinkId> link_index_;  ///< name -> link id
+  // Name -> id maps, interned lazily for dynamic joins: a generated-name
+  // join_host pushes the spec without touching these (the O(affected)
+  // promise covers the hot churn path), and the next by-name lookup drains
+  // [*_index_synced_, size) in. Membership mutations run in the engine's
+  // serial section; lookups may be concurrent with each other, hence the
+  // double-checked atomic + mutex in drain_node_index()/drain_link_index().
+  mutable std::unordered_map<std::string, NodeId> node_index_;  ///< name -> node id
+  mutable std::unordered_map<std::string, LinkId> link_index_;  ///< name -> link id
+  /// Copyable atomic counter / mutex so Platform keeps its value semantics
+  /// (tests copy platforms; Engine takes one by move).
+  struct SyncedCount {
+    std::atomic<size_t> v{0};
+    SyncedCount() = default;
+    SyncedCount(const SyncedCount& o) : v(o.v.load(std::memory_order_acquire)) {}
+    SyncedCount& operator=(const SyncedCount& o) {
+      v.store(o.v.load(std::memory_order_acquire), std::memory_order_release);
+      return *this;
+    }
+  };
+  struct IndexMutex {
+    std::mutex m;
+    IndexMutex() = default;
+    IndexMutex(const IndexMutex&) {}
+    IndexMutex& operator=(const IndexMutex&) { return *this; }
+  };
+  mutable SyncedCount node_index_synced_;  ///< node_names_ entries interned
+  mutable SyncedCount link_index_synced_;  ///< links_ entries interned
+  mutable IndexMutex index_mutex_;
+  void drain_node_index() const;
+  void drain_link_index() const;
 
   std::vector<ZoneRec> zones_;
   std::vector<std::int32_t> host_zone_;  ///< host index -> zone id (-1: none)
+
+  // -- dynamic membership ----------------------------------------------------
+  std::vector<char> host_present_;        ///< host index -> currently a member?
+  std::vector<double> host_departed_at_;  ///< last departure time (valid when absent)
+  size_t departed_count_ = 0;
+  /// Graph edges per link, built by seal() and maintained by joins: a link
+  /// with degree 1 is private to its single endpoint (host_private_links).
+  std::vector<std::int32_t> link_degree_;
+  /// add_route() entries, kept verbatim so a transit flush can re-seed the
+  /// route table without the caller's link vectors.
+  struct ExplicitRoute {
+    int src = -1;
+    int dst = -1;
+    RouteRef ref;
+  };
+  std::vector<ExplicitRoute> explicit_routes_;
 
   /// adjacency: node -> (neighbor, link); built by seal().
   std::vector<std::vector<std::pair<NodeId, LinkId>>> adj_;
