@@ -17,11 +17,14 @@ Supports three input shapes:
     when current < baseline * (1 - threshold).
 
 Entries may also carry secondary metrics (events_per_sec, us_per_event,
-ns_per_route, sim_time_s, ...). Those are informational: they are printed
-alongside the tracked metric as "name#key" rows but never fail the job —
-the primary wall time / bytes value is what gates. Ratios of metrics named
-in HIGHER_IS_BETTER are inverted on display so every printed ratio reads
-"above 1.00 = worse".
+ns_per_route, sim_time_s, parallel_efficiency, serial_fraction, ...).
+Those are informational: they are printed alongside the tracked metric as
+"name#key" rows but never fail the job — the primary wall time / bytes
+value is what gates. serial_fraction (the profiler-measured share of
+run_until() outside the parallel fan-outs) is lower-is-better like a
+time, so its raw ratio already reads "above 1.00 = worse"; ratios of
+metrics named in HIGHER_IS_BETTER are inverted on display so every
+printed ratio reads the same way.
 
 Tracked time/bytes metrics are lower-is-better: a benchmark regresses
 when current > baseline * (1 + threshold). Tracked rate metrics are
@@ -49,7 +52,7 @@ PRIMARY_KEYS = ("bytes", "wall_time_s", "real_time", "time_unit", "name")
 # Informational metrics where larger is better; their display ratio is
 # inverted so the table reads uniformly (above 1.00 = worse).
 HIGHER_IS_BETTER = {"events_per_sec", "spawn_per_sec", "wakeups_per_sec",
-                    "speedup_vs_1_thread"}
+                    "speedup_vs_1_thread", "parallel_efficiency"}
 
 
 def load_metrics(path):

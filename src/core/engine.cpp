@@ -60,6 +60,11 @@ void declare_engine_config() {
                   "drains the run-queue shards it owns); off = serial scheduling on the "
                   "maestro; the observable schedule is identical either way",
                   "SG_PARALLEL_ACTORS");
+  config::declare(kCfgProfile, false,
+                  "collect per-phase wall times and per-lane fan-out occupancy in "
+                  "run_until() (read through Engine::phase_stats()); small constant "
+                  "overhead per round, no effect on results",
+                  "SG_PROFILE");
 }
 
 /// Per-shard state co-owned by the engine and (via the allocator copy in
@@ -268,6 +273,12 @@ Engine::Engine(platform::Platform platform) : platform_(std::move(platform)) {
   lanes_ = static_cast<int>(std::clamp<long>(threads, 1, n_shards));
   if (lanes_ > 1)
     workers_ = std::make_unique<ShardWorkers>(lanes_);
+  lane_scratch_ = std::vector<LaneScratch>(static_cast<size_t>(lanes_));
+  heap_tree_.reset(2 * n_shards);
+  trace_tree_.reset(n_shards);
+  profile_ = config::get(kCfgProfile);
+  if (profile_)
+    probe_ = std::make_unique<PhaseProbe>(lanes_);
 
   hosts_.resize(platform_.host_count());
   for (size_t h = 0; h < platform_.host_count(); ++h) {
@@ -324,17 +335,46 @@ void Engine::schedule_trace_events() {
 
 void Engine::schedule_next(const trace::Trace& trace, TraceEvent::Kind kind, int index, double after) {
   auto next = trace.next_event_after(after);
-  if (next)
-    shards_[static_cast<size_t>(trace_shard(kind, index))].traces.push(
+  if (next) {
+    const std::int32_t shard = trace_shard(kind, index);
+    shards_[static_cast<size_t>(shard)].traces.push(
         TraceEvent{next->time, kind, index, next->value});
+    mark_heads_dirty(shard);
+  }
 }
 
-double Engine::next_trace_time() const {
-  double best = kInf;
-  for (const ShardState& ss : shards_)
-    if (!ss.traces.empty())
-      best = std::min(best, std::max(ss.traces.top().time, now_));
-  return best;
+double Engine::next_trace_time() {
+  // trace_tree_ leaves hold the RAW next trace dates; clamping the winner to
+  // now() afterwards is equivalent to clamping every leaf (max-of-min
+  // commutes with a shared bound) and keeps the leaves update-stable.
+  sync_head_trees();
+  return std::max(trace_tree_.min_key(), now_);
+}
+
+void Engine::mark_heads_dirty(int shard) {
+  ShardState& ss = shards_[static_cast<size_t>(shard)];
+  if (ss.heads_dirty)
+    return;
+  ss.heads_dirty = true;
+  // Each shard is only ever touched by the maestro or by its canonical lane
+  // (the advance fan-out buckets due shards by lane_of), so this append
+  // never races: a lane writes only its own dirty list.
+  lane_scratch_[static_cast<size_t>(ShardWorkers::lane_of(shard, lanes_))].dirty.push_back(shard);
+}
+
+void Engine::sync_head_trees() {
+  // Leaf values are pure functions of the shards' current heads, so the
+  // refresh order (lane-major here) cannot affect the trees' final state.
+  for (LaneScratch& ls : lane_scratch_) {
+    for (const std::int32_t shard : ls.dirty) {
+      ShardState& ss = shards_[static_cast<size_t>(shard)];
+      ss.heads_dirty = false;
+      heap_tree_.update(2 * shard, ss.events.latency.head_lb);
+      heap_tree_.update(2 * shard + 1, ss.events.completion.head_lb);
+      trace_tree_.update(shard, ss.traces.empty() ? kInf : ss.traces.top().time);
+    }
+    ls.dirty.clear();
+  }
 }
 
 ActionPtr Engine::exec_start(int host, double flops, double priority) {
@@ -694,7 +734,8 @@ void Engine::schedule_completion(const ActionPtr& a) {
   orphan_heap_entry(*a);
   const double date = action_finish_date(*a);
   if (date == kInf)
-    return;
+    return;  // no push: head bounds can only tighten, no leaf refresh needed
+  mark_heads_dirty(a->shard_);
   a->in_heap_ = true;
   ShardEvents& se = shards_[static_cast<size_t>(a->shard_)].events;
   if (a->in_latency_phase_) {
@@ -712,53 +753,11 @@ void Engine::schedule_completion(const ActionPtr& a) {
     compact_completion_heap(se);
 }
 
-double Engine::next_event_source(EventHeap** out_heap, size_t** out_stale) {
-  while (true) {
-    EventHeap* best = nullptr;
-    size_t* best_stale = nullptr;
-    double lb = kInf;
-    double second = kInf;
-    for (ShardState& ss : shards_) {
-      ShardEvents& se = ss.events;
-      // Within a shard the latency heap wins date ties (strict < on the
-      // completion check), matching the unsharded engine's order.
-      if (se.latency.head_lb < lb) {
-        second = lb;
-        lb = se.latency.head_lb;
-        best = &se.latency;
-        best_stale = &se.latency_stale;
-      } else {
-        second = std::min(second, se.latency.head_lb);
-      }
-      if (se.completion.head_lb < lb) {
-        second = lb;
-        lb = se.completion.head_lb;
-        best = &se.completion;
-        best_stale = &se.completion_stale;
-      } else {
-        second = std::min(second, se.completion.head_lb);
-      }
-    }
-    if (best == nullptr) {
-      *out_heap = nullptr;
-      *out_stale = nullptr;
-      return kInf;
-    }
-    const double d = reap_heap_top(*best, *best_stale);
-    if (d <= second) {
-      *out_heap = best;
-      *out_stale = best_stale;
-      return d;
-    }
-    // The cached head was a stale entry: the heap's true next event is later
-    // than some other shard's bound. The reap corrected the cache — rescan.
-  }
-}
-
 double Engine::shard_event_source(ShardEvents& se, EventHeap** out_heap, size_t** out_stale) {
   const double lat = reap_heap_top(se.latency, se.latency_stale);
   const double comp = reap_heap_top(se.completion, se.completion_stale);
-  // The latency heap wins date ties, matching next_event_source's scan order.
+  // The latency heap wins date ties, matching the tournament tree's leaf
+  // order (2s before 2s+1).
   if (lat <= comp && lat != kInf) {
     *out_heap = &se.latency;
     *out_stale = &se.latency_stale;
@@ -775,19 +774,37 @@ double Engine::shard_event_source(ShardEvents& se, EventHeap** out_heap, size_t*
 }
 
 double Engine::next_completion_date() {
-  EventHeap* heap;
-  size_t* stale;
-  return next_event_source(&heap, &stale);
+  // Incremental target pick: the tournament tree holds every shard heap's
+  // cached head bound (leaf 2s = latency, 2s+1 = completion — leaf order is
+  // the tie-break). A stale head can only UNDERSTATE its heap's true next
+  // date, so the apparent winner is reaped; if its true date still equals
+  // the tree minimum it beats every other leaf's lower bound and wins.
+  // Otherwise the corrected bound goes back into the tree and we re-pick:
+  // O(log shards) per iteration, iterations bounded by stale heads.
+  sync_head_trees();
+  while (true) {
+    const double lb = heap_tree_.min_key();
+    if (lb == kInf)
+      return kInf;
+    const int leaf = heap_tree_.min_leaf();
+    ShardEvents& se = shards_[static_cast<size_t>(leaf >> 1)].events;
+    EventHeap& heap = (leaf & 1) != 0 ? se.completion : se.latency;
+    size_t& stale = (leaf & 1) != 0 ? se.completion_stale : se.latency_stale;
+    const double d = reap_heap_top(heap, stale);
+    if (d == lb)
+      return d;
+    heap_tree_.update(leaf, d);  // the reap left head_lb exact (== d)
+  }
 }
 
-void Engine::share_resources() {
+void Engine::share_resources(PhaseProbe* probe) {
   // Sleeps manage their rate directly (1, or 0 while suspended); everyone
   // else mirrors its solver allocation. Only actions whose allocation moved
   // in this (incremental) solve need a refresh — and only those need a new
   // completion date: an unchanged rate leaves the heap entry valid.
   if (!sys_.needs_solve())
     return;
-  sys_.solve(workers_.get());
+  sys_.solve(workers_.get(), probe);
   const auto& changed = sys_.changed_variables();
   if (changed.empty())
     return;
@@ -805,10 +822,17 @@ void Engine::share_resources() {
       schedule_completion(shards_[static_cast<size_t>(a->shard_)].running[a->run_idx_]);
     }
   };
-  if (workers_)
-    workers_->run_lanes(refresh_lane);
-  else
+  if (workers_) {
+    workers_->run_lanes(refresh_lane, probe);
+  } else if (probe != nullptr) {
+    const std::uint64_t t0 = phase_clock_ns();
     refresh_lane(0, 1);
+    const std::uint64_t dt = phase_clock_ns() - t0;
+    probe->parallel_ns += dt;
+    probe->lanes[0].busy_ns += dt;
+  } else {
+    refresh_lane(0, 1);
+  }
 }
 
 double Engine::action_finish_date(const Action& a) const {
@@ -824,29 +848,52 @@ double Engine::action_finish_date(const Action& a) const {
 }
 
 double Engine::next_event_time() {
-  share_resources();
+  share_resources(nullptr);
   if (!pending_.empty())
     return now_;
   return std::min(next_completion_date(), next_trace_time());
 }
 
 std::vector<ActionEvent> Engine::step(double bound) {
-  run_until(bound);
-  // Moving the storage out (rather than copying the span) also drops the
-  // engine's strong references to the fired actions immediately.
-  return std::move(events_);
+  const StepLog log = run_until(bound);
+  std::vector<ActionEvent> out;
+  out.reserve(log.size());
+  out.insert(out.end(), log.begin(), log.end());
+  // Release the published buffers right away: like the old move-out, this
+  // drops the engine's strong references to the fired actions immediately.
+  release_step_log();
+  return out;
 }
 
-std::span<const ActionEvent> Engine::run_until(double deadline) {
+void Engine::release_step_log() {
+  for (const std::int32_t owner : log_owners_)
+    if (owner >= 0)
+      shards_[static_cast<size_t>(owner)].fired.clear();
+  log_owners_.clear();
+  log_segs_.clear();
+  log_total_ = 0;
   events_.clear();
+  deferred_events_.clear();
+}
+
+StepLog Engine::run_until(double deadline) {
+  release_step_log();  // the previous round's view expires now
 
   // Deliver immediately-failed / externally-finished activities first.
   if (!pending_.empty()) {
     std::swap(events_, pending_);
-    return {events_.data(), events_.size()};
+    if (!events_.empty()) {
+      log_segs_.push_back({events_.data(), events_.size()});
+      log_owners_.push_back(-1);
+      log_total_ = events_.size();
+    }
+    return {log_segs_.data(), log_segs_.size(), log_total_};
   }
 
-  share_resources();
+  const bool prof = profile_;
+  const std::uint64_t t0 = prof ? phase_clock_ns() : 0;
+  share_resources(probe_.get());
+  const std::uint64_t t1 = prof ? phase_clock_ns() : 0;
 
   // Next event: earliest valid completion date or trace event. Completion
   // dates were computed when the rates were assigned, in absolute time, so
@@ -855,35 +902,111 @@ std::span<const ActionEvent> Engine::run_until(double deadline) {
   const double next_completion = next_completion_date();
   const double next_trace = next_trace_time();
   const double target = std::min({next_completion, next_trace, deadline});
-  if (target == kInf)
+  if (target == kInf) {
+    if (prof) {
+      const std::uint64_t t = phase_clock_ns();
+      pstats_.solve_ns += t1 - t0;
+      pstats_.pick_ns += t - t1;
+      pstats_.total_ns += t - t0;
+    }
     return {};  // nothing will ever happen
+  }
   const double eps = time_eps_at(target);
   now_ = target;
-  if (next_completion > target + eps && next_trace > target + kTimeEps)
-    return {events_.data(), events_.size()};  // pure jump to the deadline
+  if (next_completion > target + eps && next_trace > target + kTimeEps) {
+    // Pure jump to the deadline: no event fires, nothing to advance.
+    if (prof) {
+      const std::uint64_t t = phase_clock_ns();
+      pstats_.solve_ns += t1 - t0;
+      pstats_.pick_ns += t - t1;
+      pstats_.total_ns += t - t0;
+    }
+    return {};
+  }
 
-  // Advance every shard (in parallel when lanes were configured): trace
+  // Collect the shards with something due this round — trace events at or
+  // before now_ (+ the trace tie window) and heap heads at or before target
+  // + eps — in ascending shard order. Heap head bounds can only understate,
+  // so a listed shard may turn out to have nothing due; advance_shard
+  // handles that as a cheap no-op. Batching means several shards sharing
+  // the target date (or its tie-break window) advance in ONE fan-out.
+  due_shards_.clear();
+  trace_tree_.for_each_leaf_le(now_ + kTimeEps,
+                               [&](int s) { due_shards_.push_back(s); });
+  const size_t n_trace_due = due_shards_.size();
+  heap_tree_.for_each_leaf_le(target + eps, [&](int leaf) {
+    const std::int32_t s = leaf >> 1;
+    // A shard's two leaves visit consecutively — dedup within this pass.
+    if (due_shards_.size() == n_trace_due || due_shards_.back() != s)
+      due_shards_.push_back(s);
+  });
+  if (n_trace_due > 0) {  // merge the two ascending runs
+    std::sort(due_shards_.begin(), due_shards_.end());
+    due_shards_.erase(std::unique(due_shards_.begin(), due_shards_.end()), due_shards_.end());
+  }
+  const std::uint64_t t2 = prof ? phase_clock_ns() : 0;
+
+  // Advance the due shards (in parallel when lanes were configured): trace
   // events first, then due heap entries. Cost: O(fired + stale + log(shard
-  // heap)) per shard, independent of the number of running actions.
-  run_phase([this, target, eps](int s) { advance_shard(s, target, eps); });
+  // heap)) per due shard — quiet shards are never touched. The fan-out is
+  // bucketed by each shard's canonical lane (lane_of), preserving the
+  // invariant that shard state is only ever written by maestro or its lane.
+  if (workers_) {
+    for (const std::int32_t s : due_shards_)
+      lane_scratch_[static_cast<size_t>(ShardWorkers::lane_of(s, lanes_))].due.push_back(s);
+    auto advance_lane = [&](int lane, int) {
+      for (const std::int32_t s : lane_scratch_[static_cast<size_t>(lane)].due)
+        advance_shard(s, target, eps);
+    };
+    workers_->run_lanes(advance_lane, probe_.get());
+    for (LaneScratch& ls : lane_scratch_)
+      ls.due.clear();
+  } else if (prof) {
+    const std::uint64_t ta = phase_clock_ns();
+    for (const std::int32_t s : due_shards_)
+      advance_shard(s, target, eps);
+    const std::uint64_t dt = phase_clock_ns() - ta;
+    probe_->parallel_ns += dt;
+    probe_->lanes[0].busy_ns += dt;
+  } else {
+    for (const std::int32_t s : due_shards_)
+      advance_shard(s, target, eps);
+  }
+  const std::uint64_t t3 = prof ? phase_clock_ns() : 0;
+
   process_deferred();
-  gather_step_results(events_);
-  return {events_.data(), events_.size()};
+  gather_step_results();
+  if (prof) {
+    const std::uint64_t t4 = phase_clock_ns();
+    pstats_.solve_ns += t1 - t0;
+    pstats_.pick_ns += t2 - t1;
+    pstats_.advance_ns += t3 - t2;
+    pstats_.epilogue_ns += t4 - t3;
+    pstats_.total_ns += t4 - t0;
+    ++pstats_.rounds;
+    pstats_.events += log_total_;
+  }
+  return {log_segs_.data(), log_segs_.size(), log_total_};
 }
 
-void Engine::run_phase(const std::function<void(int)>& fn) {
-  const int n = static_cast<int>(shards_.size());
-  if (workers_) {
-    workers_->run(n, fn);
-  } else {
-    for (int s = 0; s < n; ++s)
-      fn(s);
+Engine::PhaseStats Engine::phase_stats() const {
+  PhaseStats out = pstats_;
+  out.lane_busy_ns.assign(static_cast<size_t>(lanes_), 0);
+  if (probe_) {
+    out.parallel_ns = probe_->parallel_ns;
+    for (int l = 0; l < lanes_; ++l)
+      out.lane_busy_ns[static_cast<size_t>(l)] = probe_->lanes[static_cast<size_t>(l)].busy_ns;
   }
+  return out;
 }
 
 void Engine::advance_shard(int shard, double target, double eps) {
   static_assert(kTraceEventsBeforeCompletions);
   ShardState& ss = shards_[static_cast<size_t>(shard)];
+  // Everything below may pop trace / heap heads; one conservative mark here
+  // covers all of it (runs on this shard's canonical lane, so the push into
+  // the lane-local dirty list is race-free under the parallel fan-out).
+  mark_heads_dirty(shard);
 
   // Trace events due now — applied BEFORE the heap events at the same date
   // (see kTraceEventsBeforeCompletions): a resource dying exactly when an
@@ -1129,7 +1252,8 @@ void Engine::process_deferred() {
   // both completing and failing must fail) — then latency expiries and
   // completions; within each pass, fixed shard order then discovery order.
   for (int pass = 0; pass < 2; ++pass) {
-    for (ShardState& ss : shards_) {
+    for (const std::int32_t s : due_shards_) {
+      ShardState& ss = shards_[static_cast<size_t>(s)];
       for (DeferredOp& op : ss.deferred) {
         const bool failure = op.kind == DeferredOp::Kind::kFailure;
         if (failure != (pass == 0) || !op.action)
@@ -1152,31 +1276,44 @@ void Engine::process_deferred() {
       }
     }
   }
-  for (ShardState& ss : shards_)
-    ss.deferred.clear();
+  for (const std::int32_t s : due_shards_)
+    shards_[static_cast<size_t>(s)].deferred.clear();
 }
 
-void Engine::gather_step_results(std::vector<ActionEvent>& sink) {
-  // Commit the ids released inside the parallel phase, in fixed shard order:
-  // the free-list order (hence id reuse) is the same at any lane count.
-  for (ShardState& ss : shards_) {
+void Engine::gather_step_results() {
+  // Commit the ids released inside the parallel phase, in fixed shard order
+  // (due_shards_ is ascending): the free-list order — hence id reuse — is
+  // the same at any lane count. Only advanced shards can hold releases.
+  for (const std::int32_t s : due_shards_) {
+    ShardState& ss = shards_[static_cast<size_t>(s)];
     if (!ss.released.empty()) {
       sys_.commit_released(ss.released.data(), ss.released.size());
       ss.released.clear();
     }
   }
-  // Merge the per-shard event logs shard-major, the epilogue's last.
-  for (ShardState& ss : shards_) {
-    sink.insert(sink.end(), std::make_move_iterator(ss.fired.begin()),
-                std::make_move_iterator(ss.fired.end()));
-    ss.fired.clear();
+  // Publish the per-shard event logs shard-major as a zero-copy sequence of
+  // segments (the epilogue's last); the buffers stay put until the next
+  // run_until()/step(). Empty segments are skipped up front, so a shard
+  // that advanced without firing — or a zero-event round — never reaches
+  // the published view.
+  for (const std::int32_t s : due_shards_) {
+    ShardState& ss = shards_[static_cast<size_t>(s)];
+    if (ss.fired.empty())
+      continue;
+    log_segs_.push_back({ss.fired.data(), ss.fired.size()});
+    log_owners_.push_back(s);
+    log_total_ += ss.fired.size();
   }
-  sink.insert(sink.end(), std::make_move_iterator(deferred_events_.begin()),
-              std::make_move_iterator(deferred_events_.end()));
-  deferred_events_.clear();
+  if (!deferred_events_.empty()) {
+    log_segs_.push_back({deferred_events_.data(), deferred_events_.size()});
+    log_owners_.push_back(-1);
+    log_total_ += deferred_events_.size();
+  }
   // Observers fire last, in the same canonical order, after every mutation
   // is committed — they may re-enter the engine (cancel, new activities).
-  for (ShardState& ss : shards_) {
+  // Re-entry lands in pending_, never in the buffers published above.
+  for (const std::int32_t s : due_shards_) {
+    ShardState& ss = shards_[static_cast<size_t>(s)];
     for (const Notice& n : ss.notices)
       fire_notice(n);
     ss.notices.clear();
@@ -1288,12 +1425,12 @@ double Engine::link_bandwidth(platform::LinkId link) const {
 }
 
 double Engine::host_load(int host) {
-  share_resources();
+  share_resources(nullptr);
   return sys_.usage(hosts_.at(static_cast<size_t>(host)).cnst);
 }
 
 double Engine::link_load(platform::LinkId link) {
-  share_resources();
+  share_resources(nullptr);
   return sys_.usage(links_.at(static_cast<size_t>(link)).cnst);
 }
 

@@ -43,6 +43,7 @@
 /// through a per-host endpoint index, still O(affected).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <limits>
 #include <memory>
@@ -53,6 +54,7 @@
 
 #include "core/action.hpp"
 #include "core/maxmin.hpp"
+#include "core/tourney.hpp"
 #include "platform/platform.hpp"
 #include "xbt/settings.hpp"
 
@@ -60,6 +62,7 @@ namespace sg::core {
 
 struct ActionBlockPool;  // LIFO recycler for action allocations (engine.cpp)
 class ShardWorkers;      // per-shard worker pool (workers.hpp)
+struct PhaseProbe;       // per-lane occupancy sink (workers.hpp)
 
 /// Typed config keys owned by the engine; declare_engine_config() registers
 /// them (defaults in parentheses). engine/threads is seeded by SG_THREADS.
@@ -71,11 +74,80 @@ inline constexpr config::FlagKey kCfgSharding{"engine/sharding"};
 inline constexpr config::FlagKey kCfgKillTransitComms{"engine/kill-transit-comms"};
 inline constexpr config::IntKey kCfgThreads{"engine/threads"};
 inline constexpr config::FlagKey kCfgParallelActors{"engine/parallel-actors"};
+inline constexpr config::FlagKey kCfgProfile{"engine/profile"};
 
 /// What the engine reports after each step.
 struct ActionEvent {
   ActionPtr action;
   bool failed = false;  ///< true when a resource died under the action
+};
+
+/// Zero-copy view of one run_until() round's events: an ordered sequence of
+/// non-empty segments, each a span straight into a shard's fired buffer
+/// (fixed shard order, the serial epilogue's events last) — nothing is
+/// copied into a merge sink. Iterates like a flat forward range of
+/// ActionEvent; valid until the next run_until()/step() call, exactly like
+/// the span it replaces.
+class StepLog {
+public:
+  class const_iterator {
+  public:
+    using value_type = ActionEvent;
+    using reference = const ActionEvent&;
+    using pointer = const ActionEvent*;
+    using difference_type = std::ptrdiff_t;
+    using iterator_category = std::forward_iterator_tag;
+
+    reference operator*() const { return segs_[seg_][idx_]; }
+    pointer operator->() const { return &segs_[seg_][idx_]; }
+    const_iterator& operator++() {
+      if (++idx_ == segs_[seg_].size()) {  // segments are never empty
+        ++seg_;
+        idx_ = 0;
+      }
+      return *this;
+    }
+    const_iterator operator++(int) {
+      const_iterator tmp = *this;
+      ++*this;
+      return tmp;
+    }
+    bool operator==(const const_iterator& o) const { return seg_ == o.seg_ && idx_ == o.idx_; }
+    bool operator!=(const const_iterator& o) const { return !(*this == o); }
+
+  private:
+    friend class StepLog;
+    const_iterator(const std::span<const ActionEvent>* segs, size_t seg)
+        : segs_(segs), seg_(seg) {}
+    const std::span<const ActionEvent>* segs_ = nullptr;
+    size_t seg_ = 0;
+    size_t idx_ = 0;
+  };
+
+  StepLog() = default;
+
+  size_t size() const { return total_; }
+  bool empty() const { return total_ == 0; }
+  const_iterator begin() const { return {segs_, 0}; }
+  const_iterator end() const { return {segs_, n_segs_}; }
+  /// Random access across the segment boundaries (O(segments) walk — the
+  /// log is typically one or two segments).
+  const ActionEvent& operator[](size_t i) const {
+    size_t seg = 0;
+    while (i >= segs_[seg].size()) {
+      i -= segs_[seg].size();
+      ++seg;
+    }
+    return segs_[seg][i];
+  }
+
+private:
+  friend class Engine;
+  StepLog(const std::span<const ActionEvent>* segs, size_t n_segs, size_t total)
+      : segs_(segs), n_segs_(n_segs), total_(total) {}
+  const std::span<const ActionEvent>* segs_ = nullptr;
+  size_t n_segs_ = 0;
+  size_t total_ = 0;
 };
 
 class Engine {
@@ -127,13 +199,12 @@ public:
   /// Advance simulated time to the next event date, but no further than
   /// `deadline`, and return the completion/failure events that fired — in
   /// deterministic order (fixed shard order, stable intra-shard order; see
-  /// the threading-model notes above). The span stays valid until the next
-  /// run_until()/step() call. If nothing happens before `deadline`, time
-  /// jumps there and the span is empty; if deadline is +inf and nothing is
-  /// pending, time does not move. This is THE run-loop entry point; step()
-  /// and next_event_time() below are compatibility wrappers around it.
-  std::span<const ActionEvent> run_until(
-      double deadline = std::numeric_limits<double>::infinity());
+  /// the threading-model notes above). The returned view stays valid until
+  /// the next run_until()/step() call. If nothing happens before `deadline`,
+  /// time jumps there and the view is empty; if deadline is +inf and nothing
+  /// is pending, time does not move. This is THE run-loop entry point;
+  /// step() and next_event_time() below are compatibility wrappers around it.
+  StepLog run_until(double deadline = std::numeric_limits<double>::infinity());
 
   /// Deprecated wrapper: run_until() copied into a fresh vector. Prefer
   /// run_until(), which does not allocate per call.
@@ -217,6 +288,30 @@ public:
   /// uses it to kill/restart the actors living on a failed host).
   using ResourceObserver = std::function<void(bool /*is_host*/, int /*index*/, bool /*now_on*/)>;
   void set_resource_observer(ResourceObserver obs) { resource_observer_ = std::move(obs); }
+
+  /// Cumulative phase-level profile of run_until() (engine/profile): wall
+  /// nanoseconds per serial-spine phase, fan-out occupancy, and round/event
+  /// counters. All zeros while profiling is off.
+  struct PhaseStats {
+    std::uint64_t rounds = 0;       ///< run_until() calls that did a full round
+    std::uint64_t events = 0;       ///< events delivered through the step log
+    std::uint64_t solve_ns = 0;     ///< share_resources: solve + rate refresh
+    std::uint64_t pick_ns = 0;      ///< target-date pick + due-shard collection
+    std::uint64_t advance_ns = 0;   ///< due-shard advance fan-out
+    std::uint64_t epilogue_ns = 0;  ///< deferred ops + gather + notices
+    std::uint64_t total_ns = 0;     ///< whole run_until() body
+    std::uint64_t parallel_ns = 0;  ///< wall spent inside worker fan-outs
+    std::vector<std::uint64_t> lane_busy_ns;  ///< busy time per lane, fan-outs only
+    /// Fraction of the run_until() wall spent OUTSIDE parallel fan-outs —
+    /// the Amdahl serial fraction the lane count cannot shrink.
+    double serial_fraction() const {
+      return total_ns > 0
+                 ? 1.0 - static_cast<double>(parallel_ns) / static_cast<double>(total_ns)
+                 : 0.0;
+    }
+  };
+  /// Snapshot of the profile counters (cheap; see engine/profile).
+  PhaseStats phase_stats() const;
 
 private:
   friend class Action;
@@ -355,16 +450,14 @@ private:
     std::vector<DeferredOp> deferred;    ///< cross-shard ops for the epilogue
     std::vector<Notice> notices;         ///< observer calls to fire serially
     std::vector<ShardedMaxMin::VarId> released;  ///< ids for commit_released
+    /// This shard is already on its lane's dirty list (tournament leaves to
+    /// refresh). Written only by the shard's own lane or the maestro.
+    bool heads_dirty = false;
   };
 
   /// Pop stale entries off a heap's top; returns its next valid date (kInf
   /// when empty) and leaves head_lb exact. O(stale + 1).
   static double reap_heap_top(EventHeap& heap, size_t& stale);
-  /// Earliest valid entry across every shard heap: scan the cached head
-  /// bounds, reap only the apparent winner, rescan if the reap revealed a
-  /// stale head. Returns the date (kInf when all empty); *out names the
-  /// winning heap (nullptr when none).
-  double next_event_source(EventHeap** out_heap, size_t** out_stale);
   /// Earliest valid entry within ONE shard's heaps (latency wins ties).
   static double shard_event_source(ShardEvents& se, EventHeap** out_heap, size_t** out_stale);
   /// Erase every stale completion-heap entry and restore the heap order.
@@ -374,12 +467,10 @@ private:
   std::int32_t trace_shard(TraceEvent::Kind kind, int index) const;
   void schedule_trace_events();
   void schedule_next(const trace::Trace& trace, TraceEvent::Kind kind, int index, double after);
-  /// Earliest pending trace date across shards, clamped to >= now().
-  double next_trace_time() const;
+  /// Earliest pending trace date across shards (tournament tree over raw
+  /// trace tops), clamped to >= now().
+  double next_trace_time();
 
-  /// Run fn(shard) for every shard — on the worker pool when engine/threads
-  /// gave us lanes, serially (same order) otherwise.
-  void run_phase(const std::function<void(int)>& fn);
   /// Phase body for one shard: apply due trace events (FIRST — the
   /// tie-break), then pop due heap entries; finish what is shard-local,
   /// defer the rest.
@@ -400,11 +491,23 @@ private:
   /// `shard` — safe inside that shard's lane. Events/notices/released ids go
   /// to the shard's gather buffers; the global id is committed serially.
   void finish_action_local(int shard, ActionPtr action, ActionState final_state);
-  /// Serial: process the deferred cross-shard ops in fixed order.
+  /// Serial: process the deferred cross-shard ops in fixed order (only the
+  /// shards advanced this round can hold any).
   void process_deferred();
-  /// Serial: commit released ids, merge the per-shard event logs into
-  /// `sink` (fixed shard order, then the deferred ones), fire notices.
-  void gather_step_results(std::vector<ActionEvent>& sink);
+  /// Serial: commit released ids, publish the non-empty per-shard fired
+  /// lists (fixed shard order, the epilogue's list last) as this round's
+  /// zero-copy log segments, fire notices. Empty lists are skipped outright
+  /// — a zero-event round publishes nothing.
+  void gather_step_results();
+  /// Drop the previous round's log: clear exactly the published buffers and
+  /// the segment table. run_until() calls it before anything else.
+  void release_step_log();
+  /// Note that `shard`'s event heads (heap tops / trace top) may have
+  /// changed; sync_head_trees() refreshes the tournament leaves lazily.
+  /// Safe from the shard's own lane: each lane appends to its own list.
+  void mark_heads_dirty(int shard);
+  /// Serial: refresh the tournament leaves of every dirty shard.
+  void sync_head_trees();
 
   /// Create runtime resource records (constraints, trace schedules) for every
   /// platform host/link the engine does not know yet — the shared bring-up
@@ -447,11 +550,12 @@ private:
   ActionPtr comm_start_impl(int src_host, int dst_host, double bytes, double rate_limit,
                             const std::string* name);
   /// Re-solve sharing (incrementally — only components touched by a mutation
-  /// are recomputed; uncoupled shards fan out over the worker lanes),
-  /// refresh the rates of the actions whose allocation changed, and
-  /// reschedule exactly those in the completion heaps. Cheap no-op when
-  /// nothing is dirty.
-  void share_resources();
+  /// are recomputed; uncoupled shards AND independent coupled groups fan out
+  /// over the worker lanes), refresh the rates of the actions whose
+  /// allocation changed, and reschedule exactly those in the completion
+  /// heaps. Cheap no-op when nothing is dirty. `probe` (run_until's, or null
+  /// from the introspection paths) collects fan-out occupancy.
+  void share_resources(PhaseProbe* probe);
   /// Fold elapsed time into remaining_/latency_remaining_ using the rate
   /// that was in effect since the last sync. Must run before a rate change.
   void sync_progress(Action& a);
@@ -487,9 +591,38 @@ private:
   /// serialized contexts, and splitting it per shard would change the
   /// delivery order the unsharded engine established.
   std::vector<ActionEvent> pending_;
-  std::vector<ActionEvent> events_;           ///< run_until()'s returned storage
-  std::vector<ActionEvent> deferred_events_;  ///< epilogue finishes, merged last
+  std::vector<ActionEvent> events_;           ///< pending_ drain's returned storage
+  std::vector<ActionEvent> deferred_events_;  ///< epilogue finishes, published last
   std::vector<Notice> deferred_notices_;
+  /// The current round's zero-copy log: ordered non-empty segment views into
+  /// the per-shard fired buffers (and deferred_events_ / events_), plus the
+  /// ids of the shards whose buffers are published (-1 = not a shard buffer)
+  /// so release_step_log() clears exactly those.
+  std::vector<std::span<const ActionEvent>> log_segs_;
+  std::vector<std::int32_t> log_owners_;
+  size_t log_total_ = 0;
+  /// Shards with a due trace or heap event this round, ascending — the
+  /// advance fan-out and the epilogue iterate these instead of every shard.
+  std::vector<std::int32_t> due_shards_;
+  /// Per-lane scratch, cache-line separated: the shards whose event heads
+  /// changed (tournament leaves to refresh) and the lane's slice of
+  /// due_shards_ (bucketed by lane_of so each shard stays on its canonical
+  /// lane even when few shards are due).
+  struct alignas(64) LaneScratch {
+    std::vector<std::int32_t> dirty;
+    std::vector<std::int32_t> due;
+  };
+  std::vector<LaneScratch> lane_scratch_;
+  /// Incremental target pick: tournament trees over the per-shard event
+  /// heads. heap_tree_ has two leaves per shard (2s = latency head bound,
+  /// 2s+1 = completion head bound — the leaf order IS the tie-break: lower
+  /// shard first, latency beats completion at equal dates); trace_tree_ one
+  /// leaf per shard holding the raw (unclamped) next trace date.
+  TourneyTree heap_tree_;
+  TourneyTree trace_tree_;
+  bool profile_ = false;               ///< engine/profile snapshot
+  std::unique_ptr<PhaseProbe> probe_;  ///< occupancy sink, only when profiling
+  PhaseStats pstats_;
   std::unique_ptr<ShardWorkers> workers_;  ///< null when lanes_ == 1
   int lanes_ = 1;
   ActionObserver observer_;

@@ -686,6 +686,11 @@ void ShardedMaxMin::init_shards(int shard_count) {
   shard_linked_.assign(static_cast<size_t>(shard_count), 0);
   scan_pos_.assign(static_cast<size_t>(shard_count), 0);
   shard_flags_.assign(static_cast<size_t>(shard_count), 0);
+  shard_dirty_.assign(static_cast<size_t>(shard_count), 0);
+  uf_parent_.assign(static_cast<size_t>(shard_count), 0);
+  group_slot_.assign(static_cast<size_t>(shard_count), -1);
+  groups_.clear();
+  n_groups_ = 0;
 }
 
 void ShardedMaxMin::check_var(VarId var, const char* what) const {
@@ -704,6 +709,7 @@ ShardedMaxMin::CnstId ShardedMaxMin::new_constraint_in(ShardId shard, double cap
   if (shard < 0 || static_cast<size_t>(shard) >= shards_.size())
     throw xbt::InvalidArgument("new_constraint_in: shard " + std::to_string(shard) + " out of range");
   const MaxMinSystem::CnstId local = shards_[static_cast<size_t>(shard)].new_constraint(capacity, shared);
+  mark_shard(shard);
   CnstId g;
   if (!free_cnst_ids_.empty()) {
     g = free_cnst_ids_.back();
@@ -728,6 +734,7 @@ void ShardedMaxMin::release_constraint(CnstId cnst) {
     return;
   shards_[static_cast<size_t>(c.shard)].release_constraint(c.local);
   cnst_global_[static_cast<size_t>(c.shard)][static_cast<size_t>(c.local)] = -1;
+  mark_shard(c.shard);
   c.shard = -1;
   free_cnst_ids_.push_back(cnst);
   --live_cnsts_;
@@ -763,6 +770,7 @@ MaxMinSystem::VarId ShardedMaxMin::make_replica(VarId var, ShardId shard, bool l
   const VarRec& r = vars_[static_cast<size_t>(var)];
   MaxMinSystem& m = shards_[static_cast<size_t>(shard)];
   const MaxMinSystem::VarId lv = m.new_variable(r.weight, r.bound);
+  mark_shard(shard);
   if (linked) {
     m.var_flags_[static_cast<size_t>(lv)] |= MaxMinSystem::kFlagLinked;
     ++shard_linked_[static_cast<size_t>(shard)];
@@ -826,6 +834,7 @@ void ShardedMaxMin::expand(CnstId cnst, VarId var, double coeff) {
     throw xbt::InvalidArgument("expand: variable id " + std::to_string(var) + " was released");
   const MaxMinSystem::VarId lv = replica_in(var, c.shard);
   shards_[static_cast<size_t>(c.shard)].expand(c.local, lv, coeff);
+  mark_shard(c.shard);
 }
 
 void ShardedMaxMin::release_variable(VarId var) {
@@ -836,6 +845,7 @@ void ShardedMaxMin::release_variable(VarId var) {
   for_each_replica(r, [&](Replica rp) {
     shards_[static_cast<size_t>(rp.shard)].release_variable(rp.local);
     var_global_[static_cast<size_t>(rp.shard)][static_cast<size_t>(rp.local)] = -1;
+    mark_shard(rp.shard);
     if (r.shard == kMulti)
       --shard_linked_[static_cast<size_t>(rp.shard)];
   });
@@ -861,6 +871,7 @@ void ShardedMaxMin::release_variable_local(VarId var) {
   if (r.shard >= 0) {
     shards_[static_cast<size_t>(r.shard)].release_variable(r.local);
     var_global_[static_cast<size_t>(r.shard)][static_cast<size_t>(r.local)] = -1;
+    mark_shard(r.shard);
   }
   r.alive = false;
   r.shard = kDetached;
@@ -883,6 +894,7 @@ void ShardedMaxMin::set_capacity(CnstId cnst, double capacity) {
   if (c.shard < 0)
     throw xbt::InvalidArgument("set_capacity: constraint id " + std::to_string(cnst) + " was released");
   shards_[static_cast<size_t>(c.shard)].set_capacity(c.local, capacity);
+  mark_shard(c.shard);
 }
 
 double ShardedMaxMin::capacity(CnstId cnst) const {
@@ -908,6 +920,7 @@ void ShardedMaxMin::set_weight(VarId var, double weight) {
   }
   for_each_replica(r, [&](Replica rp) {
     shards_[static_cast<size_t>(rp.shard)].set_weight(rp.local, weight);
+    mark_shard(rp.shard);
   });
 }
 
@@ -929,6 +942,7 @@ void ShardedMaxMin::set_bound(VarId var, double bound) {
   }
   for_each_replica(r, [&](Replica rp) {
     shards_[static_cast<size_t>(rp.shard)].set_bound(rp.local, bound);
+    mark_shard(rp.shard);
   });
 }
 
@@ -988,8 +1002,10 @@ int ShardedMaxMin::variable_shard_span(VarId var) const {
 bool ShardedMaxMin::needs_solve() const {
   if (!detached_dirty_.empty())
     return true;
-  for (const MaxMinSystem& m : shards_)
-    if (m.needs_solve())
+  // shard_dirty_ is a conservative superset of the shards whose own
+  // needs_solve() can be true, so quiet shards cost one byte load here.
+  for (size_t s = 0; s < shards_.size(); ++s)
+    if (shard_dirty_[s] && shards_[s].needs_solve())
       return true;
   return false;
 }
@@ -1029,7 +1045,7 @@ MaxMinSystem::MemoryStats ShardedMaxMin::memory_stats() const {
 // ShardedMaxMin — solving
 // ---------------------------------------------------------------------------
 
-void ShardedMaxMin::solve(ShardWorkers* workers) {
+void ShardedMaxMin::solve(ShardWorkers* workers, PhaseProbe* probe) {
   changed_vars_.clear();
 
   // Detached variables: nothing constrains them, so their allocation is the
@@ -1047,7 +1063,6 @@ void ShardedMaxMin::solve(ShardWorkers* workers) {
   detached_dirty_.clear();
 
   open_.clear();
-  group_shards_.clear();
   const ShardId n = static_cast<ShardId>(shards_.size());
   auto open_shard = [&](ShardId s) {
     if (shard_flags_[static_cast<size_t>(s)] & kShardOpen)
@@ -1058,6 +1073,9 @@ void ShardedMaxMin::solve(ShardWorkers* workers) {
   };
   for (ShardId s = 0; s < n; ++s) {
     shard_flags_[static_cast<size_t>(s)] = 0;
+    if (!shard_dirty_[static_cast<size_t>(s)])
+      continue;
+    shard_dirty_[static_cast<size_t>(s)] = 0;
     if (shards_[static_cast<size_t>(s)].needs_solve())
       open_shard(s);
   }
@@ -1107,11 +1125,64 @@ void ShardedMaxMin::solve(ShardWorkers* workers) {
     shards_[static_cast<size_t>(s)].closure_commit();
 
   uncoupled_.clear();
+  coupled_.clear();
   for (ShardId s : open_) {
     if (shard_flags_[static_cast<size_t>(s)] & kShardCoupled)
-      group_shards_.push_back(s);
+      coupled_.push_back(s);
     else
       uncoupled_.push_back(s);
+  }
+
+  // Partition the coupled shards into independent groups: two shards belong
+  // to the same group exactly when a chain of linked variables connects
+  // them. Union-find (path halving) over each linked variable's replica
+  // shards, then bucket shards in discovery order — the partition depends
+  // only on the system's topology, never on lane count or timing.
+  n_groups_ = 0;
+  if (!coupled_.empty()) {
+    for (ShardId s : coupled_) {
+      uf_parent_[static_cast<size_t>(s)] = s;
+      group_slot_[static_cast<size_t>(s)] = -1;
+    }
+    auto find_root = [&](ShardId s) {
+      while (uf_parent_[static_cast<size_t>(s)] != s) {
+        uf_parent_[static_cast<size_t>(s)] =
+            uf_parent_[static_cast<size_t>(uf_parent_[static_cast<size_t>(s)])];
+        s = uf_parent_[static_cast<size_t>(s)];
+      }
+      return s;
+    };
+    for (VarId g : group_linked_) {
+      ShardId first = -1;
+      for_each_replica(vars_[static_cast<size_t>(g)], [&](Replica rp) {
+        const ShardId root = find_root(rp.shard);
+        if (first < 0)
+          first = root;
+        else if (root != first)
+          uf_parent_[static_cast<size_t>(root)] = first;
+      });
+    }
+    for (ShardId s : coupled_) {
+      const ShardId root = find_root(s);
+      std::int32_t gi = group_slot_[static_cast<size_t>(root)];
+      if (gi < 0) {
+        gi = static_cast<std::int32_t>(n_groups_++);
+        if (groups_.size() < n_groups_)
+          groups_.emplace_back();
+        groups_[static_cast<size_t>(gi)].shards.clear();
+        groups_[static_cast<size_t>(gi)].linked.clear();
+        group_slot_[static_cast<size_t>(root)] = gi;
+      }
+      groups_[static_cast<size_t>(gi)].shards.push_back(s);
+    }
+    for (VarId g : group_linked_) {
+      // Any replica names the group — the union above merged them all.
+      const VarRec& r = vars_[static_cast<size_t>(g)];
+      const ShardId s0 =
+          r.shard >= 0 ? r.shard : multi_[static_cast<size_t>(r.multi)][0].shard;
+      groups_[static_cast<size_t>(group_slot_[static_cast<size_t>(find_root(s0))])]
+          .linked.push_back(g);
+    }
   }
 
   // Uncoupled shards: plain shard-local incremental solve — no other shard's
@@ -1135,31 +1206,60 @@ void ShardedMaxMin::solve(ShardWorkers* workers) {
     }
   };
 
-  group_changed_.clear();
-  if (workers != nullptr && workers->lanes() > 1) {
-    workers->run(
-        static_cast<int>(uncoupled_.size()),
-        [&](int i) { solve_local(uncoupled_[static_cast<size_t>(i)]); },
-        [&] {
-          if (!group_shards_.empty())
-            solve_group();
-        });
+  // Fan the independent work items — uncoupled shard solves AND per-group
+  // joint solves — out over the lanes. Each item reads and writes only its
+  // own (disjoint) shard set, so the item -> lane assignment cannot change
+  // any value; solve_group defers nothing shared (changed detection below
+  // is serial).
+  const int n_uncoupled = static_cast<int>(uncoupled_.size());
+  const int n_items = n_uncoupled + static_cast<int>(n_groups_);
+  auto run_item = [&](int i) {
+    if (i < n_uncoupled)
+      solve_local(uncoupled_[static_cast<size_t>(i)]);
+    else
+      solve_group(groups_[static_cast<size_t>(i - n_uncoupled)]);
+  };
+  if (workers != nullptr) {
+    workers->run(n_items, run_item, {}, probe);
   } else {
-    for (ShardId s : uncoupled_)
-      solve_local(s);
-    if (!group_shards_.empty())
-      solve_group();
+    const std::uint64_t t0 = probe != nullptr ? phase_clock_ns() : 0;
+    for (int i = 0; i < n_items; ++i)
+      run_item(i);
+    if (probe != nullptr) {
+      const std::uint64_t dt = phase_clock_ns() - t0;
+      probe->parallel_ns += dt;
+      probe->lanes[0].busy_ns += dt;
+    }
   }
+  group_solves_ += n_groups_;
 
   // Serial aggregation in a fixed order — uncoupled shards in discovery
-  // order, then the group — keeps changed_variables() (and with it the
-  // engine's rate refresh) identical at every lane count.
+  // order, then the coupled shards in discovery order — keeps
+  // changed_variables() (and with it the engine's rate refresh) identical
+  // at every lane count, and identical to the pre-partition ordering.
   for (ShardId s : uncoupled_) {
     const MaxMinSystem& m = shards_[static_cast<size_t>(s)];
     for (MaxMinSystem::VarId lv : m.changed_vars_)
       changed_vars_.push_back(var_global_[static_cast<size_t>(s)][static_cast<size_t>(lv)]);
   }
-  changed_vars_.insert(changed_vars_.end(), group_changed_.begin(), group_changed_.end());
+  // Coupled changed detection: a linked variable's replicas all moved
+  // together, so it is reported once, from its canonical (first) replica.
+  for (ShardId s : coupled_) {
+    const MaxMinSystem& m = shards_[static_cast<size_t>(s)];
+    for (size_t k = 0; k < m.affected_vars_.size(); ++k) {
+      const size_t i = static_cast<size_t>(m.affected_vars_[k]);
+      if (m.var_value_[i] == m.old_values_[k])
+        continue;
+      const VarId g = var_global_[static_cast<size_t>(s)][i];
+      const VarRec& r = vars_[static_cast<size_t>(g)];
+      if (r.shard == kMulti) {
+        const Replica& head = multi_[static_cast<size_t>(r.multi)][0];
+        if (head.shard != s || head.local != m.affected_vars_[k])
+          continue;
+      }
+      changed_vars_.push_back(g);
+    }
+  }
 
   for (VarId g : group_linked_)
     vars_[static_cast<size_t>(g)].in_group = false;
@@ -1167,6 +1267,7 @@ void ShardedMaxMin::solve(ShardWorkers* workers) {
 }
 
 void ShardedMaxMin::solve_full() {
+  std::fill(shard_dirty_.begin(), shard_dirty_.end(), static_cast<unsigned char>(1));
   for (MaxMinSystem& m : shards_)
     m.full_solve_pending_ = true;
   for (size_t g = 0; g < vars_.size(); ++g)
@@ -1175,18 +1276,20 @@ void ShardedMaxMin::solve_full() {
   solve();
 }
 
-/// Joint progressive filling over the coupled shards' affected subsets.
+/// Joint progressive filling over one coupled group's affected subsets.
 /// Mirrors MaxMinSystem::solve_subset exactly, with one twist: the replicas
 /// of a linked logical variable are one activity. They share the growth
 /// (identical delta * weight updates keep their values bitwise equal), their
 /// effective bound is the min over every shard's caps, and freezing any
-/// replica freezes all of them with the freezing replica's value.
-void ShardedMaxMin::solve_group() {
-  ++group_solves_;
+/// replica freezes all of them with the freezing replica's value. Touches
+/// only gr's shards (plus read-only façade tables), so independent groups
+/// run concurrently on worker lanes; changed detection stays in solve().
+void ShardedMaxMin::solve_group(Group& gr) {
   size_t n_active = 0;
 
-  for (ShardId s : group_shards_) {
+  for (ShardId s : gr.shards) {
     MaxMinSystem& m = shards_[static_cast<size_t>(s)];
+    m.changed_vars_.clear();
     ++m.stats_.solves;
     if (m.closure_was_full_)
       ++m.stats_.full_solves;
@@ -1228,7 +1331,7 @@ void ShardedMaxMin::solve_group() {
   // effective bound, and count each once. Every replica of every group
   // variable is in its shard's affected set (the closure fixpoint seeded
   // them), so the folds below see all of them.
-  for (VarId g : group_linked_) {
+  for (VarId g : gr.linked) {
     const VarRec& r = vars_[static_cast<size_t>(g)];
     if (!r.alive)
       continue;
@@ -1271,7 +1374,7 @@ void ShardedMaxMin::solve_group() {
     // Growth room before the tightest shared constraint saturates or a
     // variable bound is reached — the min is global across the group.
     double delta = kInf;
-    for (ShardId s : group_shards_) {
+    for (ShardId s : gr.shards) {
       MaxMinSystem& m = shards_[static_cast<size_t>(s)];
       for (MaxMinSystem::CnstId cid : m.affected_cnsts_) {
         const size_t c = static_cast<size_t>(cid);
@@ -1300,7 +1403,7 @@ void ShardedMaxMin::solve_group() {
 
     if (delta == kInf) {
       // Unconstrained variables: give them the "infinite" rate and stop.
-      for (ShardId s : group_shards_) {
+      for (ShardId s : gr.shards) {
         MaxMinSystem& m = shards_[static_cast<size_t>(s)];
         for (MaxMinSystem::VarId vid : m.affected_vars_) {
           const size_t i = static_cast<size_t>(vid);
@@ -1315,7 +1418,7 @@ void ShardedMaxMin::solve_group() {
 
     // Grow everyone, consume capacities. Replicas of a linked variable apply
     // the identical update in each shard, so their values stay equal.
-    for (ShardId s : group_shards_) {
+    for (ShardId s : gr.shards) {
       MaxMinSystem& m = shards_[static_cast<size_t>(s)];
       for (MaxMinSystem::VarId vid : m.affected_vars_) {
         const size_t i = static_cast<size_t>(vid);
@@ -1343,7 +1446,7 @@ void ShardedMaxMin::solve_group() {
     // Freeze variables on saturated shared constraints, then those that
     // reached their bound. Freezing a linked replica freezes its siblings.
     frozen = 0;
-    for (ShardId s : group_shards_) {
+    for (ShardId s : gr.shards) {
       MaxMinSystem& m = shards_[static_cast<size_t>(s)];
       for (MaxMinSystem::CnstId cid : m.affected_cnsts_) {
         const size_t c = static_cast<size_t>(cid);
@@ -1384,7 +1487,7 @@ void ShardedMaxMin::solve_group() {
       // delta chosen as an exact saturation point must freeze someone; if
       // numerical dust prevented it, force-freeze the tightest variable to
       // guarantee termination.
-      for (ShardId s : group_shards_) {
+      for (ShardId s : gr.shards) {
         MaxMinSystem& m = shards_[static_cast<size_t>(s)];
         for (MaxMinSystem::VarId vid : m.affected_vars_) {
           if (m.var_flags_[static_cast<size_t>(vid)] & MaxMinSystem::kFlagActive) {
@@ -1397,28 +1500,6 @@ void ShardedMaxMin::solve_group() {
       }
     }
     n_active -= frozen;
-  }
-
-  // Changed detection. A linked variable's replicas all moved together; it
-  // is reported once, from its canonical (first) replica. The ids go to
-  // group_changed_ — solve() merges them after the barrier, so this can run
-  // concurrently with the uncoupled lanes without touching changed_vars_.
-  for (ShardId s : group_shards_) {
-    MaxMinSystem& m = shards_[static_cast<size_t>(s)];
-    m.changed_vars_.clear();
-    for (size_t k = 0; k < m.affected_vars_.size(); ++k) {
-      const size_t i = static_cast<size_t>(m.affected_vars_[k]);
-      if (m.var_value_[i] == m.old_values_[k])
-        continue;
-      const VarId g = var_global_[static_cast<size_t>(s)][i];
-      const VarRec& r = vars_[static_cast<size_t>(g)];
-      if (r.shard == kMulti) {
-        const Replica& head = multi_[static_cast<size_t>(r.multi)][0];
-        if (head.shard != s || head.local != m.affected_vars_[k])
-          continue;
-      }
-      group_changed_.push_back(g);
-    }
   }
 }
 

@@ -142,6 +142,7 @@
 namespace sg::core {
 
 class ShardWorkers;
+struct PhaseProbe;
 
 class MaxMinSystem {
 public:
@@ -486,13 +487,16 @@ public:
   }
 
   /// Solve only the dirty shards: shard-local incremental solves for
-  /// uncoupled closures, one joint progressive-filling pass for the shards
-  /// coupled through linked replicas. With `workers`, the uncoupled shard
-  /// solves fan out across the worker lanes while the coupled group is
-  /// co-solved on the calling thread; the dirty-closure fixpoint and the
-  /// changed-id aggregation stay serial, so the result (including the order
-  /// of changed_variables()) is identical at every lane count.
-  void solve(ShardWorkers* workers = nullptr);
+  /// uncoupled closures, one joint progressive-filling pass per coupled
+  /// group. Coupled shards are partitioned (union-find over each linked
+  /// variable's replica shards) into independent groups that touch disjoint
+  /// shard sets, so with `workers` the uncoupled solves AND the group solves
+  /// all fan out across the worker lanes; the dirty-closure fixpoint, the
+  /// partition, and the changed-id aggregation stay serial, so the result
+  /// (including the order of changed_variables()) is identical at every lane
+  /// count. With `probe`, the fan-out's wall and per-lane busy times are
+  /// recorded (serial fallback counts as lane 0).
+  void solve(ShardWorkers* workers = nullptr, PhaseProbe* probe = nullptr);
   /// Recompute everything from scratch (equivalence testing).
   void solve_full();
   bool needs_solve() const;
@@ -550,9 +554,27 @@ private:
   MaxMinSystem::VarId make_replica(VarId var, ShardId shard, bool linked);
   /// Replica of `var` in `shard`, created (and cross-linked) if absent.
   MaxMinSystem::VarId replica_in(VarId var, ShardId shard);
-  /// Joint progressive filling over group_shards_ (closures already
-  /// collected and committed; linked logical vars listed in group_linked_).
-  void solve_group();
+
+  /// One independent coupled group: shards reachable from each other through
+  /// linked replicas (in discovery order), plus the linked logical vars whose
+  /// replicas all live inside the group. Groups touch disjoint shard sets,
+  /// so solve_group() runs concurrently for different groups.
+  struct Group {
+    std::vector<ShardId> shards;
+    std::vector<VarId> linked;
+  };
+  /// Joint progressive filling over one group (closures already collected
+  /// and committed). Writes only the group's shards; safe to run in
+  /// parallel with other groups and with uncoupled shard-local solves.
+  void solve_group(Group& gr);
+
+  /// Conservative per-shard dirty mark — every façade mutation that can make
+  /// a shard need solving sets its byte. solve() double-checks the shard's
+  /// own needs_solve(), so over-marking is harmless; the byte map keeps
+  /// needs_solve()/solve() from touching every MaxMinSystem each round.
+  /// Distinct bytes are distinct memory locations, so engine lanes marking
+  /// their own shards concurrently is race-free.
+  void mark_shard(ShardId s) { shard_dirty_[static_cast<size_t>(s)] = 1; }
 
   std::vector<MaxMinSystem> shards_;
   std::vector<std::vector<VarId>> var_global_;    ///< [shard][local var] -> global id
@@ -580,12 +602,16 @@ private:
   static constexpr unsigned char kShardOpen = 1;     ///< closure being collected
   static constexpr unsigned char kShardCoupled = 2;  ///< closure reached a linked replica
   std::vector<ShardId> open_;
-  std::vector<ShardId> group_shards_;
-  std::vector<ShardId> uncoupled_;          ///< open shards not in the group
+  std::vector<ShardId> uncoupled_;          ///< open shards with no linked replica reached
+  std::vector<ShardId> coupled_;            ///< open shards whose closure hit a linked replica
   std::vector<size_t> scan_pos_;            ///< per shard: linked-scan cursor
   std::vector<unsigned char> shard_flags_;  ///< per shard: kShardOpen | kShardCoupled
-  std::vector<VarId> group_linked_;         ///< logical linked vars in this group
-  std::vector<VarId> group_changed_;        ///< solve_group output, merged serially
+  std::vector<unsigned char> shard_dirty_;  ///< per shard: touched since last solve
+  std::vector<VarId> group_linked_;         ///< logical linked vars across all groups
+  std::vector<Group> groups_;               ///< pooled group storage, n_groups_ live
+  size_t n_groups_ = 0;
+  std::vector<ShardId> uf_parent_;          ///< union-find scratch over coupled_
+  std::vector<std::int32_t> group_slot_;    ///< per shard: root -> group index
 };
 
 }  // namespace sg::core

@@ -1,0 +1,96 @@
+/// \file tourney.hpp
+/// TourneyTree — an incrementally maintained winner (tournament) tree over a
+/// fixed set of double keys, used by the engine's target pick.
+///
+/// The engine keeps one leaf per shard event source (heap head bound, trace
+/// top). Re-selecting the global minimum after a round used to be a linear
+/// scan over every shard's cached heads; with the tree, refreshing the
+/// leaves of the shards whose heads actually changed costs O(log shards)
+/// each, and the minimum (or the full set of leaves at or below a bound) is
+/// read off the internal nodes without touching the quiet shards at all.
+///
+/// Ties resolve to the SMALLER leaf index — with the engine's leaf layout
+/// (latency head before completion head, shards in ascending order) this
+/// reproduces the tie order of the old scan exactly: earlier shard first,
+/// latency beats completion at equal dates.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace sg::core {
+
+class TourneyTree {
+public:
+  /// Size the tree for `n` leaves, all keyed +inf. Leaves are padded up to
+  /// the next power of two so every internal node has exactly two children.
+  void reset(int n) {
+    n_leaves_ = n < 0 ? 0 : n;
+    base_ = 1;
+    while (base_ < static_cast<size_t>(n_leaves_))
+      base_ <<= 1;
+    key_.assign(2 * base_, kInf);
+  }
+
+  int size() const { return n_leaves_; }
+
+  double key(int leaf) const { return key_[base_ + static_cast<size_t>(leaf)]; }
+
+  /// Set one leaf's key and replay its matches up to the root: O(log n).
+  void update(int leaf, double k) {
+    size_t i = base_ + static_cast<size_t>(leaf);
+    if (key_[i] == k)
+      return;
+    key_[i] = k;
+    for (i >>= 1; i >= 1; i >>= 1) {
+      const double winner = std::min(key_[2 * i], key_[2 * i + 1]);
+      if (key_[i] == winner)
+        break;  // the rematch changes nothing further up
+      key_[i] = winner;
+    }
+  }
+
+  /// The minimum key over all leaves (+inf when every leaf is +inf).
+  double min_key() const { return key_[1]; }
+
+  /// Leaf index holding min_key(); ties go to the smaller index (the left
+  /// child is preferred on equal keys all the way down).
+  int min_leaf() const {
+    size_t i = 1;
+    while (i < base_)
+      i = key_[2 * i] <= key_[2 * i + 1] ? 2 * i : 2 * i + 1;
+    return static_cast<int>(i - base_);
+  }
+
+  /// Visit every leaf whose key is <= bound, in ascending leaf order (a
+  /// left-first descent that skips any subtree whose winner exceeds the
+  /// bound). Cost: O(hits * log n), independent of the quiet leaves.
+  template <typename Fn>
+  void for_each_leaf_le(double bound, Fn&& fn) const {
+    if (key_[1] > bound)
+      return;
+    descend(1, bound, fn);
+  }
+
+private:
+  static constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  template <typename Fn>
+  void descend(size_t i, double bound, Fn&& fn) const {
+    if (i >= base_) {
+      fn(static_cast<int>(i - base_));
+      return;
+    }
+    if (key_[2 * i] <= bound)
+      descend(2 * i, bound, fn);
+    if (key_[2 * i + 1] <= bound)
+      descend(2 * i + 1, bound, fn);
+  }
+
+  std::vector<double> key_;  ///< 1-based heap layout; leaves at [base_, 2*base_)
+  size_t base_ = 1;          ///< first leaf slot (power of two)
+  int n_leaves_ = 0;
+};
+
+}  // namespace sg::core

@@ -18,11 +18,13 @@ struct ShardWorkers::Impl {
   bool stop = false;
 
   // Phase descriptor, valid while generation is current. Exactly one of
-  // item_fn / lane_fn is set.
-  const std::function<void(int)>* item_fn = nullptr;
-  const std::function<void(int, int)>* lane_fn = nullptr;
+  // item_fn / lane_fn is engaged. FnRefs are two pointers — copied into the
+  // descriptor by value, no allocation per phase.
+  FnRef<void(int)> item_fn;
+  FnRef<void(int, int)> lane_fn;
   int n_items = 0;
   int lanes = 0;
+  PhaseProbe* probe = nullptr;
 
   std::exception_ptr first_error;
   std::vector<std::thread> threads;
@@ -33,14 +35,13 @@ struct ShardWorkers::Impl {
       first_error = std::current_exception();
   }
 
-  void run_slice(int lane, const std::function<void(int)>* items,
-                 const std::function<void(int, int)>* per_lane, int n) {
+  void run_slice(int lane, FnRef<void(int)> items, FnRef<void(int, int)> per_lane, int n) {
     try {
-      if (items != nullptr) {
+      if (items) {
         for (int i = lane; i < n; i += lanes)
-          (*items)(i);
+          items(i);
       } else {
-        (*per_lane)(lane, lanes);
+        per_lane(lane, lanes);
       }
     } catch (...) {
       record_error();
@@ -50,9 +51,10 @@ struct ShardWorkers::Impl {
   void worker_main(int lane) {
     std::uint64_t seen = 0;
     while (true) {
-      const std::function<void(int)>* items = nullptr;
-      const std::function<void(int, int)>* per_lane = nullptr;
+      FnRef<void(int)> items;
+      FnRef<void(int, int)> per_lane;
       int n = 0;
+      PhaseProbe* phase_probe = nullptr;
       {
         std::unique_lock<std::mutex> lock(mutex);
         work_cv.wait(lock, [&] { return stop || generation != seen; });
@@ -62,8 +64,12 @@ struct ShardWorkers::Impl {
         items = item_fn;
         per_lane = lane_fn;
         n = n_items;
+        phase_probe = probe;
       }
+      const std::uint64_t t0 = phase_probe != nullptr ? phase_clock_ns() : 0;
       run_slice(lane, items, per_lane, n);
+      if (phase_probe != nullptr)
+        phase_probe->lanes[static_cast<size_t>(lane)].busy_ns += phase_clock_ns() - t0;
       {
         std::lock_guard<std::mutex> lock(mutex);
         if (--pending == 0)
@@ -95,31 +101,42 @@ ShardWorkers::~ShardWorkers() {
     t.join();
 }
 
-void ShardWorkers::run(int n_items, const std::function<void(int)>& fn,
-                       const std::function<void()>& on_main) {
+void ShardWorkers::run(int n_items, FnRef<void(int)> fn, FnRef<void()> on_main,
+                       PhaseProbe* probe) {
   if (!impl_) {
+    const std::uint64_t t0 = probe != nullptr ? phase_clock_ns() : 0;
     for (int i = 0; i < n_items; ++i)
       fn(i);
     if (on_main)
       on_main();
+    if (probe != nullptr) {
+      const std::uint64_t dt = phase_clock_ns() - t0;
+      probe->lanes[0].busy_ns += dt;
+      probe->parallel_ns += dt;
+    }
     return;
   }
+  const std::uint64_t wall0 = probe != nullptr ? phase_clock_ns() : 0;
   {
     std::lock_guard<std::mutex> lock(impl_->mutex);
-    impl_->item_fn = &fn;
-    impl_->lane_fn = nullptr;
+    impl_->item_fn = fn;
+    impl_->lane_fn = {};
     impl_->n_items = n_items;
+    impl_->probe = probe;
     impl_->pending = lanes_ - 1;
     ++impl_->generation;
   }
   impl_->work_cv.notify_all();
-  impl_->run_slice(0, &fn, nullptr, n_items);
+  const std::uint64_t t0 = probe != nullptr ? phase_clock_ns() : 0;
+  impl_->run_slice(0, fn, {}, n_items);
   try {
     if (on_main)
       on_main();
   } catch (...) {
     impl_->record_error();
   }
+  if (probe != nullptr)
+    probe->lanes[0].busy_ns += phase_clock_ns() - t0;
   {
     std::unique_lock<std::mutex> lock(impl_->mutex);
     impl_->done_cv.wait(lock, [&] { return impl_->pending == 0; });
@@ -127,26 +144,41 @@ void ShardWorkers::run(int n_items, const std::function<void(int)>& fn,
       std::exception_ptr err = impl_->first_error;
       impl_->first_error = nullptr;
       lock.unlock();
+      if (probe != nullptr)
+        probe->parallel_ns += phase_clock_ns() - wall0;
       std::rethrow_exception(err);
     }
   }
+  if (probe != nullptr)
+    probe->parallel_ns += phase_clock_ns() - wall0;
 }
 
-void ShardWorkers::run_lanes(const std::function<void(int, int)>& fn) {
+void ShardWorkers::run_lanes(FnRef<void(int, int)> fn, PhaseProbe* probe) {
   if (!impl_) {
+    const std::uint64_t t0 = probe != nullptr ? phase_clock_ns() : 0;
     fn(0, 1);
+    if (probe != nullptr) {
+      const std::uint64_t dt = phase_clock_ns() - t0;
+      probe->lanes[0].busy_ns += dt;
+      probe->parallel_ns += dt;
+    }
     return;
   }
+  const std::uint64_t wall0 = probe != nullptr ? phase_clock_ns() : 0;
   {
     std::lock_guard<std::mutex> lock(impl_->mutex);
-    impl_->item_fn = nullptr;
-    impl_->lane_fn = &fn;
+    impl_->item_fn = {};
+    impl_->lane_fn = fn;
     impl_->n_items = 0;
+    impl_->probe = probe;
     impl_->pending = lanes_ - 1;
     ++impl_->generation;
   }
   impl_->work_cv.notify_all();
-  impl_->run_slice(0, nullptr, &fn, 0);
+  const std::uint64_t t0 = probe != nullptr ? phase_clock_ns() : 0;
+  impl_->run_slice(0, {}, fn, 0);
+  if (probe != nullptr)
+    probe->lanes[0].busy_ns += phase_clock_ns() - t0;
   {
     std::unique_lock<std::mutex> lock(impl_->mutex);
     impl_->done_cv.wait(lock, [&] { return impl_->pending == 0; });
@@ -154,9 +186,13 @@ void ShardWorkers::run_lanes(const std::function<void(int, int)>& fn) {
       std::exception_ptr err = impl_->first_error;
       impl_->first_error = nullptr;
       lock.unlock();
+      if (probe != nullptr)
+        probe->parallel_ns += phase_clock_ns() - wall0;
       std::rethrow_exception(err);
     }
   }
+  if (probe != nullptr)
+    probe->parallel_ns += phase_clock_ns() - wall0;
 }
 
 }  // namespace sg::core

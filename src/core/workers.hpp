@@ -13,10 +13,65 @@
 /// engine's parallel == serial determinism guarantee.
 #pragma once
 
-#include <functional>
+#include <chrono>
+#include <cstdint>
 #include <memory>
+#include <type_traits>
+#include <utility>
+#include <vector>
 
 namespace sg::core {
+
+/// Non-owning callable reference: a context pointer plus a call thunk, the
+/// allocation-free std::function replacement for the phase fan-out hot path.
+/// The referred callable must outlive every call — trivially satisfied by
+/// phase fan-outs, where the lambda lives in the caller's frame for the
+/// whole barrier.
+template <typename Sig>
+class FnRef;
+
+template <typename R, typename... Args>
+class FnRef<R(Args...)> {
+public:
+  FnRef() = default;
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, FnRef>>>
+  FnRef(F&& f)  // NOLINT: implicit by design, mirrors std::function_ref
+      : ctx_(const_cast<void*>(static_cast<const void*>(std::addressof(f)))),
+        call_([](void* ctx, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(ctx))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const { return call_(ctx_, std::forward<Args>(args)...); }
+  explicit operator bool() const { return call_ != nullptr; }
+
+private:
+  void* ctx_ = nullptr;
+  R (*call_)(void*, Args...) = nullptr;
+};
+
+/// Monotonic nanosecond clock shared by the phase profiler's call sites.
+inline std::uint64_t phase_clock_ns() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+
+/// Phase-profiling sink (engine/profile): per-lane busy nanoseconds plus the
+/// wall time spent inside the instrumented fan-outs. Each lane writes only
+/// its own cache-line-padded slot during a phase, and the maestro reads the
+/// slots only after the phase barrier (the pool's mutex/condvar handshake
+/// publishes them), so plain loads/stores are race-free.
+struct PhaseProbe {
+  struct alignas(64) LaneSlot {
+    std::uint64_t busy_ns = 0;
+  };
+  std::vector<LaneSlot> lanes;
+  std::uint64_t parallel_ns = 0;  ///< maestro-side wall inside fan-outs
+
+  explicit PhaseProbe(int lane_count) : lanes(static_cast<size_t>(lane_count)) {}
+};
 
 class ShardWorkers {
 public:
@@ -33,18 +88,18 @@ public:
 
   /// Run fn(item) for every item in [0, n_items): item i executes on lane
   /// i % lanes, each lane walking its items in ascending order. `on_main`,
-  /// when given, runs on the calling thread after lane 0's items — the
-  /// engine uses it to co-solve the cross-shard coupled groups concurrently
-  /// with the other lanes' independent work. Returns once every lane has
+  /// when given, runs on the calling thread after lane 0's items. With
+  /// `probe`, each lane adds its slice time to its busy slot and the caller
+  /// adds the phase wall time to parallel_ns. Returns once every lane has
   /// finished. Not reentrant.
-  void run(int n_items, const std::function<void(int)>& fn,
-           const std::function<void()>& on_main = {});
+  void run(int n_items, FnRef<void(int)> fn, FnRef<void()> on_main = {},
+           PhaseProbe* probe = nullptr);
 
   /// Run fn(lane, lanes) once per lane (lane 0 on the calling thread):
   /// the sharded-by-filter variant for phases whose work list is not
   /// indexed by shard (each lane scans the list and keeps the entries
   /// whose shard maps to it).
-  void run_lanes(const std::function<void(int, int)>& fn);
+  void run_lanes(FnRef<void(int, int)> fn, PhaseProbe* probe = nullptr);
 
 private:
   struct Impl;

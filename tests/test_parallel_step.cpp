@@ -320,6 +320,183 @@ TEST_F(ParallelStepTest, CrossShardCoupledGroupStress) {
   }
 }
 
+TEST_F(ParallelStepTest, DisjointCoupledGroupsSweep) {
+  // Two flops-only ptasks span zones {1,2} and {3,4}: no bytes means no
+  // backbone links, so each ptask couples exactly its two zone shards and
+  // the two groups are DISJOINT — the group partition must produce two
+  // independent group solves that the lanes can run concurrently, while
+  // intra-zone churn keeps every shard's local solver hot. The event log,
+  // and the number of group solves, must match the serial run exactly.
+  constexpr int kZones = 5;
+  constexpr int kPerZone = 3;
+  auto build = [] {
+    Platform p;
+    for (int z = 0; z < kZones; ++z) {
+      ClusterZoneSpec zone;
+      zone.name = "g" + std::to_string(z);
+      zone.count = kPerZone;
+      zone.host_speed = 1e9;
+      zone.link_bandwidth = 1e8;
+      p.add_cluster_zone(zone);
+    }
+    p.seal();
+    return p;
+  };
+  auto run = [&](int threads) {
+    sg::config::set(kCfgThreads, threads);
+    Engine e(build());
+    sg::config::set(kCfgThreads, 1);
+    SweepResult r;
+    r.thread_count = e.thread_count();
+    auto start_ptask = [&](size_t slot, int za, int zb, int scale) {
+      const std::vector<int> hosts{za * kPerZone, zb * kPerZone + 1};
+      const std::vector<double> flops{1e7 * scale, 1.5e7 * scale};
+      e.ptask_start(hosts, flops, {})->user_data = reinterpret_cast<void*>(slot + 1);
+    };
+    auto start_local = [&](size_t slot, int scale) {
+      const int z = static_cast<int>(slot) % kZones;
+      ActionPtr a = (slot % 2 == 0)
+                        ? e.exec_start(z * kPerZone + 1, 4e6 * scale)
+                        : e.comm_start(z * kPerZone, z * kPerZone + 2, 3e5 * scale);
+      a->user_data = reinterpret_cast<void*>(slot + 1);
+    };
+    start_ptask(0, 1, 2, 1);
+    start_ptask(1, 3, 4, 2);
+    for (size_t slot = 2; slot < 12; ++slot)
+      start_local(slot, 1 + static_cast<int>(slot) % 4);
+    int spins = 0;
+    while (static_cast<int>(r.log.size()) < 300) {
+      const auto fired = e.run_until();
+      if (++spins >= 100000) {
+        ADD_FAILURE() << "sweep made no progress";
+        break;
+      }
+      for (const auto& ev : fired) {
+        const size_t k = reinterpret_cast<size_t>(ev.action->user_data);
+        if (k == 0)
+          continue;
+        r.log.push_back({static_cast<int>(k - 1), ev.failed, e.now()});
+        const int scale = 1 + static_cast<int>(r.log.size()) % 4;
+        if (k == 1)
+          start_ptask(0, 1, 2, scale);
+        else if (k == 2)
+          start_ptask(1, 3, 4, scale);
+        else
+          start_local(k - 1, scale);
+      }
+    }
+    r.final_now = e.now();
+    r.group_solves = e.sharing_system().group_solve_count();
+    return r;
+  };
+  const SweepResult serial = run(1);
+  ASSERT_EQ(serial.thread_count, 1);
+  ASSERT_GT(serial.group_solves, 0u);
+  for (int threads : {2, 4, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const SweepResult par = run(threads);
+    EXPECT_EQ(par.thread_count, std::min(threads, kZones + 1));
+    // The group partition is lane-independent: same groups, same count.
+    EXPECT_EQ(serial.group_solves, par.group_solves);
+    expect_same_simulation(serial, par);
+  }
+}
+
+TEST_F(ParallelStepTest, SameDateMultiShardBatch) {
+  // Three zones, one exec each, all completing at EXACTLY t=1.0 — plus a
+  // state trace killing the middle zone's host at exactly t=1.0, so that
+  // exec fails while its neighbours complete. All shards share the target
+  // date: one run_until() must advance them in a single batched fan-out and
+  // deliver every event, in fixed shard order, at any thread count.
+  constexpr int kZones = 3;
+  for (int threads : {1, 2, 4}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    Platform p;
+    for (int z = 0; z < kZones; ++z) {
+      ClusterZoneSpec zone;
+      zone.name = "b" + std::to_string(z);
+      zone.count = 2;
+      zone.host_speed = 1e9;
+      p.add_cluster_zone(zone);
+    }
+    p.host_mutable(2).state = sg::trace::Trace("die", {{0.0, 1.0}, {1.0, 0.0}}, -1.0);
+    p.seal();
+    sg::config::set(kCfgThreads, threads);
+    Engine e(std::move(p));
+    sg::config::set(kCfgThreads, 1);
+    std::vector<ActionPtr> execs;
+    for (int z = 0; z < kZones; ++z)
+      execs.push_back(e.exec_start(z * 2, 1e9));  // completes at exactly 1.0
+    const auto fired = e.run_until();
+    EXPECT_DOUBLE_EQ(e.now(), 1.0);
+    ASSERT_EQ(fired.size(), 3u) << "same-date shards must batch into one round";
+    // Fixed shard order: zone 0, zone 1 (the failure), zone 2.
+    EXPECT_EQ(fired[0].action.get(), execs[0].get());
+    EXPECT_FALSE(fired[0].failed);
+    EXPECT_EQ(fired[1].action.get(), execs[1].get());
+    EXPECT_TRUE(fired[1].failed) << "equal-date trace event must beat the completion";
+    EXPECT_EQ(fired[2].action.get(), execs[2].get());
+    EXPECT_FALSE(fired[2].failed);
+    for (int z = 0; z < kZones; ++z)
+      EXPECT_DOUBLE_EQ(execs[static_cast<size_t>(z)]->finish_time(), 1.0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The phase profiler (engine/profile)
+// ---------------------------------------------------------------------------
+
+TEST_F(ParallelStepTest, PhaseStatsSanity) {
+  const bool prev_profile = sg::config::get(kCfgProfile);
+  sg::config::set(kCfgProfile, true);
+  sg::config::set(kCfgThreads, 2);
+  Engine e(make_flapping_platform(3, 4));
+  sg::config::set(kCfgThreads, 1);
+  for (int h = 0; h < 12; ++h)
+    e.exec_start(h, 1e6 * (1 + h % 3));
+  for (int i = 0; i < 8; ++i)
+    e.run_until();
+  const Engine::PhaseStats s1 = e.phase_stats();
+  EXPECT_GT(s1.rounds, 0u);
+  EXPECT_GT(s1.events, 0u);
+  EXPECT_GT(s1.total_ns, 0u);
+  // The four phases tile each round's wall time exactly.
+  const auto phase_sum = [](const Engine::PhaseStats& s) {
+    return s.solve_ns + s.pick_ns + s.advance_ns + s.epilogue_ns;
+  };
+  EXPECT_LE(phase_sum(s1), s1.total_ns);
+  EXPECT_GE(phase_sum(s1), s1.total_ns / 2);
+  // Fanned-out wall time can never exceed total wall time...
+  EXPECT_LE(s1.parallel_ns, s1.total_ns);
+  // ...so the serial fraction is a proper fraction.
+  EXPECT_GE(s1.serial_fraction(), 0.0);
+  EXPECT_LE(s1.serial_fraction(), 1.0);
+  ASSERT_EQ(s1.lane_busy_ns.size(), static_cast<size_t>(e.thread_count()));
+  // Counters are cumulative: more rounds only grow them.
+  for (int h = 0; h < 12; ++h)
+    if (e.host_is_on(h))
+      e.exec_start(h, 2e6);
+  for (int i = 0; i < 8; ++i)
+    e.run_until();
+  const Engine::PhaseStats s2 = e.phase_stats();
+  EXPECT_GE(s2.rounds, s1.rounds);
+  EXPECT_GE(s2.events, s1.events);
+  EXPECT_GE(s2.total_ns, s1.total_ns);
+  EXPECT_GE(s2.solve_ns, s1.solve_ns);
+  EXPECT_GE(s2.pick_ns, s1.pick_ns);
+  EXPECT_GE(s2.advance_ns, s1.advance_ns);
+  EXPECT_GE(s2.epilogue_ns, s1.epilogue_ns);
+  EXPECT_GE(s2.parallel_ns, s1.parallel_ns);
+  // Profiling off: zero overhead, zero stats.
+  sg::config::set(kCfgProfile, false);
+  Engine off(make_flapping_platform(2, 4));
+  off.exec_start(0, 1e6);
+  off.run_until();
+  EXPECT_EQ(off.phase_stats().total_ns, 0u);
+  EXPECT_EQ(off.phase_stats().rounds, 0u);
+  sg::config::set(kCfgProfile, prev_profile);
+}
+
 TEST_F(ParallelStepTest, ThreadCountIsClampedToShardCount) {
   auto build = [](int zones) {
     Platform p;
